@@ -1,0 +1,67 @@
+// Ablation: R-tree construction heuristics. The paper uses the R*-tree
+// [3] as its baseline ("an R-Tree [8] or its variants"); this harness
+// quantifies how much the R* heuristics (margin split, min-overlap
+// distribution, forced reinsertion) matter on spatiotemporal segment
+// data, versus Guttman's quadratic and linear splits.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetScale();
+  const size_t n = scale.dataset_sizes[1];
+  std::printf("R-tree heuristic ablation (scale=%s): %zu-object random "
+              "dataset, LAGreedy 50%% splits.\n",
+              scale.name.c_str(), n);
+  const std::vector<Trajectory> objects = MakeRandomDataset(n);
+  const std::vector<SegmentRecord> records = SplitWithLaGreedy(objects, 50);
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, 1000);
+  const std::vector<STQuery> ranges =
+      MakeQueries(SmallRangeSet(), scale.query_count);
+  const std::vector<STQuery> snaps =
+      MakeQueries(MixedSnapshotSet(), scale.query_count);
+
+  struct Variant {
+    const char* name;
+    SplitStrategy split;
+    bool reinsert;
+  };
+  PrintHeader("R-tree variants: avg disk accesses and pages",
+              "variant          | small_range | mixed_snap | pages");
+  for (const Variant& variant :
+       {Variant{"rstar+reinsert", SplitStrategy::kRStar, true},
+        Variant{"rstar", SplitStrategy::kRStar, false},
+        Variant{"quadratic", SplitStrategy::kQuadratic, false},
+        Variant{"linear", SplitStrategy::kLinear, false}}) {
+    RStarConfig config;
+    config.split = variant.split;
+    config.forced_reinsert = variant.reinsert;
+    RStarTree tree(config);
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      tree.Insert(boxes[i], static_cast<DataId>(i));
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-16s | %11.2f | %10.2f | %5zu",
+                  variant.name, AverageRStarIo(tree, ranges, 1000),
+                  AverageRStarIo(tree, snaps, 1000), tree.PageCount());
+    PrintRow(line);
+  }
+  std::printf("\nExpected shape: linear split is clearly the worst; R* and "
+              "quadratic are the contenders (on near-uniform segment data "
+              "quadratic can edge out R*, whose overlap heuristics pay off "
+              "more on clustered data). None of the variants changes the "
+              "conclusion against the PPR-tree.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+int main() {
+  stindex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/distribute.h"
+#include "util/check.h"
+
+namespace stindex {
+namespace bench {
+
+BenchScale GetScale() {
+  const char* env = std::getenv("STINDEX_SCALE");
+  const std::string scale = env == nullptr ? "small" : env;
+  if (scale == "paper") {
+    return BenchScale{"paper",
+                      {10000, 30000, 50000, 80000},
+                      {10000, 30000, 50000, 80000},
+                      1000};
+  }
+  if (scale == "medium") {
+    return BenchScale{"medium",
+                      {2500, 5000, 10000, 20000},
+                      {500, 1000, 2000, 4000},
+                      500};
+  }
+  STINDEX_CHECK_MSG(scale == "small", "STINDEX_SCALE: small|medium|paper");
+  return BenchScale{
+      "small", {1000, 2000, 4000, 8000}, {100, 200, 400, 800}, 200};
+}
+
+std::vector<Trajectory> MakeRandomDataset(size_t n, uint64_t seed) {
+  RandomDatasetConfig config;
+  config.num_objects = n;
+  config.seed = seed;
+  return GenerateRandomDataset(config);
+}
+
+std::vector<Trajectory> MakeDenseRandomDataset(size_t n, Time* time_domain,
+                                               uint64_t seed) {
+  RandomDatasetConfig config;
+  config.num_objects = n;
+  config.seed = seed;
+  // Aim for ~300 alive objects per instant (paper 10k dataset: ~550).
+  const Time domain =
+      std::max<Time>(60, static_cast<Time>(n) * 25 / 300);
+  config.time_domain = domain;
+  config.max_lifetime = std::min<Time>(100, domain / 2);
+  *time_domain = domain;
+  return GenerateRandomDataset(config);
+}
+
+std::vector<Trajectory> MakeRailwayDataset(size_t n, uint64_t seed) {
+  RailwayDatasetConfig config;
+  config.num_trains = n;
+  config.seed = seed;
+  return GenerateRailwayDataset(config);
+}
+
+std::vector<SegmentRecord> SplitWithLaGreedy(
+    const std::vector<Trajectory>& objects, int percent) {
+  if (percent == 0) return BuildUnsplitSegments(objects);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, /*k_max=*/128, SplitMethod::kMerge);
+  const int64_t budget =
+      static_cast<int64_t>(objects.size()) * percent / 100;
+  const Distribution dist = DistributeLAGreedy(curves, budget);
+  return BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+}
+
+std::unique_ptr<RStarTree> BuildRStar(
+    const std::vector<SegmentRecord>& records, Time time_domain) {
+  auto tree = std::make_unique<RStarTree>();
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, time_domain);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    tree->Insert(boxes[i], static_cast<DataId>(i));
+  }
+  return tree;
+}
+
+double AveragePprIo(const PprTree& tree,
+                    const std::vector<STQuery>& queries) {
+  uint64_t misses = 0;
+  std::vector<PprDataId> results;
+  for (const STQuery& query : queries) {
+    tree.ResetQueryState();
+    if (query.IsSnapshot()) {
+      tree.SnapshotQuery(query.area, query.range.start, &results);
+    } else {
+      tree.IntervalQuery(query.area, query.range, &results);
+    }
+    misses += tree.stats().misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(queries.size());
+}
+
+double AverageRStarIo(const RStarTree& tree,
+                      const std::vector<STQuery>& queries,
+                      Time time_domain) {
+  uint64_t misses = 0;
+  std::vector<DataId> results;
+  for (const STQuery& query : queries) {
+    tree.ResetQueryState();
+    tree.Search(QueryToBox(query, 0, time_domain), &results);
+    misses += tree.stats().misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(queries.size());
+}
+
+std::vector<STQuery> MakeQueries(const QuerySetConfig& config, size_t count) {
+  QuerySetConfig adjusted = config;
+  adjusted.count = count;
+  return GenerateQuerySet(adjusted);
+}
+
+void PrintHeader(const std::string& title, const std::string& columns) {
+  std::printf("\n== %s ==\n%s\n", title.c_str(), columns.c_str());
+}
+
+void PrintRow(const std::string& cells) {
+  std::printf("%s\n", cells.c_str());
+}
+
+}  // namespace bench
+}  // namespace stindex

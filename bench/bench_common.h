@@ -1,0 +1,80 @@
+#ifndef STINDEX_BENCH_BENCH_COMMON_H_
+#define STINDEX_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the experiment harnesses. One binary per
+// paper table/figure; each prints the same rows/series the paper reports.
+//
+// Scale control: the paper's datasets (10k-80k objects) and 1000-query
+// sets take a while on one core, especially for the dynamic programming
+// algorithms (the paper itself reports ~a day of CPU for DPSplit on the
+// large sets). Set STINDEX_SCALE=small (default), medium, or paper.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/split_pipeline.h"
+#include "datagen/query_gen.h"
+#include "datagen/railway.h"
+#include "datagen/random_dataset.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+
+namespace stindex {
+namespace bench {
+
+struct BenchScale {
+  std::string name;
+  // Dataset sizes for the index/query experiments (paper: 10k-80k).
+  std::vector<size_t> dataset_sizes;
+  // Smaller sizes for experiments that run the quadratic DP algorithms
+  // over every object.
+  std::vector<size_t> dp_dataset_sizes;
+  // Queries evaluated per query set (paper: 1000).
+  size_t query_count = 200;
+};
+
+// Reads STINDEX_SCALE (small | medium | paper).
+BenchScale GetScale();
+
+// Paper-configured random dataset of n moving rectangles (Table I row).
+std::vector<Trajectory> MakeRandomDataset(size_t n, uint64_t seed = 42);
+
+// Random dataset with a compressed time domain so that the alive density
+// (objects per instant) matches the paper's large datasets even when n is
+// small. Used by the I/O experiments that must also run the quadratic
+// optimal algorithms. Returns the dataset and sets *time_domain.
+std::vector<Trajectory> MakeDenseRandomDataset(size_t n, Time* time_domain,
+                                               uint64_t seed = 42);
+
+// Paper-configured railway dataset of n trains.
+std::vector<Trajectory> MakeRailwayDataset(size_t n, uint64_t seed = 7);
+
+// Splits the dataset with LAGreedy at `percent`% of the object count
+// (MergeSplit curves) and returns the segment records. percent == 0 means
+// the unsplit single-MBR representation.
+std::vector<SegmentRecord> SplitWithLaGreedy(
+    const std::vector<Trajectory>& objects, int percent);
+
+// Builds an R*-tree over the records (time axis scaled to unit range).
+std::unique_ptr<RStarTree> BuildRStar(const std::vector<SegmentRecord>& records,
+                                      Time time_domain);
+
+// Average disk accesses (buffer misses, buffer reset per query) over the
+// query set.
+double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries);
+double AverageRStarIo(const RStarTree& tree,
+                      const std::vector<STQuery>& queries, Time time_domain);
+
+// A query set from Table II, truncated to `count` queries.
+std::vector<STQuery> MakeQueries(const QuerySetConfig& config, size_t count);
+
+// Formatted output helpers: pipe-separated table rows.
+void PrintHeader(const std::string& title, const std::string& columns);
+void PrintRow(const std::string& cells);
+
+}  // namespace bench
+}  // namespace stindex
+
+#endif  // STINDEX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Section II-B's core promise, measured: a partially persistent R-tree
+// answering a snapshot query at time t "behaves as if an 'ephemeral'
+// structure was present for time t, indexing the alive objects at t".
+// For sampled instants this harness builds an actual fresh 2-D R-tree
+// over exactly the records alive at t and compares its query I/O with the
+// PPR-tree queried at t.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "hrtree/hr_tree.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetScale();
+  const size_t n = scale.dataset_sizes[2];
+  std::printf("Ephemeral equivalence (scale=%s): %zu-object random "
+              "dataset, LAGreedy 150%% splits.\n",
+              scale.name.c_str(), n);
+  const std::vector<Trajectory> objects = MakeRandomDataset(n);
+  const std::vector<SegmentRecord> records = SplitWithLaGreedy(objects, 150);
+  const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+
+  const std::vector<STQuery> queries =
+      MakeQueries(MixedSnapshotSet(), scale.query_count);
+
+  PrintHeader("Snapshot I/O: PPR at t vs fresh 2-D R-tree of alive(t)",
+              "instant | alive  | ppr_io  | ephemeral_io | ratio");
+  for (Time t : {100, 300, 500, 700, 900}) {
+    // The ephemeral structure: a plain 2-D R-tree over records alive at
+    // t (an HR-tree fed only inserts is exactly that).
+    HrTree ephemeral;
+    size_t alive = 0;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].box.interval.Contains(t)) {
+        ephemeral.Insert(records[i].box.rect, 0, i);
+        ++alive;
+      }
+    }
+    uint64_t ppr_io = 0;
+    uint64_t ephemeral_io = 0;
+    std::vector<PprDataId> a;
+    std::vector<HrDataId> b;
+    for (const STQuery& query : queries) {
+      ppr->ResetQueryState();
+      ppr->SnapshotQuery(query.area, t, &a);
+      ppr_io += ppr->stats().misses;
+      ephemeral.ResetQueryState();
+      ephemeral.SnapshotQuery(query.area, 0, &b);
+      ephemeral_io += ephemeral.stats().misses;
+      STINDEX_CHECK(a.size() == b.size());
+    }
+    const double ppr_avg =
+        static_cast<double>(ppr_io) / static_cast<double>(queries.size());
+    const double ephemeral_avg = static_cast<double>(ephemeral_io) /
+                                 static_cast<double>(queries.size());
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%7lld | %6zu | %7.2f | %12.2f | %5.2f",
+                  static_cast<long long>(t), alive, ppr_avg, ephemeral_avg,
+                  ppr_avg / ephemeral_avg);
+    PrintRow(line);
+  }
+  std::printf("\nExpected shape: PPR snapshot I/O on par with (in practice "
+              "even below) a freshly insert-built 2-D R-tree over the alive "
+              "set — its R*-style key splits and strong-version fill bounds "
+              "produce tighter nodes than plain quadratic insertion, while "
+              "needing linear (not per-instant) storage.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+int main() {
+  stindex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 16: index disk space (pages) as the number of splits grows,
+// PPR-tree vs 3-D R*-tree, on the 50k random dataset (third size of the
+// active scale). Shape to reproduce: the PPR-tree needs roughly twice the
+// space of the R*-tree, both growing with the number of splits.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetScale();
+  const size_t n = scale.dataset_sizes[2];
+  std::printf("Figure 16 reproduction (scale=%s): index pages vs splits, "
+              "%zu-object random dataset.\n",
+              scale.name.c_str(), n);
+  const std::vector<Trajectory> objects = MakeRandomDataset(n);
+
+  PrintHeader("Fig 16: disk space vs number of splits",
+              "splits%% | ppr_pages  | rstar_pages | ppr/rstar | records");
+  for (int percent : {0, 1, 5, 10, 25, 50, 100, 150}) {
+    const std::vector<SegmentRecord> records =
+        SplitWithLaGreedy(objects, percent);
+    const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+    const std::unique_ptr<RStarTree> rstar = BuildRStar(records, 1000);
+    char row[256];
+    std::snprintf(row, sizeof(row), "%6d%% | %10zu | %11zu | %9.2f | %7zu",
+                  percent, ppr->PageCount(), rstar->PageCount(),
+                  static_cast<double>(ppr->PageCount()) /
+                      static_cast<double>(rstar->PageCount()),
+                  records.size());
+    PrintRow(row);
+  }
+  std::printf("\nExpected shape: both grow with splits; ppr/rstar around "
+              "2x (paper Figure 16: \"almost twice as much space\").\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+int main() {
+  stindex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 17: average disk accesses for small range queries across random
+// dataset sizes: PPR-tree with 150% LAGreedy splits vs R*-tree with 1%
+// splits vs R*-tree over piecewise-split data ([21]-style). Shape to
+// reproduce: the split PPR-tree is clearly best; piecewise is worst.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/piecewise_split.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetScale();
+  std::printf("Figure 17 reproduction (scale=%s): avg disk accesses, small "
+              "range queries.\n",
+              scale.name.c_str());
+  const std::vector<STQuery> queries =
+      MakeQueries(SmallRangeSet(), scale.query_count);
+  PrintHeader("Fig 17: small range queries across dataset sizes",
+              "objects | ppr150_io  | rstar1_io  | piecewise_io | "
+              "piecewise_splits%%");
+  for (size_t n : scale.dataset_sizes) {
+    const std::vector<Trajectory> objects = MakeRandomDataset(n);
+
+    const std::vector<SegmentRecord> ppr_records =
+        SplitWithLaGreedy(objects, 150);
+    const std::unique_ptr<PprTree> ppr = BuildPprTree(ppr_records);
+
+    const std::vector<SegmentRecord> rstar_records =
+        SplitWithLaGreedy(objects, 1);
+    const std::unique_ptr<RStarTree> rstar = BuildRStar(rstar_records, 1000);
+
+    int64_t piecewise_splits = 0;
+    const std::vector<SegmentRecord> piecewise_records =
+        PiecewiseSplitAll(objects, &piecewise_splits);
+    const std::unique_ptr<RStarTree> piecewise =
+        BuildRStar(piecewise_records, 1000);
+
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%7zu | %10.2f | %10.2f | %12.2f | %8.0f%%", n,
+                  AveragePprIo(*ppr, queries),
+                  AverageRStarIo(*rstar, queries, 1000),
+                  AverageRStarIo(*piecewise, queries, 1000),
+                  100.0 * static_cast<double>(piecewise_splits) /
+                      static_cast<double>(n));
+    PrintRow(row);
+  }
+  std::printf("\nExpected shape: ppr150_io lowest at every size; the "
+              "piecewise R*-tree is by far the worst (paper Figure 17; "
+              "piecewise uses ~300-400%% splits).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+int main() {
+  stindex::bench::Run();
+  return 0;
+}

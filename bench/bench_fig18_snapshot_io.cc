@@ -1,0 +1,68 @@
+// Figure 18: average disk accesses for mixed snapshot queries across
+// random dataset sizes: PPR-tree (150% LAGreedy splits) vs R*-tree (1%
+// splits) vs R*-tree over piecewise data vs R*-tree with no splits.
+// Shape to reproduce: PPR best by 20-50%; piecewise much worse than even
+// the unsplit R*-tree.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/piecewise_split.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetScale();
+  std::printf("Figure 18 reproduction (scale=%s): avg disk accesses, mixed "
+              "snapshot queries.\n",
+              scale.name.c_str());
+  const std::vector<STQuery> queries =
+      MakeQueries(MixedSnapshotSet(), scale.query_count);
+  PrintHeader("Fig 18: mixed snapshot queries across dataset sizes",
+              "objects | ppr150_io  | rstar1_io  | rstar0_io  | "
+              "piecewise_io");
+  for (size_t n : scale.dataset_sizes) {
+    const std::vector<Trajectory> objects = MakeRandomDataset(n);
+
+    const std::vector<SegmentRecord> ppr_records =
+        SplitWithLaGreedy(objects, 150);
+    const std::unique_ptr<PprTree> ppr = BuildPprTree(ppr_records);
+
+    const std::vector<SegmentRecord> rstar1_records =
+        SplitWithLaGreedy(objects, 1);
+    const std::unique_ptr<RStarTree> rstar1 = BuildRStar(rstar1_records, 1000);
+
+    const std::vector<SegmentRecord> unsplit_records =
+        BuildUnsplitSegments(objects);
+    const std::unique_ptr<RStarTree> rstar0 =
+        BuildRStar(unsplit_records, 1000);
+
+    int64_t piecewise_splits = 0;
+    const std::vector<SegmentRecord> piecewise_records =
+        PiecewiseSplitAll(objects, &piecewise_splits);
+    const std::unique_ptr<RStarTree> piecewise =
+        BuildRStar(piecewise_records, 1000);
+
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "%7zu | %10.2f | %10.2f | %10.2f | %12.2f", n,
+                  AveragePprIo(*ppr, queries),
+                  AverageRStarIo(*rstar1, queries, 1000),
+                  AverageRStarIo(*rstar0, queries, 1000),
+                  AverageRStarIo(*piecewise, queries, 1000));
+    PrintRow(row);
+  }
+  std::printf("\nExpected shape: ppr150_io lowest (paper: 20%% better for "
+              "small interval queries, >50%% for snapshots); piecewise_io "
+              "worse than the no-splits rstar0_io (paper Figure 18).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+int main() {
+  stindex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) of the core operations: the
+// single-object splitters, the distribution algorithms, index
+// construction and query execution. Complements the figure harnesses with
+// stable per-operation timings.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/distribute.h"
+#include "core/dp_split.h"
+#include "core/merge_split.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+const std::vector<Trajectory>& SharedObjects() {
+  static const std::vector<Trajectory>* objects =
+      new std::vector<Trajectory>(MakeRandomDataset(512));
+  return *objects;
+}
+
+std::vector<Rect2D> ObjectOfLifetime(int64_t instants) {
+  for (const Trajectory& object : SharedObjects()) {
+    if (object.NumInstants() >= instants) {
+      std::vector<Rect2D> rects = object.Sample();
+      rects.resize(static_cast<size_t>(instants));
+      return rects;
+    }
+  }
+  // Fall back to the longest available object.
+  return SharedObjects().front().Sample();
+}
+
+void BM_DpSplit(benchmark::State& state) {
+  const std::vector<Rect2D> rects = ObjectOfLifetime(state.range(0));
+  const int k = static_cast<int>(rects.size()) / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DpSplit(rects, k).total_volume);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DpSplit)->Arg(16)->Arg(32)->Arg(64)->Arg(96)->Complexity();
+
+void BM_MergeSplit(benchmark::State& state) {
+  const std::vector<Rect2D> rects = ObjectOfLifetime(state.range(0));
+  const int k = static_cast<int>(rects.size()) / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeSplit(rects, k).total_volume);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MergeSplit)->Arg(16)->Arg(32)->Arg(64)->Arg(96)->Complexity();
+
+void BM_DpVolumeCurve(benchmark::State& state) {
+  const std::vector<Rect2D> rects = ObjectOfLifetime(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DpVolumeCurve(rects, static_cast<int>(rects.size())).back());
+  }
+}
+BENCHMARK(BM_DpVolumeCurve)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_MergeVolumeCurve(benchmark::State& state) {
+  const std::vector<Rect2D> rects = ObjectOfLifetime(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MergeVolumeCurve(rects, static_cast<int>(rects.size())).back());
+  }
+}
+BENCHMARK(BM_MergeVolumeCurve)->Arg(32)->Arg(64)->Arg(96);
+
+const std::vector<VolumeCurve>& SharedCurves() {
+  static const std::vector<VolumeCurve>* curves = new std::vector<VolumeCurve>(
+      ComputeVolumeCurves(SharedObjects(), 128, SplitMethod::kMerge));
+  return *curves;
+}
+
+void BM_DistributeGreedy(benchmark::State& state) {
+  const auto& curves = SharedCurves();
+  const int64_t budget = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistributeGreedy(curves, budget).total_volume);
+  }
+}
+BENCHMARK(BM_DistributeGreedy)->Arg(128)->Arg(512)->Arg(768);
+
+void BM_DistributeLAGreedy(benchmark::State& state) {
+  const auto& curves = SharedCurves();
+  const int64_t budget = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DistributeLAGreedy(curves, budget).total_volume);
+  }
+}
+BENCHMARK(BM_DistributeLAGreedy)->Arg(128)->Arg(512)->Arg(768);
+
+void BM_DistributeOptimal(benchmark::State& state) {
+  const auto& curves = SharedCurves();
+  const int64_t budget = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistributeOptimal(curves, budget).total_volume);
+  }
+}
+BENCHMARK(BM_DistributeOptimal)->Arg(128)->Arg(256);
+
+void BM_PprBuild(benchmark::State& state) {
+  const std::vector<Trajectory> objects =
+      MakeRandomDataset(static_cast<size_t>(state.range(0)));
+  const std::vector<SegmentRecord> records = SplitWithLaGreedy(objects, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPprTree(records)->PageCount());
+  }
+  state.counters["records"] = static_cast<double>(records.size());
+}
+BENCHMARK(BM_PprBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_RStarBuild(benchmark::State& state) {
+  const std::vector<Trajectory> objects =
+      MakeRandomDataset(static_cast<size_t>(state.range(0)));
+  const std::vector<SegmentRecord> records = SplitWithLaGreedy(objects, 50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildRStar(records, 1000)->PageCount());
+  }
+  state.counters["records"] = static_cast<double>(records.size());
+}
+BENCHMARK(BM_RStarBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_PprSnapshotQuery(benchmark::State& state) {
+  static const std::unique_ptr<PprTree>* tree = [] {
+    const std::vector<Trajectory> objects = MakeRandomDataset(2000);
+    auto* t = new std::unique_ptr<PprTree>(
+        BuildPprTree(SplitWithLaGreedy(objects, 150)));
+    return t;
+  }();
+  const std::vector<STQuery> queries = MakeQueries(MixedSnapshotSet(), 64);
+  std::vector<PprDataId> results;
+  size_t q = 0;
+  for (auto _ : state) {
+    const STQuery& query = queries[q++ % queries.size()];
+    (*tree)->SnapshotQuery(query.area, query.range.start, &results);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_PprSnapshotQuery);
+
+void BM_RStarRangeQuery(benchmark::State& state) {
+  static const std::unique_ptr<RStarTree>* tree = [] {
+    const std::vector<Trajectory> objects = MakeRandomDataset(2000);
+    auto* t = new std::unique_ptr<RStarTree>(
+        BuildRStar(SplitWithLaGreedy(objects, 1), 1000));
+    return t;
+  }();
+  const std::vector<STQuery> queries = MakeQueries(SmallRangeSet(), 64);
+  std::vector<DataId> results;
+  size_t q = 0;
+  for (auto _ : state) {
+    (*tree)->Search(QueryToBox(queries[q++ % queries.size()], 0, 1000),
+                    &results);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_RStarRangeQuery);
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table II: the snapshot and range query sets.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+void PrintQuerySet(const QuerySetConfig& config, size_t count) {
+  const std::vector<STQuery> queries = MakeQueries(config, count);
+  double min_w = 1.0, max_w = 0.0;
+  Time min_d = 1 << 20, max_d = 0;
+  for (const STQuery& query : queries) {
+    min_w = std::min({min_w, query.area.Width(), query.area.Height()});
+    max_w = std::max({max_w, query.area.Width(), query.area.Height()});
+    min_d = std::min(min_d, query.range.Duration());
+    max_d = std::max(max_d, query.range.Duration());
+  }
+  char row[256];
+  std::snprintf(row, sizeof(row),
+                "%-14s | %6zu | %6.3f%%-%6.3f%% | %3lld-%3lld",
+                config.name.c_str(), queries.size(), min_w * 100.0,
+                max_w * 100.0, static_cast<long long>(min_d),
+                static_cast<long long>(max_d));
+  PrintRow(row);
+}
+
+void Run() {
+  const BenchScale scale = GetScale();
+  std::printf("Table II reproduction (scale=%s): cardinality, generated "
+              "extents (%% of space side), duration (instants).\n",
+              scale.name.c_str());
+  PrintHeader("Table II: query sets",
+              "set            | count  | extents          | duration");
+  for (const QuerySetConfig& config :
+       {TinySnapshotSet(), SmallSnapshotSet(), MixedSnapshotSet(),
+        LargeSnapshotSet(), SmallRangeSet(), MediumRangeSet()}) {
+    PrintQuerySet(config, scale.query_count);
+  }
+  std::printf("\nPaper values: tiny 0.01-0.1%%, small 0.1-1%%, mixed "
+              "0.1-5%%, large 1-5%%; snapshots last 1 instant, small range "
+              "1-10, medium range 10-50.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+int main() {
+  stindex::bench::Run();
+  return 0;
+}

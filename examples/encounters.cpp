@@ -1,0 +1,116 @@
+// Encounter detection: which pairs of objects came close together, and
+// when? A classic spatiotemporal-analytics workload (contact tracing,
+// near-miss detection, convoy mining) built entirely on the historical
+// index: for every segment of every probe object, run one interval query
+// around its box and intersect lifetimes.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/distribute.h"
+#include "core/split_pipeline.h"
+#include "datagen/random_dataset.h"
+#include "pprtree/ppr_tree.h"
+
+using namespace stindex;
+
+namespace {
+
+Rect2D Inflate(const Rect2D& rect, double margin) {
+  return Rect2D(rect.xlo - margin, rect.ylo - margin, rect.xhi + margin,
+                rect.yhi + margin);
+}
+
+}  // namespace
+
+int main() {
+  // A fleet of 1500 objects over 1000 instants.
+  RandomDatasetConfig config;
+  config.num_objects = 1500;
+  config.seed = 77;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+
+  // Split fairly aggressively: tight segment boxes make the proximity
+  // queries selective, which is exactly the paper's point.
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 64, SplitMethod::kMerge);
+  const Distribution dist = DistributeLAGreedy(
+      curves, static_cast<int64_t>(objects.size()) * 3 / 2);
+  const std::vector<SegmentRecord> segments =
+      BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+  std::unique_ptr<PprTree> index = BuildPprTree(segments);
+  std::printf("indexed %zu segments of %zu objects (%zu pages)\n",
+              segments.size(), objects.size(), index->PageCount());
+
+  // Find all encounters of 25 probe objects within `radius` of another
+  // object at some shared instant.
+  const double radius = 0.01;
+  std::set<std::pair<ObjectId, ObjectId>> encounters;
+  uint64_t queries_run = 0;
+  uint64_t total_io = 0;
+  std::vector<PprDataId> hits;
+  for (ObjectId probe = 0; probe < 25; ++probe) {
+    for (const SegmentRecord& segment : segments) {
+      if (segment.object != probe) continue;
+      index->ResetQueryState();
+      index->IntervalQuery(Inflate(segment.box.rect, radius),
+                           segment.box.interval, &hits);
+      ++queries_run;
+      total_io += index->stats().misses;
+      for (PprDataId id : hits) {
+        const SegmentRecord& other = segments[id];
+        if (other.object == probe) continue;
+        // The boxes overlap in space-time; order the pair canonically.
+        encounters.insert({std::min(probe, other.object),
+                           std::max(probe, other.object)});
+      }
+    }
+  }
+  std::printf(
+      "%zu candidate encounter pairs for 25 probes (%llu interval queries, "
+      "avg %.2f disk accesses each)\n",
+      encounters.size(), static_cast<unsigned long long>(queries_run),
+      static_cast<double>(total_io) / static_cast<double>(queries_run));
+
+  // Refinement: the index produced *candidates* (overlapping space-time
+  // boxes). Verify each against the exact trajectories.
+  size_t confirmed = 0;
+  std::pair<ObjectId, ObjectId> best_pair{0, 0};
+  Time best_t = 0;
+  double best_distance = 1e300;
+  for (const auto& [a, b] : encounters) {
+    const Trajectory& ta = objects[a];
+    const Trajectory& tb = objects[b];
+    if (!ta.Lifetime().Intersects(tb.Lifetime())) continue;
+    const TimeInterval common = ta.Lifetime().Intersection(tb.Lifetime());
+    double pair_closest = 1e300;
+    Time pair_t = common.start;
+    for (Time t = common.start; t < common.end; ++t) {
+      const Point2D pa = ta.RectAt(t).Center();
+      const Point2D pb = tb.RectAt(t).Center();
+      const double dx = pa.x - pb.x;
+      const double dy = pa.y - pb.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < pair_closest) {
+        pair_closest = d2;
+        pair_t = t;
+      }
+    }
+    if (pair_closest <= radius * radius) ++confirmed;
+    if (pair_closest < best_distance) {
+      best_distance = pair_closest;
+      best_pair = {a, b};
+      best_t = pair_t;
+    }
+  }
+  std::printf("confirmed %zu true encounters (within %.3f) after exact "
+              "refinement\n",
+              confirmed, radius);
+  std::printf("closest approach overall: pair (%u, %u), distance %.4f at "
+              "instant %lld\n",
+              best_pair.first, best_pair.second, std::sqrt(best_distance),
+              static_cast<long long>(best_t));
+  return 0;
+}

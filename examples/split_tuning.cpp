@@ -1,0 +1,106 @@
+// Split tuning: Section IV of the paper as an application. Given a
+// dataset and an expected query workload, pick the number of artificial
+// splits with (a) the analytical cost models and (b) the sampling
+// advisor, then verify the choice by measuring the real index.
+#include <cstdio>
+
+#include "core/split_pipeline.h"
+#include "datagen/query_gen.h"
+#include "datagen/random_dataset.h"
+#include "model/split_advisor.h"
+#include "pprtree/ppr_tree.h"
+
+using namespace stindex;
+
+namespace {
+
+double MeasureRealIo(const std::vector<Trajectory>& objects, int64_t budget,
+                     const std::vector<STQuery>& queries) {
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 128, SplitMethod::kMerge);
+  const Distribution dist = DistributeLAGreedy(curves, budget);
+  const std::vector<SegmentRecord> records =
+      BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+  const std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  uint64_t misses = 0;
+  std::vector<PprDataId> results;
+  for (const STQuery& query : queries) {
+    tree->ResetQueryState();
+    if (query.IsSnapshot()) {
+      tree->SnapshotQuery(query.area, query.range.start, &results);
+    } else {
+      tree->IntervalQuery(query.area, query.range, &results);
+    }
+    misses += tree->stats().misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(queries.size());
+}
+
+}  // namespace
+
+int main() {
+  // A dense dataset (~300 alive objects per instant) and the workload we
+  // expect in production: small range queries.
+  RandomDatasetConfig data_config;
+  data_config.num_objects = 3000;
+  data_config.time_domain = 250;
+  data_config.max_lifetime = 60;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(data_config);
+
+  QuerySetConfig query_config = SmallRangeSet();
+  query_config.count = 150;
+  query_config.time_domain = data_config.time_domain;
+  const std::vector<STQuery> workload = GenerateQuerySet(query_config);
+
+  const int64_t n = static_cast<int64_t>(objects.size());
+  const std::vector<int64_t> candidates = {0,     n / 10, n / 4, n / 2,
+                                           n,     n * 3 / 2};
+
+  SplitAdvisorOptions options;
+  options.time_domain = data_config.time_domain;
+
+  // (a) Analytical: Tao-Papadias-style PPR model over recomputed dataset
+  // statistics for each candidate budget.
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 128, SplitMethod::kMerge);
+  const SplitAdvice analytical = SplitAdvisor::ChooseAnalytical(
+      objects, curves, candidates, workload, IndexKind::kPprTree, options);
+  std::printf("analytical advisor cost curve:\n");
+  for (const auto& [budget, cost] : analytical.evaluated) {
+    std::printf("  %5lld splits -> predicted %6.2f node accesses%s\n",
+                static_cast<long long>(budget), cost,
+                budget == analytical.num_splits ? "   <= chosen" : "");
+  }
+
+  // (b) Sampling: build real indexes over a 25% object sample.
+  const SplitAdvice sampled = SplitAdvisor::ChooseBySampling(
+      objects, candidates, /*sample_fraction=*/0.25, workload,
+      /*max_queries=*/60, IndexKind::kPprTree, options, /*seed=*/17);
+  std::printf("\nsampling advisor cost curve (25%% sample):\n");
+  for (const auto& [budget, cost] : sampled.evaluated) {
+    std::printf("  %5lld splits -> measured %6.2f disk accesses%s\n",
+                static_cast<long long>(budget), cost,
+                budget == sampled.num_splits ? "   <= chosen" : "");
+  }
+
+  // Ground truth: measure the full index at each candidate.
+  std::printf("\nfull-index ground truth:\n");
+  double best_cost = 1e300;
+  int64_t best_budget = 0;
+  for (int64_t budget : candidates) {
+    const double io = MeasureRealIo(objects, budget, workload);
+    std::printf("  %5lld splits -> actual   %6.2f disk accesses\n",
+                static_cast<long long>(budget), io);
+    if (io < best_cost) {
+      best_cost = io;
+      best_budget = budget;
+    }
+  }
+  std::printf(
+      "\nchosen budgets: analytical=%lld, sampling=%lld, ground "
+      "truth=%lld\n",
+      static_cast<long long>(analytical.num_splits),
+      static_cast<long long>(sampled.num_splits),
+      static_cast<long long>(best_budget));
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the full experiment suite at the paper's dataset sizes (10k-80k
+# objects, 1000-query sets). Expect multi-hour runtimes for the dynamic
+# programming experiments — the paper itself reports "almost one day" for
+# DPSplit on the largest dataset.
+#
+# Usage: scripts/run_paper_scale.sh [build-dir] [output-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-paper_scale_results}"
+mkdir -p "$OUT_DIR"
+
+export STINDEX_SCALE=paper
+
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  name="$(basename "$bench")"
+  echo "== $name =="
+  "$bench" | tee "$OUT_DIR/$name.txt"
+done
+
+echo "Results written to $OUT_DIR/"

@@ -1,0 +1,255 @@
+#include "core/distribute.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace stindex {
+
+namespace {
+
+// Heap entry tied to an object's current split count; entries whose
+// `expected_splits` no longer matches the object's state are stale and
+// skipped on pop (lazy deletion).
+struct GainEntry {
+  double gain;
+  int object;
+  int expected_splits;
+};
+
+struct MaxGainLess {
+  bool operator()(const GainEntry& a, const GainEntry& b) const {
+    return a.gain < b.gain;  // max-heap
+  }
+};
+
+struct MinGainGreater {
+  bool operator()(const GainEntry& a, const GainEntry& b) const {
+    return a.gain > b.gain;  // min-heap
+  }
+};
+
+}  // namespace
+
+double UnsplitVolume(const std::vector<VolumeCurve>& curves) {
+  double total = 0.0;
+  for (const VolumeCurve& curve : curves) total += curve.VolumeAt(0);
+  return total;
+}
+
+Distribution DistributeOptimal(const std::vector<VolumeCurve>& curves,
+                               int64_t k_total) {
+  STINDEX_CHECK(k_total >= 0);
+  const int n = static_cast<int>(curves.size());
+  const int budget = static_cast<int>(
+      std::min<int64_t>(k_total, std::numeric_limits<int>::max()));
+
+  Distribution result;
+  result.splits.assign(static_cast<size_t>(n), 0);
+  if (n == 0) return result;
+
+  // tv[l] = minimum total volume of the objects processed so far using at
+  // most l splits; rolled over objects. choice[i][l] = splits assigned to
+  // object i in the optimum for budget l.
+  std::vector<double> tv(static_cast<size_t>(budget) + 1, 0.0);
+  std::vector<double> next(static_cast<size_t>(budget) + 1, 0.0);
+  std::vector<std::vector<uint16_t>> choice(
+      static_cast<size_t>(n),
+      std::vector<uint16_t>(static_cast<size_t>(budget) + 1, 0));
+
+  for (int i = 0; i < n; ++i) {
+    const VolumeCurve& curve = curves[static_cast<size_t>(i)];
+    const int max_splits = std::min(curve.MaxSplits(), budget);
+    for (int l = 0; l <= budget; ++l) {
+      double best = std::numeric_limits<double>::infinity();
+      uint16_t arg = 0;
+      const int j_top = std::min(l, max_splits);
+      for (int j = 0; j <= j_top; ++j) {
+        const double candidate =
+            tv[static_cast<size_t>(l - j)] + curve.VolumeAt(j);
+        if (candidate < best) {
+          best = candidate;
+          arg = static_cast<uint16_t>(j);
+        }
+      }
+      next[static_cast<size_t>(l)] = best;
+      choice[static_cast<size_t>(i)][static_cast<size_t>(l)] = arg;
+    }
+    std::swap(tv, next);
+  }
+
+  result.total_volume = tv[static_cast<size_t>(budget)];
+  // Backtrack the allocation.
+  int remaining = budget;
+  for (int i = n - 1; i >= 0; --i) {
+    const int j =
+        choice[static_cast<size_t>(i)][static_cast<size_t>(remaining)];
+    result.splits[static_cast<size_t>(i)] = j;
+    remaining -= j;
+  }
+  STINDEX_CHECK(remaining >= 0);
+  return result;
+}
+
+Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
+                              int64_t k_total) {
+  STINDEX_CHECK(k_total >= 0);
+  const int n = static_cast<int>(curves.size());
+
+  Distribution result;
+  result.splits.assign(static_cast<size_t>(n), 0);
+  result.total_volume = UnsplitVolume(curves);
+
+  std::priority_queue<GainEntry, std::vector<GainEntry>, MaxGainLess> heap;
+  for (int i = 0; i < n; ++i) {
+    if (curves[static_cast<size_t>(i)].MaxSplits() >= 1) {
+      heap.push(GainEntry{curves[static_cast<size_t>(i)].Gain(1), i, 0});
+    }
+  }
+
+  for (int64_t assigned = 0; assigned < k_total && !heap.empty();
+       ++assigned) {
+    const GainEntry top = heap.top();
+    heap.pop();
+    const int i = top.object;
+    const VolumeCurve& curve = curves[static_cast<size_t>(i)];
+    int& splits = result.splits[static_cast<size_t>(i)];
+    STINDEX_DCHECK(top.expected_splits == splits);
+    ++splits;
+    result.total_volume -= top.gain;
+    if (splits + 1 <= curve.MaxSplits()) {
+      heap.push(GainEntry{curve.Gain(splits + 1), i, splits});
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Mutable LAGreedy state: the split counts plus the two lazily maintained
+// priority queues of Figure 10.
+class LaGreedyState {
+ public:
+  LaGreedyState(const std::vector<VolumeCurve>& curves,
+                Distribution* distribution)
+      : curves_(curves), dist_(distribution) {
+    for (int i = 0; i < static_cast<int>(curves.size()); ++i) {
+      PushEntries(i);
+    }
+  }
+
+  // One exchange step. Returns false when no profitable exchange exists.
+  bool TryExchange() {
+    // The two distinct objects whose *last* splits gained the least.
+    GainEntry first{};
+    if (!PopValidLast(&first, /*exclude0=*/-1, /*exclude1=*/-1)) return false;
+    GainEntry second{};
+    if (!PopValidLast(&second, first.object, -1)) {
+      last_heap_.push(first);
+      return false;
+    }
+    // The best object to receive two extra splits, distinct from both.
+    GainEntry third{};
+    if (!PopValidAhead(&third, first.object, second.object)) {
+      last_heap_.push(first);
+      last_heap_.push(second);
+      return false;
+    }
+
+    if (third.gain <= first.gain + second.gain) {
+      last_heap_.push(first);
+      last_heap_.push(second);
+      ahead_heap_.push(third);
+      return false;
+    }
+
+    // Profitable: move one split each from `first`/`second` to `third`.
+    Splits(first.object) -= 1;
+    Splits(second.object) -= 1;
+    Splits(third.object) += 2;
+    dist_->total_volume += first.gain + second.gain - third.gain;
+    PushEntries(first.object);
+    PushEntries(second.object);
+    PushEntries(third.object);
+    return true;
+  }
+
+ private:
+  int& Splits(int i) { return dist_->splits[static_cast<size_t>(i)]; }
+  int SplitsOf(int i) const {
+    return dist_->splits[static_cast<size_t>(i)];
+  }
+
+  void PushEntries(int i) {
+    const VolumeCurve& curve = curves_[static_cast<size_t>(i)];
+    const int k = SplitsOf(i);
+    if (k >= 1) {
+      last_heap_.push(GainEntry{curve.Gain(k), i, k});
+    }
+    if (k + 2 <= curve.MaxSplits()) {
+      ahead_heap_.push(GainEntry{curve.Gain2(k), i, k});
+    }
+  }
+
+  bool PopValidLast(GainEntry* out, int exclude0, int exclude1) {
+    std::vector<GainEntry> skipped;
+    bool found = false;
+    while (!last_heap_.empty()) {
+      GainEntry entry = last_heap_.top();
+      last_heap_.pop();
+      if (entry.expected_splits != SplitsOf(entry.object)) continue;
+      if (entry.object == exclude0 || entry.object == exclude1) {
+        skipped.push_back(entry);
+        continue;
+      }
+      *out = entry;
+      found = true;
+      break;
+    }
+    for (const GainEntry& entry : skipped) last_heap_.push(entry);
+    return found;
+  }
+
+  bool PopValidAhead(GainEntry* out, int exclude0, int exclude1) {
+    std::vector<GainEntry> skipped;
+    bool found = false;
+    while (!ahead_heap_.empty()) {
+      GainEntry entry = ahead_heap_.top();
+      ahead_heap_.pop();
+      if (entry.expected_splits != SplitsOf(entry.object)) continue;
+      if (entry.object == exclude0 || entry.object == exclude1) {
+        skipped.push_back(entry);
+        continue;
+      }
+      *out = entry;
+      found = true;
+      break;
+    }
+    for (const GainEntry& entry : skipped) ahead_heap_.push(entry);
+    return found;
+  }
+
+  const std::vector<VolumeCurve>& curves_;
+  Distribution* dist_;
+  // Min-heap: gain of each object's last allocated split.
+  std::priority_queue<GainEntry, std::vector<GainEntry>, MinGainGreater>
+      last_heap_;
+  // Max-heap: gain if an object received two extra splits.
+  std::priority_queue<GainEntry, std::vector<GainEntry>, MaxGainLess>
+      ahead_heap_;
+};
+
+}  // namespace
+
+Distribution DistributeLAGreedy(const std::vector<VolumeCurve>& curves,
+                                int64_t k_total) {
+  Distribution result = DistributeGreedy(curves, k_total);
+  LaGreedyState state(curves, &result);
+  while (state.TryExchange()) {
+  }
+  return result;
+}
+
+}  // namespace stindex

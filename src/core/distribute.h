@@ -1,0 +1,48 @@
+#ifndef STINDEX_CORE_DISTRIBUTE_H_
+#define STINDEX_CORE_DISTRIBUTE_H_
+
+#include <vector>
+
+#include "core/volume_curve.h"
+
+namespace stindex {
+
+// How a budget of K splits is shared among N objects (Section III-B).
+struct Distribution {
+  // splits[i] = number of splits allocated to object i.
+  std::vector<int> splits;
+  // Total volume of the collection under this allocation.
+  double total_volume = 0.0;
+
+  int64_t TotalSplits() const {
+    int64_t total = 0;
+    for (int s : splits) total += s;
+    return total;
+  }
+};
+
+// Optimal dynamic program (Theorem 2): O(N K^2) time, O(N K) space for the
+// backtracking table. TV_l[i] = min_{0<=j<=l} { TV_{l-j}[i-1] + V_j[i] }.
+// "At most K" semantics: surplus splits beyond what any object can use are
+// simply left unassigned.
+Distribution DistributeOptimal(const std::vector<VolumeCurve>& curves,
+                               int64_t k_total);
+
+// Greedy (Figure 9): repeatedly give the next split to the object with the
+// largest marginal gain. O((K + N) log N) given the curves.
+Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
+                              int64_t k_total);
+
+// Look-ahead-2 greedy (Figure 10): run Greedy, then repeatedly undo the
+// two globally cheapest last splits and give a different third object two
+// extra splits whenever that strictly reduces total volume. Handles the
+// non-monotone objects of Figure 4 that plain Greedy starves.
+Distribution DistributeLAGreedy(const std::vector<VolumeCurve>& curves,
+                                int64_t k_total);
+
+// Total volume of a collection with no splits at all (baseline).
+double UnsplitVolume(const std::vector<VolumeCurve>& curves);
+
+}  // namespace stindex
+
+#endif  // STINDEX_CORE_DISTRIBUTE_H_

@@ -1,0 +1,105 @@
+#include "core/dp_split.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "trajectory/prefix_mbr.h"
+#include "util/check.h"
+
+namespace stindex {
+namespace {
+
+// Shared DP driver. Fills `best[l][i]` = optimal volume covering instants
+// 0..i with l splits, for l = 0..k. When `parents` is non-null it records
+// the argmin cut position for backtracking.
+void RunDp(const std::vector<Rect2D>& rects, int k,
+           std::vector<std::vector<double>>* best,
+           std::vector<std::vector<int>>* parents) {
+  const int n = static_cast<int>(rects.size());
+  const MbrVolumeTable table(rects);
+
+  best->assign(static_cast<size_t>(k) + 1,
+               std::vector<double>(static_cast<size_t>(n), 0.0));
+  if (parents != nullptr) {
+    parents->assign(static_cast<size_t>(k) + 1,
+                    std::vector<int>(static_cast<size_t>(n), -1));
+  }
+
+  std::vector<double> run_volume;  // run_volume[j] = V[j, i] for current i
+  for (int i = 0; i < n; ++i) {
+    table.RunVolumesEndingAt(static_cast<size_t>(i), &run_volume);
+    (*best)[0][static_cast<size_t>(i)] = run_volume[0];
+    for (int l = 1; l <= k; ++l) {
+      double minimum = std::numeric_limits<double>::infinity();
+      int arg = -1;
+      // Last segment is [j+1, i]; the prefix 0..j uses l-1 splits. A valid
+      // placement needs at least l instants in the prefix (cuts are at
+      // distinct positions), hence j >= l - 1.
+      for (int j = l - 1; j < i; ++j) {
+        const double candidate =
+            (*best)[static_cast<size_t>(l) - 1][static_cast<size_t>(j)] +
+            run_volume[static_cast<size_t>(j) + 1];
+        if (candidate < minimum) {
+          minimum = candidate;
+          arg = j;
+        }
+      }
+      if (arg < 0) {
+        // Fewer instants than splits: the best we can do is one box per
+        // instant, same as l = i splits.
+        minimum = (*best)[static_cast<size_t>(l) - 1][static_cast<size_t>(i)];
+      }
+      (*best)[static_cast<size_t>(l)][static_cast<size_t>(i)] = minimum;
+      if (parents != nullptr) {
+        (*parents)[static_cast<size_t>(l)][static_cast<size_t>(i)] = arg;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SplitResult DpSplit(const std::vector<Rect2D>& rects, int k) {
+  STINDEX_CHECK(!rects.empty());
+  STINDEX_CHECK(k >= 0);
+  const int n = static_cast<int>(rects.size());
+  const int splits = std::min(k, n - 1);
+
+  std::vector<std::vector<double>> best;
+  std::vector<std::vector<int>> parents;
+  RunDp(rects, splits, &best, &parents);
+
+  SplitResult result;
+  result.total_volume = best[static_cast<size_t>(splits)]
+                            [static_cast<size_t>(n) - 1];
+  // Backtrack: at (l, i) the last segment starts at parents[l][i] + 1.
+  int i = n - 1;
+  for (int l = splits; l >= 1; --l) {
+    const int j = parents[static_cast<size_t>(l)][static_cast<size_t>(i)];
+    STINDEX_CHECK(j >= 0);
+    result.cuts.push_back(j + 1);
+    i = j;
+  }
+  std::reverse(result.cuts.begin(), result.cuts.end());
+  return result;
+}
+
+std::vector<double> DpVolumeCurve(const std::vector<Rect2D>& rects,
+                                  int k_max) {
+  STINDEX_CHECK(!rects.empty());
+  STINDEX_CHECK(k_max >= 0);
+  const int n = static_cast<int>(rects.size());
+  const int splits = std::min(k_max, n - 1);
+
+  std::vector<std::vector<double>> best;
+  RunDp(rects, splits, &best, nullptr);
+
+  std::vector<double> curve(static_cast<size_t>(splits) + 1);
+  for (int l = 0; l <= splits; ++l) {
+    curve[static_cast<size_t>(l)] =
+        best[static_cast<size_t>(l)][static_cast<size_t>(n) - 1];
+  }
+  return curve;
+}
+
+}  // namespace stindex

@@ -1,0 +1,32 @@
+#ifndef STINDEX_CORE_DP_SPLIT_H_
+#define STINDEX_CORE_DP_SPLIT_H_
+
+#include <vector>
+
+#include "core/segment.h"
+#include "geometry/rect.h"
+
+namespace stindex {
+
+// DPSplit (paper Section III-A.1): the optimal dynamic program for
+// splitting one object into k+1 consecutive pieces of minimum total
+// volume. Runs in O(n^2 k) time and O(n k) space, where n is the number of
+// alive instants (Theorem 1).
+//
+// Recurrence: V_l[0, i] = min_{0 <= j < i} { V_{l-1}[0, j] + V[j+1, i] },
+// where V[a, b] is the volume of one MBR over instants a..b, served in
+// O(n) per DP row by MbrVolumeTable::RunVolumesEndingAt.
+
+// Optimal cuts for exactly min(k, n-1) splits. k >= 0.
+SplitResult DpSplit(const std::vector<Rect2D>& rects, int k);
+
+// Optimal total volume for every split count 0..min(k_max, n-1); entry j
+// is the volume with j splits. The whole curve costs one O(n^2 k_max) DP —
+// this feeds the distribution algorithms, which need gains per extra
+// split.
+std::vector<double> DpVolumeCurve(const std::vector<Rect2D>& rects,
+                                  int k_max);
+
+}  // namespace stindex
+
+#endif  // STINDEX_CORE_DP_SPLIT_H_

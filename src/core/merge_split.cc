@@ -1,0 +1,158 @@
+#include "core/merge_split.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace stindex {
+namespace {
+
+// Greedy merger over a doubly-linked list of segments with a lazily
+// invalidated min-heap of adjacent-merge costs.
+class Merger {
+ public:
+  explicit Merger(const std::vector<Rect2D>& rects) {
+    const int n = static_cast<int>(rects.size());
+    segments_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Segment seg;
+      seg.lo = i;
+      seg.hi = i;
+      seg.mbr = rects[static_cast<size_t>(i)];
+      seg.prev = i - 1;
+      seg.next = i + 1 < n ? i + 1 : -1;
+      segments_.push_back(seg);
+      total_volume_ += seg.mbr.Area();
+    }
+    count_ = n;
+    for (int i = 0; i + 1 < n; ++i) PushCandidate(i);
+  }
+
+  int count() const { return count_; }
+  double total_volume() const { return total_volume_; }
+
+  // Merges the cheapest adjacent pair. Requires count() > 1.
+  void MergeOnce() {
+    STINDEX_CHECK(count_ > 1);
+    while (true) {
+      STINDEX_CHECK(!heap_.empty());
+      const Candidate top = heap_.top();
+      heap_.pop();
+      Segment& left = segments_[static_cast<size_t>(top.left)];
+      if (!left.alive || left.version != top.left_version ||
+          left.next != top.right) {
+        continue;  // stale entry
+      }
+      Segment& right = segments_[static_cast<size_t>(top.right)];
+      if (!right.alive || right.version != top.right_version) continue;
+
+      // Merge `right` into `left`.
+      total_volume_ += top.cost;
+      left.hi = right.hi;
+      left.mbr.ExpandToInclude(right.mbr);
+      left.next = right.next;
+      ++left.version;
+      right.alive = false;
+      if (left.next >= 0) {
+        segments_[static_cast<size_t>(left.next)].prev = top.left;
+        PushCandidate(top.left);
+      }
+      if (left.prev >= 0) PushCandidate(left.prev);
+      --count_;
+      return;
+    }
+  }
+
+  // Boundaries between surviving segments (the cut positions).
+  std::vector<int> Cuts() const {
+    std::vector<int> cuts;
+    for (const Segment& seg : segments_) {
+      if (seg.alive && seg.lo > 0) cuts.push_back(seg.lo);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    return cuts;
+  }
+
+ private:
+  struct Segment {
+    int lo = 0;
+    int hi = 0;  // inclusive
+    Rect2D mbr;
+    int prev = -1;
+    int next = -1;
+    uint32_t version = 0;
+    bool alive = true;
+
+    double Volume() const {
+      return mbr.Area() * static_cast<double>(hi - lo + 1);
+    }
+  };
+
+  struct Candidate {
+    double cost;
+    int left;
+    int right;
+    uint32_t left_version;
+    uint32_t right_version;
+
+    bool operator>(const Candidate& other) const { return cost > other.cost; }
+  };
+
+  void PushCandidate(int left) {
+    const Segment& a = segments_[static_cast<size_t>(left)];
+    STINDEX_DCHECK(a.alive && a.next >= 0);
+    const Segment& b = segments_[static_cast<size_t>(a.next)];
+    const double merged_volume = a.mbr.Union(b.mbr).Area() *
+                                 static_cast<double>(b.hi - a.lo + 1);
+    heap_.push(Candidate{merged_volume - a.Volume() - b.Volume(), left,
+                         a.next, a.version, b.version});
+  }
+
+  std::vector<Segment> segments_;
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      heap_;
+  double total_volume_ = 0.0;
+  int count_ = 0;
+};
+
+}  // namespace
+
+SplitResult MergeSplit(const std::vector<Rect2D>& rects, int k) {
+  STINDEX_CHECK(!rects.empty());
+  STINDEX_CHECK(k >= 0);
+  const int n = static_cast<int>(rects.size());
+  const int target_segments = std::min(k, n - 1) + 1;
+
+  Merger merger(rects);
+  while (merger.count() > target_segments) merger.MergeOnce();
+
+  SplitResult result;
+  result.cuts = merger.Cuts();
+  result.total_volume = merger.total_volume();
+  return result;
+}
+
+std::vector<double> MergeVolumeCurve(const std::vector<Rect2D>& rects,
+                                     int k_max) {
+  STINDEX_CHECK(!rects.empty());
+  STINDEX_CHECK(k_max >= 0);
+  const int n = static_cast<int>(rects.size());
+  const int top = std::min(k_max, n - 1);
+
+  std::vector<double> curve(static_cast<size_t>(top) + 1, 0.0);
+  Merger merger(rects);
+  if (merger.count() - 1 <= top) {
+    curve[static_cast<size_t>(merger.count()) - 1] = merger.total_volume();
+  }
+  while (merger.count() > 1) {
+    merger.MergeOnce();
+    const int splits = merger.count() - 1;
+    if (splits <= top) curve[static_cast<size_t>(splits)] =
+        merger.total_volume();
+  }
+  return curve;
+}
+
+}  // namespace stindex

@@ -1,0 +1,30 @@
+#ifndef STINDEX_CORE_MERGE_SPLIT_H_
+#define STINDEX_CORE_MERGE_SPLIT_H_
+
+#include <vector>
+
+#include "core/segment.h"
+#include "geometry/rect.h"
+
+namespace stindex {
+
+// MergeSplit (paper Figure 8): the greedy O(n log n) alternative to
+// DPSplit. Starts with one box per alive instant and repeatedly merges the
+// pair of consecutive boxes whose union increases total volume the least,
+// until the target box count is reached. Sub-optimal in general but very
+// close in practice (paper Figure 12) and orders of magnitude faster
+// (Figure 11).
+
+// Greedy cuts for min(k, n-1) splits.
+SplitResult MergeSplit(const std::vector<Rect2D>& rects, int k);
+
+// Greedy total volume for every split count 0..min(k_max, n-1); entry j is
+// the volume with j splits. One merge run produces the whole curve: the
+// total volume is recorded each time the segment count passes through
+// j + 1.
+std::vector<double> MergeVolumeCurve(const std::vector<Rect2D>& rects,
+                                     int k_max);
+
+}  // namespace stindex
+
+#endif  // STINDEX_CORE_MERGE_SPLIT_H_

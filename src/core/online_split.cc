@@ -1,0 +1,64 @@
+#include "core/online_split.h"
+
+#include "util/check.h"
+
+namespace stindex {
+
+OnlineSplitter::OnlineSplitter(Options options) : options_(options) {
+  STINDEX_CHECK(options_.waste_threshold >= 1.0);
+  STINDEX_CHECK(options_.min_segment_length >= 1);
+  STINDEX_CHECK(options_.max_splits >= 0);
+}
+
+void OnlineSplitter::Observe(const Rect2D& rect) {
+  STINDEX_CHECK(rect.IsValid());
+  const int position = length_;
+  ++length_;
+
+  // Tentatively admit the instant.
+  Rect2D extended = segment_mbr_;
+  extended.ExpandToInclude(rect);
+  const int segment_length = position - segment_start_ + 1;
+  const double extended_volume =
+      extended.Area() * static_cast<double>(segment_length);
+  const double tight = tight_volume_ + rect.Area();
+
+  const bool over_budget =
+      static_cast<int>(cuts_.size()) >= options_.max_splits;
+  // Note: for moving point objects tight == 0 while the MBR area is
+  // positive, so any movement is "wasteful" once the minimum length is
+  // reached — consistent with volume minimization (tight boxes of points
+  // have zero volume); cap with max_splits for such data.
+  const bool wasteful = segment_length > options_.min_segment_length &&
+                        extended_volume > options_.waste_threshold * tight;
+  if (!over_budget && wasteful) {
+    // Close the segment before this instant.
+    cuts_.push_back(position);
+    segment_start_ = position;
+    segment_mbr_ = rect;
+    tight_volume_ = rect.Area();
+    return;
+  }
+  segment_mbr_ = extended;
+  tight_volume_ = tight;
+}
+
+SplitResult OnlineSplitter::Finish(
+    const std::vector<Rect2D>& all_rects) const {
+  STINDEX_CHECK(static_cast<int>(all_rects.size()) == length_);
+  STINDEX_CHECK(length_ > 0);
+  SplitResult result;
+  result.cuts = cuts_;
+  result.total_volume = SplitVolume(all_rects, cuts_);
+  return result;
+}
+
+SplitResult OnlineSplit(const std::vector<Rect2D>& rects,
+                        OnlineSplitter::Options options) {
+  STINDEX_CHECK(!rects.empty());
+  OnlineSplitter splitter(options);
+  for (const Rect2D& rect : rects) splitter.Observe(rect);
+  return splitter.Finish(rects);
+}
+
+}  // namespace stindex

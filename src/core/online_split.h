@@ -1,0 +1,68 @@
+#ifndef STINDEX_CORE_ONLINE_SPLIT_H_
+#define STINDEX_CORE_ONLINE_SPLIT_H_
+
+#include <limits>
+#include <vector>
+
+#include "core/segment.h"
+#include "geometry/rect.h"
+
+namespace stindex {
+
+// Streaming single-object splitter for the ON-LINE version of the problem
+// — the paper's stated future work (Section VII): instants arrive one at
+// a time and the splitter must decide split points without seeing the
+// future and without revisiting past decisions.
+//
+// Policy: while a segment is open, track its MBR and the sum of the
+// per-instant rectangle areas ("tight volume"). Admitting a new instant
+// is *wasteful* when the segment box's volume exceeds
+// `waste_threshold` x the tight volume — then the segment is closed and a
+// new one starts at the current instant. A `max_splits` budget caps the
+// number of cuts; `min_segment_length` suppresses degenerate one-instant
+// pieces for slowly drifting objects.
+class OnlineSplitter {
+ public:
+  struct Options {
+    // Close the open segment when mbr_area * length exceeds this factor
+    // times the summed instant areas. Lower = more, tighter segments.
+    double waste_threshold = 4.0;
+    // Never close a segment shorter than this many instants.
+    int min_segment_length = 2;
+    // Maximum number of cuts (splits); unlimited by default.
+    int max_splits = std::numeric_limits<int>::max();
+  };
+
+  OnlineSplitter() : OnlineSplitter(Options{}) {}
+  explicit OnlineSplitter(Options options);
+
+  // Feeds the object's rectangle at the next alive instant.
+  void Observe(const Rect2D& rect);
+
+  // Number of instants observed so far.
+  int Length() const { return length_; }
+
+  // Cuts decided so far (stable: past cuts never change).
+  const std::vector<int>& cuts() const { return cuts_; }
+
+  // Finalizes and returns the split (cuts + exact total volume).
+  SplitResult Finish(const std::vector<Rect2D>& all_rects) const;
+
+ private:
+  Options options_;
+  std::vector<int> cuts_;
+  int length_ = 0;
+  // Open segment state.
+  int segment_start_ = 0;
+  Rect2D segment_mbr_ = Rect2D::Empty();
+  double tight_volume_ = 0.0;
+};
+
+// Convenience: runs the splitter over a whole per-instant sequence.
+SplitResult OnlineSplit(const std::vector<Rect2D>& rects,
+                        OnlineSplitter::Options options =
+                            OnlineSplitter::Options());
+
+}  // namespace stindex
+
+#endif  // STINDEX_CORE_ONLINE_SPLIT_H_

@@ -1,0 +1,34 @@
+#include "core/piecewise_split.h"
+
+#include "util/check.h"
+
+namespace stindex {
+
+SplitResult PiecewiseSplit(const Trajectory& trajectory) {
+  const Time t0 = trajectory.Lifetime().start;
+  SplitResult result;
+  for (Time change : trajectory.ChangePoints()) {
+    result.cuts.push_back(static_cast<int>(change - t0));
+  }
+  const std::vector<Rect2D> rects = trajectory.Sample();
+  result.total_volume = SplitVolume(rects, result.cuts);
+  return result;
+}
+
+std::vector<SegmentRecord> PiecewiseSplitAll(
+    const std::vector<Trajectory>& objects, int64_t* total_splits) {
+  std::vector<SegmentRecord> records;
+  int64_t splits = 0;
+  for (const Trajectory& object : objects) {
+    const SplitResult split = PiecewiseSplit(object);
+    splits += split.NumSplits();
+    const std::vector<Rect2D> rects = object.Sample();
+    std::vector<SegmentRecord> pieces =
+        ApplySplits(object.id(), rects, object.Lifetime().start, split.cuts);
+    records.insert(records.end(), pieces.begin(), pieces.end());
+  }
+  if (total_splits != nullptr) *total_splits = splits;
+  return records;
+}
+
+}  // namespace stindex

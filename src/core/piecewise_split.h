@@ -1,0 +1,27 @@
+#ifndef STINDEX_CORE_PIECEWISE_SPLIT_H_
+#define STINDEX_CORE_PIECEWISE_SPLIT_H_
+
+#include <vector>
+
+#include "core/segment.h"
+#include "trajectory/trajectory.h"
+
+namespace stindex {
+
+// The "piecewise" baseline of Section V: split an object exactly at the
+// instants where its movement changes characteristics (the tuple
+// boundaries of the polynomial representation). This mirrors representing
+// movements with piecewise functions as in Porkaew et al. [21]; on the
+// paper's datasets it yields about 400% of the object count in splits and
+// performs worse than not splitting at all (Figure 18).
+SplitResult PiecewiseSplit(const Trajectory& trajectory);
+
+// Convenience: piecewise-split every object in a dataset and return the
+// resulting segment records plus (via out-params) the number of splits
+// used. Out-params may be null.
+std::vector<SegmentRecord> PiecewiseSplitAll(
+    const std::vector<Trajectory>& objects, int64_t* total_splits);
+
+}  // namespace stindex
+
+#endif  // STINDEX_CORE_PIECEWISE_SPLIT_H_

@@ -1,0 +1,47 @@
+#ifndef STINDEX_CORE_SEGMENT_H_
+#define STINDEX_CORE_SEGMENT_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/interval.h"
+#include "geometry/rect.h"
+#include "trajectory/trajectory.h"
+
+namespace stindex {
+
+// Result of splitting one object. `cuts` are instant indices c (relative
+// to the object's first alive instant, 0 < c < n) where a new segment
+// begins: k cuts produce the k+1 segments [0,c1), [c1,c2), ..., [ck, n).
+// `total_volume` is the summed volume of the segment MBRs.
+struct SplitResult {
+  std::vector<int> cuts;
+  double total_volume = 0.0;
+
+  int NumSplits() const { return static_cast<int>(cuts.size()); }
+};
+
+// A record produced by splitting: one piece of one object, approximated by
+// a single spatiotemporal box. These are what gets inserted in the
+// indexes; `object` ties the pieces back to the original object so query
+// results can be de-duplicated.
+struct SegmentRecord {
+  ObjectId object = 0;
+  STBox box;
+};
+
+// Materializes the segment boxes of an object split at `cuts`.
+// `rects` is the per-instant rectangle sequence, `t0` the first alive
+// instant. Cuts must be strictly increasing and within (0, rects.size()).
+std::vector<SegmentRecord> ApplySplits(ObjectId object,
+                                       const std::vector<Rect2D>& rects,
+                                       Time t0, const std::vector<int>& cuts);
+
+// Total volume of the segment boxes produced by `cuts` (without
+// materializing the records).
+double SplitVolume(const std::vector<Rect2D>& rects,
+                   const std::vector<int>& cuts);
+
+}  // namespace stindex
+
+#endif  // STINDEX_CORE_SEGMENT_H_

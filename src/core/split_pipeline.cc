@@ -1,0 +1,62 @@
+#include "core/split_pipeline.h"
+
+#include "core/dp_split.h"
+#include "core/merge_split.h"
+#include "util/check.h"
+
+namespace stindex {
+
+std::vector<SegmentRecord> BuildSegments(
+    const std::vector<Trajectory>& objects,
+    const std::vector<int>& splits_per_object, SplitMethod method) {
+  STINDEX_CHECK(objects.size() == splits_per_object.size());
+  std::vector<SegmentRecord> records;
+  records.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const Trajectory& object = objects[i];
+    const std::vector<Rect2D> rects = object.Sample();
+    const int k = splits_per_object[i];
+    SplitResult split;
+    if (k > 0) {
+      split = method == SplitMethod::kDp ? DpSplit(rects, k)
+                                         : MergeSplit(rects, k);
+    }
+    std::vector<SegmentRecord> pieces =
+        ApplySplits(object.id(), rects, object.Lifetime().start, split.cuts);
+    records.insert(records.end(), pieces.begin(), pieces.end());
+  }
+  return records;
+}
+
+std::vector<SegmentRecord> BuildUnsplitSegments(
+    const std::vector<Trajectory>& objects) {
+  std::vector<SegmentRecord> records;
+  records.reserve(objects.size());
+  for (const Trajectory& object : objects) {
+    SegmentRecord record;
+    record.object = object.id();
+    record.box = object.FullBox();
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<Box3D> SegmentsToBoxes(const std::vector<SegmentRecord>& records,
+                                   Time t0, Time time_domain) {
+  STINDEX_CHECK(time_domain > 0);
+  const double scale = 1.0 / static_cast<double>(time_domain);
+  std::vector<Box3D> boxes;
+  boxes.reserve(records.size());
+  for (const SegmentRecord& record : records) {
+    boxes.push_back(record.box.ToBox3D(t0, scale));
+  }
+  return boxes;
+}
+
+double TotalVolume(const std::vector<SegmentRecord>& records) {
+  double volume = 0.0;
+  for (const SegmentRecord& record : records) volume += record.box.Volume();
+  return volume;
+}
+
+}  // namespace stindex

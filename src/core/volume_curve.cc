@@ -1,0 +1,34 @@
+#include "core/volume_curve.h"
+
+#include "core/dp_split.h"
+#include "core/merge_split.h"
+#include "util/check.h"
+
+namespace stindex {
+
+VolumeCurve ComputeVolumeCurve(const std::vector<Rect2D>& rects, int k_max,
+                               SplitMethod method) {
+  VolumeCurve curve;
+  switch (method) {
+    case SplitMethod::kDp:
+      curve.volume = DpVolumeCurve(rects, k_max);
+      break;
+    case SplitMethod::kMerge:
+      curve.volume = MergeVolumeCurve(rects, k_max);
+      break;
+  }
+  STINDEX_CHECK(!curve.volume.empty());
+  return curve;
+}
+
+std::vector<VolumeCurve> ComputeVolumeCurves(
+    const std::vector<Trajectory>& objects, int k_max, SplitMethod method) {
+  std::vector<VolumeCurve> curves;
+  curves.reserve(objects.size());
+  for (const Trajectory& object : objects) {
+    curves.push_back(ComputeVolumeCurve(object.Sample(), k_max, method));
+  }
+  return curves;
+}
+
+}  // namespace stindex

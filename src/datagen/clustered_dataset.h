@@ -1,0 +1,36 @@
+#ifndef STINDEX_DATAGEN_CLUSTERED_DATASET_H_
+#define STINDEX_DATAGEN_CLUSTERED_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trajectory/trajectory.h"
+
+namespace stindex {
+
+// A third dataset family beyond the paper's uniform "random" and
+// network-bound "railway" workloads: objects clustered around Gaussian
+// hot spots (city centers, habitats), moving piecewise-linearly between
+// waypoints drawn near their home cluster. Exercises the index split
+// heuristics under heavy spatial skew.
+struct ClusteredDatasetConfig {
+  size_t num_objects = 10000;
+  Time time_domain = 1000;
+  Time min_lifetime = 1;
+  Time max_lifetime = 100;
+  int num_clusters = 8;
+  // Standard deviation of waypoints around their cluster center.
+  double cluster_stddev = 0.04;
+  int min_waypoints = 1;
+  int max_waypoints = 9;
+  double min_extent = 0.001;
+  double max_extent = 0.01;
+  uint64_t seed = 99;
+};
+
+std::vector<Trajectory> GenerateClusteredDataset(
+    const ClusteredDatasetConfig& config);
+
+}  // namespace stindex
+
+#endif  // STINDEX_DATAGEN_CLUSTERED_DATASET_H_

@@ -1,0 +1,78 @@
+#include "datagen/query_gen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace stindex {
+
+std::vector<STQuery> GenerateQuerySet(const QuerySetConfig& config) {
+  STINDEX_CHECK(config.count > 0);
+  STINDEX_CHECK(config.min_extent > 0.0 &&
+                config.min_extent <= config.max_extent);
+  STINDEX_CHECK(config.min_duration >= 1 &&
+                config.min_duration <= config.max_duration);
+  STINDEX_CHECK(config.max_duration <= config.time_domain);
+  Rng rng(config.seed);
+
+  std::vector<STQuery> queries;
+  queries.reserve(config.count);
+  for (size_t i = 0; i < config.count; ++i) {
+    const double width =
+        rng.UniformDouble(config.min_extent, config.max_extent);
+    const double height =
+        rng.UniformDouble(config.min_extent, config.max_extent);
+    const double cx = rng.UniformDouble(width / 2.0, 1.0 - width / 2.0);
+    const double cy = rng.UniformDouble(height / 2.0, 1.0 - height / 2.0);
+    const Time duration =
+        rng.UniformInt(config.min_duration, config.max_duration);
+    const Time start = rng.UniformInt(0, config.time_domain - duration);
+    STQuery query;
+    query.area = Rect2D(cx - width / 2.0, cy - height / 2.0,
+                        cx + width / 2.0, cy + height / 2.0);
+    query.range = TimeInterval(start, start + duration);
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+Box3D QueryToBox(const STQuery& query, Time t0, Time time_domain) {
+  STINDEX_CHECK(time_domain > 0);
+  const double scale = 1.0 / static_cast<double>(time_domain);
+  return Box3D(query.area.xlo, query.area.ylo,
+               (static_cast<double>(query.range.start - t0) + 0.5) * scale,
+               query.area.xhi, query.area.yhi,
+               (static_cast<double>(query.range.end - t0) - 0.5) * scale);
+}
+
+QuerySetConfig TinySnapshotSet() {
+  return QuerySetConfig{"tiny-snapshot", 1000, 0.0001, 0.001, 1, 1, 1000,
+                        1001};
+}
+
+QuerySetConfig SmallSnapshotSet() {
+  return QuerySetConfig{"small-snapshot", 1000, 0.001, 0.01, 1, 1, 1000,
+                        1002};
+}
+
+QuerySetConfig MixedSnapshotSet() {
+  return QuerySetConfig{"mixed-snapshot", 1000, 0.001, 0.05, 1, 1, 1000,
+                        1003};
+}
+
+QuerySetConfig LargeSnapshotSet() {
+  return QuerySetConfig{"large-snapshot", 1000, 0.01, 0.05, 1, 1, 1000,
+                        1004};
+}
+
+QuerySetConfig SmallRangeSet() {
+  return QuerySetConfig{"small-range", 1000, 0.001, 0.01, 1, 10, 1000, 1005};
+}
+
+QuerySetConfig MediumRangeSet() {
+  return QuerySetConfig{"medium-range", 1000, 0.001, 0.01, 10, 50, 1000,
+                        1006};
+}
+
+}  // namespace stindex

@@ -1,0 +1,56 @@
+#ifndef STINDEX_DATAGEN_QUERY_GEN_H_
+#define STINDEX_DATAGEN_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/interval.h"
+#include "geometry/rect.h"
+
+namespace stindex {
+
+// A topological historical query: all objects intersecting `area` at any
+// instant in `range` (snapshot queries have a one-instant range).
+struct STQuery {
+  Rect2D area;
+  TimeInterval range;
+
+  bool IsSnapshot() const { return range.Duration() == 1; }
+};
+
+// Parameters of a query set (paper Table II). Extents are expressed as a
+// fraction of the unit-square side (the table's percentages / 100);
+// durations in discrete instants.
+struct QuerySetConfig {
+  std::string name;
+  size_t count = 1000;
+  double min_extent = 0.001;
+  double max_extent = 0.01;
+  Time min_duration = 1;
+  Time max_duration = 1;
+  Time time_domain = 1000;
+  uint64_t seed = 123;
+};
+
+std::vector<STQuery> GenerateQuerySet(const QuerySetConfig& config);
+
+// The 3-D window for running `query` against an R*-tree whose boxes were
+// built with SegmentsToBoxes(records, t0, time_domain). The time edges are
+// nudged by half an instant so the closed continuous box reproduces the
+// discrete half-open semantics exactly: a record alive over [a, b) matches
+// iff a < range.end and range.start < b.
+Box3D QueryToBox(const STQuery& query, Time t0, Time time_domain);
+
+// The six query sets of Table II.
+QuerySetConfig TinySnapshotSet();    // extents 0.01%-0.1%, duration 1
+QuerySetConfig SmallSnapshotSet();   // extents 0.1%-1%, duration 1
+QuerySetConfig MixedSnapshotSet();   // extents 0.1%-5%, duration 1
+QuerySetConfig LargeSnapshotSet();   // extents 1%-5%, duration 1
+QuerySetConfig SmallRangeSet();      // extents 0.1%-1%, duration 1-10
+QuerySetConfig MediumRangeSet();     // extents 0.1%-1%, duration 10-50
+
+}  // namespace stindex
+
+#endif  // STINDEX_DATAGEN_QUERY_GEN_H_

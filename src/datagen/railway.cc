@@ -1,0 +1,172 @@
+#include "datagen/railway.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace stindex {
+
+std::vector<int> RailwayMap::Neighbors(int city) const {
+  std::vector<int> neighbors;
+  for (const Track& track : tracks) {
+    if (track.from == city) neighbors.push_back(track.to);
+    if (track.to == city) neighbors.push_back(track.from);
+  }
+  return neighbors;
+}
+
+double RailwayMap::DistanceMiles(int from, int to) const {
+  const Point2D& a = cities[static_cast<size_t>(from)].position;
+  const Point2D& b = cities[static_cast<size_t>(to)].position;
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy) * map_width_miles;
+}
+
+RailwayMap BuildRailwayMap() {
+  RailwayMap map;
+  // California cluster (west edge), 10 cities. Coordinates are rough
+  // normalized positions on a US-wide unit square.
+  map.cities = {
+      {"Sacramento", {0.06, 0.62}},    // 0
+      {"San Francisco", {0.03, 0.58}}, // 1
+      {"San Jose", {0.045, 0.55}},     // 2
+      {"Oakland", {0.04, 0.585}},      // 3
+      {"Fresno", {0.09, 0.48}},        // 4
+      {"Bakersfield", {0.10, 0.42}},   // 5
+      {"Los Angeles", {0.09, 0.35}},   // 6
+      {"Anaheim", {0.10, 0.34}},       // 7
+      {"Riverside", {0.12, 0.345}},    // 8
+      {"San Diego", {0.11, 0.28}},     // 9
+      // New York cluster (east edge), 9 cities.
+      {"Buffalo", {0.78, 0.70}},        // 10
+      {"Rochester", {0.81, 0.71}},      // 11
+      {"Syracuse", {0.84, 0.70}},       // 12
+      {"Albany", {0.89, 0.68}},         // 13
+      {"Schenectady", {0.885, 0.69}},   // 14
+      {"Yonkers", {0.905, 0.60}},       // 15
+      {"New York City", {0.91, 0.59}},  // 16
+      {"New Rochelle", {0.915, 0.60}},  // 17
+      {"Binghamton", {0.85, 0.65}},     // 18
+      // In-between cities on the cross-country corridor, 3 cities.
+      {"Denver", {0.38, 0.52}},        // 19
+      {"Kansas City", {0.52, 0.50}},   // 20
+      {"Chicago", {0.63, 0.63}},       // 21
+  };
+
+  // 51 tracks: dense intra-state meshes plus a sparse transcontinental
+  // corridor, mirroring the paper's description.
+  map.tracks = {
+      // Intra-California (20).
+      {0, 1},  {0, 3},  {0, 4},  {1, 2},  {1, 3},  {2, 3},  {2, 4},
+      {4, 5},  {4, 6},  {5, 6},  {5, 8},  {6, 7},  {6, 9},  {7, 8},
+      {7, 9},  {8, 9},  {0, 2},  {3, 4},  {6, 8},  {1, 4},
+      // Intra-New York (18).
+      {10, 11}, {11, 12}, {12, 13}, {13, 14}, {13, 15}, {15, 16},
+      {16, 17}, {15, 17}, {12, 18}, {18, 16}, {10, 18}, {11, 18},
+      {12, 14}, {14, 15}, {10, 12}, {13, 16}, {11, 13}, {18, 13},
+      // Cross-country corridor and inter-state links (13).
+      {0, 19},  {4, 19},  {6, 19},  {19, 20}, {20, 21}, {21, 10},
+      {21, 12}, {20, 10}, {19, 21}, {5, 20},  {20, 16}, {21, 16},
+      {0, 21},
+  };
+  STINDEX_CHECK(map.cities.size() == 22);
+  STINDEX_CHECK(map.tracks.size() == 51);
+  return map;
+}
+
+std::vector<Trajectory> GenerateRailwayDataset(
+    const RailwayDatasetConfig& config) {
+  STINDEX_CHECK(config.num_trains > 0);
+  STINDEX_CHECK(config.hours_per_instant > 0.0);
+  STINDEX_CHECK(config.min_speed_mph > 0.0 &&
+                config.min_speed_mph <= config.max_speed_mph);
+  const RailwayMap map = BuildRailwayMap();
+  Rng rng(config.seed);
+
+  std::vector<Trajectory> trains;
+  trains.reserve(config.num_trains);
+  const double extent = config.train_extent;
+  const Time max_instants = static_cast<Time>(
+      std::ceil(config.max_travel_hours / config.hours_per_instant));
+
+  for (size_t id = 0; id < config.num_trains; ++id) {
+    const double speed =
+        rng.UniformDouble(config.min_speed_mph, config.max_speed_mph);
+    const int origin =
+        static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(
+                                               map.cities.size()) - 1));
+    const Time start =
+        rng.UniformInt(0, config.time_domain - max_instants - 1);
+
+    std::vector<MovementTuple> movement;
+    Time now = start;
+    int current = origin;
+    int previous = -1;
+    const int stops = static_cast<int>(rng.UniformInt(1, config.max_stops));
+    for (int leg = 0; leg < stops; ++leg) {
+      // Pick the next city: never run straight back to the origin.
+      std::vector<int> options;
+      for (int neighbor : map.Neighbors(current)) {
+        if (neighbor == origin && leg == 0) continue;
+        if (neighbor == origin && previous == origin) continue;
+        options.push_back(neighbor);
+      }
+      if (options.empty()) break;
+      const int next = options[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(options.size()) - 1))];
+
+      const double hours = map.DistanceMiles(current, next) / speed;
+      const Time duration = std::max<Time>(
+          1, static_cast<Time>(std::llround(hours / config.hours_per_instant)));
+      if (now + duration - start > max_instants) break;
+
+      const Point2D& from = map.cities[static_cast<size_t>(current)].position;
+      const Point2D& to = map.cities[static_cast<size_t>(next)].position;
+      MovementTuple tuple;
+      tuple.interval = TimeInterval(now, now + duration);
+      tuple.center_x = Polynomial::Linear(
+          from.x, (to.x - from.x) / static_cast<double>(duration));
+      tuple.center_y = Polynomial::Linear(
+          from.y, (to.y - from.y) / static_cast<double>(duration));
+      tuple.extent_x = Polynomial::Constant(extent);
+      tuple.extent_y = Polynomial::Constant(extent);
+      movement.push_back(std::move(tuple));
+
+      now += duration;
+      previous = current;
+      current = next;
+
+      // Occasional dwell at the station.
+      if (leg + 1 < stops && rng.Bernoulli(0.3) &&
+          now + 1 - start <= max_instants) {
+        MovementTuple dwell;
+        dwell.interval = TimeInterval(now, now + 1);
+        dwell.center_x = Polynomial::Constant(to.x);
+        dwell.center_y = Polynomial::Constant(to.y);
+        dwell.extent_x = Polynomial::Constant(extent);
+        dwell.extent_y = Polynomial::Constant(extent);
+        movement.push_back(std::move(dwell));
+        now += 1;
+      }
+    }
+    if (movement.empty()) {
+      // Degenerate route (isolated pick): park the train for one instant.
+      const Point2D& at = map.cities[static_cast<size_t>(current)].position;
+      MovementTuple parked;
+      parked.interval = TimeInterval(now, now + 1);
+      parked.center_x = Polynomial::Constant(at.x);
+      parked.center_y = Polynomial::Constant(at.y);
+      parked.extent_x = Polynomial::Constant(extent);
+      parked.extent_y = Polynomial::Constant(extent);
+      movement.push_back(std::move(parked));
+    }
+    trains.emplace_back(static_cast<ObjectId>(id), std::move(movement));
+    STINDEX_DCHECK(trains.back().Validate().ok());
+  }
+  return trains;
+}
+
+}  // namespace stindex

@@ -1,0 +1,71 @@
+#ifndef STINDEX_DATAGEN_RAILWAY_H_
+#define STINDEX_DATAGEN_RAILWAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "trajectory/trajectory.h"
+
+namespace stindex {
+
+// The skewed "railway" workload of Section V: trains moving on a railway
+// map of 22 cities and 51 tracks approximating California and New York,
+// with a few cities in between and cross-country connections. The paper's
+// hand-made map is not published; this is a deterministic synthetic
+// equivalent with the same cardinalities, two dense intra-state clusters
+// and real-ish distances (see DESIGN.md, substitutions).
+
+struct City {
+  std::string name;
+  // Position in the unit square (the whole map is normalized like the
+  // random datasets).
+  Point2D position;
+};
+
+struct Track {
+  int from = 0;  // city indices
+  int to = 0;
+};
+
+struct RailwayMap {
+  std::vector<City> cities;
+  std::vector<Track> tracks;
+  // Width of the unit square in miles (used to convert speeds).
+  double map_width_miles = 2800.0;
+
+  // Adjacent city indices of `city`.
+  std::vector<int> Neighbors(int city) const;
+
+  // Track distance between adjacent cities, in miles.
+  double DistanceMiles(int from, int to) const;
+};
+
+// The fixed 22-city / 51-track map.
+RailwayMap BuildRailwayMap();
+
+struct RailwayDatasetConfig {
+  size_t num_trains = 10000;
+  Time time_domain = 1000;
+  // One discrete instant corresponds to this many hours; 1.25 h/instant
+  // reproduces the paper's ~18-instant average train lifetime under the
+  // 36-hour travel cap.
+  double hours_per_instant = 1.25;
+  int max_stops = 10;
+  double max_travel_hours = 36.0;
+  double min_speed_mph = 60.0;
+  double max_speed_mph = 75.0;
+  // Train extent (fraction of the map side).
+  double train_extent = 0.002;
+  uint64_t seed = 7;
+};
+
+// Generates train trajectories: piecewise-linear legs along tracks with
+// occasional dwell stops, never returning to the origin city without an
+// intermediate stop.
+std::vector<Trajectory> GenerateRailwayDataset(const RailwayDatasetConfig&);
+
+}  // namespace stindex
+
+#endif  // STINDEX_DATAGEN_RAILWAY_H_

@@ -1,0 +1,57 @@
+#ifndef STINDEX_GEOMETRY_INTERVAL_H_
+#define STINDEX_GEOMETRY_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace stindex {
+
+// Discrete time instant. The paper assumes time is a succession of
+// increasing integers; all datasets use the domain [0, 1000).
+using Time = int64_t;
+
+// Sentinel deletion time for records that are still alive ("now").
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+// Half-open lifetime interval [start, end). An object alive during
+// [t_i, t_j) exists at instants t_i, t_i+1, ..., t_j-1.
+struct TimeInterval {
+  Time start = 0;
+  Time end = 0;
+
+  TimeInterval() = default;
+  TimeInterval(Time s, Time e) : start(s), end(e) {}
+
+  bool IsValid() const { return start < end; }
+
+  // Number of discrete instants covered.
+  Time Duration() const { return end - start; }
+
+  bool Contains(Time t) const { return t >= start && t < end; }
+
+  bool Contains(const TimeInterval& other) const {
+    return start <= other.start && other.end <= end;
+  }
+
+  bool Intersects(const TimeInterval& other) const {
+    return start < other.end && other.start < end;
+  }
+
+  // Intersection with `other`; only meaningful when Intersects(other).
+  TimeInterval Intersection(const TimeInterval& other) const {
+    return TimeInterval(std::max(start, other.start), std::min(end, other.end));
+  }
+
+  // Smallest interval covering both.
+  TimeInterval Union(const TimeInterval& other) const {
+    return TimeInterval(std::min(start, other.start), std::max(end, other.end));
+  }
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_GEOMETRY_INTERVAL_H_

@@ -1,0 +1,19 @@
+#ifndef STINDEX_GEOMETRY_POINT_H_
+#define STINDEX_GEOMETRY_POINT_H_
+
+namespace stindex {
+
+// A point on the 2-dimensional plane the objects move on.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point2D() = default;
+  Point2D(double px, double py) : x(px), y(py) {}
+
+  friend bool operator==(const Point2D&, const Point2D&) = default;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_GEOMETRY_POINT_H_

@@ -1,0 +1,70 @@
+#ifndef STINDEX_GEOMETRY_RECT_H_
+#define STINDEX_GEOMETRY_RECT_H_
+
+#include <string>
+
+#include "geometry/point.h"
+
+namespace stindex {
+
+// An axis-aligned rectangle on the plane (closed on all sides). This is
+// the spatial MBR of an object at a time instant, and the spatial part of
+// every index entry.
+struct Rect2D {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  Rect2D() = default;
+  Rect2D(double x_lo, double y_lo, double x_hi, double y_hi)
+      : xlo(x_lo), ylo(y_lo), xhi(x_hi), yhi(y_hi) {}
+
+  // A rectangle that acts as the identity for ExpandToInclude / Union:
+  // empty, with inverted bounds.
+  static Rect2D Empty();
+
+  // True when the bounds are ordered (degenerate zero-extent rectangles,
+  // i.e. points and segments, are valid).
+  bool IsValid() const { return xlo <= xhi && ylo <= yhi; }
+
+  bool IsEmpty() const { return xlo > xhi || ylo > yhi; }
+
+  double Width() const { return xhi - xlo; }
+  double Height() const { return yhi - ylo; }
+  double Area() const { return IsEmpty() ? 0.0 : Width() * Height(); }
+  // Half-perimeter; the "margin" of R*-tree split optimization.
+  double Margin() const { return IsEmpty() ? 0.0 : Width() + Height(); }
+
+  Point2D Center() const {
+    return Point2D((xlo + xhi) / 2.0, (ylo + yhi) / 2.0);
+  }
+
+  bool Contains(const Point2D& p) const;
+  bool Contains(const Rect2D& r) const;
+  bool Intersects(const Rect2D& r) const;
+
+  // Area of the intersection (0 when disjoint).
+  double OverlapArea(const Rect2D& r) const;
+
+  // Smallest rectangle covering both this and `r`.
+  Rect2D Union(const Rect2D& r) const;
+
+  // Common area of this and `r`; empty (inverted) when disjoint.
+  Rect2D Intersection(const Rect2D& r) const;
+
+  // Grows this rectangle in place to cover `r` (or `p`).
+  void ExpandToInclude(const Rect2D& r);
+  void ExpandToInclude(const Point2D& p);
+
+  // Area increase of Union(r) relative to this rectangle.
+  double Enlargement(const Rect2D& r) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect2D&, const Rect2D&) = default;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_GEOMETRY_RECT_H_

@@ -1,0 +1,495 @@
+#include "hrtree/hr_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace stindex {
+
+struct HrTree::Version {
+  Time start = 0;
+  PageId root = kInvalidPage;
+};
+
+class HrTree::Node : public Page {
+ public:
+  struct Entry {
+    Rect2D rect;
+    PageId child = kInvalidPage;  // internal nodes
+    HrDataId data = 0;            // leaves
+  };
+
+  Node(int level, Time created) : level_(level), created_(created) {}
+
+  int level() const { return level_; }
+  bool IsLeaf() const { return level_ == 0; }
+  Time created() const { return created_; }
+
+  std::vector<Entry>& entries() { return entries_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  Rect2D Mbr() const {
+    Rect2D mbr = Rect2D::Empty();
+    for (const Entry& entry : entries_) mbr.ExpandToInclude(entry.rect);
+    return mbr;
+  }
+
+ private:
+  int level_;
+  Time created_;
+  std::vector<Entry> entries_;
+};
+
+HrTree::HrTree(HrConfig config) : config_(config) {
+  STINDEX_CHECK(config_.max_entries >= 4);
+  STINDEX_CHECK(config_.min_entries >= 1);
+  STINDEX_CHECK(config_.min_entries <= config_.max_entries / 2);
+  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages);
+}
+
+HrTree::~HrTree() = default;
+
+HrTree::Node* HrTree::GetNode(PageId id) const {
+  return static_cast<Node*>(store_.Get(id));
+}
+
+const HrTree::Node* HrTree::FetchNode(BufferPool* buffer, PageId id) {
+  return static_cast<const Node*>(buffer->Fetch(id));
+}
+
+std::unique_ptr<BufferPool> HrTree::NewQueryBuffer(size_t pages) const {
+  return std::make_unique<BufferPool>(
+      &store_, pages == 0 ? config_.buffer_pages : pages);
+}
+
+size_t HrTree::NumVersions() const { return roots_.size(); }
+
+void HrTree::ResetQueryState() const {
+  buffer_->ResetCache();
+  buffer_->ResetStats();
+}
+
+PageId HrTree::RootAt(Time t) const {
+  auto it = std::upper_bound(roots_.begin(), roots_.end(), t,
+                             [](Time value, const Version& version) {
+                               return value < version.start;
+                             });
+  if (it == roots_.begin()) return kInvalidPage;
+  return std::prev(it)->root;
+}
+
+void HrTree::PublishRoot(PageId root, Time t) {
+  if (!roots_.empty() && roots_.back().start == t) {
+    roots_.back().root = root;
+    return;
+  }
+  STINDEX_CHECK(roots_.empty() || roots_.back().start < t);
+  // Avoid redundant versions when nothing changed.
+  if (!roots_.empty() && roots_.back().root == root) return;
+  roots_.push_back(Version{t, root});
+}
+
+PageId HrTree::MakeWritable(PageId id, Time t, bool* copied) {
+  Node* node = GetNode(id);
+  if (node->created() == t) {
+    *copied = false;
+    return id;
+  }
+  auto clone = std::make_unique<Node>(node->level(), t);
+  clone->entries() = node->entries();
+  *copied = true;
+  return store_.Allocate(std::move(clone));
+}
+
+PageId HrTree::InsertIntoVersion(PageId root, const Rect2D& rect,
+                                 HrDataId data, Time t) {
+  // Copy-on-write descent: clone the root-to-leaf path chosen by least
+  // area enlargement, expanding rects on the way down.
+  bool copied = false;
+  const PageId new_root = MakeWritable(root, t, &copied);
+  std::vector<PageId> path = {new_root};
+  std::vector<size_t> slots;
+  Node* node = GetNode(new_root);
+  while (!node->IsLeaf()) {
+    std::vector<Node::Entry>& entries = node->entries();
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const double enlargement = entries[i].rect.Enlargement(rect);
+      const double area = entries[i].rect.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    const PageId child = MakeWritable(entries[best].child, t, &copied);
+    entries[best].child = child;
+    entries[best].rect.ExpandToInclude(rect);
+    path.push_back(child);
+    slots.push_back(best);
+    node = GetNode(child);
+  }
+
+  Node::Entry entry;
+  entry.rect = rect;
+  entry.data = data;
+  node->entries().push_back(entry);
+
+  // Overflow propagation with quadratic splits.
+  PageId result_root = path.front();
+  for (size_t depth = path.size(); depth-- > 0;) {
+    Node* victim = GetNode(path[depth]);
+    if (victim->entries().size() <= config_.max_entries) break;
+
+    // Quadratic split (Guttman): pick the seed pair wasting the most
+    // area, then assign by least enlargement with fill guarantees.
+    std::vector<Node::Entry> pool;
+    pool.swap(victim->entries());
+    size_t seed_a = 0, seed_b = 1;
+    double worst_waste = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      for (size_t j = i + 1; j < pool.size(); ++j) {
+        const double waste = pool[i].rect.Union(pool[j].rect).Area() -
+                             pool[i].rect.Area() - pool[j].rect.Area();
+        if (waste > worst_waste) {
+          worst_waste = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    auto sibling = std::make_unique<Node>(victim->level(), t);
+    Rect2D mbr_a = pool[seed_a].rect;
+    Rect2D mbr_b = pool[seed_b].rect;
+    victim->entries().push_back(pool[seed_a]);
+    sibling->entries().push_back(pool[seed_b]);
+    size_t remaining = pool.size() - 2;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (i == seed_a || i == seed_b) continue;
+      // Fill guarantee: a group that needs every remaining entry to reach
+      // the minimum takes them all.
+      if (victim->entries().size() + remaining == config_.min_entries) {
+        victim->entries().push_back(pool[i]);
+        mbr_a.ExpandToInclude(pool[i].rect);
+        --remaining;
+        continue;
+      }
+      if (sibling->entries().size() + remaining == config_.min_entries) {
+        sibling->entries().push_back(pool[i]);
+        mbr_b.ExpandToInclude(pool[i].rect);
+        --remaining;
+        continue;
+      }
+      --remaining;
+      const double grow_a = mbr_a.Enlargement(pool[i].rect);
+      const double grow_b = mbr_b.Enlargement(pool[i].rect);
+      if (grow_a < grow_b ||
+          (grow_a == grow_b &&
+           victim->entries().size() <= sibling->entries().size())) {
+        victim->entries().push_back(pool[i]);
+        mbr_a.ExpandToInclude(pool[i].rect);
+      } else {
+        sibling->entries().push_back(pool[i]);
+        mbr_b.ExpandToInclude(pool[i].rect);
+      }
+    }
+    const PageId sibling_id = store_.Allocate(std::move(sibling));
+
+    if (depth == 0) {
+      // Root split: new root one level up.
+      auto grown = std::make_unique<Node>(victim->level() + 1, t);
+      Node::Entry left;
+      left.rect = GetNode(path[0])->Mbr();
+      left.child = path[0];
+      Node::Entry right;
+      right.rect = GetNode(sibling_id)->Mbr();
+      right.child = sibling_id;
+      grown->entries().push_back(left);
+      grown->entries().push_back(right);
+      result_root = store_.Allocate(std::move(grown));
+      break;
+    }
+    Node* parent = GetNode(path[depth - 1]);
+    parent->entries()[slots[depth - 1]].rect = GetNode(path[depth])->Mbr();
+    Node::Entry extra;
+    extra.rect = GetNode(sibling_id)->Mbr();
+    extra.child = sibling_id;
+    parent->entries().push_back(extra);
+  }
+  return result_root;
+}
+
+namespace {
+
+// Recursive locate-and-remove for DeleteFromVersion. Returns true when
+// the record was found and removed beneath `id`; `*empty` reports that
+// the node ended up with no entries.
+struct RemoveContext {
+  Rect2D rect;
+  HrDataId data;
+  Time t;
+};
+
+}  // namespace
+
+PageId HrTree::DeleteFromVersion(PageId root, HrDataId data, Time t) {
+  const Rect2D rect = alive_entry_.at(data);
+
+  // Iterative DFS that lazily path-copies once the leaf is found: for
+  // simplicity we copy nodes along the *current* DFS path when removal
+  // succeeds, using recursion.
+  struct Frame {
+    PageId node;
+    size_t slot;  // slot in parent
+  };
+
+  // Find the root-to-leaf path to the entry (search guided by rect).
+  std::vector<Frame> path;
+  bool found = false;
+  std::vector<std::vector<Frame>> stack;
+  stack.push_back({Frame{root, SIZE_MAX}});
+  while (!stack.empty() && !found) {
+    std::vector<Frame> candidate = std::move(stack.back());
+    stack.pop_back();
+    const Node* node = GetNode(candidate.back().node);
+    if (node->IsLeaf()) {
+      for (const Node::Entry& entry : node->entries()) {
+        if (entry.data == data) {
+          path = candidate;
+          found = true;
+          break;
+        }
+      }
+      continue;
+    }
+    const std::vector<Node::Entry>& entries = node->entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!entries[i].rect.Intersects(rect)) continue;
+      std::vector<Frame> next = candidate;
+      next.push_back(Frame{entries[i].child, i});
+      stack.push_back(std::move(next));
+    }
+  }
+  STINDEX_CHECK_MSG(found, "alive record not found in current version");
+
+  // Copy-on-write the path top-down.
+  bool copied = false;
+  path[0].node = MakeWritable(path[0].node, t, &copied);
+  for (size_t i = 1; i < path.size(); ++i) {
+    Node* parent = GetNode(path[i - 1].node);
+    path[i].node = MakeWritable(path[i].node, t, &copied);
+    parent->entries()[path[i].slot].child = path[i].node;
+  }
+
+  // Remove the entry from the (writable) leaf.
+  Node* leaf = GetNode(path.back().node);
+  auto& leaf_entries = leaf->entries();
+  bool erased = false;
+  for (size_t i = 0; i < leaf_entries.size(); ++i) {
+    if (leaf_entries[i].data == data) {
+      leaf_entries.erase(leaf_entries.begin() + static_cast<long>(i));
+      erased = true;
+      break;
+    }
+  }
+  STINDEX_CHECK(erased);
+
+  // Condense: prune empty nodes upward and refresh ancestor rects. We do
+  // not re-insert orphaned under-filled nodes (acceptable for the
+  // historical baseline; rects never shrink below correctness).
+  for (size_t depth = path.size(); depth-- > 1;) {
+    Node* node = GetNode(path[depth].node);
+    Node* parent = GetNode(path[depth - 1].node);
+    if (node->entries().empty()) {
+      parent->entries().erase(parent->entries().begin() +
+                              static_cast<long>(path[depth].slot));
+      // Slots of later frames are unaffected (they are deeper).
+    } else {
+      parent->entries()[path[depth].slot].rect = node->Mbr();
+    }
+  }
+
+  // Shrink the root.
+  PageId new_root = path[0].node;
+  while (new_root != kInvalidPage) {
+    Node* node = GetNode(new_root);
+    if (node->entries().empty()) {
+      new_root = kInvalidPage;
+      break;
+    }
+    if (!node->IsLeaf() && node->entries().size() == 1) {
+      new_root = node->entries()[0].child;
+      continue;
+    }
+    break;
+  }
+  return new_root;
+}
+
+void HrTree::Insert(const Rect2D& rect, Time t, HrDataId data) {
+  STINDEX_CHECK_MSG(rect.IsValid(), "inserting an invalid rect");
+  STINDEX_CHECK_MSG(t >= current_time_, "updates must be fed in time order");
+  STINDEX_CHECK_MSG(alive_entry_.find(data) == alive_entry_.end(),
+                    "record is already alive");
+  current_time_ = t;
+  ++size_;
+  alive_entry_[data] = rect;
+
+  const PageId root = roots_.empty() ? kInvalidPage : roots_.back().root;
+  if (root == kInvalidPage) {
+    auto node = std::make_unique<Node>(0, t);
+    Node::Entry entry;
+    entry.rect = rect;
+    entry.data = data;
+    node->entries().push_back(entry);
+    PublishRoot(store_.Allocate(std::move(node)), t);
+    return;
+  }
+  PublishRoot(InsertIntoVersion(root, rect, data, t), t);
+}
+
+void HrTree::Delete(HrDataId data, Time t) {
+  STINDEX_CHECK_MSG(t >= current_time_, "updates must be fed in time order");
+  auto it = alive_entry_.find(data);
+  STINDEX_CHECK_MSG(it != alive_entry_.end(), "record is not alive");
+  current_time_ = t;
+
+  const PageId root = roots_.empty() ? kInvalidPage : roots_.back().root;
+  STINDEX_CHECK(root != kInvalidPage);
+  const PageId new_root = DeleteFromVersion(root, data, t);
+  alive_entry_.erase(it);
+  PublishRoot(new_root, t);
+}
+
+void HrTree::SnapshotQuery(const Rect2D& area, Time t,
+                           std::vector<HrDataId>* results) const {
+  SnapshotQuery(area, t, buffer_.get(), results);
+}
+
+void HrTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                           std::vector<HrDataId>* results) const {
+  IntervalQuery(area, range, buffer_.get(), results);
+}
+
+void HrTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
+                           std::vector<HrDataId>* results) const {
+  results->clear();
+  const PageId root = RootAt(t);
+  if (root == kInvalidPage) return;
+  std::vector<PageId> stack = {root};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    const Node* node = FetchNode(buffer, id);
+    for (const Node::Entry& entry : node->entries()) {
+      if (!entry.rect.Intersects(area)) continue;
+      if (node->IsLeaf()) {
+        results->push_back(entry.data);
+      } else {
+        stack.push_back(entry.child);
+      }
+    }
+  }
+}
+
+void HrTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                           BufferPool* buffer,
+                           std::vector<HrDataId>* results) const {
+  results->clear();
+  if (!range.IsValid()) return;
+  std::unordered_set<HrDataId> seen;
+  // One search per version tree overlapping the range — the overlapping
+  // approach has no lifetime information inside nodes to prune with.
+  for (size_t v = 0; v < roots_.size(); ++v) {
+    const Time start = std::max(roots_[v].start, range.start);
+    const Time end =
+        v + 1 < roots_.size() ? roots_[v + 1].start : kTimeInfinity;
+    if (start >= range.end || start >= end) continue;
+    if (roots_[v].root == kInvalidPage) continue;
+    SnapshotQueryNoClear(roots_[v].root, area, buffer, &seen, results);
+  }
+}
+
+// Helper outside the public header: search one version root, appending
+// unseen hits.
+void HrTree::SnapshotQueryNoClear(PageId root, const Rect2D& area,
+                                  BufferPool* buffer,
+                                  std::unordered_set<HrDataId>* seen,
+                                  std::vector<HrDataId>* results) const {
+  std::vector<PageId> stack = {root};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    const Node* node = FetchNode(buffer, id);
+    for (const Node::Entry& entry : node->entries()) {
+      if (!entry.rect.Intersects(area)) continue;
+      if (node->IsLeaf()) {
+        if (seen->insert(entry.data).second) results->push_back(entry.data);
+      } else {
+        stack.push_back(entry.child);
+      }
+    }
+  }
+}
+
+void HrTree::CheckInvariants() const {
+  for (const Version& version : roots_) {
+    if (version.root == kInvalidPage) continue;
+    const int root_level = GetNode(version.root)->level();
+    std::vector<std::pair<PageId, int>> stack = {{version.root, root_level}};
+    while (!stack.empty()) {
+      auto [id, expected_level] = stack.back();
+      stack.pop_back();
+      const Node* node = GetNode(id);
+      STINDEX_CHECK(node->level() == expected_level);
+      STINDEX_CHECK(node->entries().size() <= config_.max_entries);
+      for (const Node::Entry& entry : node->entries()) {
+        STINDEX_CHECK(entry.rect.IsValid());
+        if (!node->IsLeaf()) {
+          const Node* child = GetNode(entry.child);
+          STINDEX_CHECK(child->level() == node->level() - 1);
+          STINDEX_CHECK_MSG(entry.rect.Contains(child->Mbr()),
+                            "parent rect does not cover child");
+          stack.push_back({entry.child, expected_level - 1});
+        }
+      }
+    }
+  }
+}
+
+std::unique_ptr<HrTree> BuildHrTree(const std::vector<SegmentRecord>& records,
+                                    HrConfig config) {
+  auto tree = std::make_unique<HrTree>(config);
+  struct Event {
+    Time time;
+    bool is_insert;
+    uint64_t record;
+  };
+  std::vector<Event> events;
+  events.reserve(records.size() * 2);
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    events.push_back(Event{records[i].box.interval.start, true, i});
+    events.push_back(Event{records[i].box.interval.end, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.is_insert != b.is_insert) return !a.is_insert;
+    return a.record < b.record;
+  });
+  for (const Event& event : events) {
+    const SegmentRecord& record = records[event.record];
+    if (event.is_insert) {
+      tree->Insert(record.box.rect, record.box.interval.start, event.record);
+    } else {
+      tree->Delete(event.record, record.box.interval.end);
+    }
+  }
+  return tree;
+}
+
+}  // namespace stindex

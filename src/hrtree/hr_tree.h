@@ -1,0 +1,145 @@
+#ifndef STINDEX_HRTREE_HR_TREE_H_
+#define STINDEX_HRTREE_HR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/segment.h"
+#include "geometry/interval.h"
+#include "geometry/rect.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace stindex {
+
+// Payload of an HR-tree data record.
+using HrDataId = uint64_t;
+
+struct HrConfig {
+  // Maximum entries per node (page capacity B).
+  size_t max_entries = 50;
+  // Minimum entries per node after a key split.
+  size_t min_entries = 20;
+  // LRU buffer pages used when answering queries.
+  size_t buffer_pages = 10;
+};
+
+// The historical (overlapping) R-tree — the *other* way to make a spatial
+// structure partially persistent, which the paper contrasts with the
+// multiversion PPR-tree (Section I; Nascimento & Silva [17], Tzouramanis
+// et al. [29], Burton et al. [4]).
+//
+// Conceptually one 2-D R-tree exists per time instant; consecutive trees
+// differ little, so unchanged branches are SHARED and every update
+// copies only the root-to-leaf path it touches (copy-on-write). Snapshot
+// queries are served by an ordinary R-tree search on the root of the
+// queried instant. The known trade-offs this implementation reproduces:
+//
+//  * storage grows by O(height) pages per change — the "logarithmic
+//    overhead on the index storage requirements" of [24] — roughly an
+//    order of magnitude above the PPR-tree's linear storage;
+//  * interval queries must search one tree per instant in the range
+//    (with result de-duplication), so they degrade with duration.
+//
+// Updates must be fed in non-decreasing time order, like the PPR-tree.
+class HrTree {
+ public:
+  explicit HrTree(HrConfig config = HrConfig());
+  ~HrTree();
+
+  HrTree(const HrTree&) = delete;
+  HrTree& operator=(const HrTree&) = delete;
+
+  // Starts the life of record `data` with spatial key `rect` at time t.
+  void Insert(const Rect2D& rect, Time t, HrDataId data);
+
+  // Ends the life of record `data` at time t (it exists at instants < t).
+  void Delete(HrDataId data, Time t);
+
+  // All records alive at instant t whose rect intersects `area`.
+  void SnapshotQuery(const Rect2D& area, Time t,
+                     std::vector<HrDataId>* results) const;
+
+  // All records alive at any instant in [range.start, range.end) whose
+  // rect intersects `area`; de-duplicated. Cost grows with the number of
+  // version trees in the range — the overlapping approach's weakness.
+  void IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                     std::vector<HrDataId>* results) const;
+
+  // Variants reading through a caller-owned buffer (one per thread).
+  void SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
+                     std::vector<HrDataId>* results) const;
+  void IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                     BufferPool* buffer,
+                     std::vector<HrDataId>* results) const;
+
+  // A fresh LRU buffer over this tree's pages (0 = configured default).
+  std::unique_ptr<BufferPool> NewQueryBuffer(size_t pages = 0) const;
+
+  size_t Size() const { return size_; }
+  size_t AliveCount() const { return alive_entry_.size(); }
+  size_t PageCount() const { return store_.PageCount(); }
+  size_t NumVersions() const;
+
+  const IoStats& stats() const { return buffer_->stats(); }
+  void ResetQueryState() const;
+
+  // Structural checks on every version tree (sampled): uniform leaf
+  // depth, parent MBR containment, capacity bounds. Test hook.
+  void CheckInvariants() const;
+
+ private:
+  class Node;
+  struct Version;
+
+  Node* GetNode(PageId id) const;
+  static const Node* FetchNode(BufferPool* buffer, PageId id);
+
+  // Returns the root owning instant t (kInvalidPage when empty).
+  PageId RootAt(Time t) const;
+
+  // Makes `id` writable for version `t`: returns it unchanged when the
+  // node was created at t, otherwise clones it (copy-on-write).
+  PageId MakeWritable(PageId id, Time t, bool* copied);
+
+  // R-tree insert of a leaf entry into the version tree rooted at
+  // `root`, with path copying; returns the (possibly new) root.
+  PageId InsertIntoVersion(PageId root, const Rect2D& rect, HrDataId data,
+                           Time t);
+
+  // Removes `data` from the version tree; returns the new root.
+  PageId DeleteFromVersion(PageId root, HrDataId data, Time t);
+
+  // Searches one version root, appending hits not in `seen`.
+  void SnapshotQueryNoClear(PageId root, const Rect2D& area,
+                            BufferPool* buffer,
+                            std::unordered_set<HrDataId>* seen,
+                            std::vector<HrDataId>* results) const;
+
+  // Ensures the version list ends with a root for time t and returns a
+  // writable alias of the previous root (or invalid when empty).
+  void PublishRoot(PageId root, Time t);
+
+  HrConfig config_;
+  mutable PageStore store_;
+  std::unique_ptr<BufferPool> buffer_;
+  // Version list: root of the tree valid from `start` until the next
+  // version's start.
+  std::vector<Version> roots_;
+  size_t size_ = 0;
+  Time current_time_ = 0;
+  // data -> spatial key of the alive record (needed to find its leaf).
+  std::unordered_map<HrDataId, Rect2D> alive_entry_;
+};
+
+// Replays segment records (insert at interval.start, delete at
+// interval.end) into a fresh HR-tree; record i gets HrDataId i.
+std::unique_ptr<HrTree> BuildHrTree(const std::vector<SegmentRecord>& records,
+                                    HrConfig config = HrConfig());
+
+}  // namespace stindex
+
+#endif  // STINDEX_HRTREE_HR_TREE_H_

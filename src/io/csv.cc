@@ -1,0 +1,270 @@
+#include "io/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace stindex {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string FormatPolynomial(const Polynomial& poly) {
+  std::string out;
+  const std::vector<double>& coefficients = poly.coefficients();
+  if (coefficients.empty()) return "0";
+  for (size_t i = 0; i < coefficients.size(); ++i) {
+    if (i > 0) out += ':';
+    out += FormatDouble(coefficients[i]);
+  }
+  return out;
+}
+
+// Splits `line` on `delimiter`, keeping empty fields.
+std::vector<std::string> SplitFields(const std::string& line,
+                                     char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, delimiter)) fields.push_back(field);
+  if (!line.empty() && line.back() == delimiter) fields.push_back("");
+  return fields;
+}
+
+Status ParseDouble(const std::string& text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("malformed number: '" + text + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseTime(const std::string& text, Time* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("malformed time: '" + text + "'");
+  }
+  *out = static_cast<Time>(value);
+  return Status::OK();
+}
+
+Status ParsePolynomial(const std::string& text, Polynomial* out) {
+  std::vector<double> coefficients;
+  for (const std::string& field : SplitFields(text, ':')) {
+    double value = 0.0;
+    const Status status = ParseDouble(field, &value);
+    if (!status.ok()) return status;
+    coefficients.push_back(value);
+  }
+  if (coefficients.empty()) {
+    return Status::InvalidArgument("empty polynomial field");
+  }
+  *out = Polynomial(std::move(coefficients));
+  return Status::OK();
+}
+
+// Iterates data lines of a CSV file, skipping comments/blanks. Calls
+// `handler(line_number, line)`; stops at the first error.
+template <typename Handler>
+Status ForEachLine(const std::string& path, Handler&& handler) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string line;
+  size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.empty() || line[0] == '#') continue;
+    Status status = handler(number, line);
+    if (!status.ok()) {
+      return Status(status.code(), path + ":" + std::to_string(number) +
+                                       ": " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteTrajectoriesCsv(const std::string& path,
+                            const std::vector<Trajectory>& objects) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
+  out << "# object_id,t_start,t_end,cx,cy,ex,ey\n";
+  for (const Trajectory& object : objects) {
+    for (const MovementTuple& tuple : object.tuples()) {
+      out << object.id() << ',' << tuple.interval.start << ','
+          << tuple.interval.end << ',' << FormatPolynomial(tuple.center_x)
+          << ',' << FormatPolynomial(tuple.center_y) << ','
+          << FormatPolynomial(tuple.extent_x) << ','
+          << FormatPolynomial(tuple.extent_y) << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::InvalidArgument("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<Trajectory>> ReadTrajectoriesCsv(const std::string& path) {
+  std::vector<Trajectory> objects;
+  ObjectId current_id = 0;
+  std::vector<MovementTuple> current;
+  bool have_current = false;
+
+  auto flush = [&]() -> Status {
+    if (!have_current) return Status::OK();
+    Trajectory trajectory(current_id, std::move(current));
+    Status status = trajectory.Validate();
+    if (!status.ok()) return status;
+    objects.push_back(std::move(trajectory));
+    current.clear();
+    have_current = false;
+    return Status::OK();
+  };
+
+  Status status = ForEachLine(
+      path, [&](size_t, const std::string& line) -> Status {
+        const std::vector<std::string> fields = SplitFields(line, ',');
+        if (fields.size() != 7) {
+          return Status::InvalidArgument("expected 7 fields");
+        }
+        Time start = 0, end = 0;
+        Status parse = ParseTime(fields[1], &start);
+        if (!parse.ok()) return parse;
+        parse = ParseTime(fields[2], &end);
+        if (!parse.ok()) return parse;
+        MovementTuple tuple;
+        tuple.interval = TimeInterval(start, end);
+        parse = ParsePolynomial(fields[3], &tuple.center_x);
+        if (!parse.ok()) return parse;
+        parse = ParsePolynomial(fields[4], &tuple.center_y);
+        if (!parse.ok()) return parse;
+        parse = ParsePolynomial(fields[5], &tuple.extent_x);
+        if (!parse.ok()) return parse;
+        parse = ParsePolynomial(fields[6], &tuple.extent_y);
+        if (!parse.ok()) return parse;
+
+        const ObjectId id =
+            static_cast<ObjectId>(std::strtoul(fields[0].c_str(), nullptr, 10));
+        if (!have_current || id != current_id) {
+          Status flushed = flush();
+          if (!flushed.ok()) return flushed;
+          current_id = id;
+          have_current = true;
+        }
+        current.push_back(std::move(tuple));
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+  status = flush();
+  if (!status.ok()) return status;
+  return objects;
+}
+
+Status WriteSegmentsCsv(const std::string& path,
+                        const std::vector<SegmentRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
+  out << "# object_id,t_start,t_end,xlo,ylo,xhi,yhi\n";
+  for (const SegmentRecord& record : records) {
+    out << record.object << ',' << record.box.interval.start << ','
+        << record.box.interval.end << ',' << FormatDouble(record.box.rect.xlo)
+        << ',' << FormatDouble(record.box.rect.ylo) << ','
+        << FormatDouble(record.box.rect.xhi) << ','
+        << FormatDouble(record.box.rect.yhi) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::InvalidArgument("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<SegmentRecord>> ReadSegmentsCsv(const std::string& path) {
+  std::vector<SegmentRecord> records;
+  Status status = ForEachLine(
+      path, [&](size_t, const std::string& line) -> Status {
+        const std::vector<std::string> fields = SplitFields(line, ',');
+        if (fields.size() != 7) {
+          return Status::InvalidArgument("expected 7 fields");
+        }
+        SegmentRecord record;
+        record.object =
+            static_cast<ObjectId>(std::strtoul(fields[0].c_str(), nullptr, 10));
+        Time start = 0, end = 0;
+        Status parse = ParseTime(fields[1], &start);
+        if (!parse.ok()) return parse;
+        parse = ParseTime(fields[2], &end);
+        if (!parse.ok()) return parse;
+        record.box.interval = TimeInterval(start, end);
+        double values[4];
+        for (int i = 0; i < 4; ++i) {
+          parse = ParseDouble(fields[static_cast<size_t>(i) + 3], &values[i]);
+          if (!parse.ok()) return parse;
+        }
+        record.box.rect = Rect2D(values[0], values[1], values[2], values[3]);
+        if (!record.box.IsValid()) {
+          return Status::InvalidArgument("invalid segment box");
+        }
+        records.push_back(record);
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+  return records;
+}
+
+Status WriteQueriesCsv(const std::string& path,
+                       const std::vector<STQuery>& queries) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
+  out << "# t_start,t_end,xlo,ylo,xhi,yhi\n";
+  for (const STQuery& query : queries) {
+    out << query.range.start << ',' << query.range.end << ','
+        << FormatDouble(query.area.xlo) << ',' << FormatDouble(query.area.ylo)
+        << ',' << FormatDouble(query.area.xhi) << ','
+        << FormatDouble(query.area.yhi) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::InvalidArgument("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<STQuery>> ReadQueriesCsv(const std::string& path) {
+  std::vector<STQuery> queries;
+  Status status = ForEachLine(
+      path, [&](size_t, const std::string& line) -> Status {
+        const std::vector<std::string> fields = SplitFields(line, ',');
+        if (fields.size() != 6) {
+          return Status::InvalidArgument("expected 6 fields");
+        }
+        STQuery query;
+        Time start = 0, end = 0;
+        Status parse = ParseTime(fields[0], &start);
+        if (!parse.ok()) return parse;
+        parse = ParseTime(fields[1], &end);
+        if (!parse.ok()) return parse;
+        query.range = TimeInterval(start, end);
+        double values[4];
+        for (int i = 0; i < 4; ++i) {
+          parse = ParseDouble(fields[static_cast<size_t>(i) + 2], &values[i]);
+          if (!parse.ok()) return parse;
+        }
+        query.area = Rect2D(values[0], values[1], values[2], values[3]);
+        if (!query.range.IsValid() || !query.area.IsValid()) {
+          return Status::InvalidArgument("invalid query");
+        }
+        queries.push_back(query);
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+  return queries;
+}
+
+}  // namespace stindex

@@ -1,0 +1,46 @@
+#ifndef STINDEX_IO_CSV_H_
+#define STINDEX_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "core/segment.h"
+#include "datagen/query_gen.h"
+#include "trajectory/trajectory.h"
+#include "util/status.h"
+
+namespace stindex {
+
+// Plain-text persistence for datasets, segment collections and query
+// sets, so experiments are reproducible outside this process (and so the
+// CLI can pipeline generate -> split -> index -> query).
+//
+// Formats (one record per line, '#' comments and blank lines ignored):
+//
+//  * Trajectories — one line per movement tuple:
+//      object_id,t_start,t_end,cx,cy,ex,ey
+//    where each polynomial field is its coefficients joined by ':'
+//    (constant term first), e.g. "0.5:0.01" for 0.5 + 0.01 t.
+//    Tuples of one object must be contiguous and in time order.
+//
+//  * Segments:
+//      object_id,t_start,t_end,xlo,ylo,xhi,yhi
+//
+//  * Queries:
+//      t_start,t_end,xlo,ylo,xhi,yhi
+
+Status WriteTrajectoriesCsv(const std::string& path,
+                            const std::vector<Trajectory>& objects);
+Result<std::vector<Trajectory>> ReadTrajectoriesCsv(const std::string& path);
+
+Status WriteSegmentsCsv(const std::string& path,
+                        const std::vector<SegmentRecord>& records);
+Result<std::vector<SegmentRecord>> ReadSegmentsCsv(const std::string& path);
+
+Status WriteQueriesCsv(const std::string& path,
+                       const std::vector<STQuery>& queries);
+Result<std::vector<STQuery>> ReadQueriesCsv(const std::string& path);
+
+}  // namespace stindex
+
+#endif  // STINDEX_IO_CSV_H_

@@ -1,0 +1,80 @@
+#include "model/pagel_metrics.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace stindex {
+
+std::string PagelMetrics::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "nodes=%zu leaves=%zu volume=%.6f surface=%.4f fill=%.1f",
+                node_count, leaf_count, total_volume, total_surface,
+                avg_leaf_fill);
+  return buf;
+}
+
+PagelMetrics AnalyzeRStar(const RStarTree& tree) {
+  PagelMetrics metrics;
+  size_t leaf_entries = 0;
+  for (const RStarTree::NodeSummary& node : tree.CollectNodeSummaries()) {
+    ++metrics.node_count;
+    metrics.total_volume += node.box.Volume();
+    metrics.total_surface += node.box.Margin();
+    if (node.level == 0) {
+      ++metrics.leaf_count;
+      leaf_entries += node.entries;
+    }
+  }
+  if (metrics.leaf_count > 0) {
+    metrics.avg_leaf_fill = static_cast<double>(leaf_entries) /
+                            static_cast<double>(metrics.leaf_count);
+  }
+  return metrics;
+}
+
+PagelMetrics AnalyzePprAt(const PprTree& tree, Time t) {
+  PagelMetrics metrics;
+  size_t leaf_alive = 0;
+  for (const PprTree::AliveNodeSummary& node :
+       tree.CollectAliveSummaries(t)) {
+    ++metrics.node_count;
+    metrics.total_volume += node.rect.Area();
+    metrics.total_surface += node.rect.Margin();
+    if (node.level == 0) {
+      ++metrics.leaf_count;
+      leaf_alive += node.alive;
+    }
+  }
+  if (metrics.leaf_count > 0) {
+    metrics.avg_leaf_fill = static_cast<double>(leaf_alive) /
+                            static_cast<double>(metrics.leaf_count);
+  }
+  return metrics;
+}
+
+PagelMetrics AnalyzePprAverage(const PprTree& tree,
+                               const std::vector<Time>& instants) {
+  STINDEX_CHECK(!instants.empty());
+  PagelMetrics average;
+  for (Time t : instants) {
+    const PagelMetrics at = AnalyzePprAt(tree, t);
+    average.node_count += at.node_count;
+    average.leaf_count += at.leaf_count;
+    average.total_volume += at.total_volume;
+    average.total_surface += at.total_surface;
+    average.avg_leaf_fill += at.avg_leaf_fill;
+  }
+  const double n = static_cast<double>(instants.size());
+  average.node_count = static_cast<size_t>(
+      static_cast<double>(average.node_count) / n + 0.5);
+  average.leaf_count = static_cast<size_t>(
+      static_cast<double>(average.leaf_count) / n + 0.5);
+  average.total_volume /= n;
+  average.total_surface /= n;
+  average.avg_leaf_fill /= n;
+  return average;
+}
+
+}  // namespace stindex

@@ -1,0 +1,51 @@
+#ifndef STINDEX_MODEL_PAGEL_METRICS_H_
+#define STINDEX_MODEL_PAGEL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/interval.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+
+namespace stindex {
+
+// Pagel et al.'s query-cost determinants ([19], quoted in the paper's
+// introduction): "the query performance of any bounding box based index
+// structure depends on the total (spatial) volume, the total surface and
+// the total number of data nodes." These aggregates make the paper's
+// central argument quantitative:
+//
+//  * splitting shrinks the R*-tree's total volume but GROWS its node
+//    count — the two effects cancel, so the 3-D tree gains little;
+//  * in the PPR-tree the number of nodes alive at any instant stays the
+//    same while their spatial extents shrink — pure win.
+struct PagelMetrics {
+  // Number of nodes (for the PPR-tree: nodes with alive entries at the
+  // probed instant).
+  size_t node_count = 0;
+  size_t leaf_count = 0;
+  // Sum of node MBR volumes (3-D tree) or areas (ephemeral 2-D view).
+  double total_volume = 0.0;
+  // Sum of node MBR margins (surface measure).
+  double total_surface = 0.0;
+  // Average entries per leaf (fill).
+  double avg_leaf_fill = 0.0;
+
+  std::string ToString() const;
+};
+
+// Aggregates over every node of a 3-D R*-tree.
+PagelMetrics AnalyzeRStar(const RStarTree& tree);
+
+// Aggregates over the ephemeral tree the PPR-tree exposes at instant t.
+PagelMetrics AnalyzePprAt(const PprTree& tree, Time t);
+
+// Average of AnalyzePprAt over several probe instants.
+PagelMetrics AnalyzePprAverage(const PprTree& tree,
+                               const std::vector<Time>& instants);
+
+}  // namespace stindex
+
+#endif  // STINDEX_MODEL_PAGEL_METRICS_H_

@@ -1,0 +1,101 @@
+#include "model/ppr_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stindex {
+
+PprCostModel::PprCostModel(double avg_alive, double avg_extent_x,
+                           double avg_extent_y, double changes_per_instant,
+                           double alive_fanout)
+    : avg_alive_(avg_alive),
+      changes_per_instant_(changes_per_instant),
+      alive_fanout_(alive_fanout) {
+  STINDEX_CHECK(avg_alive > 0.0);
+  STINDEX_CHECK(avg_extent_x >= 0.0 && avg_extent_y >= 0.0);
+  STINDEX_CHECK(changes_per_instant >= 0.0);
+  STINDEX_CHECK(alive_fanout > 1.0);
+  extents_[0] = avg_extent_x;
+  extents_[1] = avg_extent_y;
+}
+
+double PprCostModel::ExpectedNodeAccesses(double query_extent_x,
+                                          double query_extent_y,
+                                          Time duration) const {
+  STINDEX_CHECK(duration >= 1);
+  const double query[2] = {query_extent_x, query_extent_y};
+
+  // 2-D Theodoridis-Sellis over the ephemeral tree of alive records.
+  const double d = 2.0;
+  const double root_d = 1.0 / d;
+  const size_t levels = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(std::log(std::max(avg_alive_, 2.0)) /
+                                       std::log(alive_fanout_))));
+  double base_volume = extents_[0] * extents_[1];
+  double density = avg_alive_ * base_volume;
+  double accesses = 1.0;  // the era root
+  for (size_t j = 1; j <= levels; ++j) {
+    density = std::pow(
+        1.0 + (std::pow(std::max(density, 1e-12), root_d) - 1.0) /
+                  std::pow(alive_fanout_, root_d),
+        d);
+    const double nodes = std::max(
+        1.0, avg_alive_ / std::pow(alive_fanout_, static_cast<double>(j)));
+    const double target_volume = density / nodes;
+    double probability = 1.0;
+    for (int i = 0; i < 2; ++i) {
+      double node_extent;
+      if (base_volume > 0.0) {
+        node_extent = extents_[i] * std::pow(target_volume / base_volume,
+                                             root_d);
+      } else {
+        node_extent = std::pow(target_volume, root_d);
+      }
+      probability *= std::min(1.0, node_extent + query[i]);
+    }
+    accesses += nodes * probability;
+    if (nodes <= 1.0) break;
+  }
+
+  // Interval queries also touch the leaves created by version changes
+  // inside the interval, scaled by the spatial selectivity of the query.
+  if (duration > 1) {
+    const double spatial_selectivity =
+        std::min(1.0, (extents_[0] + query[0]) * (extents_[1] + query[1]));
+    const double extra_records = changes_per_instant_ *
+                                 static_cast<double>(duration - 1) *
+                                 spatial_selectivity;
+    accesses += extra_records / alive_fanout_;
+  }
+  return accesses;
+}
+
+PprCostModel PprCostModel::FromSegments(
+    const std::vector<SegmentRecord>& records, Time time_domain,
+    double alive_fanout) {
+  STINDEX_CHECK(!records.empty());
+  STINDEX_CHECK(time_domain > 0);
+  double alive_instants = 0.0;
+  double weighted_extent_x = 0.0;
+  double weighted_extent_y = 0.0;
+  for (const SegmentRecord& record : records) {
+    const double duration =
+        static_cast<double>(record.box.interval.Duration());
+    alive_instants += duration;
+    weighted_extent_x += record.box.rect.Width() * duration;
+    weighted_extent_y += record.box.rect.Height() * duration;
+  }
+  const double avg_alive =
+      alive_instants / static_cast<double>(time_domain);
+  // Two changes (one insert, one delete) per record over the evolution.
+  const double changes_per_instant =
+      2.0 * static_cast<double>(records.size()) /
+      static_cast<double>(time_domain);
+  return PprCostModel(avg_alive, weighted_extent_x / alive_instants,
+                      weighted_extent_y / alive_instants,
+                      changes_per_instant, alive_fanout);
+}
+
+}  // namespace stindex

@@ -1,0 +1,56 @@
+#ifndef STINDEX_MODEL_PPR_COST_MODEL_H_
+#define STINDEX_MODEL_PPR_COST_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/segment.h"
+#include "geometry/interval.h"
+
+namespace stindex {
+
+// Analytical cost model for the PPR-tree, in the spirit of Tao &
+// Papadias' cost models for multiversion structures (ICDE 2002), used by
+// the split advisor (paper Section IV).
+//
+// Key observation (paper Section I): a partially persistent structure
+// answers a snapshot query at t like an *ephemeral* 2-D R-tree over the
+// records alive at t. Splitting leaves the alive count unchanged but
+// shrinks the alive records' spatial extents, so the predicted cost is the
+// 2-D Theodoridis-Sellis cost of that ephemeral tree:
+//
+//   NA(q) = 1 + sum_{j=1..h} (N_alive / f_a^j) * prod_i (s_{j,i} + q_i)
+//
+// with f_a the *alive* fanout of a multiversion node (between P_svu*B and
+// P_svo*B; their midpoint by default). Interval queries additionally pay
+// for the versions created inside the interval: roughly one extra leaf per
+// f_a alive-record replacements.
+class PprCostModel {
+ public:
+  // `avg_alive`: average number of records alive at an instant.
+  // `avg_extents`: duration-weighted average spatial extents (x, y) of the
+  // records. `changes_per_instant`: average record insertions+deletions
+  // per instant (drives interval-query cost). `alive_fanout` > 1.
+  PprCostModel(double avg_alive, double avg_extent_x, double avg_extent_y,
+               double changes_per_instant, double alive_fanout);
+
+  // Expected node accesses for a query of the given spatial extents and
+  // duration (1 = snapshot).
+  double ExpectedNodeAccesses(double query_extent_x, double query_extent_y,
+                              Time duration) const;
+
+  // Builds the model from a segment-record collection and the PPR-tree
+  // node parameters.
+  static PprCostModel FromSegments(const std::vector<SegmentRecord>& records,
+                                   Time time_domain, double alive_fanout);
+
+ private:
+  double avg_alive_;
+  double extents_[2];
+  double changes_per_instant_;
+  double alive_fanout_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_MODEL_PPR_COST_MODEL_H_

@@ -1,0 +1,102 @@
+#include "model/rtree_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stindex {
+
+RTreeCostModel::RTreeCostModel(std::vector<double> avg_extents,
+                               size_t num_boxes, double fanout)
+    : avg_extents_(std::move(avg_extents)),
+      num_boxes_(num_boxes),
+      fanout_(fanout) {
+  STINDEX_CHECK(!avg_extents_.empty());
+  STINDEX_CHECK(num_boxes_ > 0);
+  STINDEX_CHECK(fanout_ > 1.0);
+  for (double extent : avg_extents_) STINDEX_CHECK(extent >= 0.0);
+
+  const double d = static_cast<double>(avg_extents_.size());
+  const double n = static_cast<double>(num_boxes_);
+  // Height: levels of nodes above the data (leaf level is j = 1).
+  levels_ = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::log(n) / std::log(fanout_)) - 0.0));
+
+  double base_volume = 1.0;
+  for (double extent : avg_extents_) base_volume *= extent;
+  double density = n * base_volume;
+
+  for (size_t j = 1; j <= levels_; ++j) {
+    // Density of nodes one level up (Theodoridis-Sellis recurrence).
+    const double root_d = 1.0 / d;
+    density = std::pow(
+        1.0 + (std::pow(std::max(density, 1e-12), root_d) - 1.0) /
+                  std::pow(fanout_, root_d),
+        d);
+    const double nodes =
+        std::max(1.0, n / std::pow(fanout_, static_cast<double>(j)));
+    // Anisotropy-preserving node extents: scale the data extents so their
+    // product matches the level's density.
+    const double target_volume = density / nodes;
+    double scale = 1.0;
+    if (base_volume > 0.0) {
+      scale = std::pow(target_volume / base_volume, root_d);
+    } else {
+      scale = std::pow(target_volume, root_d);
+    }
+    std::vector<double> extents(avg_extents_.size());
+    for (size_t i = 0; i < extents.size(); ++i) {
+      extents[i] = base_volume > 0.0
+                       ? std::min(1.0, avg_extents_[i] * scale)
+                       : std::min(1.0, scale);
+    }
+    level_nodes_.push_back(nodes);
+    level_extents_.push_back(std::move(extents));
+    if (nodes <= 1.0) {
+      levels_ = j;
+      break;
+    }
+  }
+}
+
+double RTreeCostModel::ExpectedNodeAccesses(
+    const std::vector<double>& query_extents) const {
+  STINDEX_CHECK(query_extents.size() == avg_extents_.size());
+  double accesses = 1.0;  // the root
+  for (size_t j = 0; j < level_nodes_.size(); ++j) {
+    double probability = 1.0;
+    for (size_t i = 0; i < query_extents.size(); ++i) {
+      probability *= std::min(1.0, level_extents_[j][i] + query_extents[i]);
+    }
+    accesses += level_nodes_[j] * probability;
+  }
+  return accesses;
+}
+
+double RTreeCostModel::AverageNodeAccesses(
+    const std::vector<std::vector<double>>& query_extent_set) const {
+  STINDEX_CHECK(!query_extent_set.empty());
+  double total = 0.0;
+  for (const std::vector<double>& extents : query_extent_set) {
+    total += ExpectedNodeAccesses(extents);
+  }
+  return total / static_cast<double>(query_extent_set.size());
+}
+
+RTreeCostModel RTreeCostModel::FromBoxes(const std::vector<Box3D>& boxes,
+                                         double fanout) {
+  STINDEX_CHECK(!boxes.empty());
+  std::vector<double> extents(3, 0.0);
+  for (const Box3D& box : boxes) {
+    for (int d = 0; d < 3; ++d) extents[static_cast<size_t>(d)] +=
+        box.Extent(d);
+  }
+  for (double& extent : extents) {
+    extent /= static_cast<double>(boxes.size());
+  }
+  return RTreeCostModel(std::move(extents), boxes.size(), fanout);
+}
+
+}  // namespace stindex

@@ -1,0 +1,61 @@
+#ifndef STINDEX_MODEL_RTREE_COST_MODEL_H_
+#define STINDEX_MODEL_RTREE_COST_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace stindex {
+
+// Analytical R-tree query-cost model after Theodoridis & Sellis (PODS
+// 1996), used by the split advisor (paper Section IV) to predict the
+// average number of node accesses of a window query without building the
+// index.
+//
+// For a d-dimensional query window q, the expected node accesses are
+//
+//   NA(q) = sum_{level j=1..h} (N / f^j) * prod_i (s_{j,i} + q_i)
+//
+// where f is the average fanout and s_{j,i} the average node extent at
+// level j along dimension i, estimated from the data density:
+//
+//   D_0     = N * prod_i s_{0,i}            (data density)
+//   D_j     = (1 + (D_{j-1}^{1/d} - 1) / f^{1/d})^d
+//   s_{j,i} = c_j * s_{0,i} with prod_i s_{j,i} = D_j * f^j / N,
+//
+// i.e. node extents keep the data's anisotropy (important here: the time
+// axis behaves very differently from the spatial axes).
+class RTreeCostModel {
+ public:
+  // `avg_extents[i]`: average data-box extent along dimension i (in a
+  // unit-normalized space). `num_boxes` > 0, `fanout` > 1.
+  RTreeCostModel(std::vector<double> avg_extents, size_t num_boxes,
+                 double fanout);
+
+  // Expected node accesses for one query window with the given extents.
+  double ExpectedNodeAccesses(const std::vector<double>& query_extents) const;
+
+  // Convenience: average over a set of query windows.
+  double AverageNodeAccesses(
+      const std::vector<std::vector<double>>& query_extent_set) const;
+
+  size_t num_levels() const { return levels_; }
+
+  // Builds a 3-D model from concrete boxes (time axis already scaled).
+  static RTreeCostModel FromBoxes(const std::vector<Box3D>& boxes,
+                                  double fanout);
+
+ private:
+  std::vector<double> avg_extents_;
+  size_t num_boxes_;
+  double fanout_;
+  size_t levels_;
+  // Per level: node count and per-dimension average node extents.
+  std::vector<double> level_nodes_;
+  std::vector<std::vector<double>> level_extents_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_MODEL_RTREE_COST_MODEL_H_

@@ -1,0 +1,1002 @@
+#include "pprtree/ppr_tree.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+
+#include "storage/page_codec.h"
+
+#include "util/check.h"
+
+namespace stindex {
+
+// An index or data record inside a node. Alive entries have an open
+// deletion time (kTimeInfinity).
+struct PprTree::Entry {
+  Rect2D rect;
+  TimeInterval lifetime;
+  PageId child = kInvalidPage;  // directory entries
+  PprDataId data = 0;           // leaf entries
+
+  bool IsAlive() const { return lifetime.end == kTimeInfinity; }
+};
+
+// One step of a root-to-leaf path: `slot` is the index of the directory
+// entry in the *previous* path node that leads here (unused for the root).
+struct PprTree::Frame {
+  PageId node = kInvalidPage;
+  size_t slot = SIZE_MAX;
+};
+
+// One era of the evolution: `root` owns queries at instants in
+// [start, next era's start). An invalid root marks an era where the
+// structure is empty.
+struct PprTree::RootEra {
+  Time start = 0;
+  PageId root = kInvalidPage;
+};
+
+class PprTree::Node : public Page {
+ public:
+  Node(int level, Time created) : level_(level), created_(created) {}
+
+  int level() const { return level_; }
+  bool IsLeaf() const { return level_ == 0; }
+  Time created() const { return created_; }
+
+  // Time the node stopped being current (kTimeInfinity while current).
+  Time closed() const { return closed_; }
+  void Close(Time t) { closed_ = t; }
+
+  std::vector<Entry>& entries() { return entries_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  size_t AliveCount() const {
+    size_t count = 0;
+    for (const Entry& entry : entries_) count += entry.IsAlive() ? 1 : 0;
+    return count;
+  }
+
+  Rect2D AliveMbr() const {
+    Rect2D mbr = Rect2D::Empty();
+    for (const Entry& entry : entries_) {
+      if (entry.IsAlive()) mbr.ExpandToInclude(entry.rect);
+    }
+    return mbr;
+  }
+
+ private:
+  int level_;
+  Time created_;
+  Time closed_ = kTimeInfinity;
+  std::vector<Entry> entries_;
+};
+
+PprTree::PprTree(PprConfig config) : config_(config) {
+  STINDEX_CHECK(config_.max_entries >= 4);
+  STINDEX_CHECK(config_.p_version > 0.0 && config_.p_version < 1.0);
+  STINDEX_CHECK(config_.p_svu > config_.p_version);
+  STINDEX_CHECK(config_.p_svo > config_.p_svu && config_.p_svo <= 1.0);
+  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages);
+  // The strong-version window must leave room to insert into a fresh node.
+  STINDEX_CHECK(StrongMax() < config_.max_entries);
+  STINDEX_CHECK(WeakMin() >= 1);
+}
+
+PprTree::~PprTree() = default;
+
+size_t PprTree::WeakMin() const {
+  return static_cast<size_t>(
+      std::ceil(config_.p_version * static_cast<double>(config_.max_entries)));
+}
+
+size_t PprTree::StrongMax() const {
+  return static_cast<size_t>(
+      config_.p_svo * static_cast<double>(config_.max_entries));
+}
+
+size_t PprTree::StrongMin() const {
+  return static_cast<size_t>(
+      std::ceil(config_.p_svu * static_cast<double>(config_.max_entries)));
+}
+
+PprTree::Node* PprTree::GetNode(PageId id) const {
+  return static_cast<Node*>(store_.Get(id));
+}
+
+const PprTree::Node* PprTree::FetchNode(BufferPool* buffer, PageId id) {
+  return static_cast<const Node*>(buffer->Fetch(id));
+}
+
+std::unique_ptr<BufferPool> PprTree::NewQueryBuffer(size_t pages) const {
+  return std::make_unique<BufferPool>(
+      &store_, pages == 0 ? config_.buffer_pages : pages);
+}
+
+size_t PprTree::NumRoots() const { return roots_.size(); }
+
+PageId PprTree::CurrentRoot() const {
+  return roots_.empty() ? kInvalidPage : roots_.back().root;
+}
+
+void PprTree::StartNewEra(PageId root, Time t) {
+  if (!roots_.empty() && roots_.back().start == t) {
+    roots_.back().root = root;  // same-instant restructure: collapse eras
+    return;
+  }
+  STINDEX_CHECK(roots_.empty() || roots_.back().start < t);
+  roots_.push_back(RootEra{t, root});
+}
+
+void PprTree::ResetQueryState() const {
+  buffer_->ResetCache();
+  buffer_->ResetStats();
+}
+
+PageId PprTree::MakeNode(int level, std::vector<Entry> entries, Time now) {
+  auto node = std::make_unique<Node>(level, now);
+  node->entries() = std::move(entries);
+  Node* raw = node.get();
+  const PageId id = store_.Allocate(std::move(node));
+  for (const Entry& entry : raw->entries()) {
+    STINDEX_DCHECK(entry.IsAlive());
+    if (level == 0) {
+      alive_location_[entry.data] = id;
+    } else {
+      parent_of_[entry.child] = id;
+    }
+  }
+  return id;
+}
+
+std::vector<PprTree::Frame> PprTree::DescendForInsert(
+    const Rect2D& rect) const {
+  std::vector<Frame> path;
+  PageId current = CurrentRoot();
+  STINDEX_CHECK(current != kInvalidPage);
+  path.push_back(Frame{current, SIZE_MAX});
+  Node* node = GetNode(current);
+  while (!node->IsLeaf()) {
+    // Least area enlargement among alive entries, ties by smallest area.
+    size_t best = SIZE_MAX;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    const std::vector<Entry>& entries = node->entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!entries[i].IsAlive()) continue;
+      const double enlargement = entries[i].rect.Enlargement(rect);
+      const double area = entries[i].rect.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    STINDEX_CHECK_MSG(best != SIZE_MAX,
+                      "directory node without alive entries on insert path");
+    current = entries[best].child;
+    path.push_back(Frame{current, best});
+    node = GetNode(current);
+  }
+  return path;
+}
+
+std::vector<PprTree::Frame> PprTree::PathToAliveLeaf(PageId leaf) const {
+  // Climb the alive-parent links, then resolve entry slots downward.
+  std::vector<PageId> chain = {leaf};
+  while (true) {
+    auto it = parent_of_.find(chain.back());
+    if (it == parent_of_.end()) break;
+    chain.push_back(it->second);
+  }
+  STINDEX_CHECK_MSG(chain.back() == CurrentRoot(),
+                    "alive leaf is not reachable from the current root");
+  std::vector<Frame> path;
+  path.push_back(Frame{chain.back(), SIZE_MAX});
+  for (size_t i = chain.size() - 1; i-- > 0;) {
+    const Node* parent = GetNode(chain[i + 1]);
+    size_t slot = SIZE_MAX;
+    for (size_t s = 0; s < parent->entries().size(); ++s) {
+      const Entry& entry = parent->entries()[s];
+      if (entry.IsAlive() && entry.child == chain[i]) {
+        slot = s;
+        break;
+      }
+    }
+    STINDEX_CHECK_MSG(slot != SIZE_MAX, "stale parent link");
+    path.push_back(Frame{chain[i], slot});
+  }
+  return path;
+}
+
+void PprTree::ExpandPathRects(const std::vector<Frame>& path,
+                              const Rect2D& rect) const {
+  for (size_t i = 1; i < path.size(); ++i) {
+    Node* parent = GetNode(path[i - 1].node);
+    parent->entries()[path[i].slot].rect.ExpandToInclude(rect);
+  }
+}
+
+void PprTree::Insert(const Rect2D& rect, Time t, PprDataId data) {
+  STINDEX_CHECK_MSG(rect.IsValid(), "inserting an invalid rect");
+  STINDEX_CHECK_MSG(t >= current_time_, "updates must be fed in time order");
+  STINDEX_CHECK_MSG(alive_location_.find(data) == alive_location_.end(),
+                    "record is already alive");
+  current_time_ = t;
+  ++size_;
+
+  Entry entry;
+  entry.rect = rect;
+  entry.lifetime = TimeInterval(t, kTimeInfinity);
+  entry.data = data;
+
+  if (CurrentRoot() == kInvalidPage) {
+    const PageId root = MakeNode(0, {entry}, t);
+    StartNewEra(root, t);
+    return;
+  }
+
+  std::vector<Frame> path = DescendForInsert(rect);
+  ExpandPathRects(path, rect);
+  Node* leaf = GetNode(path.back().node);
+  if (leaf->entries().size() >= config_.max_entries) {
+    Restructure(std::move(path), {entry}, t);
+    return;
+  }
+  leaf->entries().push_back(entry);
+  alive_location_[data] = path.back().node;
+}
+
+void PprTree::Delete(PprDataId data, Time t) {
+  STINDEX_CHECK_MSG(t >= current_time_, "updates must be fed in time order");
+  current_time_ = t;
+  auto it = alive_location_.find(data);
+  STINDEX_CHECK_MSG(it != alive_location_.end(), "record is not alive");
+  const PageId leaf_id = it->second;
+  alive_location_.erase(it);
+
+  std::vector<Frame> path = PathToAliveLeaf(leaf_id);
+  Node* leaf = GetNode(leaf_id);
+  bool found = false;
+  std::vector<Entry>& entries = leaf->entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Entry& entry = entries[i];
+    if (entry.IsAlive() && entry.data == data) {
+      if (entry.lifetime.start == t) {
+        // Inserted and deleted at the same instant: never visible.
+        entries.erase(entries.begin() + static_cast<long>(i));
+      } else {
+        entry.lifetime.end = t;
+      }
+      found = true;
+      break;
+    }
+  }
+  STINDEX_CHECK_MSG(found, "alive record missing from its leaf");
+
+  if (path.size() == 1) {
+    // Root leaf: exempt from the weak-version bound, but close the era
+    // when nothing is left alive.
+    FinalizeRoot(leaf_id, t);
+    return;
+  }
+  if (leaf->AliveCount() < WeakMin()) {
+    Restructure(std::move(path), {}, t);  // weak version underflow
+  }
+}
+
+namespace {
+
+double CenterDistance2(const Rect2D& a, const Rect2D& b) {
+  const Point2D ca = a.Center();
+  const Point2D cb = b.Center();
+  const double dx = ca.x - cb.x;
+  const double dy = ca.y - cb.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+void PprTree::Restructure(std::vector<Frame> path, std::vector<Entry> pending,
+                          Time now) {
+  Node* node = GetNode(path.back().node);
+  const int level = node->level();
+  const bool is_root = path.size() == 1;
+
+  auto truncate_alive = [now](Node* victim, std::vector<Entry>* copies) {
+    std::vector<Entry>& entries = victim->entries();
+    for (size_t i = 0; i < entries.size();) {
+      Entry& entry = entries[i];
+      if (entry.IsAlive()) {
+        Entry copy = entry;
+        copy.lifetime = TimeInterval(now, kTimeInfinity);
+        copies->push_back(copy);
+        if (entry.lifetime.start == now) {
+          entries.erase(entries.begin() + static_cast<long>(i));
+          continue;
+        }
+        entry.lifetime.end = now;
+      }
+      ++i;
+    }
+    victim->Close(now);
+  };
+
+  std::vector<Entry> copies;
+  truncate_alive(node, &copies);
+  for (Entry& entry : pending) {
+    STINDEX_DCHECK(entry.lifetime.start == now && entry.IsAlive());
+    copies.push_back(entry);
+  }
+
+  // Strong version underflow: merge with the nearest alive sibling.
+  std::optional<size_t> sibling_slot;
+  if (!is_root && copies.size() < StrongMin()) {
+    Node* parent = GetNode(path[path.size() - 2].node);
+    const Rect2D our_mbr = [&copies]() {
+      Rect2D mbr = Rect2D::Empty();
+      for (const Entry& entry : copies) mbr.ExpandToInclude(entry.rect);
+      return mbr;
+    }();
+    double best_distance = std::numeric_limits<double>::infinity();
+    const std::vector<Entry>& siblings = parent->entries();
+    for (size_t s = 0; s < siblings.size(); ++s) {
+      if (s == path.back().slot || !siblings[s].IsAlive()) continue;
+      const double distance =
+          copies.empty() ? 0.0 : CenterDistance2(our_mbr, siblings[s].rect);
+      if (distance < best_distance) {
+        best_distance = distance;
+        sibling_slot = s;
+      }
+    }
+    if (sibling_slot.has_value()) {
+      Node* sibling = GetNode(siblings[*sibling_slot].child);
+      truncate_alive(sibling, &copies);
+    }
+  }
+
+  // Partition the surviving alive set into one or two new nodes.
+  std::vector<std::vector<Entry>> groups;
+  if (copies.size() > StrongMax()) {
+    std::vector<Entry> left;
+    std::vector<Entry> right;
+    KeySplit(&copies, &left, &right);
+    groups.push_back(std::move(left));
+    groups.push_back(std::move(right));
+  } else if (!copies.empty()) {
+    groups.push_back(std::move(copies));
+  }
+
+  std::vector<PageId> new_nodes;
+  std::vector<Entry> adds;
+  for (std::vector<Entry>& group : groups) {
+    const PageId id = MakeNode(level, std::move(group), now);
+    new_nodes.push_back(id);
+    Entry dir;
+    dir.rect = GetNode(id)->AliveMbr();
+    dir.lifetime = TimeInterval(now, kTimeInfinity);
+    dir.child = id;
+    adds.push_back(dir);
+  }
+
+  if (is_root) {
+    if (new_nodes.empty()) {
+      StartNewEra(kInvalidPage, now);
+    } else if (new_nodes.size() == 1) {
+      FinalizeRoot(new_nodes[0], now);
+    } else {
+      const PageId new_root = MakeNode(level + 1, std::move(adds), now);
+      FinalizeRoot(new_root, now);
+    }
+    return;
+  }
+
+  // Kill the consumed parent entries (highest slot first: killing may
+  // erase same-instant entries and shift indices).
+  std::vector<Frame> parent_path(path.begin(), path.end() - 1);
+  Node* parent = GetNode(parent_path.back().node);
+  std::vector<size_t> kill_slots = {path.back().slot};
+  if (sibling_slot.has_value()) kill_slots.push_back(*sibling_slot);
+  std::sort(kill_slots.rbegin(), kill_slots.rend());
+  for (size_t slot : kill_slots) {
+    Entry& entry = parent->entries()[slot];
+    STINDEX_CHECK(entry.IsAlive());
+    if (entry.lifetime.start == now) {
+      parent->entries().erase(parent->entries().begin() +
+                              static_cast<long>(slot));
+    } else {
+      entry.lifetime.end = now;
+    }
+  }
+
+  AddEntries(std::move(parent_path), std::move(adds), now);
+}
+
+void PprTree::AddEntries(std::vector<Frame> path, std::vector<Entry> adds,
+                         Time now) {
+  Node* node = GetNode(path.back().node);
+  STINDEX_CHECK(!node->IsLeaf());
+
+  if (!adds.empty() &&
+      node->entries().size() + adds.size() > config_.max_entries) {
+    Restructure(std::move(path), std::move(adds), now);
+    return;
+  }
+  for (Entry& entry : adds) {
+    parent_of_[entry.child] = path.back().node;
+    ExpandPathRects(path, entry.rect);
+    node->entries().push_back(std::move(entry));
+  }
+
+  const size_t alive = node->AliveCount();
+  if (path.size() == 1) {
+    FinalizeRoot(path.back().node, now);
+    return;
+  }
+  if (alive < WeakMin()) {
+    Restructure(std::move(path), {}, now);
+  }
+}
+
+void PprTree::FinalizeRoot(PageId root, Time now) {
+  // Collapse directory roots with a single alive child: otherwise that
+  // child would be a non-root node with no sibling to merge with, and the
+  // weak-version invariant could not be maintained.
+  while (root != kInvalidPage) {
+    Node* node = GetNode(root);
+    const size_t alive = node->AliveCount();
+    if (alive == 0) {
+      node->Close(now);
+      root = kInvalidPage;
+      break;
+    }
+    if (node->IsLeaf() || alive > 1) break;
+    // Promote the only alive child.
+    PageId child = kInvalidPage;
+    std::vector<Entry>& entries = node->entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!entries[i].IsAlive()) continue;
+      child = entries[i].child;
+      if (entries[i].lifetime.start == now) {
+        entries.erase(entries.begin() + static_cast<long>(i));
+      } else {
+        entries[i].lifetime.end = now;
+      }
+      break;
+    }
+    node->Close(now);
+    parent_of_.erase(child);
+    root = child;
+  }
+  if (root != CurrentRoot()) StartNewEra(root, now);
+}
+
+void PprTree::KeySplit(std::vector<Entry>* entries, std::vector<Entry>* left,
+                       std::vector<Entry>* right) const {
+  const size_t total = entries->size();
+  STINDEX_CHECK(total >= 2);
+  // Minimum fill per side: the strong-version lower bound when possible.
+  const size_t min_fill = std::min(StrongMin(), total / 2);
+
+  auto sort_entries = [entries](int axis, bool by_upper) {
+    std::stable_sort(
+        entries->begin(), entries->end(),
+        [axis, by_upper](const Entry& a, const Entry& b) {
+          const double ka = axis == 0 ? (by_upper ? a.rect.xhi : a.rect.xlo)
+                                      : (by_upper ? a.rect.yhi : a.rect.ylo);
+          const double kb = axis == 0 ? (by_upper ? b.rect.xhi : b.rect.xlo)
+                                      : (by_upper ? b.rect.yhi : b.rect.ylo);
+          return ka < kb;
+        });
+  };
+
+  std::vector<Rect2D> prefix(total), suffix(total);
+  auto compute_group_mbrs = [&]() {
+    Rect2D acc = Rect2D::Empty();
+    for (size_t i = 0; i < total; ++i) {
+      acc.ExpandToInclude((*entries)[i].rect);
+      prefix[i] = acc;
+    }
+    acc = Rect2D::Empty();
+    for (size_t i = total; i-- > 0;) {
+      acc.ExpandToInclude((*entries)[i].rect);
+      suffix[i] = acc;
+    }
+  };
+
+  // Choose the split axis by minimum total margin, then the distribution
+  // by minimum overlap (ties: minimum total area) — the R* heuristic in
+  // two dimensions, applied to the alive set.
+  int best_axis = 0;
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < 2; ++axis) {
+    double margin_sum = 0.0;
+    for (bool by_upper : {false, true}) {
+      sort_entries(axis, by_upper);
+      compute_group_mbrs();
+      for (size_t k = min_fill; k <= total - min_fill; ++k) {
+        if (k == 0 || k == total) continue;
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+    }
+    if (margin_sum < best_margin) {
+      best_margin = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  bool best_by_upper = false;
+  size_t best_split = total / 2;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (bool by_upper : {false, true}) {
+    sort_entries(best_axis, by_upper);
+    compute_group_mbrs();
+    for (size_t k = min_fill; k <= total - min_fill; ++k) {
+      if (k == 0 || k == total) continue;
+      const double overlap = prefix[k - 1].OverlapArea(suffix[k]);
+      const double area = prefix[k - 1].Area() + suffix[k].Area();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_by_upper = by_upper;
+        best_split = k;
+      }
+    }
+  }
+
+  sort_entries(best_axis, best_by_upper);
+  left->assign(entries->begin(),
+               entries->begin() + static_cast<long>(best_split));
+  right->assign(entries->begin() + static_cast<long>(best_split),
+                entries->end());
+  entries->clear();
+}
+
+void PprTree::SnapshotQuery(const Rect2D& area, Time t,
+                            std::vector<PprDataId>* results) const {
+  SnapshotQuery(area, t, buffer_.get(), results);
+}
+
+void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                            std::vector<PprDataId>* results) const {
+  IntervalQuery(area, range, buffer_.get(), results);
+}
+
+void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
+                            std::vector<PprDataId>* results) const {
+  results->clear();
+  // Find the era owning instant t: the last era starting at or before t.
+  auto it = std::upper_bound(roots_.begin(), roots_.end(), t,
+                             [](Time value, const RootEra& era) {
+                               return value < era.start;
+                             });
+  if (it == roots_.begin()) return;  // before the first insertion
+  --it;
+  if (it->root == kInvalidPage) return;
+
+  std::vector<PageId> stack = {it->root};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    const Node* node = FetchNode(buffer, id);
+    for (const Entry& entry : node->entries()) {
+      if (!entry.lifetime.Contains(t)) continue;
+      if (!entry.rect.Intersects(area)) continue;
+      if (node->IsLeaf()) {
+        results->push_back(entry.data);
+      } else {
+        stack.push_back(entry.child);
+      }
+    }
+  }
+}
+
+void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                            BufferPool* buffer,
+                            std::vector<PprDataId>* results) const {
+  results->clear();
+  if (!range.IsValid()) return;
+  std::unordered_set<PprDataId> seen;
+  for (size_t e = 0; e < roots_.size(); ++e) {
+    const TimeInterval era(roots_[e].start, e + 1 < roots_.size()
+                                                ? roots_[e + 1].start
+                                                : kTimeInfinity);
+    if (!era.Intersects(range)) continue;
+    if (roots_[e].root == kInvalidPage) continue;
+    std::vector<PageId> stack = {roots_[e].root};
+    while (!stack.empty()) {
+      const PageId id = stack.back();
+      stack.pop_back();
+      const Node* node = FetchNode(buffer, id);
+      for (const Entry& entry : node->entries()) {
+        if (!entry.lifetime.Intersects(range)) continue;
+        if (!entry.rect.Intersects(area)) continue;
+        if (node->IsLeaf()) {
+          // The same logical record may have physical copies in several
+          // nodes (version splits) and eras; report it once.
+          if (seen.insert(entry.data).second) results->push_back(entry.data);
+        } else {
+          stack.push_back(entry.child);
+        }
+      }
+    }
+  }
+}
+
+std::vector<PprTree::AliveNodeSummary> PprTree::CollectAliveSummaries(
+    Time t) const {
+  std::vector<AliveNodeSummary> summaries;
+  auto it = std::upper_bound(roots_.begin(), roots_.end(), t,
+                             [](Time value, const RootEra& era) {
+                               return value < era.start;
+                             });
+  if (it == roots_.begin()) return summaries;
+  --it;
+  if (it->root == kInvalidPage) return summaries;
+  std::vector<PageId> stack = {it->root};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    const Node* node = GetNode(id);
+    AliveNodeSummary summary;
+    summary.level = node->level();
+    summary.rect = Rect2D::Empty();
+    for (const Entry& entry : node->entries()) {
+      if (!entry.lifetime.Contains(t)) continue;
+      ++summary.alive;
+      summary.rect.ExpandToInclude(entry.rect);
+      if (!node->IsLeaf()) stack.push_back(entry.child);
+    }
+    if (summary.alive > 0) summaries.push_back(summary);
+  }
+  return summaries;
+}
+
+size_t PprTree::SnapshotCount(const Rect2D& area, Time t) const {
+  return SnapshotCount(area, t, buffer_.get());
+}
+
+size_t PprTree::SnapshotCount(const Rect2D& area, Time t,
+                              BufferPool* buffer) const {
+  auto it = std::upper_bound(roots_.begin(), roots_.end(), t,
+                             [](Time value, const RootEra& era) {
+                               return value < era.start;
+                             });
+  if (it == roots_.begin()) return 0;
+  --it;
+  if (it->root == kInvalidPage) return 0;
+  size_t count = 0;
+  std::vector<PageId> stack = {it->root};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    const Node* node = FetchNode(buffer, id);
+    for (const Entry& entry : node->entries()) {
+      if (!entry.lifetime.Contains(t)) continue;
+      if (!entry.rect.Intersects(area)) continue;
+      if (node->IsLeaf()) {
+        ++count;
+      } else {
+        stack.push_back(entry.child);
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<size_t> PprTree::OccupancyHistogram(
+    const Rect2D& area, const TimeInterval& range) const {
+  STINDEX_CHECK(range.IsValid());
+  std::vector<size_t> histogram;
+  histogram.reserve(static_cast<size_t>(range.Duration()));
+  for (Time t = range.start; t < range.end; ++t) {
+    histogram.push_back(SnapshotCount(area, t));
+  }
+  return histogram;
+}
+
+void PprTree::CollectSubtree(PageId root, std::vector<PageId>* out) const {
+  std::vector<PageId> stack = {root};
+  std::unordered_set<PageId> visited;
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    if (!visited.insert(id).second) continue;
+    out->push_back(id);
+    const Node* node = GetNode(id);
+    if (node->IsLeaf()) continue;
+    for (const Entry& entry : node->entries()) stack.push_back(entry.child);
+  }
+}
+
+void PprTree::CheckInvariants() const {
+  // Structural checks over every reachable node.
+  std::vector<PageId> nodes;
+  std::unordered_set<PageId> unique;
+  for (const RootEra& era : roots_) {
+    if (era.root == kInvalidPage) continue;
+    std::vector<PageId> subtree;
+    CollectSubtree(era.root, &subtree);
+    for (PageId id : subtree) {
+      if (unique.insert(id).second) nodes.push_back(id);
+    }
+  }
+  for (PageId id : nodes) {
+    const Node* node = GetNode(id);
+    STINDEX_CHECK(node->entries().size() <= config_.max_entries);
+    for (const Entry& entry : node->entries()) {
+      STINDEX_CHECK(entry.lifetime.start < entry.lifetime.end);
+      STINDEX_CHECK(entry.lifetime.start >= node->created());
+      STINDEX_CHECK(entry.lifetime.end <= node->closed());
+      STINDEX_CHECK(entry.rect.IsValid());
+      if (!node->IsLeaf()) {
+        const Node* child = GetNode(entry.child);
+        STINDEX_CHECK(child->level() == node->level() - 1);
+      }
+    }
+  }
+
+  // Per-instant checks at era boundaries and a few interior instants:
+  // visited non-root nodes satisfy the weak-version bound, and every data
+  // rect alive at t is covered by every ancestor directory rect on its
+  // path (checked via the running intersection of covers). Directory
+  // entry rects themselves may exceed a *historical* parent's rect:
+  // in-place MBR expansion rewrites intermediate rects anachronistically,
+  // which inflates traversal slightly but cannot cause false dismissals —
+  // data rects are immutable and were covered when inserted.
+  for (size_t e = 0; e < roots_.size(); ++e) {
+    if (roots_[e].root == kInvalidPage) continue;
+    const Time era_start = roots_[e].start;
+    const Time era_end =
+        e + 1 < roots_.size() ? roots_[e + 1].start : current_time_ + 1;
+    std::vector<Time> samples = {era_start, era_end - 1,
+                                 era_start + (era_end - era_start) / 2};
+    for (Time t : samples) {
+      if (t < era_start || t >= era_end) continue;
+      // (node, is_root, intersection of ancestor covers)
+      const Rect2D everything(-1e300, -1e300, 1e300, 1e300);
+      std::vector<std::pair<PageId, std::pair<bool, Rect2D>>> stack;
+      stack.push_back({roots_[e].root, {true, everything}});
+      while (!stack.empty()) {
+        auto [id, info] = stack.back();
+        stack.pop_back();
+        const auto& [is_root, cover] = info;
+        const Node* node = GetNode(id);
+        size_t alive = 0;
+        for (const Entry& entry : node->entries()) {
+          if (!entry.lifetime.Contains(t)) continue;
+          ++alive;
+          if (node->IsLeaf()) {
+            STINDEX_CHECK_MSG(cover.Contains(entry.rect),
+                              "ancestor rects do not cover alive data");
+          } else {
+            stack.push_back(
+                {entry.child, {false, cover.Intersection(entry.rect)}});
+          }
+        }
+        if (!is_root) {
+          STINDEX_CHECK_MSG(alive >= WeakMin(),
+                            "weak version bound violated");
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+// On-disk layout (all pages exactly kPageSize bytes):
+//   page 0            header: magic, config, size, time, era/page counts
+//   journal pages     packed (start, root) era records
+//   one page per node level, created, closed, entry count, entries
+constexpr char kPprMagic[8] = {'P', 'P', 'R', 'T', '0', '0', '0', '2'};
+constexpr size_t kEraBytes = sizeof(Time) + sizeof(PageId);
+
+bool WritePage(std::ostream& out, const std::array<uint8_t, kPageSize>& page) {
+  out.write(reinterpret_cast<const char*>(page.data()), kPageSize);
+  return static_cast<bool>(out);
+}
+
+bool ReadPage(std::istream& in, std::array<uint8_t, kPageSize>* page) {
+  in.read(reinterpret_cast<char*>(page->data()), kPageSize);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status PprTree::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot write '" + path + "'");
+
+  std::array<uint8_t, kPageSize> page{};
+  {
+    PageWriter header(page.data(), kPageSize);
+    header.WriteBytes(kPprMagic, sizeof(kPprMagic));
+    header.Write(config_.max_entries);
+    header.Write(config_.p_version);
+    header.Write(config_.p_svo);
+    header.Write(config_.p_svu);
+    header.Write(config_.buffer_pages);
+    header.Write(size_);
+    header.Write(current_time_);
+    header.Write(roots_.size());
+    header.Write(store_.AllocatedCount());
+    if (!WritePage(out, page)) {
+      return Status::InvalidArgument("write failed for '" + path + "'");
+    }
+  }
+
+  // Root journal, packed across pages.
+  {
+    const size_t eras_per_page = kPageSize / kEraBytes;
+    size_t cursor = 0;
+    while (cursor < roots_.size()) {
+      page.fill(0);
+      PageWriter writer(page.data(), kPageSize);
+      for (size_t i = 0; i < eras_per_page && cursor < roots_.size();
+           ++i, ++cursor) {
+        writer.Write(roots_[cursor].start);
+        writer.Write(roots_[cursor].root);
+      }
+      if (!WritePage(out, page)) {
+        return Status::InvalidArgument("write failed for '" + path + "'");
+      }
+    }
+  }
+
+  // One page per node.
+  for (PageId id = 0; id < store_.AllocatedCount(); ++id) {
+    const Node* node = GetNode(id);
+    page.fill(0);
+    PageWriter writer(page.data(), kPageSize);
+    writer.Write(node->level());
+    writer.Write(node->created());
+    writer.Write(node->closed());
+    writer.Write(node->entries().size());
+    for (const Entry& entry : node->entries()) {
+      writer.Write(entry.rect);
+      writer.Write(entry.lifetime);
+      writer.Write(entry.child);
+      writer.Write(entry.data);
+    }
+    if (!WritePage(out, page)) {
+      return Status::InvalidArgument("write failed for '" + path + "'");
+    }
+  }
+  out.flush();
+  if (!out) return Status::InvalidArgument("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PprTree>> PprTree::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+
+  std::array<uint8_t, kPageSize> page{};
+  if (!ReadPage(in, &page)) {
+    return Status::InvalidArgument("truncated PPR-tree header");
+  }
+  PageReader header(page.data(), kPageSize);
+  char magic[8];
+  if (!header.ReadBytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kPprMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a PPR-tree file");
+  }
+  PprConfig config;
+  size_t root_count = 0;
+  size_t pages = 0;
+  std::unique_ptr<PprTree> tree;
+  size_t size = 0;
+  Time current_time = 0;
+  if (!header.Read(&config.max_entries) || !header.Read(&config.p_version) ||
+      !header.Read(&config.p_svo) || !header.Read(&config.p_svu) ||
+      !header.Read(&config.buffer_pages) || !header.Read(&size) ||
+      !header.Read(&current_time) || !header.Read(&root_count) ||
+      !header.Read(&pages)) {
+    return Status::InvalidArgument("truncated PPR-tree header");
+  }
+  if (config.max_entries == 0 || config.max_entries > 4096 ||
+      config.p_version <= 0.0 || config.p_version >= 1.0) {
+    return Status::InvalidArgument("implausible PPR-tree configuration");
+  }
+  tree = std::make_unique<PprTree>(config);
+  tree->size_ = size;
+  tree->current_time_ = current_time;
+
+  // Root journal.
+  const size_t eras_per_page = kPageSize / kEraBytes;
+  for (size_t cursor = 0; cursor < root_count;) {
+    if (!ReadPage(in, &page)) {
+      return Status::InvalidArgument("truncated root journal");
+    }
+    PageReader reader(page.data(), kPageSize);
+    for (size_t i = 0; i < eras_per_page && cursor < root_count;
+         ++i, ++cursor) {
+      RootEra era;
+      if (!reader.Read(&era.start) || !reader.Read(&era.root)) {
+        return Status::InvalidArgument("truncated root journal");
+      }
+      tree->roots_.push_back(era);
+    }
+  }
+
+  // Nodes, one page each.
+  for (PageId id = 0; id < pages; ++id) {
+    if (!ReadPage(in, &page)) {
+      return Status::InvalidArgument("truncated node page");
+    }
+    PageReader reader(page.data(), kPageSize);
+    int level = 0;
+    Time created = 0, closed = 0;
+    size_t entry_count = 0;
+    if (!reader.Read(&level) || !reader.Read(&created) ||
+        !reader.Read(&closed) || !reader.Read(&entry_count) ||
+        entry_count > config.max_entries + 1) {
+      return Status::InvalidArgument("corrupt node page");
+    }
+    auto node = std::make_unique<Node>(level, created);
+    if (closed != kTimeInfinity) node->Close(closed);
+    node->entries().resize(entry_count);
+    for (Entry& entry : node->entries()) {
+      if (!reader.Read(&entry.rect) || !reader.Read(&entry.lifetime) ||
+          !reader.Read(&entry.child) || !reader.Read(&entry.data)) {
+        return Status::InvalidArgument("corrupt node page");
+      }
+      // Rebuild the alive-record and alive-parent maps.
+      if (entry.IsAlive()) {
+        if (level == 0) {
+          tree->alive_location_[entry.data] = id;
+        } else {
+          tree->parent_of_[entry.child] = id;
+        }
+      }
+    }
+    const PageId allocated = tree->store_.Allocate(std::move(node));
+    STINDEX_CHECK(allocated == id);
+  }
+  return tree;
+}
+
+std::unique_ptr<PprTree> BuildPprTree(
+    const std::vector<SegmentRecord>& records, PprConfig config) {
+  auto tree = std::make_unique<PprTree>(config);
+
+  // Replay the evolution: one insert and one delete event per record,
+  // deletes first at equal timestamps (a record with lifetime [a, b) is
+  // gone at instant b).
+  struct Event {
+    Time time;
+    bool is_insert;
+    uint64_t record;
+  };
+  std::vector<Event> events;
+  events.reserve(records.size() * 2);
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    events.push_back(Event{records[i].box.interval.start, true, i});
+    events.push_back(Event{records[i].box.interval.end, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.is_insert != b.is_insert) return !a.is_insert;  // deletes first
+    return a.record < b.record;
+  });
+  for (const Event& event : events) {
+    const SegmentRecord& record = records[event.record];
+    if (event.is_insert) {
+      tree->Insert(record.box.rect, record.box.interval.start, event.record);
+    } else {
+      tree->Delete(event.record, record.box.interval.end);
+    }
+  }
+  return tree;
+}
+
+}  // namespace stindex

@@ -1,0 +1,216 @@
+#ifndef STINDEX_PPRTREE_PPR_TREE_H_
+#define STINDEX_PPRTREE_PPR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/segment.h"
+#include "geometry/interval.h"
+#include "geometry/rect.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace stindex {
+
+// Payload of a PPR-tree data record (a segment-record index in the
+// experiments).
+using PprDataId = uint64_t;
+
+// PPR-tree parameters; defaults are the paper's experimental setup
+// (Section V): page capacity 50, P_version = 0.22, P_svo = 0.8,
+// P_svu = 0.4, 10-page LRU buffer.
+struct PprConfig {
+  // Maximum entries per node (page capacity B).
+  size_t max_entries = 50;
+  // A non-root node must keep at least ceil(p_version * B) alive entries;
+  // fewer triggers a version split (weak version underflow).
+  double p_version = 0.22;
+  // A node created by a version split may hold at most p_svo * B alive
+  // entries; more triggers a key (spatial) split.
+  double p_svo = 0.8;
+  // ... and at least p_svu * B alive entries; fewer triggers a merge with
+  // a sibling's alive entries.
+  double p_svu = 0.4;
+  // LRU buffer pages used when answering queries.
+  size_t buffer_pages = 10;
+};
+
+// The partially persistent R-tree ([14], [25]; paper Section II-B). It
+// records the evolution of an "ephemeral" 2-D R-tree under insertions and
+// deletions of spatial records, using storage linear in the number of
+// changes, and answers historical queries as if the R-tree state at the
+// query time were still available.
+//
+// Structure: a DAG of nodes (pages). Data and index entries carry a
+// lifetime [insertion-time, deletion-time). A non-root node must contain
+// at least D alive entries at every instant it is alive; restructuring
+// happens through version splits (copy alive entries to a fresh node),
+// followed by a key split or a sibling merge when the copy violates the
+// strong-version bounds. Consecutive eras of the evolution are owned by a
+// root journal.
+//
+// Updates must be fed in non-decreasing time order (the paper's off-line
+// setting: the full evolution is known and replayed).
+class PprTree {
+ public:
+  explicit PprTree(PprConfig config = PprConfig());
+  ~PprTree();
+
+  PprTree(const PprTree&) = delete;
+  PprTree& operator=(const PprTree&) = delete;
+
+  // Starts the life of record `data` with spatial key `rect` at time `t`.
+  // `data` must not be currently alive; t must not precede prior updates.
+  void Insert(const Rect2D& rect, Time t, PprDataId data);
+
+  // Ends the life of record `data` at time `t` (the record exists at
+  // instants < t). The record must be alive.
+  void Delete(PprDataId data, Time t);
+
+  // All records alive at instant `t` whose rect intersects `area`.
+  void SnapshotQuery(const Rect2D& area, Time t,
+                     std::vector<PprDataId>* results) const;
+
+  // All records alive at any instant in [range.start, range.end) whose
+  // rect intersects `area`. Results are de-duplicated.
+  void IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                     std::vector<PprDataId>* results) const;
+
+  // Query variants reading through a caller-owned buffer pool. Queries
+  // never mutate the structure, so concurrent threads may query with one
+  // BufferPool each (see NewQueryBuffer).
+  void SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
+                     std::vector<PprDataId>* results) const;
+  void IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                     BufferPool* buffer,
+                     std::vector<PprDataId>* results) const;
+
+  // A fresh LRU buffer over this tree's pages (`pages` = 0 uses the
+  // configured default).
+  std::unique_ptr<BufferPool> NewQueryBuffer(size_t pages = 0) const;
+
+  // COUNT(*) of a snapshot query, without materializing ids — the
+  // aggregation a monitoring dashboard runs per tick.
+  size_t SnapshotCount(const Rect2D& area, Time t) const;
+  size_t SnapshotCount(const Rect2D& area, Time t, BufferPool* buffer) const;
+
+  // Per-instant occupancy of `area` over [range.start, range.end):
+  // element i is the count at instant range.start + i.
+  std::vector<size_t> OccupancyHistogram(const Rect2D& area,
+                                         const TimeInterval& range) const;
+
+  // Number of logical records ever inserted.
+  size_t Size() const { return size_; }
+
+  // Number of records currently alive.
+  size_t AliveCount() const { return alive_location_.size(); }
+
+  // Disk footprint in pages.
+  size_t PageCount() const { return store_.PageCount(); }
+
+  // Number of eras in the root journal.
+  size_t NumRoots() const;
+
+  // Query I/O statistics; misses are "disk accesses".
+  const IoStats& stats() const { return buffer_->stats(); }
+  void ResetQueryState() const;
+
+  // Validates structural invariants at sampled time instants (alive-entry
+  // bounds, lifetime nesting, MBR containment). Test hook.
+  void CheckInvariants() const;
+
+  // Introspection: one summary per node of the *ephemeral* tree at
+  // instant t (only entries alive at t, with their alive MBR), for the
+  // Pagel-style cost analyses in src/model/pagel_metrics.h.
+  struct AliveNodeSummary {
+    int level = 0;
+    Rect2D rect;
+    size_t alive = 0;
+  };
+  std::vector<AliveNodeSummary> CollectAliveSummaries(Time t) const;
+
+  // Persists the whole structure (nodes, root journal, configuration) to
+  // a binary file, and restores it. A loaded tree answers queries
+  // identically and accepts further updates.
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<PprTree>> Load(const std::string& path);
+
+ private:
+  class Node;
+  struct Entry;
+  struct Frame;
+  struct RootEra;
+
+  Node* GetNode(PageId id) const;
+  static const Node* FetchNode(BufferPool* buffer, PageId id);
+
+  size_t WeakMin() const;    // D
+  size_t StrongMax() const;  // p_svo * B
+  size_t StrongMin() const;  // p_svu * B
+
+  PageId CurrentRoot() const;
+  void StartNewEra(PageId root, Time t);
+
+  // Path (root..leaf) for inserting `rect` at `now`, choosing among alive
+  // directory entries by least area enlargement.
+  std::vector<Frame> DescendForInsert(const Rect2D& rect) const;
+
+  // Path (root..leaf) to the given alive leaf, reconstructed through the
+  // parent links maintained for alive nodes.
+  std::vector<Frame> PathToAliveLeaf(PageId leaf) const;
+
+  // Grows ancestor directory-entry rects so the path covers `rect`.
+  void ExpandPathRects(const std::vector<Frame>& path,
+                       const Rect2D& rect) const;
+
+  // Version split of path.back() at time `now`, folding `pending` entries
+  // (same level as the node) into the copy. Handles key split, sibling
+  // merge, parent updates and root-era changes; may recurse up the path.
+  void Restructure(std::vector<Frame> path, std::vector<Entry> pending,
+                   Time now);
+
+  // Appends `adds` to the node at path.back(), restructuring it first if
+  // they do not fit, and handles a resulting weak version underflow.
+  void AddEntries(std::vector<Frame> path, std::vector<Entry> adds,
+                  Time now);
+
+  // Splits `entries` spatially into two groups (R*-style axis/margin
+  // heuristic on the 2-D rects).
+  void KeySplit(std::vector<Entry>* entries, std::vector<Entry>* left,
+                std::vector<Entry>* right) const;
+
+  // Creates a node at `level` holding `entries`, maintains parent/alive
+  // bookkeeping, and returns its id.
+  PageId MakeNode(int level, std::vector<Entry> entries, Time now);
+
+  // Installs `root` as the root for instants >= now, collapsing directory
+  // roots with a single alive child (so no non-root node can be starved of
+  // merge siblings) and closing the era when nothing is alive.
+  void FinalizeRoot(PageId root, Time now);
+
+  void CollectSubtree(PageId root, std::vector<PageId>* out) const;
+
+  PprConfig config_;
+  mutable PageStore store_;
+  std::unique_ptr<BufferPool> buffer_;
+  std::vector<RootEra> roots_;
+  size_t size_ = 0;
+  Time current_time_ = 0;
+
+  // data id -> leaf currently holding its alive entry.
+  std::unordered_map<PprDataId, PageId> alive_location_;
+  // alive node -> its alive parent (roots absent).
+  std::unordered_map<PageId, PageId> parent_of_;
+};
+
+// Replays a segment-record collection (insert at interval.start, delete at
+// interval.end) into a fresh PPR-tree. Record i gets PprDataId i.
+std::unique_ptr<PprTree> BuildPprTree(const std::vector<SegmentRecord>& records,
+                                      PprConfig config = PprConfig());
+
+}  // namespace stindex
+
+#endif  // STINDEX_PPRTREE_PPR_TREE_H_

@@ -1,0 +1,173 @@
+#ifndef STINDEX_RSTAR_RSTAR_TREE_H_
+#define STINDEX_RSTAR_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry/box.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace stindex {
+
+// Opaque payload attached to a leaf entry (a segment-record index in the
+// experiments; callers de-duplicate by object after lookup).
+using DataId = uint64_t;
+
+// Node split strategy. The paper's baseline is the R*-tree [3]; the
+// original Guttman splits [8] are provided for ablation ("an R-Tree or
+// its variants").
+enum class SplitStrategy {
+  kRStar,      // margin-driven axis + min-overlap distribution
+  kQuadratic,  // Guttman quadratic: max-waste seeds, greedy assignment
+  kLinear,     // Guttman linear: max-separation seeds, cheap assignment
+};
+
+// Tuning knobs of the R*-tree. Defaults follow the paper's setup (page
+// capacity 50) and the Beckmann et al. recommendations (40% minimum fill,
+// 30% forced reinsertion).
+struct RStarConfig {
+  // Maximum entries per node (page capacity).
+  size_t max_entries = 50;
+  // Minimum entries per node after a split.
+  size_t min_entries = 20;
+  // Entries removed on forced reinsertion (p in the R* paper).
+  size_t reinsert_count = 15;
+  // LRU buffer pages used when answering queries.
+  size_t buffer_pages = 10;
+  // Split algorithm; non-R* strategies also switch ChooseSubtree to the
+  // classic least-enlargement criterion at every level.
+  SplitStrategy split = SplitStrategy::kRStar;
+  // Disable to split immediately on every overflow (classic R-tree).
+  bool forced_reinsert = true;
+};
+
+// Leaf ordering used by bulk loading (packed R-trees). The paper decided
+// against packing for its experiments — "packing does not help
+// substantially with datasets of moving objects" (Section V) — and the
+// bench_ablation_packing harness reproduces that observation.
+enum class PackingMethod {
+  kStr,      // Sort-Tile-Recursive (Leutenegger et al. [15])
+  kHilbert,  // Hilbert-curve order (Kamel & Faloutsos [9])
+};
+
+// A 3-dimensional R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD
+// 1990) over simulated disk pages: ChooseSubtree with minimum overlap
+// enlargement at the leaf level, margin-driven split axis selection,
+// minimum-overlap split distribution, and forced reinsertion. This is the
+// "straightforward" baseline the paper compares against: objects (or their
+// split segments) become 3-D boxes whose height is the lifetime interval,
+// with the time axis scaled to the unit range beforehand.
+class RStarTree {
+ public:
+  explicit RStarTree(RStarConfig config = RStarConfig());
+  ~RStarTree();
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  // Builds a packed tree bottom-up: box i carries payload i. Nodes are
+  // filled to capacity (the final pair per level is rebalanced to honor
+  // the minimum fill).
+  static std::unique_ptr<RStarTree> BulkLoad(const std::vector<Box3D>& boxes,
+                                             PackingMethod method,
+                                             RStarConfig config = RStarConfig());
+
+  // Inserts a box with its payload.
+  void Insert(const Box3D& box, DataId data);
+
+  // Removes the entry with this exact box and payload (Guttman's delete
+  // with CondenseTree: under-filled nodes are dissolved and their entries
+  // re-inserted). Returns false when no such entry exists.
+  bool Delete(const Box3D& box, DataId data);
+
+  // Best-first k-nearest-neighbor search by box center distance
+  // (Hjaltason & Samet): the k data entries whose boxes are nearest to
+  // `point` (min distance between the point and the box), through the
+  // tree's own buffer. Library extension beyond the paper.
+  void NearestNeighbors(const double point[3], size_t k,
+                        std::vector<DataId>* results) const;
+
+  // Collects the payloads of all leaf entries whose box intersects
+  // `query`, reading nodes through the LRU buffer (misses count as disk
+  // accesses in stats()).
+  void Search(const Box3D& query, std::vector<DataId>* results) const;
+
+  // Same, through a caller-owned buffer (one per querying thread).
+  void Search(const Box3D& query, BufferPool* buffer,
+              std::vector<DataId>* results) const;
+
+  // A fresh LRU buffer over this tree's pages (0 = configured default).
+  std::unique_ptr<BufferPool> NewQueryBuffer(size_t pages = 0) const;
+
+  // Number of leaf entries stored.
+  size_t Size() const { return size_; }
+
+  // Disk footprint in pages (nodes).
+  size_t PageCount() const { return store_.PageCount(); }
+
+  // Tree height (1 = root is a leaf); 0 when empty.
+  size_t Height() const;
+
+  // Query I/O statistics; misses are "disk accesses".
+  const IoStats& stats() const { return buffer_->stats(); }
+  void ResetQueryState() const;
+
+  // Validates structural invariants (entry counts, MBR containment,
+  // uniform leaf depth). Test hook; aborts on violation.
+  void CheckInvariants() const;
+
+  // Introspection: one summary per node (level, MBR, entry count), for
+  // the Pagel-style cost analyses in src/model/pagel_metrics.h.
+  struct NodeSummary {
+    int level = 0;
+    Box3D box;
+    size_t entries = 0;
+  };
+  std::vector<NodeSummary> CollectNodeSummaries() const;
+
+ private:
+  class Node;
+
+  Node* GetNode(PageId id) const;
+  static const Node* FetchNode(BufferPool* buffer, PageId id);
+
+  // Descends from the root to a node at `target_level`, recording the
+  // path (page ids and the entry index taken in each parent).
+  void ChoosePath(const Box3D& box, int target_level,
+                  std::vector<PageId>* path_nodes,
+                  std::vector<size_t>* path_slots) const;
+
+  // Core insertion of an entry at `target_level` (0 for data).
+  void InsertEntry(const Box3D& box, PageId child, DataId data,
+                   int target_level, bool allow_reinsert);
+
+  // Overflow handling: forced reinsertion on first overflow per level per
+  // insertion, node split otherwise.
+  void HandleOverflow(std::vector<PageId>& path_nodes,
+                      std::vector<size_t>& path_slots, bool allow_reinsert);
+
+  void SplitNode(std::vector<PageId>& path_nodes,
+                 std::vector<size_t>& path_slots);
+
+  void Reinsert(std::vector<PageId>& path_nodes,
+                std::vector<size_t>& path_slots);
+
+  // Recomputes MBRs upward along the path after a child changed.
+  void AdjustPath(const std::vector<PageId>& path_nodes,
+                  const std::vector<size_t>& path_slots) const;
+
+  RStarConfig config_;
+  mutable PageStore store_;
+  std::unique_ptr<BufferPool> buffer_;
+  PageId root_ = kInvalidPage;
+  size_t size_ = 0;
+  // Levels on which forced reinsertion already ran during the current
+  // insertion (R* invokes it at most once per level per insertion).
+  mutable std::vector<bool> reinserted_on_level_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_RSTAR_RSTAR_TREE_H_

@@ -1,0 +1,35 @@
+#include "storage/buffer_pool.h"
+
+namespace stindex {
+
+BufferPool::BufferPool(const PageStore* store, size_t capacity)
+    : store_(store), capacity_(capacity) {
+  STINDEX_CHECK(store != nullptr);
+  STINDEX_CHECK(capacity > 0);
+}
+
+const Page* BufferPool::Fetch(PageId id) {
+  ++stats_.accesses;
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return store_->Get(id);
+  }
+  // Miss: one disk access; evict LRU page if full.
+  ++stats_.misses;
+  if (lru_.size() == capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(id);
+  index_[id] = lru_.begin();
+  return store_->Get(id);
+}
+
+void BufferPool::ResetCache() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace stindex

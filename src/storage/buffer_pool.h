@@ -1,0 +1,63 @@
+#ifndef STINDEX_STORAGE_BUFFER_POOL_H_
+#define STINDEX_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page_store.h"
+
+namespace stindex {
+
+// Counters for simulated disk traffic. "Disk accesses" in all experiments
+// are buffer-pool misses, exactly the metric the paper plots.
+struct IoStats {
+  uint64_t accesses = 0;
+  uint64_t misses = 0;
+
+  uint64_t Hits() const { return accesses - misses; }
+
+  void Reset() { *this = IoStats(); }
+};
+
+// An LRU page cache in front of a PageStore. The paper uses a 10-page LRU
+// buffer and resets it before every query; ResetCache() supports that
+// protocol while keeping cumulative statistics if desired.
+//
+// A BufferPool only reads from the store, so multiple pools over the same
+// store may be used concurrently (one per querying thread); a single pool
+// is not itself thread-safe.
+class BufferPool {
+ public:
+  // `capacity` is the number of pages held in the cache (> 0).
+  BufferPool(const PageStore* store, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Reads a page through the cache; a miss counts as one disk access.
+  const Page* Fetch(PageId id);
+
+  // Drops all cached pages (as before each measured query).
+  void ResetCache();
+
+  // Zeroes the counters.
+  void ResetStats() { stats_.Reset(); }
+
+  const IoStats& stats() const { return stats_; }
+  size_t capacity() const { return capacity_; }
+  size_t CachedPages() const { return lru_.size(); }
+
+ private:
+  const PageStore* store_;
+  size_t capacity_;
+  IoStats stats_;
+  // Most-recently-used at front. For the tiny capacities used here a
+  // list+map LRU is ample.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,78 @@
+#ifndef STINDEX_STORAGE_PAGE_CODEC_H_
+#define STINDEX_STORAGE_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "util/check.h"
+
+namespace stindex {
+
+// On-disk page size. An index node (50 entries of 56 bytes plus a small
+// header) fits comfortably; serializers CHECK it.
+inline constexpr size_t kPageSize = 4096;
+
+// Bounds-checked sequential writer over a fixed-size buffer. Overflowing
+// a page is a programming error (node capacities are chosen so nodes
+// fit), hence CHECK rather than Status.
+class PageWriter {
+ public:
+  PageWriter(uint8_t* buffer, size_t capacity)
+      : buffer_(buffer), capacity_(capacity) {}
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PageWriter requires trivially copyable types");
+    WriteBytes(&value, sizeof(T));
+  }
+
+  void WriteBytes(const void* data, size_t size) {
+    STINDEX_CHECK_MSG(used_ + size <= capacity_, "page overflow");
+    std::memcpy(buffer_ + used_, data, size);
+    used_ += size;
+  }
+
+  size_t used() const { return used_; }
+  size_t remaining() const { return capacity_ - used_; }
+
+ private:
+  uint8_t* buffer_;
+  size_t capacity_;
+  size_t used_ = 0;
+};
+
+// Bounds-checked sequential reader. Reading past the end returns false
+// (corrupt or truncated input is a runtime condition, not a bug).
+class PageReader {
+ public:
+  PageReader(const uint8_t* buffer, size_t capacity)
+      : buffer_(buffer), capacity_(capacity) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PageReader requires trivially copyable types");
+    return ReadBytes(out, sizeof(T));
+  }
+
+  bool ReadBytes(void* out, size_t size) {
+    if (used_ + size > capacity_) return false;
+    std::memcpy(out, buffer_ + used_, size);
+    used_ += size;
+    return true;
+  }
+
+  size_t used() const { return used_; }
+  size_t remaining() const { return capacity_ - used_; }
+
+ private:
+  const uint8_t* buffer_;
+  size_t capacity_;
+  size_t used_ = 0;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_STORAGE_PAGE_CODEC_H_

@@ -1,0 +1,34 @@
+#include "storage/page_store.h"
+
+namespace stindex {
+
+PageId PageStore::Allocate(std::unique_ptr<Page> page) {
+  STINDEX_CHECK(page != nullptr);
+  STINDEX_CHECK_MSG(pages_.size() < kInvalidPage, "page id space exhausted");
+  pages_.push_back(std::move(page));
+  ++live_count_;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Page* PageStore::Get(PageId id) {
+  STINDEX_CHECK(id < pages_.size());
+  Page* page = pages_[id].get();
+  STINDEX_CHECK_MSG(page != nullptr, "access to freed page");
+  return page;
+}
+
+const Page* PageStore::Get(PageId id) const {
+  STINDEX_CHECK(id < pages_.size());
+  const Page* page = pages_[id].get();
+  STINDEX_CHECK_MSG(page != nullptr, "access to freed page");
+  return page;
+}
+
+void PageStore::Free(PageId id) {
+  STINDEX_CHECK(id < pages_.size());
+  STINDEX_CHECK_MSG(pages_[id] != nullptr, "double free of page");
+  pages_[id].reset();
+  --live_count_;
+}
+
+}  // namespace stindex

@@ -1,0 +1,64 @@
+#ifndef STINDEX_STORAGE_PAGE_STORE_H_
+#define STINDEX_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+
+namespace stindex {
+
+// Identifier of a disk page. Every index node occupies exactly one page.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPage = UINT32_MAX;
+
+// Base class for anything stored as a disk page (index nodes of the
+// R*-tree and the PPR-tree).
+class Page {
+ public:
+  virtual ~Page() = default;
+};
+
+// A simulated disk: an append-mostly collection of pages addressed by
+// PageId. The store itself performs no I/O accounting — query-time page
+// accesses go through a BufferPool, which models the cache the paper uses
+// (10-page LRU) and counts misses as disk accesses.
+class PageStore {
+ public:
+  PageStore() = default;
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  // Takes ownership of `page` and returns its id.
+  PageId Allocate(std::unique_ptr<Page> page);
+
+  // Direct access without cache accounting (used while building indexes;
+  // the paper measures query I/O only).
+  Page* Get(PageId id);
+  const Page* Get(PageId id) const;
+
+  // Releases the page. The slot is not reused; PageCount() reflects live
+  // pages only.
+  void Free(PageId id);
+
+  // Number of live pages — the index's disk footprint in pages.
+  size_t PageCount() const { return live_count_; }
+
+  // Total ids ever allocated (live + freed).
+  size_t AllocatedCount() const { return pages_.size(); }
+
+  bool IsLive(PageId id) const {
+    return id < pages_.size() && pages_[id] != nullptr;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_STORAGE_PAGE_STORE_H_

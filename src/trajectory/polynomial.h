@@ -1,0 +1,45 @@
+#ifndef STINDEX_TRAJECTORY_POLYNOMIAL_H_
+#define STINDEX_TRAJECTORY_POLYNOMIAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stindex {
+
+// A univariate polynomial c0 + c1*t + c2*t^2 + ... used to describe object
+// movement and extent change along one axis (paper Section II-A). The
+// paper bounds the degree so that a few tuples approximate most common
+// movements; generators here use degree <= 2.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  // `coefficients[i]` multiplies t^i. Trailing zeros are trimmed.
+  explicit Polynomial(std::vector<double> coefficients);
+
+  // The zero polynomial and a constant.
+  static Polynomial Constant(double c);
+  // c0 + c1 * t.
+  static Polynomial Linear(double c0, double c1);
+
+  // Degree of the trimmed polynomial; the zero polynomial has degree 0.
+  int Degree() const;
+
+  // Horner evaluation at time t.
+  double Evaluate(double t) const;
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  Polynomial Derivative() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Polynomial&, const Polynomial&) = default;
+
+ private:
+  std::vector<double> coefficients_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_TRAJECTORY_POLYNOMIAL_H_

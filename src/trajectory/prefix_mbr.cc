@@ -1,0 +1,35 @@
+#include "trajectory/prefix_mbr.h"
+
+#include "util/check.h"
+
+namespace stindex {
+
+MbrVolumeTable::MbrVolumeTable(const std::vector<Rect2D>& rects)
+    : rects_(&rects) {
+  STINDEX_CHECK_MSG(!rects.empty(), "empty rectangle sequence");
+}
+
+Rect2D MbrVolumeTable::MbrOver(size_t j, size_t i) const {
+  STINDEX_CHECK(j <= i && i < rects_->size());
+  Rect2D mbr = (*rects_)[j];
+  for (size_t p = j + 1; p <= i; ++p) mbr.ExpandToInclude((*rects_)[p]);
+  return mbr;
+}
+
+double MbrVolumeTable::RunVolume(size_t j, size_t i) const {
+  return MbrOver(j, i).Area() * static_cast<double>(i - j + 1);
+}
+
+void MbrVolumeTable::RunVolumesEndingAt(size_t i,
+                                        std::vector<double>* row) const {
+  STINDEX_CHECK(i < rects_->size());
+  row->resize(i + 1);
+  Rect2D mbr = (*rects_)[i];
+  (*row)[i] = mbr.Area();
+  for (size_t j = i; j-- > 0;) {
+    mbr.ExpandToInclude((*rects_)[j]);
+    (*row)[j] = mbr.Area() * static_cast<double>(i - j + 1);
+  }
+}
+
+}  // namespace stindex

@@ -1,0 +1,41 @@
+#ifndef STINDEX_TRAJECTORY_PREFIX_MBR_H_
+#define STINDEX_TRAJECTORY_PREFIX_MBR_H_
+
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace stindex {
+
+// Volume bookkeeping over a per-instant rectangle sequence. "Volume" of a
+// run of instants [j, i] is area(MBR of rects j..i) * (i - j + 1): each
+// discrete instant contributes one time unit (paper Section III).
+//
+// The dynamic program of Theorem 1 needs, for a fixed i, the volumes
+// V[j, i] for every j <= i. RunVolumesEndingAt fills one such row in O(n)
+// by expanding an MBR backwards from i, which is exactly the precompute
+// the theorem's proof relies on.
+class MbrVolumeTable {
+ public:
+  // Keeps a reference to `rects`; the caller must keep it alive.
+  explicit MbrVolumeTable(const std::vector<Rect2D>& rects);
+
+  size_t size() const { return rects_->size(); }
+
+  // MBR covering instants j..i (inclusive). Requires j <= i < size().
+  Rect2D MbrOver(size_t j, size_t i) const;
+
+  // Volume of the single box covering instants j..i.
+  double RunVolume(size_t j, size_t i) const;
+
+  // Fills row[j] = RunVolume(j, i) for all 0 <= j <= i; row is resized to
+  // i + 1. O(i) time.
+  void RunVolumesEndingAt(size_t i, std::vector<double>* row) const;
+
+ private:
+  const std::vector<Rect2D>* rects_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_TRAJECTORY_PREFIX_MBR_H_

@@ -1,0 +1,41 @@
+#ifndef STINDEX_UTIL_CHECK_H_
+#define STINDEX_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking macros. The library does not use exceptions; broken
+// invariants indicate programming errors and abort with a diagnostic.
+//
+// STINDEX_CHECK is always on (cheap comparisons on hot paths are factored
+// so that release builds keep correctness checks at negligible cost).
+// STINDEX_DCHECK compiles away in NDEBUG builds and may guard expensive
+// validation.
+
+#define STINDEX_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "STINDEX_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define STINDEX_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "STINDEX_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define STINDEX_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define STINDEX_DCHECK(cond) STINDEX_CHECK(cond)
+#endif
+
+#endif  // STINDEX_UTIL_CHECK_H_

@@ -1,0 +1,47 @@
+#include "util/hilbert.h"
+
+#include "util/check.h"
+
+namespace stindex {
+
+uint64_t HilbertIndex3D(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  STINDEX_CHECK(bits >= 1 && bits <= 21);
+  uint32_t coords[3] = {x, y, z};
+
+  // Skilling's algorithm: convert coordinates in place to the transposed
+  // Hilbert index, then interleave.
+  const uint32_t top = 1u << (bits - 1);
+  // Inverse undo excess work.
+  for (uint32_t q = top; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (int i = 0; i < 3; ++i) {
+      if (coords[i] & q) {
+        coords[0] ^= p;  // invert
+      } else {
+        const uint32_t t = (coords[0] ^ coords[i]) & p;
+        coords[0] ^= t;
+        coords[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < 3; ++i) coords[i] ^= coords[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = top; q > 1; q >>= 1) {
+    if (coords[2] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < 3; ++i) coords[i] ^= t;
+
+  // Interleave the transposed bits: bit b of coords[i] becomes bit
+  // (3*b + 2 - i) of the index.
+  uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      index = (index << 1) |
+              ((coords[i] >> static_cast<uint32_t>(b)) & 1u);
+    }
+  }
+  return index;
+}
+
+}  // namespace stindex

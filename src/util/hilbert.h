@@ -1,0 +1,16 @@
+#ifndef STINDEX_UTIL_HILBERT_H_
+#define STINDEX_UTIL_HILBERT_H_
+
+#include <cstdint>
+
+namespace stindex {
+
+// Maps a 3-D point with `bits`-bit coordinates to its index on the 3-D
+// Hilbert space-filling curve (Skilling's transpose algorithm). Used for
+// Hilbert-packed R-tree bulk loading [Kamel & Faloutsos]. bits <= 21 so
+// the index fits in 63 bits.
+uint64_t HilbertIndex3D(uint32_t x, uint32_t y, uint32_t z, int bits);
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_HILBERT_H_

@@ -1,0 +1,41 @@
+#ifndef STINDEX_UTIL_RANDOM_H_
+#define STINDEX_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace stindex {
+
+// Deterministic pseudo-random generator (xoshiro256**), seeded via
+// SplitMix64. Used everywhere instead of <random> engines so that dataset
+// generation is reproducible across standard libraries and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  // Normal deviate via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_RANDOM_H_

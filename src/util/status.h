@@ -1,0 +1,89 @@
+#ifndef STINDEX_UTIL_STATUS_H_
+#define STINDEX_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace stindex {
+
+// Error category for operations that can fail at runtime (bad arguments,
+// malformed datasets, capacity limits). Programming errors use
+// STINDEX_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+};
+
+// A lightweight Status carrying a code and a message. The library does not
+// throw; fallible public entry points return Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable one-line rendering, e.g. "InvalidArgument: k < 0".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is either a value or an error Status. Access to the value of a
+// failed result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    STINDEX_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    STINDEX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    STINDEX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    STINDEX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef STINDEX_UTIL_STOPWATCH_H_
+#define STINDEX_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace stindex {
+
+// Wall-clock stopwatch for the CPU-time experiments (Figures 11 and 13).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_STOPWATCH_H_

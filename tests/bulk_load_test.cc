@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "rstar/rstar_tree.h"
+#include "util/hilbert.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+TEST(HilbertTest, FirstOrderCurveVisitsAllOctants) {
+  std::set<uint64_t> indices;
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      for (uint32_t z = 0; z < 2; ++z) {
+        indices.insert(HilbertIndex3D(x, y, z, 1));
+      }
+    }
+  }
+  // A bijection onto 0..7.
+  EXPECT_EQ(indices.size(), 8u);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), 7u);
+}
+
+TEST(HilbertTest, BijectiveOnSmallGrid) {
+  const int bits = 3;
+  std::set<uint64_t> indices;
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      for (uint32_t z = 0; z < 8; ++z) {
+        indices.insert(HilbertIndex3D(x, y, z, bits));
+      }
+    }
+  }
+  EXPECT_EQ(indices.size(), 512u);
+  EXPECT_EQ(*indices.rbegin(), 511u);
+}
+
+TEST(HilbertTest, CurveIsContinuous) {
+  // Successive indices must be adjacent grid cells (the defining
+  // property of a Hilbert curve).
+  const int bits = 4;
+  const uint32_t side = 1u << bits;
+  std::vector<std::array<uint32_t, 3>> by_index(side * side * side);
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      for (uint32_t z = 0; z < side; ++z) {
+        by_index[HilbertIndex3D(x, y, z, bits)] = {x, y, z};
+      }
+    }
+  }
+  for (size_t i = 1; i < by_index.size(); ++i) {
+    int manhattan = 0;
+    for (int d = 0; d < 3; ++d) {
+      manhattan += std::abs(static_cast<int>(by_index[i][d]) -
+                            static_cast<int>(by_index[i - 1][d]));
+    }
+    EXPECT_EQ(manhattan, 1) << "discontinuity at index " << i;
+  }
+}
+
+Box3D RandomBox(Rng& rng, double max_extent = 0.03) {
+  const double x = rng.UniformDouble(0, 1);
+  const double y = rng.UniformDouble(0, 1);
+  const double t = rng.UniformDouble(0, 1);
+  return Box3D(x, y, t, x + rng.UniformDouble(0, max_extent),
+               y + rng.UniformDouble(0, max_extent),
+               t + rng.UniformDouble(0, max_extent));
+}
+
+std::vector<DataId> BruteForceSearch(const std::vector<Box3D>& boxes,
+                                     const Box3D& query) {
+  std::vector<DataId> hits;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(query)) hits.push_back(i);
+  }
+  return hits;
+}
+
+class BulkLoadTest : public ::testing::TestWithParam<PackingMethod> {};
+
+TEST_P(BulkLoadTest, EquivalentToLinearScan) {
+  Rng rng(41);
+  std::vector<Box3D> boxes;
+  for (size_t i = 0; i < 1200; ++i) boxes.push_back(RandomBox(rng));
+  std::unique_ptr<RStarTree> tree = RStarTree::BulkLoad(boxes, GetParam());
+  EXPECT_EQ(tree->Size(), boxes.size());
+  tree->CheckInvariants();
+  for (int q = 0; q < 40; ++q) {
+    const Box3D query = RandomBox(rng, 0.2);
+    std::vector<DataId> results;
+    tree->Search(query, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, BruteForceSearch(boxes, query));
+  }
+}
+
+TEST_P(BulkLoadTest, PacksTighterThanIncrementalBuild) {
+  Rng rng(42);
+  std::vector<Box3D> boxes;
+  for (size_t i = 0; i < 3000; ++i) boxes.push_back(RandomBox(rng));
+  std::unique_ptr<RStarTree> packed = RStarTree::BulkLoad(boxes, GetParam());
+  RStarTree incremental;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    incremental.Insert(boxes[i], static_cast<DataId>(i));
+  }
+  // ~100% leaf fill must use clearly fewer pages than ~70% fill.
+  EXPECT_LT(packed->PageCount(), incremental.PageCount());
+}
+
+TEST_P(BulkLoadTest, EdgeCardinalities) {
+  Rng rng(43);
+  for (size_t n : {0u, 1u, 49u, 50u, 51u, 70u, 100u, 2501u}) {
+    std::vector<Box3D> boxes;
+    for (size_t i = 0; i < n; ++i) boxes.push_back(RandomBox(rng));
+    std::unique_ptr<RStarTree> tree = RStarTree::BulkLoad(boxes, GetParam());
+    EXPECT_EQ(tree->Size(), n);
+    tree->CheckInvariants();
+    if (n == 0) continue;
+    std::vector<DataId> results;
+    tree->Search(Box3D(-1, -1, -1, 2, 2, 2), &results);
+    EXPECT_EQ(results.size(), n) << "n=" << n;
+  }
+}
+
+TEST_P(BulkLoadTest, SupportsIncrementalInsertAfterLoad) {
+  Rng rng(44);
+  std::vector<Box3D> boxes;
+  for (size_t i = 0; i < 400; ++i) boxes.push_back(RandomBox(rng));
+  std::unique_ptr<RStarTree> tree = RStarTree::BulkLoad(boxes, GetParam());
+  for (size_t i = 400; i < 600; ++i) {
+    boxes.push_back(RandomBox(rng));
+    tree->Insert(boxes.back(), static_cast<DataId>(i));
+  }
+  tree->CheckInvariants();
+  for (int q = 0; q < 20; ++q) {
+    const Box3D query = RandomBox(rng, 0.25);
+    std::vector<DataId> results;
+    tree->Search(query, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, BruteForceSearch(boxes, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BulkLoadTest,
+                         ::testing::Values(PackingMethod::kStr,
+                                           PackingMethod::kHilbert));
+
+}  // namespace
+}  // namespace stindex

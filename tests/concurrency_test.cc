@@ -1,0 +1,169 @@
+// Concurrent read paths: indexes are immutable during queries, and every
+// querying thread uses its own BufferPool, so parallel queries must
+// return exactly the single-threaded answers (TSan-clean by design: no
+// shared mutable state on the read path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hrtree/hr_tree.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+std::vector<SegmentRecord> RandomRecords(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<SegmentRecord> records;
+  for (size_t i = 0; i < count; ++i) {
+    SegmentRecord record;
+    record.object = static_cast<ObjectId>(i);
+    const Time life = rng.UniformInt(1, 40);
+    const Time start = rng.UniformInt(0, 200 - life);
+    const double x = rng.UniformDouble(0, 0.95);
+    const double y = rng.UniformDouble(0, 0.95);
+    record.box.rect = Rect2D(x, y, x + rng.UniformDouble(0.005, 0.05),
+                             y + rng.UniformDouble(0.005, 0.05));
+    record.box.interval = TimeInterval(start, start + life);
+    records.push_back(record);
+  }
+  return records;
+}
+
+struct ThreadQuery {
+  Rect2D area;
+  Time t;
+};
+
+std::vector<ThreadQuery> MakeQueries(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<ThreadQuery> queries;
+  for (size_t i = 0; i < count; ++i) {
+    const double x = rng.UniformDouble(0, 0.8);
+    const double y = rng.UniformDouble(0, 0.8);
+    queries.push_back(ThreadQuery{
+        Rect2D(x, y, x + rng.UniformDouble(0.02, 0.2),
+               y + rng.UniformDouble(0.02, 0.2)),
+        rng.UniformInt(0, 199)});
+  }
+  return queries;
+}
+
+TEST(ConcurrencyTest, ParallelPprSnapshotsMatchSerial) {
+  const std::vector<SegmentRecord> records = RandomRecords(21, 800);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  const std::vector<ThreadQuery> queries = MakeQueries(22, 200);
+
+  // Serial reference.
+  std::vector<std::vector<PprDataId>> expected(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    tree->SnapshotQuery(queries[q].area, queries[q].t, &expected[q]);
+    std::sort(expected[q].begin(), expected[q].end());
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::vector<PprDataId>>> got(
+      kThreads, std::vector<std::vector<PprDataId>>(queries.size()));
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w]() {
+      std::unique_ptr<BufferPool> buffer = tree->NewQueryBuffer();
+      for (size_t q = 0; q < queries.size(); ++q) {
+        tree->SnapshotQuery(queries[q].area, queries[q].t, buffer.get(),
+                            &got[static_cast<size_t>(w)][q]);
+        std::sort(got[static_cast<size_t>(w)][q].begin(),
+                  got[static_cast<size_t>(w)][q].end());
+        if (got[static_cast<size_t>(w)][q] != expected[q]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelIntervalQueriesAcrossStructures) {
+  const std::vector<SegmentRecord> records = RandomRecords(23, 600);
+  std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+  std::unique_ptr<HrTree> hr = BuildHrTree(records);
+
+  const std::vector<ThreadQuery> queries = MakeQueries(24, 100);
+  std::atomic<int> mismatches{0};
+  auto worker = [&]() {
+    std::unique_ptr<BufferPool> ppr_buffer = ppr->NewQueryBuffer();
+    std::unique_ptr<BufferPool> hr_buffer = hr->NewQueryBuffer();
+    std::vector<PprDataId> a;
+    std::vector<HrDataId> b;
+    for (const ThreadQuery& query : queries) {
+      const TimeInterval range(query.t, std::min<Time>(200, query.t + 12));
+      ppr->IntervalQuery(query.area, range, ppr_buffer.get(), &a);
+      hr->IntervalQuery(query.area, range, hr_buffer.get(), &b);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a != b) ++mismatches;
+    }
+  };
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) workers.emplace_back(worker);
+  for (std::thread& thread : workers) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelRStarSearchesMatchSerial) {
+  Rng rng(25);
+  RStarTree tree;
+  std::vector<Box3D> boxes;
+  for (DataId i = 0; i < 1500; ++i) {
+    const double x = rng.UniformDouble(0, 1);
+    const double y = rng.UniformDouble(0, 1);
+    const double t = rng.UniformDouble(0, 1);
+    boxes.emplace_back(x, y, t, x + 0.02, y + 0.02, t + 0.02);
+    tree.Insert(boxes.back(), i);
+  }
+  std::vector<Box3D> windows;
+  for (int q = 0; q < 80; ++q) {
+    const double x = rng.UniformDouble(0, 0.8);
+    const double y = rng.UniformDouble(0, 0.8);
+    const double t = rng.UniformDouble(0, 0.8);
+    windows.emplace_back(x, y, t, x + 0.15, y + 0.15, t + 0.15);
+  }
+  std::vector<std::vector<DataId>> expected(windows.size());
+  for (size_t q = 0; q < windows.size(); ++q) {
+    tree.Search(windows[q], &expected[q]);
+    std::sort(expected[q].begin(), expected[q].end());
+  }
+  std::atomic<int> mismatches{0};
+  auto worker = [&]() {
+    std::unique_ptr<BufferPool> buffer = tree.NewQueryBuffer();
+    std::vector<DataId> results;
+    for (size_t q = 0; q < windows.size(); ++q) {
+      tree.Search(windows[q], buffer.get(), &results);
+      std::sort(results.begin(), results.end());
+      if (results != expected[q]) ++mismatches;
+    }
+  };
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) workers.emplace_back(worker);
+  for (std::thread& thread : workers) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, PerBufferStatsAreIndependent) {
+  const std::vector<SegmentRecord> records = RandomRecords(26, 400);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  std::unique_ptr<BufferPool> a = tree->NewQueryBuffer();
+  std::unique_ptr<BufferPool> b = tree->NewQueryBuffer(3);
+  std::vector<PprDataId> results;
+  tree->SnapshotQuery(Rect2D(0, 0, 1, 1), 100, a.get(), &results);
+  EXPECT_GT(a->stats().accesses, 0u);
+  EXPECT_EQ(b->stats().accesses, 0u);
+  EXPECT_EQ(b->capacity(), 3u);
+}
+
+}  // namespace
+}  // namespace stindex

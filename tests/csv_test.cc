@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "datagen/query_gen.h"
+#include "datagen/random_dataset.h"
+#include "io/csv.h"
+
+namespace stindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CsvTest, TrajectoriesRoundTrip) {
+  RandomDatasetConfig config;
+  config.num_objects = 60;
+  config.changing_extents = true;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+
+  const std::string path = TempPath("objects.csv");
+  ASSERT_TRUE(WriteTrajectoriesCsv(path, objects).ok());
+  Result<std::vector<Trajectory>> read = ReadTrajectoriesCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  const std::vector<Trajectory>& loaded = read.value();
+  ASSERT_EQ(loaded.size(), objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ(loaded[i].id(), objects[i].id());
+    EXPECT_EQ(loaded[i].Lifetime(), objects[i].Lifetime());
+    ASSERT_EQ(loaded[i].tuples().size(), objects[i].tuples().size());
+    // Exact round trip (printed with %.17g).
+    const TimeInterval life = objects[i].Lifetime();
+    for (Time t = life.start; t < life.end; ++t) {
+      EXPECT_EQ(loaded[i].RectAt(t), objects[i].RectAt(t));
+    }
+  }
+}
+
+TEST(CsvTest, SegmentsRoundTrip) {
+  RandomDatasetConfig config;
+  config.num_objects = 40;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  std::vector<SegmentRecord> records;
+  for (const Trajectory& object : objects) {
+    SegmentRecord record;
+    record.object = object.id();
+    record.box = object.FullBox();
+    records.push_back(record);
+  }
+  const std::string path = TempPath("segments.csv");
+  ASSERT_TRUE(WriteSegmentsCsv(path, records).ok());
+  Result<std::vector<SegmentRecord>> read = ReadSegmentsCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(read.value()[i].object, records[i].object);
+    EXPECT_EQ(read.value()[i].box, records[i].box);
+  }
+}
+
+TEST(CsvTest, QueriesRoundTrip) {
+  const std::vector<STQuery> queries = GenerateQuerySet(SmallRangeSet());
+  const std::string path = TempPath("queries.csv");
+  ASSERT_TRUE(WriteQueriesCsv(path, queries).ok());
+  Result<std::vector<STQuery>> read = ReadQueriesCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(read.value()[i].area, queries[i].area);
+    EXPECT_EQ(read.value()[i].range, queries[i].range);
+  }
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  Result<std::vector<Trajectory>> read =
+      ReadTrajectoriesCsv(TempPath("nope.csv"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, MalformedLineReportsLineNumber) {
+  const std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "# header\n";
+    out << "0,0,10,0.5,0.5,0.01,0.01\n";
+    out << "1,banana,10,0.5,0.5,0.01,0.01\n";
+  }
+  Result<std::vector<Trajectory>> read = ReadTrajectoriesCsv(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().message().find(":3:"), std::string::npos)
+      << read.status().ToString();
+}
+
+TEST(CsvTest, WrongFieldCountRejected) {
+  const std::string path = TempPath("short.csv");
+  {
+    std::ofstream out(path);
+    out << "0,0,10,0.5\n";
+  }
+  EXPECT_FALSE(ReadTrajectoriesCsv(path).ok());
+  EXPECT_FALSE(ReadSegmentsCsv(path).ok());
+}
+
+TEST(CsvTest, NonContiguousTuplesRejected) {
+  const std::string path = TempPath("gap.csv");
+  {
+    std::ofstream out(path);
+    out << "0,0,10,0.5,0.5,0.01,0.01\n";
+    out << "0,12,20,0.5,0.5,0.01,0.01\n";  // gap 10..12
+  }
+  Result<std::vector<Trajectory>> read = ReadTrajectoriesCsv(path);
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(CsvTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = TempPath("comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\n";
+    out << "5,3,9,0.1:0.01,0.2,0.05,0.05\n";
+    out << "\n# trailing comment\n";
+  }
+  Result<std::vector<Trajectory>> read = ReadTrajectoriesCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), 1u);
+  EXPECT_EQ(read.value()[0].id(), 5u);
+  EXPECT_EQ(read.value()[0].tuples()[0].center_x, Polynomial({0.1, 0.01}));
+}
+
+}  // namespace
+}  // namespace stindex

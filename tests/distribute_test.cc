@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/distribute.h"
+#include "core/merge_split.h"
+#include "core/volume_curve.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+VolumeCurve MakeCurve(std::vector<double> volumes) {
+  VolumeCurve curve;
+  curve.volume = std::move(volumes);
+  return curve;
+}
+
+// Exhaustive optimum by enumerating all allocations (tiny instances).
+double BruteForceDistribute(const std::vector<VolumeCurve>& curves,
+                            int k_total) {
+  const size_t n = curves.size();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> allocation(n, 0);
+  while (true) {
+    int used = 0;
+    for (int a : allocation) used += a;
+    if (used <= k_total) {
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) total += curves[i].VolumeAt(allocation[i]);
+      best = std::min(best, total);
+    }
+    // Increment the mixed-radix counter.
+    size_t pos = 0;
+    while (pos < n) {
+      if (allocation[pos] < curves[pos].MaxSplits()) {
+        ++allocation[pos];
+        break;
+      }
+      allocation[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+std::vector<VolumeCurve> RandomCurves(uint64_t seed, size_t n,
+                                      int max_splits) {
+  Rng rng(seed);
+  std::vector<VolumeCurve> curves;
+  for (size_t i = 0; i < n; ++i) {
+    const int k = static_cast<int>(rng.UniformInt(1, max_splits));
+    std::vector<double> volumes;
+    double v = rng.UniformDouble(10.0, 100.0);
+    volumes.push_back(v);
+    for (int j = 0; j < k; ++j) {
+      v -= rng.UniformDouble(0.0, v * 0.4);
+      volumes.push_back(v);
+    }
+    curves.push_back(MakeCurve(std::move(volumes)));
+  }
+  return curves;
+}
+
+TEST(DistributeOptimalTest, ZeroBudgetKeepsEverythingUnsplit) {
+  const std::vector<VolumeCurve> curves = RandomCurves(1, 5, 4);
+  const Distribution dist = DistributeOptimal(curves, 0);
+  EXPECT_EQ(dist.TotalSplits(), 0);
+  EXPECT_NEAR(dist.total_volume, UnsplitVolume(curves), 1e-9);
+}
+
+TEST(DistributeOptimalTest, VolumeMatchesAllocation) {
+  const std::vector<VolumeCurve> curves = RandomCurves(2, 20, 6);
+  const Distribution dist = DistributeOptimal(curves, 15);
+  double total = 0.0;
+  for (size_t i = 0; i < curves.size(); ++i) {
+    total += curves[i].VolumeAt(dist.splits[i]);
+  }
+  EXPECT_NEAR(total, dist.total_volume, 1e-9);
+  EXPECT_LE(dist.TotalSplits(), 15);
+}
+
+class DistributeOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, int>> {};
+
+TEST_P(DistributeOptimalityTest, MatchesBruteForce) {
+  const auto [seed, n, k] = GetParam();
+  const std::vector<VolumeCurve> curves =
+      RandomCurves(seed, static_cast<size_t>(n), 3);
+  const Distribution dist = DistributeOptimal(curves, k);
+  const double brute = BruteForceDistribute(curves, k);
+  EXPECT_NEAR(dist.total_volume, brute, 1e-9)
+      << "seed=" << seed << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, DistributeOptimalityTest,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6),
+                       ::testing::Values(3, 5), ::testing::Values(2, 4, 7)));
+
+TEST(DistributeOptimalTest, SurplusBudgetFullySplitsEverything) {
+  const std::vector<VolumeCurve> curves = RandomCurves(7, 6, 3);
+  int64_t max_total = 0;
+  double floor_volume = 0.0;
+  for (const VolumeCurve& curve : curves) {
+    max_total += curve.MaxSplits();
+    floor_volume += curve.volume.back();
+  }
+  const Distribution dist = DistributeOptimal(curves, max_total + 100);
+  EXPECT_NEAR(dist.total_volume, floor_volume, 1e-9);
+  EXPECT_LE(dist.TotalSplits(), max_total);
+}
+
+TEST(DistributeGreedyTest, UsesBudgetOnLargestGains) {
+  // Object 0: one split saves 9. Object 1: one split saves 1.
+  const std::vector<VolumeCurve> curves = {MakeCurve({10.0, 1.0}),
+                                           MakeCurve({10.0, 9.0})};
+  const Distribution dist = DistributeGreedy(curves, 1);
+  EXPECT_EQ(dist.splits, (std::vector<int>{1, 0}));
+  EXPECT_NEAR(dist.total_volume, 11.0, 1e-12);
+}
+
+TEST(DistributeGreedyTest, VolumeMatchesAllocation) {
+  const std::vector<VolumeCurve> curves = RandomCurves(8, 50, 8);
+  const Distribution dist = DistributeGreedy(curves, 100);
+  double total = 0.0;
+  for (size_t i = 0; i < curves.size(); ++i) {
+    total += curves[i].VolumeAt(dist.splits[i]);
+  }
+  EXPECT_NEAR(total, dist.total_volume, 1e-9);
+}
+
+TEST(DistributeGreedyTest, OptimalForMonotoneGains) {
+  // With concave (monotone-gain) curves greedy is optimal.
+  std::vector<VolumeCurve> curves;
+  Rng rng(9);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> volumes = {rng.UniformDouble(50, 100)};
+    double gain = rng.UniformDouble(5, 20);
+    for (int j = 0; j < 4; ++j) {
+      volumes.push_back(volumes.back() - gain);
+      gain *= rng.UniformDouble(0.3, 0.9);  // strictly decreasing gains
+    }
+    curves.push_back(MakeCurve(std::move(volumes)));
+  }
+  for (int k : {3, 7, 12}) {
+    const double greedy = DistributeGreedy(curves, k).total_volume;
+    const double optimal = DistributeOptimal(curves, k).total_volume;
+    EXPECT_NEAR(greedy, optimal, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(DistributeLAGreedyTest, FixesNonMonotoneObject) {
+  // The Figure 4 pathology: object 0 gains almost nothing from one split
+  // but nearly everything from two. Greedy starves it; LAGreedy must not.
+  const std::vector<VolumeCurve> curves = {
+      MakeCurve({100.0, 99.5, 10.0}),  // non-monotone gains: 0.5 then 89.5
+      MakeCurve({50.0, 45.0, 41.0}),   // steady gains: 5, 4
+      MakeCurve({50.0, 44.0, 40.0}),   // steady gains: 6, 4
+  };
+  const Distribution greedy = DistributeGreedy(curves, 2);
+  // Greedy spends its two splits on the steady objects.
+  EXPECT_EQ(greedy.splits[0], 0);
+  EXPECT_NEAR(greedy.total_volume, 100.0 + 45.0 + 44.0, 1e-12);
+
+  const Distribution lagreedy = DistributeLAGreedy(curves, 2);
+  // LAGreedy reassigns both splits to object 0: 10 + 50 + 50 = 110.
+  EXPECT_EQ(lagreedy.splits, (std::vector<int>{2, 0, 0}));
+  EXPECT_NEAR(lagreedy.total_volume, 110.0, 1e-12);
+
+  const Distribution optimal = DistributeOptimal(curves, 2);
+  EXPECT_NEAR(lagreedy.total_volume, optimal.total_volume, 1e-12);
+}
+
+TEST(DistributeLAGreedyTest, NeverWorseThanGreedy) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+    const std::vector<VolumeCurve> curves = RandomCurves(seed, 40, 10);
+    for (int64_t k : {10, 40, 120}) {
+      const Distribution greedy = DistributeGreedy(curves, k);
+      const Distribution lagreedy = DistributeLAGreedy(curves, k);
+      EXPECT_LE(lagreedy.total_volume, greedy.total_volume + 1e-9)
+          << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(lagreedy.TotalSplits(), greedy.TotalSplits());
+    }
+  }
+}
+
+TEST(DistributeLAGreedyTest, NeverBeatsOptimal) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    const std::vector<VolumeCurve> curves = RandomCurves(seed, 8, 3);
+    for (int64_t k : {3, 6, 10}) {
+      const Distribution lagreedy = DistributeLAGreedy(curves, k);
+      const Distribution optimal = DistributeOptimal(curves, k);
+      EXPECT_GE(lagreedy.total_volume, optimal.total_volume - 1e-9);
+    }
+  }
+}
+
+TEST(DistributeTest, HierarchyOnRealCurves) {
+  // End-to-end over real per-object curves from random rectangles.
+  Rng rng(77);
+  std::vector<std::vector<Rect2D>> objects;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<Rect2D> rects;
+    double x = rng.UniformDouble(0, 1);
+    const int n = static_cast<int>(rng.UniformInt(3, 15));
+    for (int t = 0; t < n; ++t) {
+      x += rng.UniformDouble(-0.05, 0.05);
+      rects.emplace_back(x, 0.0, x + 0.01, 0.01);
+    }
+    objects.push_back(std::move(rects));
+  }
+  std::vector<VolumeCurve> curves;
+  for (const auto& rects : objects) {
+    VolumeCurve curve;
+    curve.volume = MergeVolumeCurve(rects, 6);
+    curves.push_back(std::move(curve));
+  }
+  const int64_t k = 8;
+  const double optimal = DistributeOptimal(curves, k).total_volume;
+  const double lagreedy = DistributeLAGreedy(curves, k).total_volume;
+  const double greedy = DistributeGreedy(curves, k).total_volume;
+  const double unsplit = UnsplitVolume(curves);
+  EXPECT_LE(optimal, lagreedy + 1e-9);
+  EXPECT_LE(lagreedy, greedy + 1e-9);
+  EXPECT_LT(greedy, unsplit);
+}
+
+TEST(DistributeTest, EmptyCollection) {
+  const std::vector<VolumeCurve> curves;
+  EXPECT_EQ(DistributeOptimal(curves, 10).TotalSplits(), 0);
+  EXPECT_EQ(DistributeGreedy(curves, 10).TotalSplits(), 0);
+  EXPECT_EQ(DistributeLAGreedy(curves, 10).TotalSplits(), 0);
+}
+
+}  // namespace
+}  // namespace stindex

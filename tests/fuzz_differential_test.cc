@@ -1,0 +1,170 @@
+// Differential fuzzing: random evolutions (bursty same-instant updates,
+// degenerate rects, immortal records, random node capacities) are
+// replayed into the PPR-tree and the HR-tree, then bombarded with random
+// snapshot/interval queries whose answers must match a linear-scan
+// reference exactly — across both structures, which implement partial
+// persistence in entirely different ways.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hrtree/hr_tree.h"
+#include "pprtree/ppr_tree.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+struct FuzzRecord {
+  Rect2D rect;
+  TimeInterval life;  // end may be kTimeInfinity (never deleted)
+};
+
+std::vector<FuzzRecord> RandomEvolution(Rng& rng, size_t count,
+                                        Time domain) {
+  std::vector<FuzzRecord> records;
+  for (size_t i = 0; i < count; ++i) {
+    FuzzRecord record;
+    // Bursty: many records share the same few timestamps.
+    const Time start = rng.Bernoulli(0.3)
+                           ? (rng.UniformInt(0, 4)) * domain / 5
+                           : rng.UniformInt(0, domain - 1);
+    Time end;
+    if (rng.Bernoulli(0.15)) {
+      end = kTimeInfinity;  // immortal
+    } else {
+      end = start + rng.UniformInt(1, domain / 3);
+    }
+    record.life = TimeInterval(start, end);
+    const double x = rng.UniformDouble(0, 1);
+    const double y = rng.UniformDouble(0, 1);
+    // 20% degenerate points, else small rects.
+    const double w = rng.Bernoulli(0.2) ? 0.0 : rng.UniformDouble(0, 0.08);
+    const double h = w == 0.0 ? 0.0 : rng.UniformDouble(0.001, 0.08);
+    record.rect = Rect2D(x, y, x + w, y + h);
+    records.push_back(record);
+  }
+  return records;
+}
+
+template <typename Tree>
+void Replay(const std::vector<FuzzRecord>& records, Tree* tree) {
+  struct Event {
+    Time time;
+    bool is_insert;
+    uint64_t record;
+  };
+  std::vector<Event> events;
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    events.push_back({records[i].life.start, true, i});
+    if (records[i].life.end != kTimeInfinity) {
+      events.push_back({records[i].life.end, false, i});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.is_insert != b.is_insert) return !a.is_insert;
+    return a.record < b.record;
+  });
+  for (const Event& event : events) {
+    if (event.is_insert) {
+      tree->Insert(records[event.record].rect, event.time, event.record);
+    } else {
+      tree->Delete(event.record, event.time);
+    }
+  }
+}
+
+std::vector<uint64_t> ScanInterval(const std::vector<FuzzRecord>& records,
+                                   const Rect2D& area,
+                                   const TimeInterval& range) {
+  std::vector<uint64_t> hits;
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    if (records[i].life.Intersects(range) &&
+        records[i].rect.Intersects(area)) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDifferentialTest, PprAndHrMatchReference) {
+  Rng rng(GetParam());
+  const Time domain = 60 + rng.UniformInt(0, 140);
+  const size_t count = 150 + static_cast<size_t>(rng.UniformInt(0, 450));
+  const std::vector<FuzzRecord> records =
+      RandomEvolution(rng, count, domain);
+
+  PprConfig ppr_config;
+  ppr_config.max_entries = static_cast<size_t>(rng.UniformInt(8, 50));
+  PprTree ppr(ppr_config);
+  Replay(records, &ppr);
+  ppr.CheckInvariants();
+
+  HrConfig hr_config;
+  hr_config.max_entries = static_cast<size_t>(rng.UniformInt(6, 50));
+  hr_config.min_entries = std::max<size_t>(2, hr_config.max_entries / 3);
+  HrTree hr(hr_config);
+  Replay(records, &hr);
+  hr.CheckInvariants();
+
+  std::vector<PprDataId> ppr_hits;
+  std::vector<HrDataId> hr_hits;
+  for (int q = 0; q < 80; ++q) {
+    Rect2D area;
+    if (rng.Bernoulli(0.1)) {
+      area = Rect2D(0, 0, 1, 1);  // everything
+    } else {
+      const double x = rng.UniformDouble(0, 0.9);
+      const double y = rng.UniformDouble(0, 0.9);
+      area = Rect2D(x, y, x + rng.UniformDouble(0, 0.3),
+                    y + rng.UniformDouble(0, 0.3));
+    }
+    // Edge times included: instant 0, far future, empty-adjacent eras.
+    Time start;
+    switch (q % 4) {
+      case 0:
+        start = 0;
+        break;
+      case 1:
+        start = domain - 1;
+        break;
+      case 2:
+        start = domain + rng.UniformInt(0, 100);  // beyond all deletes
+        break;
+      default:
+        start = rng.UniformInt(0, domain - 1);
+    }
+    const Time duration = 1 + rng.UniformInt(0, domain / 2);
+    const TimeInterval range(start, start + duration);
+
+    const std::vector<uint64_t> expected =
+        ScanInterval(records, area, range);
+
+    ppr.IntervalQuery(area, range, &ppr_hits);
+    std::sort(ppr_hits.begin(), ppr_hits.end());
+    EXPECT_EQ(ppr_hits, expected)
+        << "ppr seed=" << GetParam() << " q=" << q;
+
+    hr.IntervalQuery(area, range, &hr_hits);
+    std::sort(hr_hits.begin(), hr_hits.end());
+    EXPECT_EQ(hr_hits, expected) << "hr seed=" << GetParam() << " q=" << q;
+
+    // Snapshot at the interval start must match a duration-1 interval.
+    ppr.SnapshotQuery(area, range.start, &ppr_hits);
+    std::sort(ppr_hits.begin(), ppr_hits.end());
+    EXPECT_EQ(ppr_hits,
+              ScanInterval(records, area,
+                           TimeInterval(range.start, range.start + 1)))
+        << "ppr snapshot seed=" << GetParam() << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
+                         ::testing::Range<uint64_t>(1000, 1012));
+
+}  // namespace
+}  // namespace stindex

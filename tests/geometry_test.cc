@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/interval.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+TEST(TimeIntervalTest, DurationAndValidity) {
+  const TimeInterval interval(3, 7);
+  EXPECT_TRUE(interval.IsValid());
+  EXPECT_EQ(interval.Duration(), 4);
+  EXPECT_FALSE(TimeInterval(5, 5).IsValid());
+  EXPECT_FALSE(TimeInterval(7, 3).IsValid());
+}
+
+TEST(TimeIntervalTest, ContainsInstantHalfOpen) {
+  const TimeInterval interval(3, 7);
+  EXPECT_FALSE(interval.Contains(2));
+  EXPECT_TRUE(interval.Contains(3));
+  EXPECT_TRUE(interval.Contains(6));
+  EXPECT_FALSE(interval.Contains(7));
+}
+
+TEST(TimeIntervalTest, ContainsInterval) {
+  const TimeInterval outer(2, 10);
+  EXPECT_TRUE(outer.Contains(TimeInterval(2, 10)));
+  EXPECT_TRUE(outer.Contains(TimeInterval(4, 6)));
+  EXPECT_FALSE(outer.Contains(TimeInterval(1, 5)));
+  EXPECT_FALSE(outer.Contains(TimeInterval(5, 11)));
+}
+
+TEST(TimeIntervalTest, IntersectionSemantics) {
+  const TimeInterval a(0, 5);
+  const TimeInterval b(5, 10);
+  // Half-open: [0,5) and [5,10) share no instant.
+  EXPECT_FALSE(a.Intersects(b));
+  const TimeInterval c(4, 6);
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_EQ(a.Intersection(c), TimeInterval(4, 5));
+  EXPECT_EQ(a.Union(b), TimeInterval(0, 10));
+}
+
+TEST(TimeIntervalTest, InfiniteLifetime) {
+  const TimeInterval alive(10, kTimeInfinity);
+  EXPECT_TRUE(alive.IsValid());
+  EXPECT_TRUE(alive.Contains(1000000));
+  EXPECT_FALSE(alive.Contains(9));
+}
+
+TEST(RectTest, AreaMarginAndCenter) {
+  const Rect2D rect(1.0, 2.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(rect.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(rect.Margin(), 7.0);
+  EXPECT_EQ(rect.Center(), Point2D(2.5, 4.0));
+  EXPECT_TRUE(rect.IsValid());
+}
+
+TEST(RectTest, DegenerateRectsAreValid) {
+  const Rect2D point(1.0, 1.0, 1.0, 1.0);
+  EXPECT_TRUE(point.IsValid());
+  EXPECT_DOUBLE_EQ(point.Area(), 0.0);
+  EXPECT_TRUE(point.Contains(Point2D(1.0, 1.0)));
+  EXPECT_TRUE(point.Intersects(point));
+}
+
+TEST(RectTest, EmptyIdentityForUnion) {
+  Rect2D acc = Rect2D::Empty();
+  EXPECT_TRUE(acc.IsEmpty());
+  EXPECT_DOUBLE_EQ(acc.Area(), 0.0);
+  acc.ExpandToInclude(Rect2D(0.2, 0.3, 0.4, 0.5));
+  EXPECT_EQ(acc, Rect2D(0.2, 0.3, 0.4, 0.5));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect2D outer(0.0, 0.0, 1.0, 1.0);
+  const Rect2D inner(0.2, 0.2, 0.8, 0.8);
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Intersects(inner));
+  // Touching edges intersect (closed rectangles).
+  EXPECT_TRUE(outer.Intersects(Rect2D(1.0, 0.0, 2.0, 1.0)));
+  EXPECT_FALSE(outer.Intersects(Rect2D(1.1, 0.0, 2.0, 1.0)));
+}
+
+TEST(RectTest, OverlapArea) {
+  const Rect2D a(0.0, 0.0, 2.0, 2.0);
+  const Rect2D b(1.0, 1.0, 3.0, 3.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.OverlapArea(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect2D(5, 5, 6, 6)), 0.0);
+  // Touching rectangles overlap with zero area.
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect2D(2, 0, 3, 2)), 0.0);
+}
+
+TEST(RectTest, IntersectionOfOverlappingRects) {
+  const Rect2D a(0.0, 0.0, 2.0, 2.0);
+  const Rect2D b(1.0, 1.0, 3.0, 3.0);
+  EXPECT_EQ(a.Intersection(b), Rect2D(1.0, 1.0, 2.0, 2.0));
+  EXPECT_EQ(b.Intersection(a), a.Intersection(b));
+  // Self-intersection is identity; disjoint intersection is empty.
+  EXPECT_EQ(a.Intersection(a), a);
+  EXPECT_TRUE(a.Intersection(Rect2D(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(RectTest, IntersectionContainedInBoth) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const Rect2D a(rng.UniformDouble(0, 1), rng.UniformDouble(0, 1),
+                   rng.UniformDouble(1, 2), rng.UniformDouble(1, 2));
+    const Rect2D b(rng.UniformDouble(0, 1), rng.UniformDouble(0, 1),
+                   rng.UniformDouble(1, 2), rng.UniformDouble(1, 2));
+    const Rect2D common = a.Intersection(b);
+    if (common.IsEmpty()) {
+      EXPECT_FALSE(a.Intersects(b) && a.OverlapArea(b) > 0);
+      continue;
+    }
+    EXPECT_TRUE(a.Contains(common));
+    EXPECT_TRUE(b.Contains(common));
+    EXPECT_NEAR(common.Area(), a.OverlapArea(b), 1e-12);
+  }
+}
+
+TEST(RectTest, UnionAndEnlargement) {
+  const Rect2D a(0.0, 0.0, 1.0, 1.0);
+  const Rect2D b(2.0, 2.0, 3.0, 3.0);
+  EXPECT_EQ(a.Union(b), Rect2D(0.0, 0.0, 3.0, 3.0));
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 9.0 - 1.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Rect2D(0.2, 0.2, 0.5, 0.5)), 0.0);
+}
+
+TEST(Box3DTest, VolumeMarginOverlap) {
+  const Box3D a(0, 0, 0, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(a.Volume(), 8.0);
+  EXPECT_DOUBLE_EQ(a.Margin(), 6.0);
+  const Box3D b(1, 1, 1, 3, 3, 3);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Union(b), Box3D(0, 0, 0, 3, 3, 3));
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 27.0 - 8.0);
+}
+
+TEST(Box3DTest, DisjointAlongSingleAxis) {
+  const Box3D a(0, 0, 0, 1, 1, 1);
+  // Overlapping in x and y but disjoint in t.
+  const Box3D b(0, 0, 2, 1, 1, 3);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.0);
+}
+
+TEST(Box3DTest, EmptyIdentity) {
+  Box3D acc = Box3D::Empty();
+  EXPECT_TRUE(acc.IsEmpty());
+  EXPECT_DOUBLE_EQ(acc.Volume(), 0.0);
+  acc.ExpandToInclude(Box3D(0, 0, 0, 1, 1, 1));
+  EXPECT_EQ(acc, Box3D(0, 0, 0, 1, 1, 1));
+}
+
+TEST(STBoxTest, VolumeIsAreaTimesDuration) {
+  const STBox box(Rect2D(0.0, 0.0, 0.5, 0.2), TimeInterval(10, 20));
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.5 * 0.2 * 10.0);
+}
+
+TEST(STBoxTest, IntersectsRequiresBothDimensions) {
+  const STBox a(Rect2D(0, 0, 1, 1), TimeInterval(0, 10));
+  const STBox spatial_disjoint(Rect2D(2, 2, 3, 3), TimeInterval(0, 10));
+  const STBox temporal_disjoint(Rect2D(0, 0, 1, 1), TimeInterval(10, 20));
+  const STBox both(Rect2D(0.5, 0.5, 2, 2), TimeInterval(5, 15));
+  EXPECT_FALSE(a.Intersects(spatial_disjoint));
+  EXPECT_FALSE(a.Intersects(temporal_disjoint));
+  EXPECT_TRUE(a.Intersects(both));
+}
+
+TEST(STBoxTest, ToBox3DScalesTime) {
+  const STBox box(Rect2D(0.1, 0.2, 0.3, 0.4), TimeInterval(100, 300));
+  const Box3D scaled = box.ToBox3D(/*t0=*/0, /*scale=*/0.001);
+  EXPECT_DOUBLE_EQ(scaled.lo[2], 0.1);
+  EXPECT_DOUBLE_EQ(scaled.hi[2], 0.3);
+  EXPECT_DOUBLE_EQ(scaled.lo[0], 0.1);
+  EXPECT_DOUBLE_EQ(scaled.hi[1], 0.4);
+}
+
+// Property sweep: union always contains operands; overlap is symmetric
+// and bounded by both areas.
+class RectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectPropertyTest, UnionOverlapInvariants) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    auto random_rect = [&rng]() {
+      const double x0 = rng.UniformDouble(0, 1);
+      const double y0 = rng.UniformDouble(0, 1);
+      return Rect2D(x0, y0, x0 + rng.UniformDouble(0, 0.5),
+                    y0 + rng.UniformDouble(0, 0.5));
+    };
+    const Rect2D a = random_rect();
+    const Rect2D b = random_rect();
+    const Rect2D u = a.Union(b);
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    EXPECT_GE(u.Area(), std::max(a.Area(), b.Area()));
+    EXPECT_DOUBLE_EQ(a.OverlapArea(b), b.OverlapArea(a));
+    EXPECT_LE(a.OverlapArea(b), std::min(a.Area(), b.Area()) + 1e-12);
+    EXPECT_EQ(a.Intersects(b), a.OverlapArea(b) > 0.0 ||
+                                   (a.Intersects(b) && a.OverlapArea(b) == 0.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,256 @@
+// End-to-end tests of the paper's full pipeline: generate a dataset,
+// split it (single-object splitter + distribution algorithm), index the
+// segments with both structures, and verify that every query answer
+// matches a brute-force scan and that splitting actually reduces volume
+// and PPR-tree query I/O.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/piecewise_split.h"
+#include "core/split_pipeline.h"
+#include "datagen/query_gen.h"
+#include "datagen/railway.h"
+#include "datagen/random_dataset.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+
+namespace stindex {
+namespace {
+
+// Logical answer: ids of *objects* intersecting the query, from first
+// principles (the trajectories themselves).
+std::set<ObjectId> TrueAnswer(const std::vector<Trajectory>& objects,
+                              const STQuery& query) {
+  std::set<ObjectId> hits;
+  for (const Trajectory& object : objects) {
+    if (!object.Lifetime().Intersects(query.range)) continue;
+    const TimeInterval common = object.Lifetime().Intersection(query.range);
+    for (Time t = common.start; t < common.end; ++t) {
+      if (object.RectAt(t).Intersects(query.area)) {
+        hits.insert(object.id());
+        break;
+      }
+    }
+  }
+  return hits;
+}
+
+// Answer via segments: objects whose segment boxes intersect the query.
+// Splitting tightens boxes, so this is a *superset* of the true answer
+// that shrinks toward it as splits increase, and both indexes must return
+// exactly this set.
+std::set<ObjectId> SegmentAnswer(const std::vector<SegmentRecord>& records,
+                                 const STQuery& query) {
+  std::set<ObjectId> hits;
+  for (const SegmentRecord& record : records) {
+    if (record.box.interval.Intersects(query.range) &&
+        record.box.rect.Intersects(query.area)) {
+      hits.insert(record.object);
+    }
+  }
+  return hits;
+}
+
+std::set<ObjectId> PprAnswer(const PprTree& tree,
+                             const std::vector<SegmentRecord>& records,
+                             const STQuery& query) {
+  std::vector<PprDataId> raw;
+  if (query.IsSnapshot()) {
+    tree.SnapshotQuery(query.area, query.range.start, &raw);
+  } else {
+    tree.IntervalQuery(query.area, query.range, &raw);
+  }
+  std::set<ObjectId> hits;
+  for (PprDataId id : raw) hits.insert(records[id].object);
+  return hits;
+}
+
+std::set<ObjectId> RStarAnswer(const RStarTree& tree,
+                               const std::vector<SegmentRecord>& records,
+                               const STQuery& query, Time time_domain) {
+  const Box3D window = QueryToBox(query, 0, time_domain);
+  std::vector<DataId> raw;
+  tree.Search(window, &raw);
+  std::set<ObjectId> hits;
+  for (DataId id : raw) hits.insert(records[id].object);
+  return hits;
+}
+
+class PipelineTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PipelineTest, BothIndexesAgreeWithScan) {
+  const int64_t split_percent = GetParam();
+
+  RandomDatasetConfig config;
+  config.num_objects = 400;
+  config.seed = 11;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+
+  const int64_t budget =
+      static_cast<int64_t>(objects.size()) * split_percent / 100;
+  std::vector<SegmentRecord> records;
+  if (budget == 0) {
+    records = BuildUnsplitSegments(objects);
+  } else {
+    const std::vector<VolumeCurve> curves =
+        ComputeVolumeCurves(objects, 99, SplitMethod::kMerge);
+    const Distribution dist = DistributeLAGreedy(curves, budget);
+    records = BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+    EXPECT_EQ(static_cast<int64_t>(records.size()),
+              static_cast<int64_t>(objects.size()) + dist.TotalSplits());
+  }
+
+  std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+  ppr->CheckInvariants();
+
+  RStarTree rstar;
+  const std::vector<Box3D> boxes =
+      SegmentsToBoxes(records, 0, config.time_domain);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    rstar.Insert(boxes[i], static_cast<DataId>(i));
+  }
+  rstar.CheckInvariants();
+
+  QuerySetConfig snapshot_config = MixedSnapshotSet();
+  snapshot_config.count = 60;
+  QuerySetConfig range_config = SmallRangeSet();
+  range_config.count = 60;
+  std::vector<STQuery> queries = GenerateQuerySet(snapshot_config);
+  const std::vector<STQuery> ranges = GenerateQuerySet(range_config);
+  queries.insert(queries.end(), ranges.begin(), ranges.end());
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const std::set<ObjectId> expected = SegmentAnswer(records, queries[q]);
+    EXPECT_EQ(PprAnswer(*ppr, records, queries[q]), expected)
+        << "ppr query " << q;
+    EXPECT_EQ(RStarAnswer(rstar, records, queries[q], config.time_domain),
+              expected)
+        << "rstar query " << q;
+    // The segment answer over-approximates but never misses an object.
+    const std::set<ObjectId> truth = TrueAnswer(objects, queries[q]);
+    EXPECT_TRUE(std::includes(expected.begin(), expected.end(),
+                              truth.begin(), truth.end()))
+        << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitBudgets, PipelineTest,
+                         ::testing::Values(0, 10, 50, 150));
+
+TEST(PipelineIntegrationTest, SplittingReducesFalsePositives) {
+  RandomDatasetConfig config;
+  config.num_objects = 300;
+  config.seed = 21;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  const std::vector<SegmentRecord> unsplit = BuildUnsplitSegments(objects);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 99, SplitMethod::kMerge);
+  const Distribution dist =
+      DistributeLAGreedy(curves, static_cast<int64_t>(objects.size()) * 3 / 2);
+  const std::vector<SegmentRecord> split =
+      BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+  EXPECT_LT(TotalVolume(split), TotalVolume(unsplit));
+
+  QuerySetConfig query_config = SmallSnapshotSet();
+  query_config.count = 200;
+  const std::vector<STQuery> queries = GenerateQuerySet(query_config);
+  size_t unsplit_false = 0;
+  size_t split_false = 0;
+  for (const STQuery& query : queries) {
+    const size_t truth = TrueAnswer(objects, query).size();
+    unsplit_false += SegmentAnswer(unsplit, query).size() - truth;
+    split_false += SegmentAnswer(split, query).size() - truth;
+  }
+  EXPECT_LT(split_false, unsplit_false);
+}
+
+TEST(PipelineIntegrationTest, SplittingReducesPprIo) {
+  // Dense enough (~150 alive per instant) that the ephemeral trees are
+  // multi-level and MBR tightening is visible in the I/O counts.
+  RandomDatasetConfig config;
+  config.num_objects = 1200;
+  config.time_domain = 250;
+  config.max_lifetime = 60;
+  config.seed = 31;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+
+  QuerySetConfig query_config = MixedSnapshotSet();
+  query_config.count = 120;
+  query_config.time_domain = config.time_domain;
+  const std::vector<STQuery> queries = GenerateQuerySet(query_config);
+
+  auto average_io = [&queries](const PprTree& tree) {
+    uint64_t misses = 0;
+    std::vector<PprDataId> results;
+    for (const STQuery& query : queries) {
+      tree.ResetQueryState();
+      tree.IntervalQuery(query.area, query.range, &results);
+      misses += tree.stats().misses;
+    }
+    return static_cast<double>(misses) / static_cast<double>(queries.size());
+  };
+
+  const std::vector<SegmentRecord> unsplit = BuildUnsplitSegments(objects);
+  std::unique_ptr<PprTree> tree_unsplit = BuildPprTree(unsplit);
+
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 99, SplitMethod::kMerge);
+  const Distribution dist =
+      DistributeLAGreedy(curves, static_cast<int64_t>(objects.size()) * 3 / 2);
+  const std::vector<SegmentRecord> split =
+      BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+  std::unique_ptr<PprTree> tree_split = BuildPprTree(split);
+
+  // The headline claim: splits improve PPR-tree query I/O.
+  EXPECT_LT(average_io(*tree_split), average_io(*tree_unsplit));
+}
+
+TEST(PipelineIntegrationTest, RailwayEndToEnd) {
+  RailwayDatasetConfig config;
+  config.num_trains = 400;
+  const std::vector<Trajectory> trains = GenerateRailwayDataset(config);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(trains, 30, SplitMethod::kMerge);
+  const Distribution dist =
+      DistributeLAGreedy(curves, static_cast<int64_t>(trains.size()));
+  const std::vector<SegmentRecord> records =
+      BuildSegments(trains, dist.splits, SplitMethod::kMerge);
+
+  std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+  ppr->CheckInvariants();
+
+  QuerySetConfig query_config = MixedSnapshotSet();
+  query_config.count = 80;
+  const std::vector<STQuery> queries = GenerateQuerySet(query_config);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(PprAnswer(*ppr, records, queries[q]),
+              SegmentAnswer(records, queries[q]))
+        << "railway query " << q;
+  }
+}
+
+TEST(PipelineIntegrationTest, PiecewiseSplitIndexesCorrectly) {
+  RandomDatasetConfig config;
+  config.num_objects = 250;
+  config.seed = 41;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  int64_t total_splits = 0;
+  const std::vector<SegmentRecord> records =
+      PiecewiseSplitAll(objects, &total_splits);
+  EXPECT_EQ(records.size(), objects.size() + static_cast<size_t>(total_splits));
+
+  std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+  ppr->CheckInvariants();
+  QuerySetConfig query_config = SmallSnapshotSet();
+  query_config.count = 60;
+  const std::vector<STQuery> queries = GenerateQuerySet(query_config);
+  for (const STQuery& query : queries) {
+    EXPECT_EQ(PprAnswer(*ppr, records, query),
+              SegmentAnswer(records, query));
+  }
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "core/split_pipeline.h"
+#include "datagen/query_gen.h"
+#include "datagen/random_dataset.h"
+#include "model/pagel_metrics.h"
+#include "model/ppr_cost_model.h"
+#include "model/rtree_cost_model.h"
+#include "model/split_advisor.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+
+namespace stindex {
+namespace {
+
+TEST(RTreeCostModelTest, MonotoneInQuerySize) {
+  const RTreeCostModel model({0.01, 0.01, 0.05}, 10000, 35.0);
+  const double small = model.ExpectedNodeAccesses({0.001, 0.001, 0.001});
+  const double medium = model.ExpectedNodeAccesses({0.01, 0.01, 0.01});
+  const double large = model.ExpectedNodeAccesses({0.1, 0.1, 0.1});
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_GE(small, 1.0);  // at least the root
+}
+
+TEST(RTreeCostModelTest, MonotoneInDataSize) {
+  const std::vector<double> query = {0.01, 0.01, 0.01};
+  const RTreeCostModel small(std::vector<double>{0.01, 0.01, 0.05}, 1000,
+                             35.0);
+  const RTreeCostModel large(std::vector<double>{0.01, 0.01, 0.05}, 100000,
+                             35.0);
+  EXPECT_LT(small.ExpectedNodeAccesses(query),
+            large.ExpectedNodeAccesses(query));
+}
+
+TEST(RTreeCostModelTest, LargerBoxesCostMore) {
+  const std::vector<double> query = {0.01, 0.01, 0.01};
+  const RTreeCostModel tight(std::vector<double>{0.005, 0.005, 0.01}, 20000,
+                             35.0);
+  const RTreeCostModel fat(std::vector<double>{0.05, 0.05, 0.5}, 20000,
+                           35.0);
+  EXPECT_LT(tight.ExpectedNodeAccesses(query),
+            fat.ExpectedNodeAccesses(query));
+}
+
+TEST(RTreeCostModelTest, FromBoxesAveragesExtents) {
+  std::vector<Box3D> boxes = {Box3D(0, 0, 0, 0.2, 0.1, 0.4),
+                              Box3D(0.5, 0.5, 0.5, 0.7, 0.8, 0.6)};
+  const RTreeCostModel model = RTreeCostModel::FromBoxes(boxes, 10.0);
+  // Full-space query touches every node (bounded by totals).
+  const double everything = model.ExpectedNodeAccesses({1.0, 1.0, 1.0});
+  EXPECT_GT(everything, 1.0);
+}
+
+TEST(RTreeCostModelTest, WholeSpaceQueryVisitsEverything) {
+  const size_t n = 50000;
+  const double fanout = 35.0;
+  const RTreeCostModel model({0.01, 0.01, 0.02}, n, fanout);
+  const double everything = model.ExpectedNodeAccesses({1.0, 1.0, 1.0});
+  // Should approximate the total node count: sum n/f^j over levels.
+  double expected = 1.0;
+  for (double nodes = static_cast<double>(n) / fanout; nodes >= 1.0;
+       nodes /= fanout) {
+    expected += nodes;
+  }
+  EXPECT_NEAR(everything, expected, expected * 0.2);
+}
+
+TEST(PprCostModelTest, MonotoneInQuerySizeAndDuration) {
+  const PprCostModel model(2000.0, 0.01, 0.01, 50.0, 30.0);
+  const double tiny = model.ExpectedNodeAccesses(0.001, 0.001, 1);
+  const double big = model.ExpectedNodeAccesses(0.05, 0.05, 1);
+  EXPECT_LT(tiny, big);
+  const double snapshot = model.ExpectedNodeAccesses(0.01, 0.01, 1);
+  const double interval = model.ExpectedNodeAccesses(0.01, 0.01, 20);
+  EXPECT_LT(snapshot, interval);
+}
+
+TEST(PprCostModelTest, CostTracksAliveSetNotTotalHistory) {
+  // Two evolutions with the same alive density but different lengths of
+  // history must predict the same snapshot cost.
+  const PprCostModel short_history(1000.0, 0.01, 0.01, 10.0, 30.0);
+  const PprCostModel long_history(1000.0, 0.01, 0.01, 500.0, 30.0);
+  EXPECT_DOUBLE_EQ(short_history.ExpectedNodeAccesses(0.01, 0.01, 1),
+                   long_history.ExpectedNodeAccesses(0.01, 0.01, 1));
+}
+
+TEST(PprCostModelTest, SplittingReducesPredictedCost) {
+  // Dense enough that the ephemeral alive tree has multiple levels
+  // (~150 alive records per instant).
+  RandomDatasetConfig config;
+  config.num_objects = 1500;
+  config.time_domain = 300;
+  config.max_lifetime = 60;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+
+  const std::vector<SegmentRecord> unsplit = BuildUnsplitSegments(objects);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 64, SplitMethod::kMerge);
+  const Distribution dist =
+      DistributeLAGreedy(curves, static_cast<int64_t>(objects.size()));
+  const std::vector<SegmentRecord> split =
+      BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+
+  const PprCostModel before =
+      PprCostModel::FromSegments(unsplit, config.time_domain, 30.0);
+  const PprCostModel after =
+      PprCostModel::FromSegments(split, config.time_domain, 30.0);
+  // Splitting shrinks alive extents; with the alive count unchanged the
+  // predicted snapshot cost must drop (the paper's core claim).
+  EXPECT_LT(after.ExpectedNodeAccesses(0.03, 0.03, 1),
+            before.ExpectedNodeAccesses(0.03, 0.03, 1));
+}
+
+TEST(PagelMetricsTest, RStarAggregatesMatchStructure) {
+  RandomDatasetConfig config;
+  config.num_objects = 400;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  const std::vector<SegmentRecord> records = BuildUnsplitSegments(objects);
+  RStarTree tree;
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, 1000);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    tree.Insert(boxes[i], static_cast<DataId>(i));
+  }
+  const PagelMetrics metrics = AnalyzeRStar(tree);
+  EXPECT_EQ(metrics.node_count, tree.PageCount());
+  EXPECT_GT(metrics.leaf_count, 0u);
+  EXPECT_LE(metrics.leaf_count, metrics.node_count);
+  EXPECT_GT(metrics.total_volume, 0.0);
+  EXPECT_GT(metrics.total_surface, 0.0);
+  // Leaves hold all records; fill between min and max entries.
+  EXPECT_GE(metrics.avg_leaf_fill, 20.0);
+  EXPECT_LE(metrics.avg_leaf_fill, 50.0);
+  EXPECT_NEAR(metrics.avg_leaf_fill *
+                  static_cast<double>(metrics.leaf_count),
+              static_cast<double>(records.size()), 0.5);
+}
+
+TEST(PagelMetricsTest, EmptyTreesYieldZeroes) {
+  RStarTree tree;
+  const PagelMetrics rstar = AnalyzeRStar(tree);
+  EXPECT_EQ(rstar.node_count, 0u);
+  PprTree ppr;
+  const PagelMetrics at = AnalyzePprAt(ppr, 10);
+  EXPECT_EQ(at.node_count, 0u);
+  EXPECT_DOUBLE_EQ(at.total_volume, 0.0);
+}
+
+TEST(PagelMetricsTest, SplittingShrinksPprAliveVolumeNotNodeCount) {
+  RandomDatasetConfig config;
+  config.num_objects = 1500;
+  config.time_domain = 300;
+  config.max_lifetime = 60;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 64, SplitMethod::kMerge);
+
+  const std::unique_ptr<PprTree> unsplit =
+      BuildPprTree(BuildUnsplitSegments(objects));
+  const Distribution dist = DistributeLAGreedy(
+      curves, static_cast<int64_t>(objects.size()) * 3 / 2);
+  const std::unique_ptr<PprTree> split =
+      BuildPprTree(BuildSegments(objects, dist.splits, SplitMethod::kMerge));
+
+  const std::vector<Time> probes = {50, 150, 250};
+  const PagelMetrics before = AnalyzePprAverage(*unsplit, probes);
+  const PagelMetrics after = AnalyzePprAverage(*split, probes);
+  // The paper's core intuition: alive volume shrinks, node count stays
+  // within a small factor (alive record count is unchanged).
+  EXPECT_LT(after.total_volume, before.total_volume);
+  EXPECT_LT(after.node_count, before.node_count * 2);
+  EXPECT_GT(after.node_count * 2, before.node_count);
+}
+
+TEST(SplitAdvisorTest, AnalyticalPrefersSplittingForPpr) {
+  RandomDatasetConfig config;
+  config.num_objects = 300;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 64, SplitMethod::kMerge);
+  QuerySetConfig query_config = SmallSnapshotSet();
+  query_config.count = 100;
+  const std::vector<STQuery> workload = GenerateQuerySet(query_config);
+
+  SplitAdvisorOptions options;
+  const std::vector<int64_t> candidates = {0, 150, 450};
+  const SplitAdvice advice = SplitAdvisor::ChooseAnalytical(
+      objects, curves, candidates, workload, IndexKind::kPprTree, options);
+  ASSERT_EQ(advice.evaluated.size(), 3u);
+  EXPECT_GT(advice.num_splits, 0);
+  // The evaluated curve must actually decrease from the unsplit point.
+  EXPECT_LT(advice.estimated_cost, advice.evaluated.front().second);
+}
+
+TEST(SplitAdvisorTest, SpaceWeightCapsTheBudget) {
+  RandomDatasetConfig config;
+  config.num_objects = 200;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 64, SplitMethod::kMerge);
+  QuerySetConfig query_config = SmallSnapshotSet();
+  query_config.count = 50;
+  const std::vector<STQuery> workload = GenerateQuerySet(query_config);
+
+  const std::vector<int64_t> candidates = {0, 100, 200, 300};
+  SplitAdvisorOptions free_space;
+  const SplitAdvice unconstrained = SplitAdvisor::ChooseAnalytical(
+      objects, curves, candidates, workload, IndexKind::kPprTree,
+      free_space);
+  SplitAdvisorOptions pricey;
+  pricey.space_weight = 100.0;  // overwhelming space cost
+  const SplitAdvice constrained = SplitAdvisor::ChooseAnalytical(
+      objects, curves, candidates, workload, IndexKind::kPprTree, pricey);
+  EXPECT_LE(constrained.num_splits, unconstrained.num_splits);
+  EXPECT_EQ(constrained.num_splits, 0);
+}
+
+TEST(SplitAdvisorTest, SamplingModeRunsAndReturnsCandidate) {
+  RandomDatasetConfig config;
+  config.num_objects = 300;
+  config.time_domain = 200;
+  config.max_lifetime = 50;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  QuerySetConfig query_config = SmallSnapshotSet();
+  query_config.count = 30;
+  query_config.time_domain = 200;
+  const std::vector<STQuery> workload = GenerateQuerySet(query_config);
+
+  SplitAdvisorOptions options;
+  options.time_domain = 200;
+  const std::vector<int64_t> candidates = {0, 150, 450};
+  const SplitAdvice advice = SplitAdvisor::ChooseBySampling(
+      objects, candidates, /*sample_fraction=*/0.5, workload,
+      /*max_queries=*/30, IndexKind::kPprTree, options, /*seed=*/5);
+  ASSERT_EQ(advice.evaluated.size(), 3u);
+  // The chosen budget must be one of the candidates with the minimum
+  // measured cost.
+  double best = advice.evaluated[0].second;
+  for (const auto& [budget, cost] : advice.evaluated) {
+    best = std::min(best, cost);
+  }
+  EXPECT_DOUBLE_EQ(advice.estimated_cost, best);
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,114 @@
+// The moving-points special case (paper Section I: "(i) when the objects
+// have no spatial extents (moving points)") must flow through the whole
+// pipeline: generation, splitting, distribution, and both indexes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/split_pipeline.h"
+#include "datagen/query_gen.h"
+#include "datagen/random_dataset.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+
+namespace stindex {
+namespace {
+
+std::vector<Trajectory> MakePointObjects(size_t n) {
+  RandomDatasetConfig config;
+  config.num_objects = n;
+  config.min_extent = 0.0;
+  config.max_extent = 0.0;
+  config.seed = 201;
+  return GenerateRandomDataset(config);
+}
+
+TEST(MovingPointsTest, GeneratedObjectsAreDegenerate) {
+  const std::vector<Trajectory> points = MakePointObjects(100);
+  for (const Trajectory& object : points) {
+    for (const Rect2D& rect : object.Sample()) {
+      EXPECT_TRUE(rect.IsValid());
+      EXPECT_DOUBLE_EQ(rect.Area(), 0.0);
+    }
+  }
+}
+
+TEST(MovingPointsTest, SplittingReducesVolumeToNearZero) {
+  const std::vector<Trajectory> points = MakePointObjects(50);
+  // k_max above the maximum lifetime, so the curve tail is fully split.
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(points, 128, SplitMethod::kMerge);
+  // A moving point's unsplit MBR has positive volume; fully split boxes
+  // are degenerate.
+  for (const VolumeCurve& curve : curves) {
+    EXPECT_NEAR(curve.volume.back(), 0.0, 1e-12);
+    for (size_t j = 1; j < curve.volume.size(); ++j) {
+      EXPECT_LE(curve.volume[j], curve.volume[j - 1] + 1e-12);
+    }
+  }
+}
+
+TEST(MovingPointsTest, IndexesAnswerCorrectly) {
+  const std::vector<Trajectory> points = MakePointObjects(300);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(points, 64, SplitMethod::kMerge);
+  const Distribution dist = DistributeLAGreedy(curves, 450);
+  const std::vector<SegmentRecord> records =
+      BuildSegments(points, dist.splits, SplitMethod::kMerge);
+
+  std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+  ppr->CheckInvariants();
+  RStarTree rstar;
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, 1000);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    rstar.Insert(boxes[i], static_cast<DataId>(i));
+  }
+  rstar.CheckInvariants();
+
+  QuerySetConfig config = MixedSnapshotSet();
+  config.count = 60;
+  for (const STQuery& query : GenerateQuerySet(config)) {
+    std::set<uint64_t> expected;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].box.interval.Intersects(query.range) &&
+          records[i].box.rect.Intersects(query.area)) {
+        expected.insert(i);
+      }
+    }
+    std::vector<PprDataId> ppr_hits;
+    ppr->SnapshotQuery(query.area, query.range.start, &ppr_hits);
+    EXPECT_EQ(std::set<uint64_t>(ppr_hits.begin(), ppr_hits.end()),
+              expected);
+    std::vector<DataId> rstar_hits;
+    rstar.Search(QueryToBox(query, 0, 1000), &rstar_hits);
+    EXPECT_EQ(std::set<uint64_t>(rstar_hits.begin(), rstar_hits.end()),
+              expected);
+  }
+}
+
+TEST(MovingPointsTest, MixedPointAndRegionDataset) {
+  // Half points, half regions, in one PPR-tree.
+  RandomDatasetConfig region_config;
+  region_config.num_objects = 150;
+  region_config.seed = 202;
+  std::vector<Trajectory> objects = GenerateRandomDataset(region_config);
+  const std::vector<Trajectory> points = MakePointObjects(150);
+  for (const Trajectory& point : points) {
+    objects.emplace_back(static_cast<ObjectId>(objects.size()),
+                         point.tuples());
+  }
+  const std::vector<SegmentRecord> records = BuildUnsplitSegments(objects);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  tree->CheckInvariants();
+  std::vector<PprDataId> hits;
+  tree->SnapshotQuery(Rect2D(0, 0, 1, 1), 500, &hits);
+  size_t expected = 0;
+  for (const SegmentRecord& record : records) {
+    expected += record.box.interval.Contains(500) ? 1 : 0;
+  }
+  EXPECT_EQ(hits.size(), expected);
+}
+
+}  // namespace
+}  // namespace stindex

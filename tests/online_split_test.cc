@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dp_split.h"
+#include "core/merge_split.h"
+#include "core/online_split.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+std::vector<Rect2D> StationaryRects(int n) {
+  return std::vector<Rect2D>(static_cast<size_t>(n),
+                             Rect2D(0.4, 0.4, 0.45, 0.45));
+}
+
+TEST(OnlineSplitTest, StationaryObjectNeverSplits) {
+  const SplitResult result = OnlineSplit(StationaryRects(100));
+  EXPECT_TRUE(result.cuts.empty());
+}
+
+TEST(OnlineSplitTest, TeleportTriggersCut) {
+  // Ten instants here, ten instants far away: one cut at the jump.
+  std::vector<Rect2D> rects;
+  for (int i = 0; i < 10; ++i) rects.emplace_back(0.0, 0.0, 0.05, 0.05);
+  for (int i = 0; i < 10; ++i) rects.emplace_back(0.8, 0.8, 0.85, 0.85);
+  const SplitResult result = OnlineSplit(rects);
+  ASSERT_EQ(result.cuts.size(), 1u);
+  EXPECT_EQ(result.cuts[0], 10);
+  // Total volume equals the two tight pieces.
+  EXPECT_NEAR(result.total_volume, 2 * (0.05 * 0.05 * 10), 1e-12);
+}
+
+TEST(OnlineSplitTest, CutsAreStableAndOrdered) {
+  Rng rng(61);
+  OnlineSplitter splitter;
+  std::vector<Rect2D> rects;
+  double x = 0.1;
+  std::vector<int> observed_cut_counts;
+  for (int i = 0; i < 200; ++i) {
+    x += rng.UniformDouble(0.0, 0.01);
+    rects.emplace_back(x, 0.2, x + 0.02, 0.22);
+    const std::vector<int> before = splitter.cuts();
+    splitter.Observe(rects.back());
+    // Past cuts never change (streaming stability).
+    ASSERT_GE(splitter.cuts().size(), before.size());
+    for (size_t c = 0; c < before.size(); ++c) {
+      EXPECT_EQ(splitter.cuts()[c], before[c]);
+    }
+  }
+  const SplitResult result = splitter.Finish(rects);
+  for (size_t c = 1; c < result.cuts.size(); ++c) {
+    EXPECT_LT(result.cuts[c - 1], result.cuts[c]);
+  }
+  EXPECT_NEAR(result.total_volume, SplitVolume(rects, result.cuts), 1e-9);
+}
+
+TEST(OnlineSplitTest, RespectsBudget) {
+  std::vector<Rect2D> rects;
+  double x = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    x += 0.003;
+    rects.emplace_back(x, 0.0, x + 0.01, 0.01);
+  }
+  OnlineSplitter::Options options;
+  options.max_splits = 3;
+  options.waste_threshold = 1.5;
+  const SplitResult result = OnlineSplit(rects, options);
+  EXPECT_LE(result.NumSplits(), 3);
+}
+
+TEST(OnlineSplitTest, MinSegmentLengthRespected) {
+  std::vector<Rect2D> rects;
+  Rng rng(62);
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.UniformDouble(0, 0.9);  // wild jumps
+    rects.emplace_back(x, x, x + 0.02, x + 0.02);
+  }
+  OnlineSplitter::Options options;
+  options.min_segment_length = 5;
+  options.waste_threshold = 1.1;
+  const SplitResult result = OnlineSplit(rects, options);
+  int previous = 0;
+  for (int cut : result.cuts) {
+    EXPECT_GE(cut - previous, 5);
+    previous = cut;
+  }
+}
+
+class OnlineVsOfflineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OnlineVsOfflineTest, CompetitiveWithOfflineAtSameSplitCount) {
+  Rng rng(GetParam());
+  std::vector<Rect2D> rects;
+  double x = rng.UniformDouble(0.1, 0.9);
+  double y = rng.UniformDouble(0.1, 0.9);
+  for (int i = 0; i < 150; ++i) {
+    x += rng.UniformDouble(-0.02, 0.02);
+    y += rng.UniformDouble(-0.02, 0.02);
+    rects.emplace_back(x, y, x + 0.02, y + 0.02);
+  }
+  const SplitResult online = OnlineSplit(rects);
+  const double unsplit = SplitVolume(rects, {});
+  EXPECT_LE(online.total_volume, unsplit + 1e-12);
+  if (online.NumSplits() > 0) {
+    const SplitResult offline = DpSplit(rects, online.NumSplits());
+    // Clairvoyant DP is a lower bound; the streaming heuristic should be
+    // within a small constant factor of it with the same split count.
+    EXPECT_GE(online.total_volume, offline.total_volume - 1e-9);
+    EXPECT_LE(online.total_volume, 4.0 * offline.total_volume + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineVsOfflineTest,
+                         ::testing::Values(71, 72, 73, 74, 75, 76, 77, 78));
+
+TEST(OnlineSplitTest, ThresholdControlsAggressiveness) {
+  Rng rng(63);
+  std::vector<Rect2D> rects;
+  double x = 0.1;
+  for (int i = 0; i < 200; ++i) {
+    x += rng.UniformDouble(0.0, 0.008);
+    rects.emplace_back(x, 0.3, x + 0.02, 0.32);
+  }
+  OnlineSplitter::Options tight;
+  tight.waste_threshold = 1.5;
+  OnlineSplitter::Options loose;
+  loose.waste_threshold = 10.0;
+  const SplitResult aggressive = OnlineSplit(rects, tight);
+  const SplitResult lazy = OnlineSplit(rects, loose);
+  EXPECT_GT(aggressive.NumSplits(), lazy.NumSplits());
+  EXPECT_LE(aggressive.total_volume, lazy.total_volume + 1e-9);
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "storage/page_codec.h"
+
+namespace stindex {
+namespace {
+
+TEST(PageCodecTest, RoundTripMixedTypes) {
+  std::array<uint8_t, kPageSize> page{};
+  PageWriter writer(page.data(), kPageSize);
+  writer.Write<int32_t>(-7);
+  writer.Write<uint64_t>(0xdeadbeefcafeULL);
+  writer.Write(3.14159);
+  const char blob[5] = {'a', 'b', 'c', 'd', 'e'};
+  writer.WriteBytes(blob, sizeof(blob));
+  EXPECT_EQ(writer.used(), 4u + 8u + 8u + 5u);
+
+  PageReader reader(page.data(), kPageSize);
+  int32_t i = 0;
+  uint64_t u = 0;
+  double d = 0.0;
+  char out[5];
+  EXPECT_TRUE(reader.Read(&i));
+  EXPECT_TRUE(reader.Read(&u));
+  EXPECT_TRUE(reader.Read(&d));
+  EXPECT_TRUE(reader.ReadBytes(out, sizeof(out)));
+  EXPECT_EQ(i, -7);
+  EXPECT_EQ(u, 0xdeadbeefcafeULL);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(std::memcmp(out, blob, 5), 0);
+}
+
+TEST(PageCodecTest, ReaderStopsAtEnd) {
+  std::array<uint8_t, 16> tiny{};
+  PageReader reader(tiny.data(), tiny.size());
+  uint64_t a = 0, b = 0, c = 0;
+  EXPECT_TRUE(reader.Read(&a));
+  EXPECT_TRUE(reader.Read(&b));
+  EXPECT_FALSE(reader.Read(&c));  // out of bytes
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(PageCodecTest, WriterTracksRemaining) {
+  std::array<uint8_t, 32> buffer{};
+  PageWriter writer(buffer.data(), buffer.size());
+  writer.Write<uint64_t>(1);
+  EXPECT_EQ(writer.remaining(), 24u);
+  writer.Write<uint64_t>(2);
+  writer.Write<uint64_t>(3);
+  writer.Write<uint64_t>(4);
+  EXPECT_EQ(writer.remaining(), 0u);
+}
+
+TEST(PageCodecDeathTest, OverflowAborts) {
+  std::array<uint8_t, 8> buffer{};
+  PageWriter writer(buffer.data(), buffer.size());
+  writer.Write<uint64_t>(1);
+  EXPECT_DEATH(writer.Write<uint8_t>(2), "page overflow");
+}
+
+TEST(PageCodecTest, NodeFitsInPage) {
+  // The serialized PPR node layout: 4 (level) + 8 + 8 (times) + 8 (count)
+  // + 50 entries x (32 rect + 16 lifetime + 4 child + 8 data).
+  const size_t node_bytes = 4 + 8 + 8 + 8 + 50 * (32 + 16 + 4 + 8);
+  EXPECT_LE(node_bytes, kPageSize);
+}
+
+}  // namespace
+}  // namespace stindex

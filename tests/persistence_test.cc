@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "pprtree/ppr_tree.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<SegmentRecord> RandomRecords(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<SegmentRecord> records;
+  for (size_t i = 0; i < count; ++i) {
+    SegmentRecord record;
+    record.object = static_cast<ObjectId>(i);
+    const Time life = rng.UniformInt(1, 40);
+    const Time start = rng.UniformInt(0, 200 - life);
+    const double x = rng.UniformDouble(0, 0.95);
+    const double y = rng.UniformDouble(0, 0.95);
+    record.box.rect = Rect2D(x, y, x + rng.UniformDouble(0.005, 0.05),
+                             y + rng.UniformDouble(0.005, 0.05));
+    record.box.interval = TimeInterval(start, start + life);
+    records.push_back(record);
+  }
+  return records;
+}
+
+TEST(PprPersistenceTest, RoundTripAnswersIdentically) {
+  const std::vector<SegmentRecord> records = RandomRecords(11, 600);
+  std::unique_ptr<PprTree> original = BuildPprTree(records);
+  const std::string path = TempPath("tree.ppr");
+  ASSERT_TRUE(original->Save(path).ok());
+
+  Result<std::unique_ptr<PprTree>> loaded = PprTree::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  PprTree& restored = *loaded.value();
+  restored.CheckInvariants();
+  EXPECT_EQ(restored.Size(), original->Size());
+  EXPECT_EQ(restored.PageCount(), original->PageCount());
+  EXPECT_EQ(restored.NumRoots(), original->NumRoots());
+  EXPECT_EQ(restored.AliveCount(), original->AliveCount());
+
+  Rng rng(12);
+  std::vector<PprDataId> a, b;
+  for (int q = 0; q < 40; ++q) {
+    const double x = rng.UniformDouble(0, 0.8);
+    const double y = rng.UniformDouble(0, 0.8);
+    const Rect2D area(x, y, x + 0.15, y + 0.15);
+    const Time t = rng.UniformInt(0, 199);
+    original->SnapshotQuery(area, t, &a);
+    restored.SnapshotQuery(area, t, &b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    const TimeInterval range(t, std::min<Time>(200, t + 15));
+    original->IntervalQuery(area, range, &a);
+    restored.IntervalQuery(area, range, &b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PprPersistenceTest, LoadedTreeAcceptsFurtherUpdates) {
+  PprTree tree;
+  for (PprDataId i = 0; i < 120; ++i) {
+    tree.Insert(Rect2D(0.01 * static_cast<double>(i % 50), 0.1,
+                       0.01 * static_cast<double>(i % 50) + 0.02, 0.15),
+                static_cast<Time>(i / 4), i);
+  }
+  const std::string path = TempPath("live.ppr");
+  ASSERT_TRUE(tree.Save(path).ok());
+  Result<std::unique_ptr<PprTree>> loaded = PprTree::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  PprTree& restored = *loaded.value();
+
+  // Continue the evolution where the original left off.
+  restored.Insert(Rect2D(0.5, 0.5, 0.55, 0.55), 100, 1000);
+  restored.Delete(0, 101);
+  restored.CheckInvariants();
+  std::vector<PprDataId> results;
+  restored.SnapshotQuery(Rect2D(0.45, 0.45, 0.6, 0.6), 150, &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 1000u);
+}
+
+TEST(PprPersistenceTest, RejectsGarbageFiles) {
+  const std::string path = TempPath("garbage.ppr");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a ppr tree";
+  }
+  Result<std::unique_ptr<PprTree>> loaded = PprTree::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PprPersistenceTest, RejectsTruncatedFiles) {
+  const std::vector<SegmentRecord> records = RandomRecords(13, 100);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  const std::string full_path = TempPath("full.ppr");
+  ASSERT_TRUE(tree->Save(full_path).ok());
+  // Truncate to half.
+  std::ifstream in(full_path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const std::string cut_path = TempPath("cut.ppr");
+  {
+    std::ofstream out(cut_path, std::ios::binary);
+    out.write(contents.data(),
+              static_cast<long>(contents.size() / 2));
+  }
+  EXPECT_FALSE(PprTree::Load(cut_path).ok());
+}
+
+TEST(PprPersistenceTest, MissingFileIsNotFound) {
+  Result<std::unique_ptr<PprTree>> loaded =
+      PprTree::Load(TempPath("absent.ppr"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pprtree/ppr_tree.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+// Reference implementation: linear scan over segment records.
+std::vector<PprDataId> ScanSnapshot(const std::vector<SegmentRecord>& records,
+                                    const Rect2D& area, Time t) {
+  std::vector<PprDataId> hits;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].box.interval.Contains(t) &&
+        records[i].box.rect.Intersects(area)) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+std::vector<PprDataId> ScanInterval(const std::vector<SegmentRecord>& records,
+                                    const Rect2D& area,
+                                    const TimeInterval& range) {
+  std::vector<PprDataId> hits;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].box.interval.Intersects(range) &&
+        records[i].box.rect.Intersects(area)) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+std::vector<SegmentRecord> RandomRecords(uint64_t seed, size_t count,
+                                         Time domain = 200,
+                                         Time max_life = 40) {
+  Rng rng(seed);
+  std::vector<SegmentRecord> records;
+  for (size_t i = 0; i < count; ++i) {
+    SegmentRecord record;
+    record.object = static_cast<ObjectId>(i);
+    const Time life = rng.UniformInt(1, max_life);
+    const Time start = rng.UniformInt(0, domain - life);
+    const double x = rng.UniformDouble(0, 0.95);
+    const double y = rng.UniformDouble(0, 0.95);
+    record.box.rect = Rect2D(x, y, x + rng.UniformDouble(0.005, 0.05),
+                             y + rng.UniformDouble(0.005, 0.05));
+    record.box.interval = TimeInterval(start, start + life);
+    records.push_back(record);
+  }
+  return records;
+}
+
+TEST(PprTreeTest, EmptyTreeAnswersNothing) {
+  PprTree tree;
+  std::vector<PprDataId> results;
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 5, &results);
+  EXPECT_TRUE(results.empty());
+  tree.IntervalQuery(Rect2D(0, 0, 1, 1), TimeInterval(0, 10), &results);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  tree.CheckInvariants();
+}
+
+TEST(PprTreeTest, SingleRecordLifecycle) {
+  PprTree tree;
+  tree.Insert(Rect2D(0.4, 0.4, 0.5, 0.5), 10, 0);
+  tree.Delete(0, 20);
+  std::vector<PprDataId> results;
+  // Alive at 10..19 only.
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 9, &results);
+  EXPECT_TRUE(results.empty());
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 10, &results);
+  EXPECT_EQ(results.size(), 1u);
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 19, &results);
+  EXPECT_EQ(results.size(), 1u);
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 20, &results);
+  EXPECT_TRUE(results.empty());
+  // Spatially disjoint query misses.
+  tree.SnapshotQuery(Rect2D(0.6, 0.6, 0.9, 0.9), 15, &results);
+  EXPECT_TRUE(results.empty());
+  tree.CheckInvariants();
+}
+
+TEST(PprTreeTest, RecordAliveUntilDeleted) {
+  PprTree tree;
+  tree.Insert(Rect2D(0.1, 0.1, 0.2, 0.2), 5, 42);
+  std::vector<PprDataId> results;
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 1000000, &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 42u);
+  EXPECT_EQ(tree.AliveCount(), 1u);
+}
+
+TEST(PprTreeTest, OutOfOrderUpdatesRejected) {
+  PprTree tree;
+  tree.Insert(Rect2D(0, 0, 0.1, 0.1), 10, 0);
+  EXPECT_DEATH(tree.Insert(Rect2D(0, 0, 0.1, 0.1), 5, 1), "time order");
+}
+
+TEST(PprTreeTest, DoubleInsertRejected) {
+  PprTree tree;
+  tree.Insert(Rect2D(0, 0, 0.1, 0.1), 10, 0);
+  EXPECT_DEATH(tree.Insert(Rect2D(0, 0, 0.1, 0.1), 11, 0), "already alive");
+}
+
+TEST(PprTreeTest, DeleteOfDeadRecordRejected) {
+  PprTree tree;
+  tree.Insert(Rect2D(0, 0, 0.1, 0.1), 10, 0);
+  tree.Delete(0, 12);
+  EXPECT_DEATH(tree.Delete(0, 13), "not alive");
+}
+
+TEST(PprTreeTest, VersionSplitOnOverflow) {
+  // Insert more records at one instant than a node can hold.
+  PprTree tree;
+  Rng rng(3);
+  std::vector<SegmentRecord> records;
+  for (size_t i = 0; i < 200; ++i) {
+    SegmentRecord record;
+    record.object = static_cast<ObjectId>(i);
+    const double x = rng.UniformDouble(0, 0.9);
+    const double y = rng.UniformDouble(0, 0.9);
+    record.box.rect = Rect2D(x, y, x + 0.05, y + 0.05);
+    record.box.interval = TimeInterval(0, 100);
+    records.push_back(record);
+    tree.Insert(record.box.rect, 0, i);
+  }
+  tree.CheckInvariants();
+  std::vector<PprDataId> results;
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 0, &results);
+  EXPECT_EQ(results.size(), 200u);
+  // A snapshot query returns each logical record exactly once.
+  std::sort(results.begin(), results.end());
+  EXPECT_EQ(std::adjacent_find(results.begin(), results.end()),
+            results.end());
+}
+
+TEST(PprTreeTest, WeakVersionUnderflowTriggersConsolidation) {
+  // Fill several nodes, then delete almost everything: the structure must
+  // keep answering correctly at all times.
+  std::vector<SegmentRecord> records = RandomRecords(4, 300, 100, 99);
+  // Force everything alive over [0, 100) so deletions drive underflow.
+  for (auto& record : records) record.box.interval = TimeInterval(0, 100);
+  PprTree tree;
+  for (size_t i = 0; i < records.size(); ++i) {
+    tree.Insert(records[i].box.rect, 0, i);
+  }
+  // Kill all but 5 records, in time order, a few per instant.
+  Time now = 1;
+  for (size_t i = 0; i + 5 < records.size(); ++i) {
+    tree.Delete(i, now);
+    records[i].box.interval = TimeInterval(0, now);
+    if (i % 4 == 3) ++now;
+  }
+  tree.CheckInvariants();
+  // Snapshot at every probe time matches the scan.
+  for (Time t : {0, 1, 5, 20, 50, 80}) {
+    std::vector<PprDataId> results;
+    tree.SnapshotQuery(Rect2D(0, 0, 1, 1), t, &results);
+    std::sort(results.begin(), results.end());
+    std::vector<PprDataId> expected =
+        ScanSnapshot(records, Rect2D(0, 0, 1, 1), t);
+    EXPECT_EQ(results, expected) << "t=" << t;
+  }
+}
+
+TEST(PprTreeTest, EraClosesWhenEverythingDies) {
+  PprTree tree;
+  tree.Insert(Rect2D(0, 0, 0.1, 0.1), 0, 0);
+  tree.Insert(Rect2D(0.2, 0.2, 0.3, 0.3), 1, 1);
+  tree.Delete(0, 5);
+  tree.Delete(1, 7);
+  std::vector<PprDataId> results;
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 6, &results);
+  EXPECT_EQ(results.size(), 1u);
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 7, &results);
+  EXPECT_TRUE(results.empty());
+  // Re-insertion after total death starts a new era.
+  tree.Insert(Rect2D(0.5, 0.5, 0.6, 0.6), 10, 2);
+  tree.SnapshotQuery(Rect2D(0, 0, 1, 1), 12, &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 2u);
+  EXPECT_GE(tree.NumRoots(), 2u);
+  tree.CheckInvariants();
+}
+
+TEST(PprTreeTest, IntervalQueryDeduplicates) {
+  // A record that survives several version splits must be reported once.
+  PprTree tree;
+  std::vector<SegmentRecord> records = RandomRecords(5, 400, 150, 149);
+  for (auto& record : records) record.box.interval = TimeInterval(0, 150);
+  for (size_t i = 0; i < records.size(); ++i) {
+    tree.Insert(records[i].box.rect, 0, i);
+  }
+  Time now = 1;
+  for (size_t i = 0; i + 30 < records.size(); ++i) {
+    tree.Delete(i, now);
+    records[i].box.interval = TimeInterval(0, now);
+    if (i % 3 == 2) ++now;
+  }
+  std::vector<PprDataId> results;
+  tree.IntervalQuery(Rect2D(0, 0, 1, 1), TimeInterval(0, 150), &results);
+  std::sort(results.begin(), results.end());
+  EXPECT_EQ(std::adjacent_find(results.begin(), results.end()),
+            results.end());
+  EXPECT_EQ(results.size(), records.size());
+}
+
+class PprEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PprEquivalenceTest, SnapshotAndIntervalMatchScan) {
+  const std::vector<SegmentRecord> records =
+      RandomRecords(GetParam(), 600, 200, 40);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  tree->CheckInvariants();
+  EXPECT_EQ(tree->Size(), records.size());
+
+  Rng rng(GetParam() + 1000);
+  for (int q = 0; q < 40; ++q) {
+    const double x = rng.UniformDouble(0, 0.8);
+    const double y = rng.UniformDouble(0, 0.8);
+    const Rect2D area(x, y, x + rng.UniformDouble(0.02, 0.2),
+                      y + rng.UniformDouble(0.02, 0.2));
+    const Time t = rng.UniformInt(0, 199);
+    std::vector<PprDataId> results;
+    tree->SnapshotQuery(area, t, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, ScanSnapshot(records, area, t)) << "snapshot " << q;
+
+    const Time d = rng.UniformInt(1, 20);
+    const Time start = rng.UniformInt(0, 199 - d);
+    const TimeInterval range(start, start + d);
+    tree->IntervalQuery(area, range, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, ScanInterval(records, area, range))
+        << "interval " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PprEquivalenceTest,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+class PprConfigTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double, double>> {};
+
+TEST_P(PprConfigTest, CorrectUnderAlternativeParameters) {
+  const auto [capacity, svu, svo] = GetParam();
+  PprConfig config;
+  config.max_entries = capacity;
+  config.p_svu = svu;
+  config.p_svo = svo;
+  const std::vector<SegmentRecord> records = RandomRecords(77, 400, 150, 30);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records, config);
+  tree->CheckInvariants();
+  Rng rng(78);
+  for (int q = 0; q < 25; ++q) {
+    const double x = rng.UniformDouble(0, 0.8);
+    const double y = rng.UniformDouble(0, 0.8);
+    const Rect2D area(x, y, x + 0.15, y + 0.15);
+    const Time t = rng.UniformInt(0, 149);
+    std::vector<PprDataId> results;
+    tree->SnapshotQuery(area, t, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, ScanSnapshot(records, area, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PprConfigTest,
+    ::testing::Values(std::make_tuple(10, 0.4, 0.8),
+                      std::make_tuple(20, 0.3, 0.7),
+                      std::make_tuple(50, 0.4, 0.8),
+                      std::make_tuple(8, 0.45, 0.75)));
+
+TEST(PprTreeTest, SnapshotCountMatchesQuerySize) {
+  const std::vector<SegmentRecord> records = RandomRecords(15, 500);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  Rng rng(16);
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.UniformDouble(0, 0.8);
+    const double y = rng.UniformDouble(0, 0.8);
+    const Rect2D area(x, y, x + 0.2, y + 0.2);
+    const Time t = rng.UniformInt(0, 199);
+    std::vector<PprDataId> hits;
+    tree->SnapshotQuery(area, t, &hits);
+    EXPECT_EQ(tree->SnapshotCount(area, t), hits.size());
+  }
+}
+
+TEST(PprTreeTest, OccupancyHistogramMatchesPerInstantCounts) {
+  const std::vector<SegmentRecord> records = RandomRecords(17, 300);
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  const Rect2D area(0.1, 0.1, 0.6, 0.6);
+  const TimeInterval range(40, 70);
+  const std::vector<size_t> histogram =
+      tree->OccupancyHistogram(area, range);
+  ASSERT_EQ(histogram.size(), 30u);
+  for (Time t = range.start; t < range.end; ++t) {
+    EXPECT_EQ(histogram[static_cast<size_t>(t - range.start)],
+              ScanSnapshot(records, area, t).size())
+        << "t=" << t;
+  }
+}
+
+TEST(PprTreeTest, QueryIoProportionalToAliveSetNotHistory) {
+  // The PPR promise: snapshot cost tracks |alive(t)|, not total history.
+  // Build a long evolution with a small alive set at every instant.
+  std::vector<SegmentRecord> records;
+  Rng rng(9);
+  for (size_t i = 0; i < 3000; ++i) {
+    SegmentRecord record;
+    record.object = static_cast<ObjectId>(i);
+    const Time start = static_cast<Time>(i / 4);  // ~4 born per instant
+    const double x = rng.UniformDouble(0, 0.9);
+    const double y = rng.UniformDouble(0, 0.9);
+    record.box.rect = Rect2D(x, y, x + 0.02, y + 0.02);
+    record.box.interval = TimeInterval(start, start + 10);
+    records.push_back(record);
+  }
+  std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  tree->CheckInvariants();
+  // Alive set is ~40 records: one or two leaf levels worth of pages.
+  uint64_t worst = 0;
+  for (Time t : {50, 200, 400, 600}) {
+    tree->ResetQueryState();
+    std::vector<PprDataId> results;
+    tree->SnapshotQuery(Rect2D(0, 0, 1, 1), t, &results);
+    worst = std::max(worst, tree->stats().misses);
+  }
+  // Far fewer pages than the full structure.
+  EXPECT_LT(worst, tree->PageCount() / 10);
+}
+
+}  // namespace
+}  // namespace stindex

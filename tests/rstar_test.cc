@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rstar/rstar_tree.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+Box3D RandomBox(Rng& rng, double max_extent = 0.05) {
+  const double x = rng.UniformDouble(0, 1);
+  const double y = rng.UniformDouble(0, 1);
+  const double t = rng.UniformDouble(0, 1);
+  return Box3D(x, y, t, x + rng.UniformDouble(0, max_extent),
+               y + rng.UniformDouble(0, max_extent),
+               t + rng.UniformDouble(0, max_extent));
+}
+
+std::vector<DataId> BruteForceSearch(const std::vector<Box3D>& boxes,
+                                     const Box3D& query) {
+  std::vector<DataId> hits;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(query)) hits.push_back(i);
+  }
+  return hits;
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree;
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 0u);
+  std::vector<DataId> results;
+  tree.Search(Box3D(0, 0, 0, 1, 1, 1), &results);
+  EXPECT_TRUE(results.empty());
+  tree.CheckInvariants();
+}
+
+TEST(RStarTreeTest, SingleInsertAndHit) {
+  RStarTree tree;
+  tree.Insert(Box3D(0.4, 0.4, 0.4, 0.6, 0.6, 0.6), 99);
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Height(), 1u);
+  std::vector<DataId> results;
+  tree.Search(Box3D(0.5, 0.5, 0.5, 0.7, 0.7, 0.7), &results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 99u);
+  tree.Search(Box3D(0.7, 0.7, 0.7, 0.9, 0.9, 0.9), &results);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(RStarTreeTest, GrowsBeyondOneNode) {
+  RStarTree tree;
+  Rng rng(5);
+  for (DataId i = 0; i < 500; ++i) tree.Insert(RandomBox(rng), i);
+  EXPECT_EQ(tree.Size(), 500u);
+  EXPECT_GE(tree.Height(), 2u);
+  EXPECT_GT(tree.PageCount(), 10u);
+  tree.CheckInvariants();
+}
+
+TEST(RStarTreeTest, SearchCountsDiskAccesses) {
+  RStarTree tree;
+  Rng rng(6);
+  for (DataId i = 0; i < 500; ++i) tree.Insert(RandomBox(rng), i);
+  tree.ResetQueryState();
+  std::vector<DataId> results;
+  tree.Search(Box3D(0.4, 0.4, 0.4, 0.6, 0.6, 0.6), &results);
+  EXPECT_GT(tree.stats().accesses, 0u);
+  EXPECT_GT(tree.stats().misses, 0u);
+  EXPECT_LE(tree.stats().misses, tree.stats().accesses);
+}
+
+TEST(RStarTreeTest, DuplicateBoxesAllRetrievable) {
+  RStarTree tree;
+  const Box3D box(0.5, 0.5, 0.5, 0.55, 0.55, 0.55);
+  for (DataId i = 0; i < 120; ++i) tree.Insert(box, i);
+  std::vector<DataId> results;
+  tree.Search(box, &results);
+  EXPECT_EQ(results.size(), 120u);
+  tree.CheckInvariants();
+}
+
+TEST(RStarTreeTest, SmallNodeCapacity) {
+  RStarConfig config;
+  config.max_entries = 4;
+  config.min_entries = 2;
+  config.reinsert_count = 1;
+  RStarTree tree(config);
+  Rng rng(7);
+  std::vector<Box3D> boxes;
+  for (DataId i = 0; i < 200; ++i) {
+    boxes.push_back(RandomBox(rng));
+    tree.Insert(boxes.back(), i);
+  }
+  tree.CheckInvariants();
+  EXPECT_GE(tree.Height(), 3u);
+  for (int q = 0; q < 20; ++q) {
+    const Box3D query = RandomBox(rng, 0.3);
+    std::vector<DataId> results;
+    tree.Search(query, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, BruteForceSearch(boxes, query));
+  }
+}
+
+class RStarEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RStarEquivalenceTest, MatchesLinearScan) {
+  Rng rng(GetParam());
+  RStarTree tree;
+  std::vector<Box3D> boxes;
+  const size_t n = 800;
+  for (DataId i = 0; i < n; ++i) {
+    boxes.push_back(RandomBox(rng));
+    tree.Insert(boxes.back(), i);
+  }
+  tree.CheckInvariants();
+  for (int q = 0; q < 50; ++q) {
+    const Box3D query = RandomBox(rng, 0.2);
+    std::vector<DataId> results;
+    tree.Search(query, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, BruteForceSearch(boxes, query)) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RStarEquivalenceTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+TEST(RStarTreeTest, DegenerateBoxes) {
+  RStarTree tree;
+  // Points (zero extent in every dimension).
+  for (DataId i = 0; i < 60; ++i) {
+    const double v = static_cast<double>(i) / 60.0;
+    tree.Insert(Box3D(v, v, v, v, v, v), i);
+  }
+  tree.CheckInvariants();
+  std::vector<DataId> results;
+  tree.Search(Box3D(0.0, 0.0, 0.0, 0.5, 0.5, 0.5), &results);
+  EXPECT_EQ(results.size(), 31u);  // i/60 <= 0.5 for i = 0..30
+}
+
+TEST(RStarTreeTest, SkewedClusteredData) {
+  // Heavy clustering exercises the split heuristics and reinsertion.
+  RStarTree tree;
+  Rng rng(8);
+  std::vector<Box3D> boxes;
+  for (int cluster = 0; cluster < 5; ++cluster) {
+    const double cx = rng.UniformDouble(0.1, 0.9);
+    const double cy = rng.UniformDouble(0.1, 0.9);
+    for (int i = 0; i < 150; ++i) {
+      const double x = cx + rng.UniformDouble(-0.02, 0.02);
+      const double y = cy + rng.UniformDouble(-0.02, 0.02);
+      const double t = rng.UniformDouble(0, 1);
+      boxes.emplace_back(x, y, t, x + 0.01, y + 0.01, t + 0.01);
+      tree.Insert(boxes.back(), boxes.size() - 1);
+    }
+  }
+  tree.CheckInvariants();
+  for (int q = 0; q < 30; ++q) {
+    const Box3D query = RandomBox(rng, 0.15);
+    std::vector<DataId> results;
+    tree.Search(query, &results);
+    std::sort(results.begin(), results.end());
+    EXPECT_EQ(results, BruteForceSearch(boxes, query));
+  }
+}
+
+TEST(RStarTreeTest, QueryIoSmallerThanFullScanForSelectiveQueries) {
+  RStarTree tree;
+  Rng rng(9);
+  for (DataId i = 0; i < 3000; ++i) tree.Insert(RandomBox(rng, 0.01), i);
+  uint64_t total_misses = 0;
+  std::vector<DataId> results;
+  for (int q = 0; q < 20; ++q) {
+    tree.ResetQueryState();
+    tree.Search(RandomBox(rng, 0.02), &results);
+    total_misses += tree.stats().misses;
+  }
+  // Selective queries must touch far fewer pages than the whole index.
+  EXPECT_LT(total_misses / 20, tree.PageCount() / 4);
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/split_pipeline.h"
+#include "datagen/random_dataset.h"
+
+namespace stindex {
+namespace {
+
+std::vector<Trajectory> SmallDataset(size_t n = 50, uint64_t seed = 71) {
+  RandomDatasetConfig config;
+  config.num_objects = n;
+  config.seed = seed;
+  return GenerateRandomDataset(config);
+}
+
+TEST(SplitPipelineTest, UnsplitSegmentsAreFullBoxes) {
+  const std::vector<Trajectory> objects = SmallDataset();
+  const std::vector<SegmentRecord> records = BuildUnsplitSegments(objects);
+  ASSERT_EQ(records.size(), objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ(records[i].object, objects[i].id());
+    EXPECT_EQ(records[i].box, objects[i].FullBox());
+  }
+}
+
+TEST(SplitPipelineTest, ZeroSplitsEqualsUnsplit) {
+  const std::vector<Trajectory> objects = SmallDataset();
+  const std::vector<int> zeroes(objects.size(), 0);
+  const std::vector<SegmentRecord> via_pipeline =
+      BuildSegments(objects, zeroes, SplitMethod::kMerge);
+  const std::vector<SegmentRecord> direct = BuildUnsplitSegments(objects);
+  ASSERT_EQ(via_pipeline.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_pipeline[i].box, direct[i].box);
+  }
+}
+
+TEST(SplitPipelineTest, SegmentCountMatchesSplitAllocation) {
+  const std::vector<Trajectory> objects = SmallDataset();
+  std::vector<int> splits(objects.size(), 0);
+  int64_t expected_extra = 0;
+  for (size_t i = 0; i < splits.size(); ++i) {
+    // Ask for i % 4 splits, clamped by the object's lifetime.
+    const int k = static_cast<int>(i % 4);
+    const int usable = std::min<int>(
+        k, static_cast<int>(objects[i].NumInstants()) - 1);
+    splits[i] = usable;
+    expected_extra += usable;
+  }
+  const std::vector<SegmentRecord> records =
+      BuildSegments(objects, splits, SplitMethod::kMerge);
+  EXPECT_EQ(static_cast<int64_t>(records.size()),
+            static_cast<int64_t>(objects.size()) + expected_extra);
+}
+
+TEST(SplitPipelineTest, SegmentsPartitionEachLifetime) {
+  const std::vector<Trajectory> objects = SmallDataset();
+  std::vector<int> splits(objects.size(), 3);
+  const std::vector<SegmentRecord> records =
+      BuildSegments(objects, splits, SplitMethod::kDp);
+  // Group segments per object and check the intervals tile the lifetime.
+  for (const Trajectory& object : objects) {
+    std::vector<TimeInterval> pieces;
+    for (const SegmentRecord& record : records) {
+      if (record.object == object.id()) pieces.push_back(record.box.interval);
+    }
+    std::sort(pieces.begin(), pieces.end(),
+              [](const TimeInterval& a, const TimeInterval& b) {
+                return a.start < b.start;
+              });
+    ASSERT_FALSE(pieces.empty());
+    EXPECT_EQ(pieces.front().start, object.Lifetime().start);
+    EXPECT_EQ(pieces.back().end, object.Lifetime().end);
+    for (size_t i = 1; i < pieces.size(); ++i) {
+      EXPECT_EQ(pieces[i].start, pieces[i - 1].end);
+    }
+  }
+}
+
+TEST(SplitPipelineTest, SegmentBoxesCoverTheTrajectory) {
+  const std::vector<Trajectory> objects = SmallDataset(20, 72);
+  std::vector<int> splits(objects.size(), 5);
+  const std::vector<SegmentRecord> records =
+      BuildSegments(objects, splits, SplitMethod::kMerge);
+  for (const Trajectory& object : objects) {
+    const TimeInterval life = object.Lifetime();
+    for (Time t = life.start; t < life.end; ++t) {
+      const Rect2D rect = object.RectAt(t);
+      bool covered = false;
+      for (const SegmentRecord& record : records) {
+        if (record.object == object.id() &&
+            record.box.interval.Contains(t) &&
+            record.box.rect.Contains(rect)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "object " << object.id() << " t=" << t;
+    }
+  }
+}
+
+TEST(SplitPipelineTest, TotalVolumeMatchesSum) {
+  const std::vector<Trajectory> objects = SmallDataset(30, 73);
+  const std::vector<SegmentRecord> records = BuildUnsplitSegments(objects);
+  double expected = 0.0;
+  for (const SegmentRecord& record : records) {
+    expected += record.box.Volume();
+  }
+  EXPECT_NEAR(TotalVolume(records), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(TotalVolume({}), 0.0);
+}
+
+TEST(SplitPipelineTest, SegmentsToBoxesScalesTimeAxis) {
+  std::vector<SegmentRecord> records(1);
+  records[0].object = 0;
+  records[0].box =
+      STBox(Rect2D(0.1, 0.2, 0.3, 0.4), TimeInterval(250, 750));
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, 1000);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_DOUBLE_EQ(boxes[0].lo[2], 0.25);
+  EXPECT_DOUBLE_EQ(boxes[0].hi[2], 0.75);
+  EXPECT_DOUBLE_EQ(boxes[0].lo[0], 0.1);
+  EXPECT_DOUBLE_EQ(boxes[0].hi[1], 0.4);
+  // Non-zero origin shifts the axis.
+  const std::vector<Box3D> shifted = SegmentsToBoxes(records, 250, 1000);
+  EXPECT_DOUBLE_EQ(shifted[0].lo[2], 0.0);
+  EXPECT_DOUBLE_EQ(shifted[0].hi[2], 0.5);
+}
+
+TEST(SplitPipelineTest, DpAndMergeAgreeOnEasySplits) {
+  // Objects with a single sharp jump: both splitters find the same cut.
+  std::vector<Trajectory> objects;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<MovementTuple> tuples(2);
+    tuples[0].interval = TimeInterval(0, 10);
+    tuples[0].center_x = Polynomial::Constant(0.1 + 0.1 * i);
+    tuples[0].center_y = Polynomial::Constant(0.2);
+    tuples[0].extent_x = Polynomial::Constant(0.01);
+    tuples[0].extent_y = Polynomial::Constant(0.01);
+    tuples[1].interval = TimeInterval(10, 20);
+    tuples[1].center_x = Polynomial::Constant(0.8);
+    tuples[1].center_y = Polynomial::Constant(0.9);
+    tuples[1].extent_x = Polynomial::Constant(0.01);
+    tuples[1].extent_y = Polynomial::Constant(0.01);
+    objects.emplace_back(static_cast<ObjectId>(i), std::move(tuples));
+  }
+  const std::vector<int> one_split(objects.size(), 1);
+  const std::vector<SegmentRecord> dp =
+      BuildSegments(objects, one_split, SplitMethod::kDp);
+  const std::vector<SegmentRecord> merge =
+      BuildSegments(objects, one_split, SplitMethod::kMerge);
+  ASSERT_EQ(dp.size(), merge.size());
+  for (size_t i = 0; i < dp.size(); ++i) {
+    EXPECT_EQ(dp[i].box.interval, merge[i].box.interval);
+  }
+}
+
+}  // namespace
+}  // namespace stindex

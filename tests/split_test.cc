@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/dp_split.h"
+#include "core/merge_split.h"
+#include "core/piecewise_split.h"
+#include "core/segment.h"
+#include "core/volume_curve.h"
+#include "trajectory/trajectory.h"
+#include "util/random.h"
+
+namespace stindex {
+namespace {
+
+std::vector<Rect2D> RandomRects(uint64_t seed, int n, double step = 0.05) {
+  Rng rng(seed);
+  std::vector<Rect2D> rects;
+  double x = rng.UniformDouble(0, 1);
+  double y = rng.UniformDouble(0, 1);
+  for (int i = 0; i < n; ++i) {
+    x += rng.UniformDouble(-step, step);
+    y += rng.UniformDouble(-step, step);
+    const double w = rng.UniformDouble(0.01, 0.05);
+    const double h = rng.UniformDouble(0.01, 0.05);
+    rects.emplace_back(x, y, x + w, y + h);
+  }
+  return rects;
+}
+
+// Exhaustive optimum over all ways to place k cuts among n-1 positions.
+double BruteForceBestVolume(const std::vector<Rect2D>& rects, int k) {
+  const int n = static_cast<int>(rects.size());
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> cuts(static_cast<size_t>(k));
+  // Iterate over all k-combinations of {1, ..., n-1}.
+  std::vector<int> indices(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) indices[static_cast<size_t>(i)] = i + 1;
+  if (k == 0) return SplitVolume(rects, {});
+  if (k > n - 1) return BruteForceBestVolume(rects, n - 1);
+  while (true) {
+    best = std::min(best, SplitVolume(rects, indices));
+    // Next combination.
+    int pos = k - 1;
+    while (pos >= 0 &&
+           indices[static_cast<size_t>(pos)] == n - 1 - (k - 1 - pos)) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++indices[static_cast<size_t>(pos)];
+    for (int p = pos + 1; p < k; ++p) {
+      indices[static_cast<size_t>(p)] = indices[static_cast<size_t>(p - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+TEST(ApplySplitsTest, NoCutsYieldsSingleBox) {
+  const std::vector<Rect2D> rects = RandomRects(1, 10);
+  const std::vector<SegmentRecord> records = ApplySplits(5, rects, 100, {});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].object, 5u);
+  EXPECT_EQ(records[0].box.interval, TimeInterval(100, 110));
+  for (const Rect2D& rect : rects) {
+    EXPECT_TRUE(records[0].box.rect.Contains(rect));
+  }
+}
+
+TEST(ApplySplitsTest, CutsProduceConsecutiveIntervals) {
+  const std::vector<Rect2D> rects = RandomRects(2, 10);
+  const std::vector<SegmentRecord> records =
+      ApplySplits(0, rects, 50, {3, 7});
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].box.interval, TimeInterval(50, 53));
+  EXPECT_EQ(records[1].box.interval, TimeInterval(53, 57));
+  EXPECT_EQ(records[2].box.interval, TimeInterval(57, 60));
+  // Each segment covers its instants.
+  for (int t = 0; t < 10; ++t) {
+    const SegmentRecord& seg = records[t < 3 ? 0 : (t < 7 ? 1 : 2)];
+    EXPECT_TRUE(seg.box.rect.Contains(rects[static_cast<size_t>(t)]));
+  }
+}
+
+TEST(SplitVolumeTest, MatchesRecordVolumes) {
+  const std::vector<Rect2D> rects = RandomRects(3, 20);
+  const std::vector<int> cuts = {5, 11, 16};
+  const std::vector<SegmentRecord> records = ApplySplits(0, rects, 0, cuts);
+  double total = 0.0;
+  for (const SegmentRecord& record : records) total += record.box.Volume();
+  EXPECT_NEAR(SplitVolume(rects, cuts), total, 1e-12);
+}
+
+TEST(DpSplitTest, ZeroSplitsIsFullMbr) {
+  const std::vector<Rect2D> rects = RandomRects(4, 15);
+  const SplitResult result = DpSplit(rects, 0);
+  EXPECT_TRUE(result.cuts.empty());
+  EXPECT_NEAR(result.total_volume, SplitVolume(rects, {}), 1e-12);
+}
+
+TEST(DpSplitTest, ReportedVolumeMatchesCuts) {
+  const std::vector<Rect2D> rects = RandomRects(5, 25);
+  for (int k : {1, 2, 5, 10}) {
+    const SplitResult result = DpSplit(rects, k);
+    EXPECT_EQ(result.NumSplits(), k);
+    EXPECT_NEAR(result.total_volume, SplitVolume(rects, result.cuts), 1e-9);
+  }
+}
+
+TEST(DpSplitTest, SaturatesAtOneBoxPerInstant) {
+  const std::vector<Rect2D> rects = RandomRects(6, 5);
+  const SplitResult result = DpSplit(rects, 100);
+  EXPECT_EQ(result.NumSplits(), 4);
+  double singleton_volume = 0.0;
+  for (const Rect2D& rect : rects) singleton_volume += rect.Area();
+  EXPECT_NEAR(result.total_volume, singleton_volume, 1e-12);
+}
+
+TEST(DpSplitTest, ObviousSplitPoint) {
+  // Two tight clusters far apart: the single best cut is between them.
+  std::vector<Rect2D> rects;
+  for (int i = 0; i < 4; ++i) rects.emplace_back(0, 0, 0.1, 0.1);
+  for (int i = 0; i < 4; ++i) rects.emplace_back(10, 10, 10.1, 10.1);
+  const SplitResult result = DpSplit(rects, 1);
+  ASSERT_EQ(result.cuts.size(), 1u);
+  EXPECT_EQ(result.cuts[0], 4);
+  EXPECT_NEAR(result.total_volume, 0.01 * 4 * 2, 1e-9);
+}
+
+class DpOptimalityTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, int>> {};
+
+TEST_P(DpOptimalityTest, MatchesBruteForce) {
+  const auto [seed, n, k] = GetParam();
+  const std::vector<Rect2D> rects = RandomRects(seed, n);
+  const SplitResult dp = DpSplit(rects, k);
+  const double brute = BruteForceBestVolume(rects, k);
+  EXPECT_NEAR(dp.total_volume, brute, 1e-9)
+      << "seed=" << seed << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, DpOptimalityTest,
+    ::testing::Combine(::testing::Values(11, 22, 33, 44),
+                       ::testing::Values(6, 9, 12),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(DpVolumeCurveTest, MonotoneNonIncreasing) {
+  const std::vector<Rect2D> rects = RandomRects(7, 40);
+  const std::vector<double> curve = DpVolumeCurve(rects, 20);
+  ASSERT_EQ(curve.size(), 21u);
+  for (size_t j = 1; j < curve.size(); ++j) {
+    EXPECT_LE(curve[j], curve[j - 1] + 1e-12);
+  }
+  EXPECT_NEAR(curve[0], SplitVolume(rects, {}), 1e-9);
+}
+
+TEST(DpVolumeCurveTest, EachEntryMatchesDpSplit) {
+  const std::vector<Rect2D> rects = RandomRects(8, 20);
+  const std::vector<double> curve = DpVolumeCurve(rects, 6);
+  for (int k = 0; k <= 6; ++k) {
+    EXPECT_NEAR(curve[static_cast<size_t>(k)], DpSplit(rects, k).total_volume,
+                1e-9);
+  }
+}
+
+TEST(MergeSplitTest, ReportedVolumeMatchesCuts) {
+  const std::vector<Rect2D> rects = RandomRects(9, 50);
+  for (int k : {0, 1, 5, 20, 49}) {
+    const SplitResult result = MergeSplit(rects, k);
+    EXPECT_EQ(result.NumSplits(), std::min(k, 49));
+    EXPECT_NEAR(result.total_volume, SplitVolume(rects, result.cuts), 1e-9);
+  }
+}
+
+TEST(MergeSplitTest, NeverBeatsOptimal) {
+  for (uint64_t seed : {10u, 20u, 30u, 40u, 50u}) {
+    const std::vector<Rect2D> rects = RandomRects(seed, 30);
+    for (int k : {1, 3, 7}) {
+      const double dp = DpSplit(rects, k).total_volume;
+      const double merge = MergeSplit(rects, k).total_volume;
+      EXPECT_GE(merge, dp - 1e-9) << "seed=" << seed << " k=" << k;
+      // ... and is usually close (within 2x is a loose sanity bound).
+      EXPECT_LE(merge, 2.0 * dp + 1e-9) << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(MergeSplitTest, CutsAreSortedAndInRange) {
+  const std::vector<Rect2D> rects = RandomRects(12, 64);
+  const SplitResult result = MergeSplit(rects, 10);
+  ASSERT_EQ(result.cuts.size(), 10u);
+  for (size_t i = 0; i < result.cuts.size(); ++i) {
+    EXPECT_GT(result.cuts[i], 0);
+    EXPECT_LT(result.cuts[i], 64);
+    if (i > 0) {
+      EXPECT_LT(result.cuts[i - 1], result.cuts[i]);
+    }
+  }
+}
+
+TEST(MergeVolumeCurveTest, MonotoneAndConsistent) {
+  const std::vector<Rect2D> rects = RandomRects(13, 40);
+  const std::vector<double> curve = MergeVolumeCurve(rects, 39);
+  ASSERT_EQ(curve.size(), 40u);
+  for (size_t j = 1; j < curve.size(); ++j) {
+    EXPECT_LE(curve[j], curve[j - 1] + 1e-12);
+  }
+  // Fully split = sum of per-instant areas.
+  double singleton_volume = 0.0;
+  for (const Rect2D& rect : rects) singleton_volume += rect.Area();
+  EXPECT_NEAR(curve[39], singleton_volume, 1e-9);
+  EXPECT_NEAR(curve[0], SplitVolume(rects, {}), 1e-9);
+}
+
+TEST(MergeVolumeCurveTest, DominatedByDpCurve) {
+  for (uint64_t seed : {14u, 15u, 16u}) {
+    const std::vector<Rect2D> rects = RandomRects(seed, 25);
+    const std::vector<double> dp = DpVolumeCurve(rects, 24);
+    const std::vector<double> merge = MergeVolumeCurve(rects, 24);
+    ASSERT_EQ(dp.size(), merge.size());
+    for (size_t j = 0; j < dp.size(); ++j) {
+      EXPECT_GE(merge[j], dp[j] - 1e-9) << "seed=" << seed << " j=" << j;
+    }
+  }
+}
+
+TEST(VolumeCurveTest, GainAccessors) {
+  VolumeCurve curve;
+  curve.volume = {10.0, 6.0, 5.0, 4.5};
+  EXPECT_EQ(curve.MaxSplits(), 3);
+  EXPECT_DOUBLE_EQ(curve.VolumeAt(0), 10.0);
+  EXPECT_DOUBLE_EQ(curve.VolumeAt(99), 4.5);  // saturates
+  EXPECT_DOUBLE_EQ(curve.Gain(1), 4.0);
+  EXPECT_DOUBLE_EQ(curve.Gain(3), 0.5);
+  EXPECT_DOUBLE_EQ(curve.Gain(4), 0.0);
+  EXPECT_DOUBLE_EQ(curve.Gain2(0), 5.0);
+  EXPECT_DOUBLE_EQ(curve.Gain2(2), 0.5);
+}
+
+TEST(PiecewiseSplitTest, CutsAtTupleBoundaries) {
+  std::vector<MovementTuple> tuples;
+  auto make_tuple = [](Time a, Time b, double x) {
+    MovementTuple tuple;
+    tuple.interval = TimeInterval(a, b);
+    tuple.center_x = Polynomial::Constant(x);
+    tuple.center_y = Polynomial::Constant(0.5);
+    tuple.extent_x = Polynomial::Constant(0.01);
+    tuple.extent_y = Polynomial::Constant(0.01);
+    return tuple;
+  };
+  tuples.push_back(make_tuple(10, 15, 0.1));
+  tuples.push_back(make_tuple(15, 22, 0.5));
+  tuples.push_back(make_tuple(22, 30, 0.9));
+  const Trajectory trajectory(3, std::move(tuples));
+  const SplitResult result = PiecewiseSplit(trajectory);
+  EXPECT_EQ(result.cuts, (std::vector<int>{5, 12}));
+
+  int64_t total_splits = 0;
+  const std::vector<SegmentRecord> records =
+      PiecewiseSplitAll({trajectory}, &total_splits);
+  EXPECT_EQ(total_splits, 2);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].box.interval, TimeInterval(10, 15));
+  EXPECT_EQ(records[2].box.interval, TimeInterval(22, 30));
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace stindex {
+namespace {
+
+// A trivial page type carrying a tag so tests can verify identity.
+class TestPage : public Page {
+ public:
+  explicit TestPage(int tag) : tag_(tag) {}
+  int tag() const { return tag_; }
+
+ private:
+  int tag_;
+};
+
+TEST(PageStoreTest, AllocateAndGet) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  const PageId b = store.Allocate(std::make_unique<TestPage>(2));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(static_cast<TestPage*>(store.Get(a))->tag(), 1);
+  EXPECT_EQ(static_cast<TestPage*>(store.Get(b))->tag(), 2);
+  EXPECT_EQ(store.PageCount(), 2u);
+}
+
+TEST(PageStoreTest, FreeReducesLiveCount) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  store.Allocate(std::make_unique<TestPage>(2));
+  EXPECT_TRUE(store.IsLive(a));
+  store.Free(a);
+  EXPECT_FALSE(store.IsLive(a));
+  EXPECT_EQ(store.PageCount(), 1u);
+  EXPECT_EQ(store.AllocatedCount(), 2u);
+}
+
+TEST(BufferPoolTest, FirstAccessIsMiss) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  pool.Fetch(a);
+  EXPECT_EQ(pool.stats().accesses, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.Fetch(a);
+  EXPECT_EQ(pool.stats().accesses, 2u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().Hits(), 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  PageStore store;
+  PageId pages[3];
+  for (int i = 0; i < 3; ++i) {
+    pages[i] = store.Allocate(std::make_unique<TestPage>(i));
+  }
+  BufferPool pool(&store, 2);
+  pool.Fetch(pages[0]);  // miss, cache {0}
+  pool.Fetch(pages[1]);  // miss, cache {1, 0}
+  pool.Fetch(pages[0]);  // hit, cache {0, 1}
+  pool.Fetch(pages[2]);  // miss, evicts 1, cache {2, 0}
+  pool.Fetch(pages[0]);  // hit
+  pool.Fetch(pages[1]);  // miss again (was evicted)
+  EXPECT_EQ(pool.stats().misses, 4u);
+  EXPECT_EQ(pool.stats().accesses, 6u);
+}
+
+TEST(BufferPoolTest, ResetCacheForcesMisses) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  pool.Fetch(a);
+  pool.ResetCache();
+  pool.Fetch(a);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPoolTest, ResetStatsKeepsCache) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  pool.Fetch(a);
+  pool.ResetStats();
+  pool.Fetch(a);  // still cached: a hit
+  EXPECT_EQ(pool.stats().accesses, 1u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST(BufferPoolTest, CapacityOneThrashes) {
+  PageStore store;
+  PageId pages[2];
+  for (int i = 0; i < 2; ++i) {
+    pages[i] = store.Allocate(std::make_unique<TestPage>(i));
+  }
+  BufferPool pool(&store, 1);
+  for (int round = 0; round < 5; ++round) {
+    pool.Fetch(pages[0]);
+    pool.Fetch(pages[1]);
+  }
+  EXPECT_EQ(pool.stats().misses, 10u);
+}
+
+TEST(BufferPoolTest, LargeCapacityHoldsWorkingSet) {
+  PageStore store;
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) {
+    pages.push_back(store.Allocate(std::make_unique<TestPage>(i)));
+  }
+  BufferPool pool(&store, 10);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id : pages) pool.Fetch(id);
+  }
+  EXPECT_EQ(pool.stats().misses, 8u);  // only cold misses
+  EXPECT_EQ(pool.CachedPages(), 8u);
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,417 @@
+// stindex_cli — command-line front end for the library: generate
+// datasets, split them, build indexes, and run query sets, passing data
+// between steps as CSV files.
+//
+//   stindex_cli generate --family random --n 2000 --out objects.csv
+//   stindex_cli split    --in objects.csv --budget-percent 150
+//                        --algo lagreedy --out segments.csv
+//   stindex_cli queries  --set small-range --count 200 --out queries.csv
+//   stindex_cli stats    --segments segments.csv --index ppr
+//   stindex_cli query    --segments segments.csv --queries queries.csv
+//                        --index ppr
+//   stindex_cli advise   --in objects.csv --set small-range
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/distribute.h"
+#include "core/piecewise_split.h"
+#include "core/split_pipeline.h"
+#include "datagen/clustered_dataset.h"
+#include "datagen/query_gen.h"
+#include "datagen/railway.h"
+#include "datagen/random_dataset.h"
+#include "hrtree/hr_tree.h"
+#include "io/csv.h"
+#include "model/split_advisor.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+
+namespace stindex {
+namespace cli {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+        std::exit(2);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) {
+    used_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string Require(const std::string& key) {
+    used_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    const std::string value = Get(key, std::to_string(fallback));
+    return std::strtoll(value.c_str(), nullptr, 10);
+  }
+
+  void RejectUnknown() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.find(key) == used_.end()) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+void Die(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+std::vector<Trajectory> LoadObjects(const std::string& path) {
+  Result<std::vector<Trajectory>> result = ReadTrajectoriesCsv(path);
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+std::vector<SegmentRecord> LoadSegments(const std::string& path) {
+  Result<std::vector<SegmentRecord>> result = ReadSegmentsCsv(path);
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+QuerySetConfig NamedQuerySet(const std::string& name) {
+  if (name == "tiny") return TinySnapshotSet();
+  if (name == "small") return SmallSnapshotSet();
+  if (name == "mixed") return MixedSnapshotSet();
+  if (name == "large") return LargeSnapshotSet();
+  if (name == "small-range") return SmallRangeSet();
+  if (name == "medium-range") return MediumRangeSet();
+  std::fprintf(stderr,
+               "unknown query set '%s' (tiny|small|mixed|large|small-range|"
+               "medium-range)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int CmdGenerate(Flags& flags) {
+  const std::string family = flags.Get("family", "random");
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 10000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const Time domain = flags.GetInt("time-domain", 1000);
+  const std::string out = flags.Require("out");
+  flags.RejectUnknown();
+
+  std::vector<Trajectory> objects;
+  if (family == "random") {
+    RandomDatasetConfig config;
+    config.num_objects = n;
+    config.seed = seed;
+    config.time_domain = domain;
+    objects = GenerateRandomDataset(config);
+  } else if (family == "railway") {
+    RailwayDatasetConfig config;
+    config.num_trains = n;
+    config.seed = seed;
+    config.time_domain = domain;
+    objects = GenerateRailwayDataset(config);
+  } else if (family == "clustered") {
+    ClusteredDatasetConfig config;
+    config.num_objects = n;
+    config.seed = seed;
+    config.time_domain = domain;
+    objects = GenerateClusteredDataset(config);
+  } else {
+    std::fprintf(stderr,
+                 "unknown family '%s' (random|railway|clustered)\n",
+                 family.c_str());
+    return 2;
+  }
+  const Status status = WriteTrajectoriesCsv(out, objects);
+  if (!status.ok()) Die(status);
+  const DatasetStats stats = ComputeDatasetStats(objects, domain);
+  std::printf("wrote %zu objects (%zu segments, avg lifetime %.1f) to %s\n",
+              stats.total_objects, stats.total_segments, stats.avg_lifetime,
+              out.c_str());
+  return 0;
+}
+
+int CmdSplit(Flags& flags) {
+  const std::string in = flags.Require("in");
+  const std::string out = flags.Require("out");
+  const int64_t percent = flags.GetInt("budget-percent", 150);
+  const std::string algo = flags.Get("algo", "lagreedy");
+  const std::string method_name = flags.Get("method", "merge");
+  flags.RejectUnknown();
+
+  const std::vector<Trajectory> objects = LoadObjects(in);
+  const SplitMethod method =
+      method_name == "dp" ? SplitMethod::kDp : SplitMethod::kMerge;
+  std::vector<SegmentRecord> records;
+  if (percent == 0) {
+    records = BuildUnsplitSegments(objects);
+  } else {
+    const std::vector<VolumeCurve> curves =
+        ComputeVolumeCurves(objects, 128, method);
+    const int64_t budget =
+        static_cast<int64_t>(objects.size()) * percent / 100;
+    Distribution dist;
+    if (algo == "greedy") {
+      dist = DistributeGreedy(curves, budget);
+    } else if (algo == "optimal") {
+      dist = DistributeOptimal(curves, budget);
+    } else if (algo == "lagreedy") {
+      dist = DistributeLAGreedy(curves, budget);
+    } else {
+      std::fprintf(stderr, "unknown algo '%s' (lagreedy|greedy|optimal)\n",
+                   algo.c_str());
+      return 2;
+    }
+    records = BuildSegments(objects, dist.splits, method);
+    std::printf("distributed %lld splits, total volume %.6f\n",
+                static_cast<long long>(dist.TotalSplits()),
+                dist.total_volume);
+  }
+  const Status status = WriteSegmentsCsv(out, records);
+  if (!status.ok()) Die(status);
+  std::printf("wrote %zu segment records to %s\n", records.size(),
+              out.c_str());
+  return 0;
+}
+
+int CmdPiecewise(Flags& flags) {
+  const std::string in = flags.Require("in");
+  const std::string out = flags.Require("out");
+  flags.RejectUnknown();
+  const std::vector<Trajectory> objects = LoadObjects(in);
+  int64_t splits = 0;
+  const std::vector<SegmentRecord> records =
+      PiecewiseSplitAll(objects, &splits);
+  const Status status = WriteSegmentsCsv(out, records);
+  if (!status.ok()) Die(status);
+  std::printf("piecewise split used %lld splits; wrote %zu records to %s\n",
+              static_cast<long long>(splits), records.size(), out.c_str());
+  return 0;
+}
+
+int CmdQueries(Flags& flags) {
+  QuerySetConfig config = NamedQuerySet(flags.Get("set", "small"));
+  config.count = static_cast<size_t>(flags.GetInt("count", 1000));
+  config.time_domain = flags.GetInt("time-domain", 1000);
+  const std::string out = flags.Require("out");
+  flags.RejectUnknown();
+  const std::vector<STQuery> queries = GenerateQuerySet(config);
+  const Status status = WriteQueriesCsv(out, queries);
+  if (!status.ok()) Die(status);
+  std::printf("wrote %zu '%s' queries to %s\n", queries.size(),
+              config.name.c_str(), out.c_str());
+  return 0;
+}
+
+int CmdStats(Flags& flags) {
+  const std::string path = flags.Require("segments");
+  const std::string index = flags.Get("index", "ppr");
+  const Time domain = flags.GetInt("time-domain", 1000);
+  flags.RejectUnknown();
+  const std::vector<SegmentRecord> records = LoadSegments(path);
+  std::printf("%zu segment records, total volume %.6f\n", records.size(),
+              TotalVolume(records));
+  if (index == "ppr") {
+    const std::unique_ptr<PprTree> tree = BuildPprTree(records);
+    std::printf("ppr: %zu pages, %zu root eras, %zu alive at end\n",
+                tree->PageCount(), tree->NumRoots(), tree->AliveCount());
+  } else if (index == "rstar") {
+    RStarTree tree;
+    const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, domain);
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      tree.Insert(boxes[i], static_cast<DataId>(i));
+    }
+    std::printf("rstar: %zu pages, height %zu\n", tree.PageCount(),
+                tree.Height());
+  } else if (index == "hr") {
+    const std::unique_ptr<HrTree> tree = BuildHrTree(records);
+    std::printf("hr: %zu pages, %zu versions\n", tree->PageCount(),
+                tree->NumVersions());
+  } else {
+    std::fprintf(stderr, "unknown index '%s' (ppr|rstar|hr)\n",
+                 index.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int CmdQuery(Flags& flags) {
+  const std::string segments_path = flags.Require("segments");
+  const std::string queries_path = flags.Require("queries");
+  const std::string index = flags.Get("index", "ppr");
+  const Time domain = flags.GetInt("time-domain", 1000);
+  flags.RejectUnknown();
+
+  const std::vector<SegmentRecord> records = LoadSegments(segments_path);
+  Result<std::vector<STQuery>> queries_result =
+      ReadQueriesCsv(queries_path);
+  if (!queries_result.ok()) Die(queries_result.status());
+  const std::vector<STQuery>& queries = queries_result.value();
+
+  uint64_t misses = 0;
+  uint64_t hits_total = 0;
+  if (index == "ppr" || index == "hr") {
+    std::unique_ptr<PprTree> ppr;
+    std::unique_ptr<HrTree> hr;
+    if (index == "ppr") {
+      ppr = BuildPprTree(records);
+    } else {
+      hr = BuildHrTree(records);
+    }
+    std::vector<uint64_t> results;
+    for (const STQuery& query : queries) {
+      if (ppr) {
+        ppr->ResetQueryState();
+        std::vector<PprDataId> out;
+        if (query.IsSnapshot()) {
+          ppr->SnapshotQuery(query.area, query.range.start, &out);
+        } else {
+          ppr->IntervalQuery(query.area, query.range, &out);
+        }
+        misses += ppr->stats().misses;
+        hits_total += out.size();
+      } else {
+        hr->ResetQueryState();
+        std::vector<HrDataId> out;
+        if (query.IsSnapshot()) {
+          hr->SnapshotQuery(query.area, query.range.start, &out);
+        } else {
+          hr->IntervalQuery(query.area, query.range, &out);
+        }
+        misses += hr->stats().misses;
+        hits_total += out.size();
+      }
+    }
+  } else if (index == "rstar") {
+    RStarTree tree;
+    const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, domain);
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      tree.Insert(boxes[i], static_cast<DataId>(i));
+    }
+    std::vector<DataId> out;
+    for (const STQuery& query : queries) {
+      tree.ResetQueryState();
+      tree.Search(QueryToBox(query, 0, domain), &out);
+      misses += tree.stats().misses;
+      hits_total += out.size();
+    }
+  } else {
+    std::fprintf(stderr, "unknown index '%s' (ppr|rstar|hr)\n",
+                 index.c_str());
+    return 2;
+  }
+  std::printf("%zu queries: avg %.2f disk accesses, avg %.2f hits\n",
+              queries.size(),
+              static_cast<double>(misses) /
+                  static_cast<double>(queries.size()),
+              static_cast<double>(hits_total) /
+                  static_cast<double>(queries.size()));
+  return 0;
+}
+
+int CmdAdvise(Flags& flags) {
+  const std::string in = flags.Require("in");
+  QuerySetConfig query_config = NamedQuerySet(flags.Get("set", "small"));
+  query_config.count = static_cast<size_t>(flags.GetInt("count", 200));
+  const Time domain = flags.GetInt("time-domain", 1000);
+  query_config.time_domain = domain;
+  const std::string mode = flags.Get("mode", "analytical");
+  flags.RejectUnknown();
+
+  const std::vector<Trajectory> objects = LoadObjects(in);
+  const std::vector<STQuery> workload = GenerateQuerySet(query_config);
+  const int64_t n = static_cast<int64_t>(objects.size());
+  const std::vector<int64_t> candidates = {0,         n / 20, n / 10,
+                                           n / 4,     n / 2,  n,
+                                           n * 3 / 2};
+  SplitAdvisorOptions options;
+  options.time_domain = domain;
+
+  SplitAdvice advice;
+  if (mode == "analytical") {
+    const std::vector<VolumeCurve> curves =
+        ComputeVolumeCurves(objects, 128, SplitMethod::kMerge);
+    advice = SplitAdvisor::ChooseAnalytical(objects, curves, candidates,
+                                            workload, IndexKind::kPprTree,
+                                            options);
+  } else if (mode == "sampling") {
+    advice = SplitAdvisor::ChooseBySampling(objects, candidates, 0.25,
+                                            workload, 60,
+                                            IndexKind::kPprTree, options, 17);
+  } else {
+    std::fprintf(stderr, "unknown mode '%s' (analytical|sampling)\n",
+                 mode.c_str());
+    return 2;
+  }
+  for (const auto& [budget, cost] : advice.evaluated) {
+    std::printf("%8lld splits -> %.2f%s\n", static_cast<long long>(budget),
+                cost, budget == advice.num_splits ? "   <= chosen" : "");
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: stindex_cli <command> [flags]\n"
+      "  generate  --family random|railway|clustered --n N --out FILE\n"
+      "            [--seed S] [--time-domain T]\n"
+      "  split     --in FILE --out FILE [--budget-percent P]\n"
+      "            [--algo lagreedy|greedy|optimal] [--method merge|dp]\n"
+      "  piecewise --in FILE --out FILE\n"
+      "  queries   --set NAME --out FILE [--count N] [--time-domain T]\n"
+      "  stats     --segments FILE [--index ppr|rstar|hr]\n"
+      "  query     --segments FILE --queries FILE [--index ppr|rstar|hr]\n"
+      "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "split") return CmdSplit(flags);
+  if (command == "piecewise") return CmdPiecewise(flags);
+  if (command == "queries") return CmdQueries(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "advise") return CmdAdvise(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace stindex
+
+int main(int argc, char** argv) { return stindex::cli::Main(argc, argv); }
