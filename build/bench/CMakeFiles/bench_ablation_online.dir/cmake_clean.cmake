@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_online.dir/bench_ablation_online.cc.o"
+  "CMakeFiles/bench_ablation_online.dir/bench_ablation_online.cc.o.d"
+  "CMakeFiles/bench_ablation_online.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_online.dir/bench_common.cc.o.d"
+  "bench_ablation_online"
+  "bench_ablation_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

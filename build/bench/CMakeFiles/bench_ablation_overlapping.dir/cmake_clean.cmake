@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overlapping.dir/bench_ablation_overlapping.cc.o"
+  "CMakeFiles/bench_ablation_overlapping.dir/bench_ablation_overlapping.cc.o.d"
+  "CMakeFiles/bench_ablation_overlapping.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_overlapping.dir/bench_common.cc.o.d"
+  "bench_ablation_overlapping"
+  "bench_ablation_overlapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overlapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ppr_params.dir/bench_ablation_ppr_params.cc.o"
+  "CMakeFiles/bench_ablation_ppr_params.dir/bench_ablation_ppr_params.cc.o.d"
+  "CMakeFiles/bench_ablation_ppr_params.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_ppr_params.dir/bench_common.cc.o.d"
+  "bench_ablation_ppr_params"
+  "bench_ablation_ppr_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ppr_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

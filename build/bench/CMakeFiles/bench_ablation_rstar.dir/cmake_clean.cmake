@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rstar.dir/bench_ablation_rstar.cc.o"
+  "CMakeFiles/bench_ablation_rstar.dir/bench_ablation_rstar.cc.o.d"
+  "CMakeFiles/bench_ablation_rstar.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_rstar.dir/bench_common.cc.o.d"
+  "bench_ablation_rstar"
+  "bench_ablation_rstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustered_io.dir/bench_clustered_io.cc.o"
+  "CMakeFiles/bench_clustered_io.dir/bench_clustered_io.cc.o.d"
+  "CMakeFiles/bench_clustered_io.dir/bench_common.cc.o"
+  "CMakeFiles/bench_clustered_io.dir/bench_common.cc.o.d"
+  "bench_clustered_io"
+  "bench_clustered_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustered_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

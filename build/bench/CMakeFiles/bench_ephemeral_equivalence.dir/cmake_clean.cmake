@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ephemeral_equivalence.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ephemeral_equivalence.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_ephemeral_equivalence.dir/bench_ephemeral_equivalence.cc.o"
+  "CMakeFiles/bench_ephemeral_equivalence.dir/bench_ephemeral_equivalence.cc.o.d"
+  "bench_ephemeral_equivalence"
+  "bench_ephemeral_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ephemeral_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

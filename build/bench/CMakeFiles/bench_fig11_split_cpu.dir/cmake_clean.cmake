@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_split_cpu.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_split_cpu.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_split_cpu.dir/bench_fig11_split_cpu.cc.o"
+  "CMakeFiles/bench_fig11_split_cpu.dir/bench_fig11_split_cpu.cc.o.d"
+  "bench_fig11_split_cpu"
+  "bench_fig11_split_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_split_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

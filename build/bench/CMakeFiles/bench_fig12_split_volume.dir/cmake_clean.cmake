@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_split_volume.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_split_volume.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_split_volume.dir/bench_fig12_split_volume.cc.o"
+  "CMakeFiles/bench_fig12_split_volume.dir/bench_fig12_split_volume.cc.o.d"
+  "bench_fig12_split_volume"
+  "bench_fig12_split_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_split_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_distribute_cpu.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_distribute_cpu.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_distribute_cpu.dir/bench_fig13_distribute_cpu.cc.o"
+  "CMakeFiles/bench_fig13_distribute_cpu.dir/bench_fig13_distribute_cpu.cc.o.d"
+  "bench_fig13_distribute_cpu"
+  "bench_fig13_distribute_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_distribute_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_distribute_io.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_distribute_io.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_distribute_io.dir/bench_fig14_distribute_io.cc.o"
+  "CMakeFiles/bench_fig14_distribute_io.dir/bench_fig14_distribute_io.cc.o.d"
+  "bench_fig14_distribute_io"
+  "bench_fig14_distribute_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_distribute_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

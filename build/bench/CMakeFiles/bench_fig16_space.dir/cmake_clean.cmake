@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_space.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig16_space.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig16_space.dir/bench_fig16_space.cc.o"
+  "CMakeFiles/bench_fig16_space.dir/bench_fig16_space.cc.o.d"
+  "bench_fig16_space"
+  "bench_fig16_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_snapshot_io.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig18_snapshot_io.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig18_snapshot_io.dir/bench_fig18_snapshot_io.cc.o"
+  "CMakeFiles/bench_fig18_snapshot_io.dir/bench_fig18_snapshot_io.cc.o.d"
+  "bench_fig18_snapshot_io"
+  "bench_fig18_snapshot_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_snapshot_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

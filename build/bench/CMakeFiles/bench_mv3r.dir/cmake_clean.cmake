@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mv3r.dir/bench_common.cc.o"
+  "CMakeFiles/bench_mv3r.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_mv3r.dir/bench_mv3r.cc.o"
+  "CMakeFiles/bench_mv3r.dir/bench_mv3r.cc.o.d"
+  "bench_mv3r"
+  "bench_mv3r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mv3r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

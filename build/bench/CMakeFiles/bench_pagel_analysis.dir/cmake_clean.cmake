@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pagel_analysis.dir/bench_common.cc.o"
+  "CMakeFiles/bench_pagel_analysis.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_pagel_analysis.dir/bench_pagel_analysis.cc.o"
+  "CMakeFiles/bench_pagel_analysis.dir/bench_pagel_analysis.cc.o.d"
+  "bench_pagel_analysis"
+  "bench_pagel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pagel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queryset_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/bench_queryset_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_queryset_sweep.dir/bench_queryset_sweep.cc.o"
+  "CMakeFiles/bench_queryset_sweep.dir/bench_queryset_sweep.cc.o.d"
+  "bench_queryset_sweep"
+  "bench_queryset_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queryset_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_railway_io.dir/bench_common.cc.o"
+  "CMakeFiles/bench_railway_io.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_railway_io.dir/bench_railway_io.cc.o"
+  "CMakeFiles/bench_railway_io.dir/bench_railway_io.cc.o.d"
+  "bench_railway_io"
+  "bench_railway_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_railway_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

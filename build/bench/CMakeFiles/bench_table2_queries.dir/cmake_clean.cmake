@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_queries.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table2_queries.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table2_queries.dir/bench_table2_queries.cc.o"
+  "CMakeFiles/bench_table2_queries.dir/bench_table2_queries.cc.o.d"
+  "bench_table2_queries"
+  "bench_table2_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

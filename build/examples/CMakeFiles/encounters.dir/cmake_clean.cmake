@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encounters.dir/encounters.cpp.o"
+  "CMakeFiles/encounters.dir/encounters.cpp.o.d"
+  "encounters"
+  "encounters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_and_index.dir/fit_and_index.cpp.o"
+  "CMakeFiles/fit_and_index.dir/fit_and_index.cpp.o.d"
+  "fit_and_index"
+  "fit_and_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_and_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

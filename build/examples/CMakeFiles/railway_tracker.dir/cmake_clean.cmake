@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/railway_tracker.dir/railway_tracker.cpp.o"
+  "CMakeFiles/railway_tracker.dir/railway_tracker.cpp.o.d"
+  "railway_tracker"
+  "railway_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/railway_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

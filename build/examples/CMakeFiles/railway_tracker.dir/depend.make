@@ -1,0 +1,2 @@
+# Empty dependencies file for railway_tracker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_tuning.dir/split_tuning.cpp.o"
+  "CMakeFiles/split_tuning.dir/split_tuning.cpp.o.d"
+  "split_tuning"
+  "split_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

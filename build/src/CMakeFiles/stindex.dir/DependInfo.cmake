@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distribute.cc" "src/CMakeFiles/stindex.dir/core/distribute.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/distribute.cc.o.d"
+  "/root/repo/src/core/dp_split.cc" "src/CMakeFiles/stindex.dir/core/dp_split.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/dp_split.cc.o.d"
+  "/root/repo/src/core/merge_split.cc" "src/CMakeFiles/stindex.dir/core/merge_split.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/merge_split.cc.o.d"
+  "/root/repo/src/core/online_split.cc" "src/CMakeFiles/stindex.dir/core/online_split.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/online_split.cc.o.d"
+  "/root/repo/src/core/piecewise_split.cc" "src/CMakeFiles/stindex.dir/core/piecewise_split.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/piecewise_split.cc.o.d"
+  "/root/repo/src/core/segment.cc" "src/CMakeFiles/stindex.dir/core/segment.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/segment.cc.o.d"
+  "/root/repo/src/core/split_pipeline.cc" "src/CMakeFiles/stindex.dir/core/split_pipeline.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/split_pipeline.cc.o.d"
+  "/root/repo/src/core/volume_curve.cc" "src/CMakeFiles/stindex.dir/core/volume_curve.cc.o" "gcc" "src/CMakeFiles/stindex.dir/core/volume_curve.cc.o.d"
+  "/root/repo/src/datagen/clustered_dataset.cc" "src/CMakeFiles/stindex.dir/datagen/clustered_dataset.cc.o" "gcc" "src/CMakeFiles/stindex.dir/datagen/clustered_dataset.cc.o.d"
+  "/root/repo/src/datagen/query_gen.cc" "src/CMakeFiles/stindex.dir/datagen/query_gen.cc.o" "gcc" "src/CMakeFiles/stindex.dir/datagen/query_gen.cc.o.d"
+  "/root/repo/src/datagen/railway.cc" "src/CMakeFiles/stindex.dir/datagen/railway.cc.o" "gcc" "src/CMakeFiles/stindex.dir/datagen/railway.cc.o.d"
+  "/root/repo/src/datagen/random_dataset.cc" "src/CMakeFiles/stindex.dir/datagen/random_dataset.cc.o" "gcc" "src/CMakeFiles/stindex.dir/datagen/random_dataset.cc.o.d"
+  "/root/repo/src/geometry/box.cc" "src/CMakeFiles/stindex.dir/geometry/box.cc.o" "gcc" "src/CMakeFiles/stindex.dir/geometry/box.cc.o.d"
+  "/root/repo/src/geometry/rect.cc" "src/CMakeFiles/stindex.dir/geometry/rect.cc.o" "gcc" "src/CMakeFiles/stindex.dir/geometry/rect.cc.o.d"
+  "/root/repo/src/hrtree/hr_tree.cc" "src/CMakeFiles/stindex.dir/hrtree/hr_tree.cc.o" "gcc" "src/CMakeFiles/stindex.dir/hrtree/hr_tree.cc.o.d"
+  "/root/repo/src/hybrid/mv3r_index.cc" "src/CMakeFiles/stindex.dir/hybrid/mv3r_index.cc.o" "gcc" "src/CMakeFiles/stindex.dir/hybrid/mv3r_index.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/stindex.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/stindex.dir/io/csv.cc.o.d"
+  "/root/repo/src/model/pagel_metrics.cc" "src/CMakeFiles/stindex.dir/model/pagel_metrics.cc.o" "gcc" "src/CMakeFiles/stindex.dir/model/pagel_metrics.cc.o.d"
+  "/root/repo/src/model/ppr_cost_model.cc" "src/CMakeFiles/stindex.dir/model/ppr_cost_model.cc.o" "gcc" "src/CMakeFiles/stindex.dir/model/ppr_cost_model.cc.o.d"
+  "/root/repo/src/model/rtree_cost_model.cc" "src/CMakeFiles/stindex.dir/model/rtree_cost_model.cc.o" "gcc" "src/CMakeFiles/stindex.dir/model/rtree_cost_model.cc.o.d"
+  "/root/repo/src/model/split_advisor.cc" "src/CMakeFiles/stindex.dir/model/split_advisor.cc.o" "gcc" "src/CMakeFiles/stindex.dir/model/split_advisor.cc.o.d"
+  "/root/repo/src/pprtree/ppr_tree.cc" "src/CMakeFiles/stindex.dir/pprtree/ppr_tree.cc.o" "gcc" "src/CMakeFiles/stindex.dir/pprtree/ppr_tree.cc.o.d"
+  "/root/repo/src/rstar/rstar_tree.cc" "src/CMakeFiles/stindex.dir/rstar/rstar_tree.cc.o" "gcc" "src/CMakeFiles/stindex.dir/rstar/rstar_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/stindex.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/stindex.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/stindex.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/stindex.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/trajectory/fit.cc" "src/CMakeFiles/stindex.dir/trajectory/fit.cc.o" "gcc" "src/CMakeFiles/stindex.dir/trajectory/fit.cc.o.d"
+  "/root/repo/src/trajectory/polynomial.cc" "src/CMakeFiles/stindex.dir/trajectory/polynomial.cc.o" "gcc" "src/CMakeFiles/stindex.dir/trajectory/polynomial.cc.o.d"
+  "/root/repo/src/trajectory/prefix_mbr.cc" "src/CMakeFiles/stindex.dir/trajectory/prefix_mbr.cc.o" "gcc" "src/CMakeFiles/stindex.dir/trajectory/prefix_mbr.cc.o.d"
+  "/root/repo/src/trajectory/trajectory.cc" "src/CMakeFiles/stindex.dir/trajectory/trajectory.cc.o" "gcc" "src/CMakeFiles/stindex.dir/trajectory/trajectory.cc.o.d"
+  "/root/repo/src/util/hilbert.cc" "src/CMakeFiles/stindex.dir/util/hilbert.cc.o" "gcc" "src/CMakeFiles/stindex.dir/util/hilbert.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/stindex.dir/util/random.cc.o" "gcc" "src/CMakeFiles/stindex.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/stindex.dir/util/status.cc.o" "gcc" "src/CMakeFiles/stindex.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

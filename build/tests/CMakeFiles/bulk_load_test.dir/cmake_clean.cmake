@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_load_test.dir/bulk_load_test.cc.o"
+  "CMakeFiles/bulk_load_test.dir/bulk_load_test.cc.o.d"
+  "bulk_load_test"
+  "bulk_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribute_test.dir/distribute_test.cc.o"
+  "CMakeFiles/distribute_test.dir/distribute_test.cc.o.d"
+  "distribute_test"
+  "distribute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

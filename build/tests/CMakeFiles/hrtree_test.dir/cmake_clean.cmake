@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrtree_test.dir/hrtree_test.cc.o"
+  "CMakeFiles/hrtree_test.dir/hrtree_test.cc.o.d"
+  "hrtree_test"
+  "hrtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_points_test.dir/moving_points_test.cc.o"
+  "CMakeFiles/moving_points_test.dir/moving_points_test.cc.o.d"
+  "moving_points_test"
+  "moving_points_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_points_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

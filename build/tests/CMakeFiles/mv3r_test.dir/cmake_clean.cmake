@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv3r_test.dir/mv3r_test.cc.o"
+  "CMakeFiles/mv3r_test.dir/mv3r_test.cc.o.d"
+  "mv3r_test"
+  "mv3r_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv3r_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

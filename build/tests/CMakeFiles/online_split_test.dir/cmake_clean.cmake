@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_split_test.dir/online_split_test.cc.o"
+  "CMakeFiles/online_split_test.dir/online_split_test.cc.o.d"
+  "online_split_test"
+  "online_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_codec_test.dir/page_codec_test.cc.o"
+  "CMakeFiles/page_codec_test.dir/page_codec_test.cc.o.d"
+  "page_codec_test"
+  "page_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pprtree_test.dir/pprtree_test.cc.o"
+  "CMakeFiles/pprtree_test.dir/pprtree_test.cc.o.d"
+  "pprtree_test"
+  "pprtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pprtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

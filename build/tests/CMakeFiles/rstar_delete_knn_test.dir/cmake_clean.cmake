@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstar_delete_knn_test.dir/rstar_delete_knn_test.cc.o"
+  "CMakeFiles/rstar_delete_knn_test.dir/rstar_delete_knn_test.cc.o.d"
+  "rstar_delete_knn_test"
+  "rstar_delete_knn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstar_delete_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

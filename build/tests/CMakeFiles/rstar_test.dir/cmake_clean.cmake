@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstar_test.dir/rstar_test.cc.o"
+  "CMakeFiles/rstar_test.dir/rstar_test.cc.o.d"
+  "rstar_test"
+  "rstar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

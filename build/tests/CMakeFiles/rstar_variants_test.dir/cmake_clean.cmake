@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstar_variants_test.dir/rstar_variants_test.cc.o"
+  "CMakeFiles/rstar_variants_test.dir/rstar_variants_test.cc.o.d"
+  "rstar_variants_test"
+  "rstar_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstar_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stindex_cli.dir/stindex_cli.cc.o"
+  "CMakeFiles/stindex_cli.dir/stindex_cli.cc.o.d"
+  "stindex_cli"
+  "stindex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stindex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
