@@ -4,8 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <string>
+
 #include "core/distribute.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace stindex {
 namespace bench {
@@ -28,6 +31,27 @@ BenchScale GetScale() {
   STINDEX_CHECK_MSG(scale == "small", "STINDEX_SCALE: small|medium|paper");
   return BenchScale{
       "small", {1000, 2000, 4000, 8000}, {100, 200, 400, 800}, 200};
+}
+
+int GetThreads(int argc, char** argv) {
+  long threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::strtol(arg.c_str() + 10, nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (only --threads=N)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (threads <= 0) {
+    const char* env = std::getenv("STINDEX_THREADS");
+    if (env != nullptr) threads = std::strtol(env, nullptr, 10);
+  }
+  return threads > 0 ? static_cast<int>(threads) : 1;
 }
 
 std::vector<Trajectory> MakeRandomDataset(size_t n, uint64_t seed) {
@@ -59,14 +83,14 @@ std::vector<Trajectory> MakeRailwayDataset(size_t n, uint64_t seed) {
 }
 
 std::vector<SegmentRecord> SplitWithLaGreedy(
-    const std::vector<Trajectory>& objects, int percent) {
-  if (percent == 0) return BuildUnsplitSegments(objects);
-  const std::vector<VolumeCurve> curves =
-      ComputeVolumeCurves(objects, /*k_max=*/128, SplitMethod::kMerge);
+    const std::vector<Trajectory>& objects, int percent, int num_threads) {
+  if (percent == 0) return BuildUnsplitSegments(objects, num_threads);
+  const std::vector<VolumeCurve> curves = ComputeVolumeCurves(
+      objects, /*k_max=*/128, SplitMethod::kMerge, num_threads);
   const int64_t budget =
       static_cast<int64_t>(objects.size()) * percent / 100;
-  const Distribution dist = DistributeLAGreedy(curves, budget);
-  return BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+  const Distribution dist = DistributeLAGreedy(curves, budget, num_threads);
+  return BuildSegments(objects, dist.splits, SplitMethod::kMerge, num_threads);
 }
 
 std::unique_ptr<RStarTree> BuildRStar(
@@ -79,33 +103,66 @@ std::unique_ptr<RStarTree> BuildRStar(
   return tree;
 }
 
-double AveragePprIo(const PprTree& tree,
-                    const std::vector<STQuery>& queries) {
-  uint64_t misses = 0;
-  std::vector<PprDataId> results;
-  for (const STQuery& query : queries) {
-    tree.ResetQueryState();
-    if (query.IsSnapshot()) {
-      tree.SnapshotQuery(query.area, query.range.start, &results);
-    } else {
-      tree.IntervalQuery(query.area, query.range, &results);
-    }
-    misses += tree.stats().misses;
+namespace {
+
+// Shared shape of the two multi-threaded query drivers: each chunk of the
+// query set runs on one worker with a private BufferPool (the store is
+// read-only during queries), the cache is reset before every query, and
+// per-chunk IoStats are summed in chunk order afterwards.
+template <typename MakeBuffer, typename RunQuery>
+double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
+                         IoStats* aggregate, const MakeBuffer& make_buffer,
+                         const RunQuery& run_query) {
+  std::vector<IoStats> chunk_stats(ParallelChunks(num_threads, queries.size()));
+  ParallelFor(num_threads, queries.size(),
+              [&](size_t chunk, size_t begin, size_t end) {
+                std::unique_ptr<BufferPool> buffer = make_buffer();
+                IoStats& stats = chunk_stats[chunk];
+                for (size_t q = begin; q < end; ++q) {
+                  buffer->ResetCache();
+                  buffer->ResetStats();
+                  run_query(queries[q], buffer.get());
+                  stats.accesses += buffer->stats().accesses;
+                  stats.misses += buffer->stats().misses;
+                }
+              });
+  IoStats total;
+  for (const IoStats& stats : chunk_stats) {
+    total.accesses += stats.accesses;
+    total.misses += stats.misses;
   }
-  return static_cast<double>(misses) / static_cast<double>(queries.size());
+  if (aggregate != nullptr) *aggregate = total;
+  return static_cast<double>(total.misses) /
+         static_cast<double>(queries.size());
+}
+
+}  // namespace
+
+double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
+                    int num_threads, IoStats* aggregate) {
+  return AverageIoParallel(
+      queries, num_threads, aggregate,
+      [&tree] { return tree.NewQueryBuffer(); },
+      [&tree](const STQuery& query, BufferPool* buffer) {
+        std::vector<PprDataId> results;
+        if (query.IsSnapshot()) {
+          tree.SnapshotQuery(query.area, query.range.start, buffer, &results);
+        } else {
+          tree.IntervalQuery(query.area, query.range, buffer, &results);
+        }
+      });
 }
 
 double AverageRStarIo(const RStarTree& tree,
-                      const std::vector<STQuery>& queries,
-                      Time time_domain) {
-  uint64_t misses = 0;
-  std::vector<DataId> results;
-  for (const STQuery& query : queries) {
-    tree.ResetQueryState();
-    tree.Search(QueryToBox(query, 0, time_domain), &results);
-    misses += tree.stats().misses;
-  }
-  return static_cast<double>(misses) / static_cast<double>(queries.size());
+                      const std::vector<STQuery>& queries, Time time_domain,
+                      int num_threads, IoStats* aggregate) {
+  return AverageIoParallel(
+      queries, num_threads, aggregate,
+      [&tree] { return tree.NewQueryBuffer(); },
+      [&tree, time_domain](const STQuery& query, BufferPool* buffer) {
+        std::vector<DataId> results;
+        tree.Search(QueryToBox(query, 0, time_domain), buffer, &results);
+      });
 }
 
 std::vector<STQuery> MakeQueries(const QuerySetConfig& config, size_t count) {

@@ -38,6 +38,12 @@ struct BenchScale {
 // Reads STINDEX_SCALE (small | medium | paper).
 BenchScale GetScale();
 
+// Worker-thread count for the parallel phases: `--threads=N` (or
+// `--threads N`) on the command line, else the STINDEX_THREADS
+// environment variable, else 1. All parallel paths are deterministic, so
+// any value reproduces the serial numbers.
+int GetThreads(int argc, char** argv);
+
 // Paper-configured random dataset of n moving rectangles (Table I row).
 std::vector<Trajectory> MakeRandomDataset(size_t n, uint64_t seed = 42);
 
@@ -53,9 +59,10 @@ std::vector<Trajectory> MakeRailwayDataset(size_t n, uint64_t seed = 7);
 
 // Splits the dataset with LAGreedy at `percent`% of the object count
 // (MergeSplit curves) and returns the segment records. percent == 0 means
-// the unsplit single-MBR representation.
+// the unsplit single-MBR representation. num_threads > 1 parallelizes the
+// curve computation and segment materialization (identical output).
 std::vector<SegmentRecord> SplitWithLaGreedy(
-    const std::vector<Trajectory>& objects, int percent);
+    const std::vector<Trajectory>& objects, int percent, int num_threads = 1);
 
 // Builds an R*-tree over the records (time axis scaled to unit range).
 std::unique_ptr<RStarTree> BuildRStar(const std::vector<SegmentRecord>& records,
@@ -63,9 +70,19 @@ std::unique_ptr<RStarTree> BuildRStar(const std::vector<SegmentRecord>& records,
 
 // Average disk accesses (buffer misses, buffer reset per query) over the
 // query set.
-double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries);
+//
+// With num_threads > 1 the query set is partitioned into contiguous
+// chunks and each worker runs its chunk through a private BufferPool over
+// the tree's shared read-only PageStore (the concurrency contract from
+// buffer_pool.h). The cache is reset before every query (paper protocol),
+// so per-query miss counts are independent of the partition and the
+// aggregate equals the serial run exactly. Per-worker IoStats are summed
+// into *aggregate when non-null.
+double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
+                    int num_threads = 1, IoStats* aggregate = nullptr);
 double AverageRStarIo(const RStarTree& tree,
-                      const std::vector<STQuery>& queries, Time time_domain);
+                      const std::vector<STQuery>& queries, Time time_domain,
+                      int num_threads = 1, IoStats* aggregate = nullptr);
 
 // A query set from Table II, truncated to `count` queries.
 std::vector<STQuery> MakeQueries(const QuerySetConfig& config, size_t count);

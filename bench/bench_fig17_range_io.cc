@@ -11,11 +11,11 @@ namespace stindex {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(int num_threads) {
   const BenchScale scale = GetScale();
-  std::printf("Figure 17 reproduction (scale=%s): avg disk accesses, small "
-              "range queries.\n",
-              scale.name.c_str());
+  std::printf("Figure 17 reproduction (scale=%s, threads=%d): avg disk "
+              "accesses, small range queries.\n",
+              scale.name.c_str(), num_threads);
   const std::vector<STQuery> queries =
       MakeQueries(SmallRangeSet(), scale.query_count);
   PrintHeader("Fig 17: small range queries across dataset sizes",
@@ -25,11 +25,11 @@ void Run() {
     const std::vector<Trajectory> objects = MakeRandomDataset(n);
 
     const std::vector<SegmentRecord> ppr_records =
-        SplitWithLaGreedy(objects, 150);
+        SplitWithLaGreedy(objects, 150, num_threads);
     const std::unique_ptr<PprTree> ppr = BuildPprTree(ppr_records);
 
     const std::vector<SegmentRecord> rstar_records =
-        SplitWithLaGreedy(objects, 1);
+        SplitWithLaGreedy(objects, 1, num_threads);
     const std::unique_ptr<RStarTree> rstar = BuildRStar(rstar_records, 1000);
 
     int64_t piecewise_splits = 0;
@@ -41,9 +41,9 @@ void Run() {
     char row[256];
     std::snprintf(row, sizeof(row),
                   "%7zu | %10.2f | %10.2f | %12.2f | %8.0f%%", n,
-                  AveragePprIo(*ppr, queries),
-                  AverageRStarIo(*rstar, queries, 1000),
-                  AverageRStarIo(*piecewise, queries, 1000),
+                  AveragePprIo(*ppr, queries, num_threads),
+                  AverageRStarIo(*rstar, queries, 1000, num_threads),
+                  AverageRStarIo(*piecewise, queries, 1000, num_threads),
                   100.0 * static_cast<double>(piecewise_splits) /
                       static_cast<double>(n));
     PrintRow(row);
@@ -57,7 +57,7 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
-  stindex::bench::Run();
+int main(int argc, char** argv) {
+  stindex::bench::Run(stindex::bench::GetThreads(argc, argv));
   return 0;
 }

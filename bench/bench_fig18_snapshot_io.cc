@@ -12,11 +12,11 @@ namespace stindex {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(int num_threads) {
   const BenchScale scale = GetScale();
-  std::printf("Figure 18 reproduction (scale=%s): avg disk accesses, mixed "
-              "snapshot queries.\n",
-              scale.name.c_str());
+  std::printf("Figure 18 reproduction (scale=%s, threads=%d): avg disk "
+              "accesses, mixed snapshot queries.\n",
+              scale.name.c_str(), num_threads);
   const std::vector<STQuery> queries =
       MakeQueries(MixedSnapshotSet(), scale.query_count);
   PrintHeader("Fig 18: mixed snapshot queries across dataset sizes",
@@ -26,15 +26,15 @@ void Run() {
     const std::vector<Trajectory> objects = MakeRandomDataset(n);
 
     const std::vector<SegmentRecord> ppr_records =
-        SplitWithLaGreedy(objects, 150);
+        SplitWithLaGreedy(objects, 150, num_threads);
     const std::unique_ptr<PprTree> ppr = BuildPprTree(ppr_records);
 
     const std::vector<SegmentRecord> rstar1_records =
-        SplitWithLaGreedy(objects, 1);
+        SplitWithLaGreedy(objects, 1, num_threads);
     const std::unique_ptr<RStarTree> rstar1 = BuildRStar(rstar1_records, 1000);
 
     const std::vector<SegmentRecord> unsplit_records =
-        BuildUnsplitSegments(objects);
+        BuildUnsplitSegments(objects, num_threads);
     const std::unique_ptr<RStarTree> rstar0 =
         BuildRStar(unsplit_records, 1000);
 
@@ -47,10 +47,10 @@ void Run() {
     char row[256];
     std::snprintf(row, sizeof(row),
                   "%7zu | %10.2f | %10.2f | %10.2f | %12.2f", n,
-                  AveragePprIo(*ppr, queries),
-                  AverageRStarIo(*rstar1, queries, 1000),
-                  AverageRStarIo(*rstar0, queries, 1000),
-                  AverageRStarIo(*piecewise, queries, 1000));
+                  AveragePprIo(*ppr, queries, num_threads),
+                  AverageRStarIo(*rstar1, queries, 1000, num_threads),
+                  AverageRStarIo(*rstar0, queries, 1000, num_threads),
+                  AverageRStarIo(*piecewise, queries, 1000, num_threads));
     PrintRow(row);
   }
   std::printf("\nExpected shape: ppr150_io lowest (paper: 20%% better for "
@@ -62,7 +62,7 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
-  stindex::bench::Run();
+int main(int argc, char** argv) {
+  stindex::bench::Run(stindex::bench::GetThreads(argc, argv));
   return 0;
 }

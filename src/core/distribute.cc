@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace stindex {
 
@@ -94,18 +95,30 @@ Distribution DistributeOptimal(const std::vector<VolumeCurve>& curves,
 }
 
 Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
-                              int64_t k_total) {
+                              int64_t k_total, int num_threads) {
   STINDEX_CHECK(k_total >= 0);
   const int n = static_cast<int>(curves.size());
 
   Distribution result;
   result.splits.assign(static_cast<size_t>(n), 0);
+  // Summed serially in object order: a parallel reduction would reassociate
+  // the floating-point sum and break bit-equality with the serial path.
   result.total_volume = UnsplitVolume(curves);
 
+  // Parallel precompute of each object's first marginal gain; the heap is
+  // then seeded serially in object order so its internal layout (and thus
+  // every tie-break) matches the serial path exactly.
+  std::vector<double> first_gain(static_cast<size_t>(n));
+  ParallelFor(num_threads, static_cast<size_t>(n),
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  first_gain[i] = curves[i].Gain(1);
+                }
+              });
   std::priority_queue<GainEntry, std::vector<GainEntry>, MaxGainLess> heap;
   for (int i = 0; i < n; ++i) {
     if (curves[static_cast<size_t>(i)].MaxSplits() >= 1) {
-      heap.push(GainEntry{curves[static_cast<size_t>(i)].Gain(1), i, 0});
+      heap.push(GainEntry{first_gain[static_cast<size_t>(i)], i, 0});
     }
   }
 
@@ -133,10 +146,33 @@ namespace {
 class LaGreedyState {
  public:
   LaGreedyState(const std::vector<VolumeCurve>& curves,
-                Distribution* distribution)
+                Distribution* distribution, int num_threads)
       : curves_(curves), dist_(distribution) {
-    for (int i = 0; i < static_cast<int>(curves.size()); ++i) {
-      PushEntries(i);
+    // Parallel precompute of the per-object seed gains (Gain/Gain2 curve
+    // evaluations); both heaps are then seeded serially in object order,
+    // keeping their layout identical to a fully serial construction.
+    struct SeedGains {
+      double last;
+      double ahead;
+    };
+    const size_t n = curves.size();
+    std::vector<SeedGains> seeds(n);
+    ParallelFor(num_threads, n,
+                [&](size_t /*chunk*/, size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const int k = dist_->splits[i];
+                    seeds[i].last = k >= 1 ? curves_[i].Gain(k) : 0.0;
+                    seeds[i].ahead = curves_[i].Gain2(k);
+                  }
+                });
+    for (int i = 0; i < static_cast<int>(n); ++i) {
+      const int k = SplitsOf(i);
+      if (k >= 1) {
+        last_heap_.push(GainEntry{seeds[static_cast<size_t>(i)].last, i, k});
+      }
+      if (k + 2 <= curves_[static_cast<size_t>(i)].MaxSplits()) {
+        ahead_heap_.push(GainEntry{seeds[static_cast<size_t>(i)].ahead, i, k});
+      }
     }
   }
 
@@ -244,9 +280,9 @@ class LaGreedyState {
 }  // namespace
 
 Distribution DistributeLAGreedy(const std::vector<VolumeCurve>& curves,
-                                int64_t k_total) {
-  Distribution result = DistributeGreedy(curves, k_total);
-  LaGreedyState state(curves, &result);
+                                int64_t k_total, int num_threads) {
+  Distribution result = DistributeGreedy(curves, k_total, num_threads);
+  LaGreedyState state(curves, &result, num_threads);
   while (state.TryExchange()) {
   }
   return result;

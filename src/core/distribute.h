@@ -30,15 +30,25 @@ Distribution DistributeOptimal(const std::vector<VolumeCurve>& curves,
 
 // Greedy (Figure 9): repeatedly give the next split to the object with the
 // largest marginal gain. O((K + N) log N) given the curves.
+//
+// The heap phase is inherently serial, but the per-object marginal-gain
+// precompute (the initial VolumeCurve evaluations, and the unsplit-volume
+// baseline) is chunked over the shared thread pool when num_threads > 1.
+// The precomputed entries are pushed into the heap serially in object
+// order, so the allocation — including tie-breaking — is identical to the
+// serial path at any thread count.
 Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
-                              int64_t k_total);
+                              int64_t k_total, int num_threads = 1);
 
 // Look-ahead-2 greedy (Figure 10): run Greedy, then repeatedly undo the
 // two globally cheapest last splits and give a different third object two
 // extra splits whenever that strictly reduces total volume. Handles the
 // non-monotone objects of Figure 4 that plain Greedy starves.
+// Same num_threads contract as DistributeGreedy: both its greedy phase and
+// its initial exchange-heap seeding precompute gains in parallel and feed
+// the serial heaps in object order.
 Distribution DistributeLAGreedy(const std::vector<VolumeCurve>& curves,
-                                int64_t k_total);
+                                int64_t k_total, int num_threads = 1);
 
 // Total volume of a collection with no splits at all (baseline).
 double UnsplitVolume(const std::vector<VolumeCurve>& curves);

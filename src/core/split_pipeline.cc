@@ -3,41 +3,80 @@
 #include "core/dp_split.h"
 #include "core/merge_split.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace stindex {
 
-std::vector<SegmentRecord> BuildSegments(
-    const std::vector<Trajectory>& objects,
-    const std::vector<int>& splits_per_object, SplitMethod method) {
-  STINDEX_CHECK(objects.size() == splits_per_object.size());
+namespace {
+
+// Splits one object and materializes its records.
+std::vector<SegmentRecord> SplitOne(const Trajectory& object, int k,
+                                    SplitMethod method) {
+  const std::vector<Rect2D> rects = object.Sample();
+  SplitResult split;
+  if (k > 0) {
+    split =
+        method == SplitMethod::kDp ? DpSplit(rects, k) : MergeSplit(rects, k);
+  }
+  return ApplySplits(object.id(), rects, object.Lifetime().start, split.cuts);
+}
+
+// Concatenates per-chunk slots in chunk order: since chunks partition the
+// object range contiguously, this reproduces the serial object order.
+std::vector<SegmentRecord> Concatenate(
+    std::vector<std::vector<SegmentRecord>> chunk_records) {
+  size_t total = 0;
+  for (const auto& chunk : chunk_records) total += chunk.size();
   std::vector<SegmentRecord> records;
-  records.reserve(objects.size());
-  for (size_t i = 0; i < objects.size(); ++i) {
-    const Trajectory& object = objects[i];
-    const std::vector<Rect2D> rects = object.Sample();
-    const int k = splits_per_object[i];
-    SplitResult split;
-    if (k > 0) {
-      split = method == SplitMethod::kDp ? DpSplit(rects, k)
-                                         : MergeSplit(rects, k);
-    }
-    std::vector<SegmentRecord> pieces =
-        ApplySplits(object.id(), rects, object.Lifetime().start, split.cuts);
-    records.insert(records.end(), pieces.begin(), pieces.end());
+  records.reserve(total);
+  for (auto& chunk : chunk_records) {
+    records.insert(records.end(), chunk.begin(), chunk.end());
   }
   return records;
 }
 
-std::vector<SegmentRecord> BuildUnsplitSegments(
-    const std::vector<Trajectory>& objects) {
-  std::vector<SegmentRecord> records;
-  records.reserve(objects.size());
-  for (const Trajectory& object : objects) {
-    SegmentRecord record;
-    record.object = object.id();
-    record.box = object.FullBox();
-    records.push_back(record);
+}  // namespace
+
+std::vector<SegmentRecord> BuildSegments(
+    const std::vector<Trajectory>& objects,
+    const std::vector<int>& splits_per_object, SplitMethod method,
+    int num_threads) {
+  STINDEX_CHECK(objects.size() == splits_per_object.size());
+  if (num_threads <= 1) {
+    std::vector<SegmentRecord> records;
+    records.reserve(objects.size());
+    for (size_t i = 0; i < objects.size(); ++i) {
+      const std::vector<SegmentRecord> pieces =
+          SplitOne(objects[i], splits_per_object[i], method);
+      records.insert(records.end(), pieces.begin(), pieces.end());
+    }
+    return records;
   }
+
+  std::vector<std::vector<SegmentRecord>> chunk_records(
+      ParallelChunks(num_threads, objects.size()));
+  ParallelFor(num_threads, objects.size(),
+              [&](size_t chunk, size_t begin, size_t end) {
+                std::vector<SegmentRecord>& out = chunk_records[chunk];
+                for (size_t i = begin; i < end; ++i) {
+                  const std::vector<SegmentRecord> pieces =
+                      SplitOne(objects[i], splits_per_object[i], method);
+                  out.insert(out.end(), pieces.begin(), pieces.end());
+                }
+              });
+  return Concatenate(std::move(chunk_records));
+}
+
+std::vector<SegmentRecord> BuildUnsplitSegments(
+    const std::vector<Trajectory>& objects, int num_threads) {
+  std::vector<SegmentRecord> records(objects.size());
+  ParallelFor(num_threads, objects.size(),
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  records[i].object = objects[i].id();
+                  records[i].box = objects[i].FullBox();
+                }
+              });
   return records;
 }
 

@@ -17,13 +17,21 @@ namespace stindex {
 
 // Applies `splits_per_object[i]` splits to object i with the chosen
 // single-object splitter and materializes all segment records.
+//
+// Objects are independent units of work: with num_threads > 1 they are
+// partitioned into contiguous chunks on the shared thread pool and each
+// chunk materializes its records into a pre-sized per-chunk slot; the
+// slots are concatenated in chunk order, so the result is byte-identical
+// to the serial path at any thread count.
 std::vector<SegmentRecord> BuildSegments(
     const std::vector<Trajectory>& objects,
-    const std::vector<int>& splits_per_object, SplitMethod method);
+    const std::vector<int>& splits_per_object, SplitMethod method,
+    int num_threads = 1);
 
-// One record per object: the naive single-MBR representation.
+// One record per object: the naive single-MBR representation. Same
+// determinism contract as BuildSegments.
 std::vector<SegmentRecord> BuildUnsplitSegments(
-    const std::vector<Trajectory>& objects);
+    const std::vector<Trajectory>& objects, int num_threads = 1);
 
 // Converts segment records to the 3-D boxes fed to the R*-tree, scaling
 // the time axis onto [0, 1] (paper Section V: "the time dimension was

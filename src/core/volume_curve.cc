@@ -3,6 +3,7 @@
 #include "core/dp_split.h"
 #include "core/merge_split.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace stindex {
 
@@ -22,12 +23,16 @@ VolumeCurve ComputeVolumeCurve(const std::vector<Rect2D>& rects, int k_max,
 }
 
 std::vector<VolumeCurve> ComputeVolumeCurves(
-    const std::vector<Trajectory>& objects, int k_max, SplitMethod method) {
-  std::vector<VolumeCurve> curves;
-  curves.reserve(objects.size());
-  for (const Trajectory& object : objects) {
-    curves.push_back(ComputeVolumeCurve(object.Sample(), k_max, method));
-  }
+    const std::vector<Trajectory>& objects, int k_max, SplitMethod method,
+    int num_threads) {
+  std::vector<VolumeCurve> curves(objects.size());
+  ParallelFor(num_threads, objects.size(),
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  curves[i] =
+                      ComputeVolumeCurve(objects[i].Sample(), k_max, method);
+                }
+              });
   return curves;
 }
 

@@ -45,9 +45,13 @@ struct VolumeCurve {
 VolumeCurve ComputeVolumeCurve(const std::vector<Rect2D>& rects, int k_max,
                                SplitMethod method);
 
-// Curves for a whole dataset.
+// Curves for a whole dataset. Objects are independent, so with
+// num_threads > 1 the computation is chunked over the shared thread pool;
+// each object's curve is written into its pre-sized slot, making the
+// result identical to the serial path at any thread count.
 std::vector<VolumeCurve> ComputeVolumeCurves(
-    const std::vector<Trajectory>& objects, int k_max, SplitMethod method);
+    const std::vector<Trajectory>& objects, int k_max, SplitMethod method,
+    int num_threads = 1);
 
 }  // namespace stindex
 

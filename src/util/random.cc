@@ -28,6 +28,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& word : state_) word = SplitMix64(s);
 }
 
+uint64_t Rng::DeriveSeed(uint64_t base_seed, uint64_t stream) {
+  // Mix(Mix(base) ^ Mix(stream + 1)); see the header for the rationale.
+  uint64_t base = base_seed;
+  uint64_t offset_stream = stream + 1;
+  uint64_t combined = SplitMix64(base) ^ SplitMix64(offset_stream);
+  return SplitMix64(combined);
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = RotL(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

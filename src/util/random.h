@@ -10,9 +10,28 @@ namespace stindex {
 // Deterministic pseudo-random generator (xoshiro256**), seeded via
 // SplitMix64. Used everywhere instead of <random> engines so that dataset
 // generation is reproducible across standard libraries and platforms.
+//
+// Thread safety: an Rng is mutable state and is NOT thread-safe; sharing
+// one instance across worker threads is both a data race and a
+// determinism bug (interleaving makes each worker's draw sequence depend
+// on scheduling). Parallel code must give each worker its own Rng seeded
+// with DeriveSeed(base_seed, worker_index), which is deterministic for
+// any worker count.
 class Rng {
  public:
   explicit Rng(uint64_t seed);
+
+  // Deterministically derives an independent sub-seed for stream
+  // `stream` (e.g. a worker index) from `base_seed`. The derivation is
+  //
+  //   DeriveSeed(base, stream) = Mix(Mix(base) ^ Mix(stream + 1))
+  //
+  // where Mix is one SplitMix64 output round (golden-gamma increment
+  // followed by the xor-shift-multiply finalizer). Mixing both inputs
+  // before combining decorrelates nearby bases and streams, and the
+  // `stream + 1` offset makes DeriveSeed(base, 0) differ from `base`
+  // itself, so a worker's stream never collides with the parent's.
+  static uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream);
 
   // Next raw 64-bit value.
   uint64_t Next();

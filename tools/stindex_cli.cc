@@ -167,6 +167,9 @@ int CmdSplit(Flags& flags) {
   const int64_t percent = flags.GetInt("budget-percent", 150);
   const std::string algo = flags.Get("algo", "lagreedy");
   const std::string method_name = flags.Get("method", "merge");
+  // The split pipeline is deterministic at any thread count, so --threads
+  // only changes wall-clock time, never the written segments.
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
   flags.RejectUnknown();
 
   const std::vector<Trajectory> objects = LoadObjects(in);
@@ -174,25 +177,25 @@ int CmdSplit(Flags& flags) {
       method_name == "dp" ? SplitMethod::kDp : SplitMethod::kMerge;
   std::vector<SegmentRecord> records;
   if (percent == 0) {
-    records = BuildUnsplitSegments(objects);
+    records = BuildUnsplitSegments(objects, threads);
   } else {
     const std::vector<VolumeCurve> curves =
-        ComputeVolumeCurves(objects, 128, method);
+        ComputeVolumeCurves(objects, 128, method, threads);
     const int64_t budget =
         static_cast<int64_t>(objects.size()) * percent / 100;
     Distribution dist;
     if (algo == "greedy") {
-      dist = DistributeGreedy(curves, budget);
+      dist = DistributeGreedy(curves, budget, threads);
     } else if (algo == "optimal") {
       dist = DistributeOptimal(curves, budget);
     } else if (algo == "lagreedy") {
-      dist = DistributeLAGreedy(curves, budget);
+      dist = DistributeLAGreedy(curves, budget, threads);
     } else {
       std::fprintf(stderr, "unknown algo '%s' (lagreedy|greedy|optimal)\n",
                    algo.c_str());
       return 2;
     }
-    records = BuildSegments(objects, dist.splits, method);
+    records = BuildSegments(objects, dist.splits, method, threads);
     std::printf("distributed %lld splits, total volume %.6f\n",
                 static_cast<long long>(dist.TotalSplits()),
                 dist.total_volume);
@@ -346,6 +349,7 @@ int CmdAdvise(Flags& flags) {
   const Time domain = flags.GetInt("time-domain", 1000);
   query_config.time_domain = domain;
   const std::string mode = flags.Get("mode", "analytical");
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
   flags.RejectUnknown();
 
   const std::vector<Trajectory> objects = LoadObjects(in);
@@ -360,7 +364,7 @@ int CmdAdvise(Flags& flags) {
   SplitAdvice advice;
   if (mode == "analytical") {
     const std::vector<VolumeCurve> curves =
-        ComputeVolumeCurves(objects, 128, SplitMethod::kMerge);
+        ComputeVolumeCurves(objects, 128, SplitMethod::kMerge, threads);
     advice = SplitAdvisor::ChooseAnalytical(objects, curves, candidates,
                                             workload, IndexKind::kPprTree,
                                             options);
@@ -388,11 +392,13 @@ int Usage() {
       "            [--seed S] [--time-domain T]\n"
       "  split     --in FILE --out FILE [--budget-percent P]\n"
       "            [--algo lagreedy|greedy|optimal] [--method merge|dp]\n"
+      "            [--threads N]\n"
       "  piecewise --in FILE --out FILE\n"
       "  queries   --set NAME --out FILE [--count N] [--time-domain T]\n"
       "  stats     --segments FILE [--index ppr|rstar|hr]\n"
       "  query     --segments FILE --queries FILE [--index ppr|rstar|hr]\n"
-      "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n");
+      "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n"
+      "            [--threads N]\n");
   return 2;
 }
 
