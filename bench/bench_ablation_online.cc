@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/dp_split.h"
 #include "core/merge_split.h"
 #include "core/online_split.h"
@@ -21,6 +22,7 @@ void Run() {
               "dataset.\n",
               scale.name.c_str(), n);
   const std::vector<Trajectory> objects = MakeRandomDataset(n);
+  Report().SetParam("objects", static_cast<int64_t>(n));
 
   PrintHeader("Online vs offline volumes per threshold",
               "threshold | splits  | online_vol | merge_vol  | dp_vol     | "
@@ -47,6 +49,11 @@ void Run() {
                   online_volume, merge_volume, dp_volume,
                   online_volume / dp_volume);
     PrintRow(line);
+    Report().AddSample("online_splits", threshold,
+                       static_cast<double>(total_splits));
+    Report().AddSample("online_volume", threshold, online_volume);
+    Report().AddSample("merge_volume", threshold, merge_volume);
+    Report().AddSample("dp_volume", threshold, dp_volume);
   }
 
   // End-to-end: index the online-split segments and measure query I/O
@@ -76,17 +83,21 @@ void Run() {
 
   PrintHeader("PPR query I/O at matched split budget",
               "pipeline         | splits  | records | avg_io");
+  const double online_io = AveragePprIo(*online_tree, queries);
+  const double offline_io = AveragePprIo(*offline_tree, queries);
   char line[160];
   std::snprintf(line, sizeof(line), "%-16s | %7lld | %7zu | %6.2f",
                 "online (th=2)", static_cast<long long>(online_splits),
-                online_records.size(), AveragePprIo(*online_tree, queries));
+                online_records.size(), online_io);
   PrintRow(line);
   std::snprintf(line, sizeof(line), "%-16s | %7lld | %7zu | %6.2f",
                 "offline lagreedy",
                 static_cast<long long>(percent) *
                     static_cast<long long>(objects.size()) / 100,
-                offline_records.size(), AveragePprIo(*offline_tree, queries));
+                offline_records.size(), offline_io);
   PrintRow(line);
+  Report().AddSample("avg_io", "online_th2", online_io);
+  Report().AddSample("avg_io", "offline_lagreedy", offline_io);
   std::printf("\nExpected shape: the streaming policy stays within a small "
               "factor of the clairvoyant DP in volume and within ~20%% of "
               "the offline pipeline in query I/O — the on-line version of "
@@ -97,7 +108,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_ablation_online");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

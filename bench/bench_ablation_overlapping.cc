@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "hrtree/hr_tree.h"
 
 namespace stindex {
@@ -50,17 +51,30 @@ void Run() {
         SplitWithLaGreedy(objects, 150);
     const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
     const std::unique_ptr<HrTree> hr = BuildHrTree(records);
+    const double ppr_snap = AveragePprIo(*ppr, snaps);
+    const double ppr_small = AveragePprIo(*ppr, small_ranges);
+    const double ppr_medium = AveragePprIo(*ppr, medium_ranges);
+    const double hr_snap = AverageHrIo(*hr, snaps);
+    const double hr_small = AverageHrIo(*hr, small_ranges);
+    const double hr_medium = AverageHrIo(*hr, medium_ranges);
     char line[192];
     std::snprintf(line, sizeof(line),
                   "%7zu | %-9s | %6.2f | %9.2f | %10.2f | %6zu", n, "ppr",
-                  AveragePprIo(*ppr, snaps), AveragePprIo(*ppr, small_ranges),
-                  AveragePprIo(*ppr, medium_ranges), ppr->PageCount());
+                  ppr_snap, ppr_small, ppr_medium, ppr->PageCount());
     PrintRow(line);
     std::snprintf(line, sizeof(line),
                   "%7zu | %-9s | %6.2f | %9.2f | %10.2f | %6zu", n, "hr",
-                  AverageHrIo(*hr, snaps), AverageHrIo(*hr, small_ranges),
-                  AverageHrIo(*hr, medium_ranges), hr->PageCount());
+                  hr_snap, hr_small, hr_medium, hr->PageCount());
     PrintRow(line);
+    const double x = static_cast<double>(n);
+    Report().AddSample("ppr_snapshot_io", x, ppr_snap);
+    Report().AddSample("ppr_small_range_io", x, ppr_small);
+    Report().AddSample("ppr_medium_range_io", x, ppr_medium);
+    Report().AddSample("ppr_pages", x, static_cast<double>(ppr->PageCount()));
+    Report().AddSample("hr_snapshot_io", x, hr_snap);
+    Report().AddSample("hr_small_range_io", x, hr_small);
+    Report().AddSample("hr_medium_range_io", x, hr_medium);
+    Report().AddSample("hr_pages", x, static_cast<double>(hr->PageCount()));
   }
   std::printf("\nExpected shape: snapshot I/O comparable (both behave like "
               "an ephemeral R-tree), but the HR-tree needs several times "
@@ -73,7 +87,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_ablation_overlapping");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

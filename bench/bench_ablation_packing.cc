@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -16,6 +17,8 @@ namespace {
 void Run() {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[2];
+  Report().SetParam("objects", static_cast<int64_t>(n));
+  Report().SetParam("splits_percent", static_cast<int64_t>(50));
   std::printf("Packing ablation (scale=%s): %zu-object random dataset, "
               "LAGreedy 50%% splits.\n",
               scale.name.c_str(), n);
@@ -43,18 +46,26 @@ void Run() {
   for (const Row& row : {Row{"rstar", incremental.get()},
                          Row{"rstar+str", str.get()},
                          Row{"rstar+hilb", hilbert.get()}}) {
+    const double range_io = AverageRStarIo(*row.tree, ranges, 1000);
+    const double snap_io = AverageRStarIo(*row.tree, snaps, 1000);
     char line[160];
     std::snprintf(line, sizeof(line), "%-11s | %11.2f | %10.2f | %5zu",
-                  row.name, AverageRStarIo(*row.tree, ranges, 1000),
-                  AverageRStarIo(*row.tree, snaps, 1000),
-                  row.tree->PageCount());
+                  row.name, range_io, snap_io, row.tree->PageCount());
     PrintRow(line);
+    Report().AddSample("small_range_io", row.name, range_io);
+    Report().AddSample("mixed_snapshot_io", row.name, snap_io);
+    Report().AddSample("pages", row.name,
+                       static_cast<double>(row.tree->PageCount()));
   }
+  const double ppr_range_io = AveragePprIo(*ppr, ranges);
+  const double ppr_snap_io = AveragePprIo(*ppr, snaps);
   char line[160];
   std::snprintf(line, sizeof(line), "%-11s | %11.2f | %10.2f | %5zu", "ppr",
-                AveragePprIo(*ppr, ranges), AveragePprIo(*ppr, snaps),
-                ppr->PageCount());
+                ppr_range_io, ppr_snap_io, ppr->PageCount());
   PrintRow(line);
+  Report().AddSample("small_range_io", "ppr", ppr_range_io);
+  Report().AddSample("mixed_snapshot_io", "ppr", ppr_snap_io);
+  Report().AddSample("pages", "ppr", static_cast<double>(ppr->PageCount()));
   std::printf("\nExpected shape: packing shrinks the R*-tree (higher fill) "
               "but does not close the gap to the PPR-tree — the paper's "
               "reason for not bothering with packed trees.\n");
@@ -64,7 +75,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_ablation_packing");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -12,6 +13,8 @@ namespace {
 void Run() {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[1];
+  Report().SetParam("objects", static_cast<int64_t>(n));
+  Report().SetParam("splits_percent", static_cast<int64_t>(150));
   std::printf("PPR parameter ablation (scale=%s): %zu-object random "
               "dataset, LAGreedy 150%% splits, mixed snapshot + small "
               "range queries.\n",
@@ -47,12 +50,17 @@ void Run() {
     config.p_svo = variant.p_svo;
     config.buffer_pages = variant.buffer_pages;
     const std::unique_ptr<PprTree> tree = BuildPprTree(records, config);
+    const double snap_io = AveragePprIo(*tree, snaps);
+    const double range_io = AveragePprIo(*tree, ranges);
     char line[192];
     std::snprintf(line, sizeof(line),
                   "%-21s | %10.2f | %11.2f | %5zu | %4zu", variant.name,
-                  AveragePprIo(*tree, snaps), AveragePprIo(*tree, ranges),
-                  tree->PageCount(), tree->NumRoots());
+                  snap_io, range_io, tree->PageCount(), tree->NumRoots());
     PrintRow(line);
+    Report().AddSample("mixed_snapshot_io", variant.name, snap_io);
+    Report().AddSample("small_range_io", variant.name, range_io);
+    Report().AddSample("pages", variant.name,
+                       static_cast<double>(tree->PageCount()));
   }
   std::printf("\nExpected shape: stricter alive bounds buy fewer disk "
               "accesses at the cost of more version copies (pages); a "
@@ -63,7 +71,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_ablation_ppr_params");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

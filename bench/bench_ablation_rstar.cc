@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -14,6 +15,8 @@ namespace {
 void Run() {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[1];
+  Report().SetParam("objects", static_cast<int64_t>(n));
+  Report().SetParam("splits_percent", static_cast<int64_t>(50));
   std::printf("R-tree heuristic ablation (scale=%s): %zu-object random "
               "dataset, LAGreedy 50%% splits.\n",
               scale.name.c_str(), n);
@@ -44,11 +47,16 @@ void Run() {
     for (size_t i = 0; i < boxes.size(); ++i) {
       tree.Insert(boxes[i], static_cast<DataId>(i));
     }
+    const double range_io = AverageRStarIo(tree, ranges, 1000);
+    const double snap_io = AverageRStarIo(tree, snaps, 1000);
     char line[160];
     std::snprintf(line, sizeof(line), "%-16s | %11.2f | %10.2f | %5zu",
-                  variant.name, AverageRStarIo(tree, ranges, 1000),
-                  AverageRStarIo(tree, snaps, 1000), tree.PageCount());
+                  variant.name, range_io, snap_io, tree.PageCount());
     PrintRow(line);
+    Report().AddSample("small_range_io", variant.name, range_io);
+    Report().AddSample("mixed_snapshot_io", variant.name, snap_io);
+    Report().AddSample("pages", variant.name,
+                       static_cast<double>(tree.PageCount()));
   }
   std::printf("\nExpected shape: linear split is clearly the worst; R* and "
               "quadratic are the contenders (on near-uniform segment data "
@@ -61,7 +69,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_ablation_rstar");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "datagen/clustered_dataset.h"
 
 namespace stindex {
@@ -35,14 +36,20 @@ void Run() {
         SplitWithLaGreedy(objects, 1);
     const std::unique_ptr<RStarTree> rstar = BuildRStar(rstar_records, 1000);
 
+    const double ppr_snap = AveragePprIo(*ppr, snaps);
+    const double rstar_snap = AverageRStarIo(*rstar, snaps, 1000);
+    const double ppr_range = AveragePprIo(*ppr, ranges);
+    const double rstar_range = AverageRStarIo(*rstar, ranges, 1000);
     char row[160];
     std::snprintf(row, sizeof(row),
-                  "%7zu | %10.2f | %10.2f | %10.2f | %11.2f", n,
-                  AveragePprIo(*ppr, snaps),
-                  AverageRStarIo(*rstar, snaps, 1000),
-                  AveragePprIo(*ppr, ranges),
-                  AverageRStarIo(*rstar, ranges, 1000));
+                  "%7zu | %10.2f | %10.2f | %10.2f | %11.2f", n, ppr_snap,
+                  rstar_snap, ppr_range, rstar_range);
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("ppr_snapshot_io", x, ppr_snap);
+    Report().AddSample("rstar_snapshot_io", x, rstar_snap);
+    Report().AddSample("ppr_range_io", x, ppr_range);
+    Report().AddSample("rstar_range_io", x, rstar_range);
   }
   std::printf("\nExpected shape: the PPR-tree's advantage persists under "
               "heavy spatial skew, matching the uniform and railway "
@@ -53,7 +60,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_clustered_io");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

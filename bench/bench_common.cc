@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +9,7 @@
 
 #include "core/distribute.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace stindex {
@@ -31,27 +33,6 @@ BenchScale GetScale() {
   STINDEX_CHECK_MSG(scale == "small", "STINDEX_SCALE: small|medium|paper");
   return BenchScale{
       "small", {1000, 2000, 4000, 8000}, {100, 200, 400, 800}, 200};
-}
-
-int GetThreads(int argc, char** argv) {
-  long threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::strtol(arg.c_str() + 10, nullptr, 10);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::strtol(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "unknown argument '%s' (only --threads=N)\n",
-                   arg.c_str());
-      std::exit(2);
-    }
-  }
-  if (threads <= 0) {
-    const char* env = std::getenv("STINDEX_THREADS");
-    if (env != nullptr) threads = std::strtol(env, nullptr, 10);
-  }
-  return threads > 0 ? static_cast<int>(threads) : 1;
 }
 
 std::vector<Trajectory> MakeRandomDataset(size_t n, uint64_t seed) {
@@ -109,19 +90,34 @@ namespace {
 // query set runs on one worker with a private BufferPool (the store is
 // read-only during queries), the cache is reset before every query, and
 // per-chunk IoStats are summed in chunk order afterwards.
+//
+// The drivers feed the structured reports: totals go to the
+// io.query.accesses/misses counters, and per-query wall times are
+// recorded into per-chunk Histogram shards merged in ascending chunk
+// order into io.query.latency_ms (the determinism contract from
+// util/metrics.h — the I/O numbers stay byte-identical at any thread
+// count; wall times are inherently noisy but their collection order is
+// fixed).
 template <typename MakeBuffer, typename RunQuery>
 double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
                          IoStats* aggregate, const MakeBuffer& make_buffer,
                          const RunQuery& run_query) {
-  std::vector<IoStats> chunk_stats(ParallelChunks(num_threads, queries.size()));
+  const size_t chunks = ParallelChunks(num_threads, queries.size());
+  std::vector<IoStats> chunk_stats(chunks);
+  std::vector<Histogram> latency_shards(chunks);
   ParallelFor(num_threads, queries.size(),
               [&](size_t chunk, size_t begin, size_t end) {
                 std::unique_ptr<BufferPool> buffer = make_buffer();
                 IoStats& stats = chunk_stats[chunk];
+                Histogram& latency = latency_shards[chunk];
                 for (size_t q = begin; q < end; ++q) {
                   buffer->ResetCache();
                   buffer->ResetStats();
+                  const auto start = std::chrono::steady_clock::now();
                   run_query(queries[q], buffer.get());
+                  const std::chrono::duration<double, std::milli> elapsed =
+                      std::chrono::steady_clock::now() - start;
+                  latency.Record(elapsed.count());
                   stats.accesses += buffer->stats().accesses;
                   stats.misses += buffer->stats().misses;
                 }
@@ -131,6 +127,10 @@ double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
     total.accesses += stats.accesses;
     total.misses += stats.misses;
   }
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("io.query.accesses")->Add(total.accesses);
+  registry.GetCounter("io.query.misses")->Add(total.misses);
+  MergeShards(latency_shards, registry.GetHistogram("io.query.latency_ms"));
   if (aggregate != nullptr) *aggregate = total;
   return static_cast<double>(total.misses) /
          static_cast<double>(queries.size());

@@ -38,11 +38,10 @@ struct BenchScale {
 // Reads STINDEX_SCALE (small | medium | paper).
 BenchScale GetScale();
 
-// Worker-thread count for the parallel phases: `--threads=N` (or
-// `--threads N`) on the command line, else the STINDEX_THREADS
-// environment variable, else 1. All parallel paths are deterministic, so
-// any value reproduces the serial numbers.
-int GetThreads(int argc, char** argv);
+// Command-line parsing (--threads, --json) lives in bench_report.h; the
+// thread count resolves through util/threads.h exactly like stindex_cli
+// (`--threads=N` > STINDEX_THREADS > 1, validated). All parallel paths
+// are deterministic, so any value reproduces the serial numbers.
 
 // Paper-configured random dataset of n moving rectangles (Table I row).
 std::vector<Trajectory> MakeRandomDataset(size_t n, uint64_t seed = 42);

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "hrtree/hr_tree.h"
 
 namespace stindex {
@@ -16,6 +17,8 @@ namespace {
 void Run() {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[2];
+  Report().SetParam("objects", static_cast<int64_t>(n));
+  Report().SetParam("splits_percent", static_cast<int64_t>(150));
   std::printf("Ephemeral equivalence (scale=%s): %zu-object random "
               "dataset, LAGreedy 150%% splits.\n",
               scale.name.c_str(), n);
@@ -62,6 +65,10 @@ void Run() {
                   static_cast<long long>(t), alive, ppr_avg, ephemeral_avg,
                   ppr_avg / ephemeral_avg);
     PrintRow(line);
+    const double x = static_cast<double>(t);
+    Report().AddSample("alive", x, static_cast<double>(alive));
+    Report().AddSample("ppr_io", x, ppr_avg);
+    Report().AddSample("ephemeral_io", x, ephemeral_avg);
   }
   std::printf("\nExpected shape: PPR snapshot I/O on par with (in practice "
               "even below) a freshly insert-built 2-D R-tree over the alive "
@@ -74,7 +81,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_ephemeral_equivalence");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

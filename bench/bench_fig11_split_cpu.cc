@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/dp_split.h"
 #include "core/merge_split.h"
 #include "util/stopwatch.h"
@@ -70,6 +71,9 @@ void Run(int num_threads) {
                   dp_seconds, merge_seconds,
                   merge_seconds > 0 ? dp_seconds / merge_seconds : 0.0);
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("dpsplit_seconds", x, dp_seconds);
+    Report().AddSample("mergesplit_seconds", x, merge_seconds);
     (void)dp_volume;
     (void)merge_volume;
   }
@@ -84,6 +88,9 @@ void Run(int num_threads) {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  stindex::bench::Run(stindex::bench::GetThreads(argc, argv));
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig11_split_cpu");
+  stindex::bench::Run(args.threads);
+  stindex::bench::FinishReport(args);
   return 0;
 }

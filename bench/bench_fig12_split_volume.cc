@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/distribute.h"
 
 namespace stindex {
@@ -38,6 +39,10 @@ void Run() {
                   "%7zu | %11.4f | %11.4f | %11.4f | %7.4f", n, unsplit,
                   dp_volume, merge_volume, merge_volume / dp_volume);
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("unsplit_volume", x, unsplit);
+    Report().AddSample("dp_volume", x, dp_volume);
+    Report().AddSample("merge_volume", x, merge_volume);
   }
   std::printf("\nExpected shape: merge/dp ratio close to 1.0 (MergeSplit "
               "produces near-optimal splits, paper Figure 12).\n");
@@ -47,7 +52,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig12_split_volume");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/distribute.h"
 #include "util/stopwatch.h"
 
@@ -58,6 +59,10 @@ void Run(int num_threads) {
                   greedy_seconds > 0 ? lagreedy_seconds / greedy_seconds
                                      : 0.0);
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("optimal_seconds", x, optimal_seconds);
+    Report().AddSample("greedy_seconds", x, greedy_seconds);
+    Report().AddSample("lagreedy_seconds", x, lagreedy_seconds);
     (void)optimal;
   }
   std::printf("\nExpected shape: optimal is orders of magnitude slower; "
@@ -69,6 +74,9 @@ void Run(int num_threads) {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  stindex::bench::Run(stindex::bench::GetThreads(argc, argv));
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig13_distribute_cpu");
+  stindex::bench::Run(args.threads);
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/distribute.h"
 #include "util/random.h"
 
@@ -111,6 +112,12 @@ void Run() {
                     "%11.4f",
                     n, io[0], io[1], io[2], volume[0], volume[1], volume[2]);
       PrintRow(row);
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "pct%d.", percent);
+      const double x = static_cast<double>(n);
+      Report().AddSample(std::string(prefix) + "optimal_io", x, io[0]);
+      Report().AddSample(std::string(prefix) + "greedy_io", x, io[1]);
+      Report().AddSample(std::string(prefix) + "lagreedy_io", x, io[2]);
     }
   }
   // The non-monotone workload (paper Figure 4): half the objects gain
@@ -133,6 +140,10 @@ void Run() {
                   optimal, greedy, lagreedy, greedy / optimal,
                   lagreedy / optimal);
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("vshape.greedy_over_optimal", x, greedy / optimal);
+    Report().AddSample("vshape.lagreedy_over_optimal", x,
+                       lagreedy / optimal);
   }
   std::printf("\nExpected shape: lagreedy tracks optimal closely in both "
               "I/O and volume; greedy is never better, and clearly worse "
@@ -143,7 +154,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig14_distribute_io");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

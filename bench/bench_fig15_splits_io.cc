@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -14,6 +15,7 @@ namespace {
 void Run() {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[2];
+  Report().SetParam("objects", static_cast<int64_t>(n));
   std::printf("Figure 15 reproduction (scale=%s): avg disk accesses vs "
               "splits, small range queries, %zu-object random dataset.\n",
               scale.name.c_str(), n);
@@ -28,11 +30,16 @@ void Run() {
         SplitWithLaGreedy(objects, percent);
     const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
     const std::unique_ptr<RStarTree> rstar = BuildRStar(records, 1000);
+    const double ppr_io = AveragePprIo(*ppr, queries);
+    const double rstar_io = AverageRStarIo(*rstar, queries, 1000);
     char row[256];
     std::snprintf(row, sizeof(row), "%6d%% | %10.2f | %10.2f | %7zu",
-                  percent, AveragePprIo(*ppr, queries),
-                  AverageRStarIo(*rstar, queries, 1000), records.size());
+                  percent, ppr_io, rstar_io, records.size());
     PrintRow(row);
+    Report().AddSample("ppr_io", percent, ppr_io);
+    Report().AddSample("rstar_io", percent, rstar_io);
+    Report().AddSample("records", percent,
+                       static_cast<double>(records.size()));
   }
   std::printf("\nExpected shape: ppr_io decreases substantially as splits "
               "increase; rstar_io is flat or degrades (paper Figure 15, "
@@ -43,7 +50,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig15_splits_io");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -13,6 +14,7 @@ namespace {
 void Run() {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[2];
+  Report().SetParam("objects", static_cast<int64_t>(n));
   std::printf("Figure 16 reproduction (scale=%s): index pages vs splits, "
               "%zu-object random dataset.\n",
               scale.name.c_str(), n);
@@ -32,6 +34,10 @@ void Run() {
                       static_cast<double>(rstar->PageCount()),
                   records.size());
     PrintRow(row);
+    Report().AddSample("ppr_pages", percent,
+                       static_cast<double>(ppr->PageCount()));
+    Report().AddSample("rstar_pages", percent,
+                       static_cast<double>(rstar->PageCount()));
   }
   std::printf("\nExpected shape: both grow with splits; ppr/rstar around "
               "2x (paper Figure 16: \"almost twice as much space\").\n");
@@ -41,7 +47,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig16_space");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

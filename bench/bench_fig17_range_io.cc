@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/piecewise_split.h"
 
 namespace stindex {
@@ -38,15 +39,22 @@ void Run(int num_threads) {
     const std::unique_ptr<RStarTree> piecewise =
         BuildRStar(piecewise_records, 1000);
 
+    const double ppr_io = AveragePprIo(*ppr, queries, num_threads);
+    const double rstar_io =
+        AverageRStarIo(*rstar, queries, 1000, num_threads);
+    const double piecewise_io =
+        AverageRStarIo(*piecewise, queries, 1000, num_threads);
     char row[256];
     std::snprintf(row, sizeof(row),
-                  "%7zu | %10.2f | %10.2f | %12.2f | %8.0f%%", n,
-                  AveragePprIo(*ppr, queries, num_threads),
-                  AverageRStarIo(*rstar, queries, 1000, num_threads),
-                  AverageRStarIo(*piecewise, queries, 1000, num_threads),
+                  "%7zu | %10.2f | %10.2f | %12.2f | %8.0f%%", n, ppr_io,
+                  rstar_io, piecewise_io,
                   100.0 * static_cast<double>(piecewise_splits) /
                       static_cast<double>(n));
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("ppr150_io", x, ppr_io);
+    Report().AddSample("rstar1_io", x, rstar_io);
+    Report().AddSample("piecewise_io", x, piecewise_io);
   }
   std::printf("\nExpected shape: ppr150_io lowest at every size; the "
               "piecewise R*-tree is by far the worst (paper Figure 17; "
@@ -58,6 +66,9 @@ void Run(int num_threads) {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  stindex::bench::Run(stindex::bench::GetThreads(argc, argv));
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig17_range_io");
+  stindex::bench::Run(args.threads);
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/piecewise_split.h"
 
 namespace stindex {
@@ -44,14 +45,23 @@ void Run(int num_threads) {
     const std::unique_ptr<RStarTree> piecewise =
         BuildRStar(piecewise_records, 1000);
 
+    const double ppr_io = AveragePprIo(*ppr, queries, num_threads);
+    const double rstar1_io =
+        AverageRStarIo(*rstar1, queries, 1000, num_threads);
+    const double rstar0_io =
+        AverageRStarIo(*rstar0, queries, 1000, num_threads);
+    const double piecewise_io =
+        AverageRStarIo(*piecewise, queries, 1000, num_threads);
     char row[256];
     std::snprintf(row, sizeof(row),
-                  "%7zu | %10.2f | %10.2f | %10.2f | %12.2f", n,
-                  AveragePprIo(*ppr, queries, num_threads),
-                  AverageRStarIo(*rstar1, queries, 1000, num_threads),
-                  AverageRStarIo(*rstar0, queries, 1000, num_threads),
-                  AverageRStarIo(*piecewise, queries, 1000, num_threads));
+                  "%7zu | %10.2f | %10.2f | %10.2f | %12.2f", n, ppr_io,
+                  rstar1_io, rstar0_io, piecewise_io);
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("ppr150_io", x, ppr_io);
+    Report().AddSample("rstar1_io", x, rstar1_io);
+    Report().AddSample("rstar0_io", x, rstar0_io);
+    Report().AddSample("piecewise_io", x, piecewise_io);
   }
   std::printf("\nExpected shape: ppr150_io lowest (paper: 20%% better for "
               "small interval queries, >50%% for snapshots); piecewise_io "
@@ -63,6 +73,9 @@ void Run(int num_threads) {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  stindex::bench::Run(stindex::bench::GetThreads(argc, argv));
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig18_snapshot_io");
+  stindex::bench::Run(args.threads);
+  stindex::bench::FinishReport(args);
   return 0;
 }

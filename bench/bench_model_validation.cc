@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "model/ppr_cost_model.h"
 #include "model/rtree_cost_model.h"
 
@@ -20,6 +21,7 @@ void Run() {
               "dataset.\n",
               scale.name.c_str(), n);
   const std::vector<Trajectory> objects = MakeRandomDataset(n);
+  Report().SetParam("objects", static_cast<int64_t>(n));
 
   for (const int percent : {0, 150}) {
     const std::vector<SegmentRecord> records =
@@ -54,13 +56,24 @@ void Run() {
       }
       ppr_predicted /= static_cast<double>(queries.size());
       rstar_predicted /= static_cast<double>(queries.size());
+      const double ppr_measured = AveragePprIo(*ppr, queries);
+      const double rstar_measured = AverageRStarIo(*rstar, queries, 1000);
       char line[160];
       std::snprintf(line, sizeof(line),
                     "%-14s | %8.2f | %8.2f | %10.2f | %10.2f",
-                    config.name.c_str(), ppr_predicted,
-                    AveragePprIo(*ppr, queries), rstar_predicted,
-                    AverageRStarIo(*rstar, queries, 1000));
+                    config.name.c_str(), ppr_predicted, ppr_measured,
+                    rstar_predicted, rstar_measured);
       PrintRow(line);
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "pct%d.", percent);
+      Report().AddSample(std::string(prefix) + "ppr_predicted", config.name,
+                         ppr_predicted);
+      Report().AddSample(std::string(prefix) + "ppr_measured", config.name,
+                         ppr_measured);
+      Report().AddSample(std::string(prefix) + "rstar_predicted", config.name,
+                         rstar_predicted);
+      Report().AddSample(std::string(prefix) + "rstar_measured", config.name,
+                         rstar_measured);
     }
   }
   std::printf("\nExpected shape: predictions track the measured ordering "
@@ -73,7 +86,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_model_validation");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "hybrid/mv3r_index.h"
 #include "util/random.h"
 
@@ -20,6 +21,8 @@ void Run() {
               scale.name.c_str(), n);
   const std::vector<Trajectory> objects = MakeRandomDataset(n);
   const std::vector<SegmentRecord> records = SplitWithLaGreedy(objects, 150);
+  Report().SetParam("objects", static_cast<int64_t>(n));
+  Report().SetParam("splits_percent", static_cast<int64_t>(150));
   Mv3rIndex hybrid(records, 1000);
   const std::unique_ptr<RStarTree> rstar = BuildRStar(records, 1000);
 
@@ -58,20 +61,31 @@ void Run() {
       rstar->Search(QueryToBox(query, 0, 1000), &rstar_results);
       rstar_io += rstar->stats().misses;
     }
+    const double hybrid_avg =
+        static_cast<double>(hybrid_io) / static_cast<double>(count);
+    const double ppr_avg =
+        static_cast<double>(ppr_io) / static_cast<double>(count);
+    const double rstar_avg =
+        static_cast<double>(rstar_io) / static_cast<double>(count);
     char line[160];
     std::snprintf(line, sizeof(line),
                   "%8lld | %9.2f | %9.2f | %9.2f | %s",
-                  static_cast<long long>(duration),
-                  static_cast<double>(hybrid_io) / static_cast<double>(count),
-                  static_cast<double>(ppr_io) / static_cast<double>(count),
-                  static_cast<double>(rstar_io) / static_cast<double>(count),
-                  routed_aux ? "auxiliary" : "mvr");
+                  static_cast<long long>(duration), hybrid_avg, ppr_avg,
+                  rstar_avg, routed_aux ? "auxiliary" : "mvr");
     PrintRow(line);
+    const double x = static_cast<double>(duration);
+    Report().AddSample("hybrid_io", x, hybrid_avg);
+    Report().AddSample("ppr_io", x, ppr_avg);
+    Report().AddSample("rstar_io", x, rstar_avg);
   }
   std::printf("\npages: hybrid=%zu (mvr %zu + auxiliary %zu), plain "
               "rstar=%zu\n",
               hybrid.PageCount(), hybrid.ppr().PageCount(),
               hybrid.auxiliary().PageCount(), rstar->PageCount());
+  Report().AddSample("pages", "hybrid",
+                     static_cast<double>(hybrid.PageCount()));
+  Report().AddSample("pages", "rstar",
+                     static_cast<double>(rstar->PageCount()));
   std::printf("\nExpected shape: the hybrid matches the PPR-tree on short "
               "queries and the 3-D tree on long ones — never the worst of "
               "either, at the cost of storing both structures.\n");
@@ -81,7 +95,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_mv3r");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

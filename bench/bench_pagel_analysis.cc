@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "model/pagel_metrics.h"
 
 namespace stindex {
@@ -20,6 +21,7 @@ void Run() {
               scale.name.c_str(), n);
   const std::vector<Trajectory> objects = MakeRandomDataset(n);
   const std::vector<Time> probes = {100, 300, 500, 700, 900};
+  Report().SetParam("objects", static_cast<int64_t>(n));
 
   PrintHeader("R*-tree (3-D boxes): volume down, node count up",
               "splits%% | nodes   | volume    | surface   | leaf_fill");
@@ -34,6 +36,10 @@ void Run() {
                   metrics.node_count, metrics.total_volume,
                   metrics.total_surface, metrics.avg_leaf_fill);
     PrintRow(line);
+    Report().AddSample("rstar_nodes", percent,
+                       static_cast<double>(metrics.node_count));
+    Report().AddSample("rstar_volume", percent, metrics.total_volume);
+    Report().AddSample("rstar_surface", percent, metrics.total_surface);
   }
 
   PrintHeader("PPR-tree (ephemeral 2-D view, averaged over 5 instants): "
@@ -50,6 +56,10 @@ void Run() {
                   metrics.node_count, metrics.total_volume,
                   metrics.total_surface, metrics.avg_leaf_fill);
     PrintRow(line);
+    Report().AddSample("ppr_nodes", percent,
+                       static_cast<double>(metrics.node_count));
+    Report().AddSample("ppr_area", percent, metrics.total_volume);
+    Report().AddSample("ppr_surface", percent, metrics.total_surface);
   }
   std::printf("\nExpected shape (paper Section I): for the R*-tree the "
               "shrinking volume is paid for with more nodes; for the "
@@ -62,7 +72,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_pagel_analysis");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

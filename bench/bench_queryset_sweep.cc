@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -16,6 +17,7 @@ namespace {
 void Run() {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[2];
+  Report().SetParam("objects", static_cast<int64_t>(n));
   std::printf("Query-set sweep (scale=%s): %zu-object random dataset, "
               "PPR(150%%) vs R*(1%%).\n",
               scale.name.c_str(), n);
@@ -40,6 +42,8 @@ void Run() {
     std::snprintf(line, sizeof(line), "%-14s | %10.2f | %10.2f | %9.2f",
                   config.name.c_str(), ppr_io, rstar_io, ppr_io / rstar_io);
     PrintRow(line);
+    Report().AddSample("ppr_io", config.name, ppr_io);
+    Report().AddSample("rstar_io", config.name, rstar_io);
   }
   std::printf("\nExpected shape: PPR wins every snapshot set and the small "
               "range set; the gap narrows as query duration grows "
@@ -51,7 +55,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_queryset_sweep");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

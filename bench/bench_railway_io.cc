@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -33,14 +34,20 @@ void Run() {
         SplitWithLaGreedy(trains, 1);
     const std::unique_ptr<RStarTree> rstar = BuildRStar(rstar_records, 1000);
 
+    const double ppr_snap = AveragePprIo(*ppr, snapshots);
+    const double rstar_snap = AverageRStarIo(*rstar, snapshots, 1000);
+    const double ppr_range = AveragePprIo(*ppr, ranges);
+    const double rstar_range = AverageRStarIo(*rstar, ranges, 1000);
     char row[256];
     std::snprintf(row, sizeof(row),
-                  "%7zu | %10.2f | %10.2f | %10.2f | %11.2f", n,
-                  AveragePprIo(*ppr, snapshots),
-                  AverageRStarIo(*rstar, snapshots, 1000),
-                  AveragePprIo(*ppr, ranges),
-                  AverageRStarIo(*rstar, ranges, 1000));
+                  "%7zu | %10.2f | %10.2f | %10.2f | %11.2f", n, ppr_snap,
+                  rstar_snap, ppr_range, rstar_range);
     PrintRow(row);
+    const double x = static_cast<double>(n);
+    Report().AddSample("ppr_snapshot_io", x, ppr_snap);
+    Report().AddSample("rstar_snapshot_io", x, rstar_snap);
+    Report().AddSample("ppr_range_io", x, ppr_range);
+    Report().AddSample("rstar_range_io", x, rstar_range);
   }
   std::printf("\nExpected shape: PPR-tree superior on both query types at "
               "every size (paper Section V-D).\n");
@@ -50,7 +57,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_railway_io");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

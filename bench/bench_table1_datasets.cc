@@ -2,6 +2,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -15,6 +16,13 @@ void PrintStatsRow(const char* family,
                 family, stats.total_objects, stats.avg_objects_per_instant,
                 stats.total_segments, stats.avg_lifetime);
   PrintRow(row);
+  const double n = static_cast<double>(stats.total_objects);
+  const std::string prefix = family;
+  Report().AddSample(prefix + ".objs_per_instant", n,
+                     stats.avg_objects_per_instant);
+  Report().AddSample(prefix + ".segments", n,
+                     static_cast<double>(stats.total_segments));
+  Report().AddSample(prefix + ".avg_lifetime", n, stats.avg_lifetime);
 }
 
 void Run() {
@@ -42,7 +50,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_table1_datasets");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

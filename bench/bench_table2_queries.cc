@@ -2,6 +2,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_report.h"
 
 namespace stindex {
 namespace bench {
@@ -24,6 +25,12 @@ void PrintQuerySet(const QuerySetConfig& config, size_t count) {
                 max_w * 100.0, static_cast<long long>(min_d),
                 static_cast<long long>(max_d));
   PrintRow(row);
+  Report().AddSample("count", config.name,
+                     static_cast<double>(queries.size()));
+  Report().AddSample("min_extent_pct", config.name, min_w * 100.0);
+  Report().AddSample("max_extent_pct", config.name, max_w * 100.0);
+  Report().AddSample("min_duration", config.name, static_cast<double>(min_d));
+  Report().AddSample("max_duration", config.name, static_cast<double>(max_d));
 }
 
 void Run() {
@@ -47,7 +54,10 @@ void Run() {
 }  // namespace bench
 }  // namespace stindex
 
-int main() {
+int main(int argc, char** argv) {
+  const stindex::bench::BenchArgs args =
+      stindex::bench::ParseBenchArgs(argc, argv, "bench_table2_queries");
   stindex::bench::Run();
+  stindex::bench::FinishReport(args);
   return 0;
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs every structured-report bench harness with --json and aggregates
+# the per-bench reports into one BENCH_results.json:
+#
+#   { "schema_version": 1, "results": [ <per-bench report>, ... ] }
+#
+# The per-bench report schema is documented in bench/bench_report.h.
+# bench_micro_ops is skipped — it is a google-benchmark binary with its
+# own reporting and no --json flag.
+#
+# Usage: scripts/run_benches.sh [build-dir] [output-dir]
+#
+# Environment:
+#   STINDEX_SCALE    bench scale (small|paper), forwarded to the benches.
+#   STINDEX_THREADS  default thread count for the parallel harnesses.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_reports}"
+mkdir -p "$OUT_DIR"
+
+reports=()
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  case "$name" in
+    *.cmake | *Makefile | CMakeFiles) continue ;;
+    bench_micro_ops) echo "== $name (skipped: google-benchmark harness) =="
+                     continue ;;
+  esac
+  echo "== $name =="
+  "$bench" --json="$OUT_DIR/$name.json" | tee "$OUT_DIR/$name.txt"
+  reports+=("$OUT_DIR/$name.json")
+done
+
+if [ "${#reports[@]}" -eq 0 ]; then
+  echo "error: no bench binaries found under $BUILD_DIR/bench" >&2
+  exit 1
+fi
+
+# Aggregate the per-bench reports into one document.
+AGGREGATE="$OUT_DIR/BENCH_results.json"
+python3 - "$AGGREGATE" "${reports[@]}" <<'EOF'
+import json, sys
+out, paths = sys.argv[1], sys.argv[2:]
+results = []
+for path in paths:
+    with open(path, "r", encoding="utf-8") as f:
+        results.append(json.load(f))
+with open(out, "w", encoding="utf-8") as f:
+    json.dump({"schema_version": 1, "results": results}, f, indent=2)
+    f.write("\n")
+EOF
+
+python3 "$(dirname "$0")/validate_report.py" "$AGGREGATE"
+echo "Aggregated ${#reports[@]} reports into $AGGREGATE"

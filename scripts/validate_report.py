@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validates bench report JSON against the schema in bench/bench_report.h.
+
+Accepts either a single per-bench report (an object with a "bench" key)
+or an aggregate produced by scripts/run_benches.sh (an object with a
+"results" array of per-bench reports). Exits non-zero with a readable
+message on the first violation, so CI can gate on schema stability.
+
+Usage: scripts/validate_report.py REPORT.json [REPORT.json ...]
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition, path, message):
+    if not condition:
+        fail(path, message)
+
+
+def is_number(value):
+    # bool is an int subclass in Python; a bool here means the report
+    # emitted true/false where the schema promises a number.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_point(point, path, where):
+    expect(isinstance(point, dict), path, f"{where}: point is not an object")
+    expect("y" in point and is_number(point["y"]), path,
+           f"{where}: point missing numeric 'y'")
+    has_x = "x" in point
+    has_label = "label" in point
+    expect(has_x != has_label, path,
+           f"{where}: point must have exactly one of 'x' or 'label'")
+    if has_x:
+        expect(is_number(point["x"]), path, f"{where}: 'x' is not a number")
+    else:
+        expect(isinstance(point["label"], str), path,
+               f"{where}: 'label' is not a string")
+
+
+def validate_report(report, path):
+    expect(isinstance(report, dict), path, "report is not a JSON object")
+    expect(report.get("schema_version") == 1, path,
+           f"schema_version is {report.get('schema_version')!r}, want 1")
+    for key, kind in (("bench", str), ("scale", str), ("threads", int),
+                      ("params", dict), ("series", list), ("io", dict),
+                      ("latency_ms", dict), ("metrics", dict)):
+        expect(isinstance(report.get(key), kind), path,
+               f"'{key}' missing or not a {kind.__name__}")
+    expect(report["threads"] >= 1, path, "'threads' must be >= 1")
+
+    for name, value in report["params"].items():
+        expect(isinstance(value, (str, int, float)), path,
+               f"param '{name}' has unsupported type {type(value).__name__}")
+
+    seen_series = set()
+    for series in report["series"]:
+        expect(isinstance(series, dict), path, "series entry is not an object")
+        name = series.get("name")
+        expect(isinstance(name, str) and name, path,
+               "series entry missing non-empty 'name'")
+        expect(name not in seen_series, path, f"duplicate series '{name}'")
+        seen_series.add(name)
+        points = series.get("points")
+        expect(isinstance(points, list) and points, path,
+               f"series '{name}' has no points")
+        for point in points:
+            validate_point(point, path, f"series '{name}'")
+
+    io = report["io"]
+    for key in ("accesses", "misses", "hits"):
+        expect(isinstance(io.get(key), int) and io[key] >= 0, path,
+               f"io.{key} missing or not a non-negative integer")
+    expect(io["accesses"] == io["misses"] + io["hits"], path,
+           "io.accesses != io.misses + io.hits")
+
+    latency = report["latency_ms"]
+    expect(isinstance(latency.get("count"), int) and latency["count"] >= 0,
+           path, "latency_ms.count missing or negative")
+    for key in ("p50", "p90", "p99", "max"):
+        expect(is_number(latency.get(key)), path,
+               f"latency_ms.{key} missing or not a number")
+    if latency["count"] > 0:
+        expect(latency["p50"] <= latency["p90"] <= latency["p99"], path,
+               "latency percentiles are not monotone")
+
+    metrics = report["metrics"]
+    for section, kind in (("counters", int), ("gauges", int),
+                          ("histograms", dict)):
+        entries = metrics.get(section)
+        expect(isinstance(entries, dict), path,
+               f"metrics.{section} missing or not an object")
+        names = list(entries.keys())
+        expect(names == sorted(names), path,
+               f"metrics.{section} names are not sorted")
+        for name, value in entries.items():
+            expect(isinstance(value, kind), path,
+                   f"metrics.{section}['{name}'] is not a {kind.__name__}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                document = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            fail(path, f"unreadable or invalid JSON: {error}")
+        if "results" in document:
+            expect(document.get("schema_version") == 1, path,
+                   "aggregate schema_version != 1")
+            results = document["results"]
+            expect(isinstance(results, list) and results, path,
+                   "aggregate 'results' missing or empty")
+            for index, report in enumerate(results):
+                validate_report(report, f"{path}[results:{index}]")
+            print(f"{path}: OK ({len(results)} reports)")
+        else:
+            validate_report(document, path)
+            print(f"{path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

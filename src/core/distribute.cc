@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace stindex {
@@ -43,6 +44,7 @@ double UnsplitVolume(const std::vector<VolumeCurve>& curves) {
 Distribution DistributeOptimal(const std::vector<VolumeCurve>& curves,
                                int64_t k_total) {
   STINDEX_CHECK(k_total >= 0);
+  ScopedTimer timer("pipeline.distribute_seconds");
   const int n = static_cast<int>(curves.size());
   const int budget = static_cast<int>(
       std::min<int64_t>(k_total, std::numeric_limits<int>::max()));
@@ -94,8 +96,13 @@ Distribution DistributeOptimal(const std::vector<VolumeCurve>& curves,
   return result;
 }
 
-Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
-                              int64_t k_total, int num_threads) {
+namespace {
+
+// Shared by DistributeGreedy and DistributeLAGreedy (which seeds from the
+// greedy allocation); the public entry points own the phase timer so the
+// greedy prelude of LAGreedy is not recorded twice.
+Distribution DistributeGreedyImpl(const std::vector<VolumeCurve>& curves,
+                                  int64_t k_total, int num_threads) {
   STINDEX_CHECK(k_total >= 0);
   const int n = static_cast<int>(curves.size());
 
@@ -137,6 +144,14 @@ Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
     }
   }
   return result;
+}
+
+}  // namespace
+
+Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
+                              int64_t k_total, int num_threads) {
+  ScopedTimer timer("pipeline.distribute_seconds");
+  return DistributeGreedyImpl(curves, k_total, num_threads);
 }
 
 namespace {
@@ -281,7 +296,8 @@ class LaGreedyState {
 
 Distribution DistributeLAGreedy(const std::vector<VolumeCurve>& curves,
                                 int64_t k_total, int num_threads) {
-  Distribution result = DistributeGreedy(curves, k_total, num_threads);
+  ScopedTimer timer("pipeline.distribute_seconds");
+  Distribution result = DistributeGreedyImpl(curves, k_total, num_threads);
   LaGreedyState state(curves, &result, num_threads);
   while (state.TryExchange()) {
   }

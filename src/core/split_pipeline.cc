@@ -3,6 +3,7 @@
 #include "core/dp_split.h"
 #include "core/merge_split.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace stindex {
@@ -35,6 +36,12 @@ std::vector<SegmentRecord> Concatenate(
   return records;
 }
 
+// Publishes the segment-phase outcome (count only; counter adds are
+// order-independent, so the parallel path stays deterministic).
+void CountSegmentsBuilt(size_t n) {
+  MetricRegistry::Global().GetCounter("pipeline.segments_built")->Add(n);
+}
+
 }  // namespace
 
 std::vector<SegmentRecord> BuildSegments(
@@ -42,6 +49,7 @@ std::vector<SegmentRecord> BuildSegments(
     const std::vector<int>& splits_per_object, SplitMethod method,
     int num_threads) {
   STINDEX_CHECK(objects.size() == splits_per_object.size());
+  ScopedTimer timer("pipeline.segment_seconds");
   if (num_threads <= 1) {
     std::vector<SegmentRecord> records;
     records.reserve(objects.size());
@@ -50,6 +58,7 @@ std::vector<SegmentRecord> BuildSegments(
           SplitOne(objects[i], splits_per_object[i], method);
       records.insert(records.end(), pieces.begin(), pieces.end());
     }
+    CountSegmentsBuilt(records.size());
     return records;
   }
 
@@ -64,11 +73,14 @@ std::vector<SegmentRecord> BuildSegments(
                   out.insert(out.end(), pieces.begin(), pieces.end());
                 }
               });
-  return Concatenate(std::move(chunk_records));
+  std::vector<SegmentRecord> records = Concatenate(std::move(chunk_records));
+  CountSegmentsBuilt(records.size());
+  return records;
 }
 
 std::vector<SegmentRecord> BuildUnsplitSegments(
     const std::vector<Trajectory>& objects, int num_threads) {
+  ScopedTimer timer("pipeline.segment_seconds");
   std::vector<SegmentRecord> records(objects.size());
   ParallelFor(num_threads, objects.size(),
               [&](size_t /*chunk*/, size_t begin, size_t end) {
@@ -77,6 +89,7 @@ std::vector<SegmentRecord> BuildUnsplitSegments(
                   records[i].box = objects[i].FullBox();
                 }
               });
+  CountSegmentsBuilt(records.size());
   return records;
 }
 

@@ -3,6 +3,7 @@
 #include "core/dp_split.h"
 #include "core/merge_split.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace stindex {
@@ -25,6 +26,10 @@ VolumeCurve ComputeVolumeCurve(const std::vector<Rect2D>& rects, int k_max,
 std::vector<VolumeCurve> ComputeVolumeCurves(
     const std::vector<Trajectory>& objects, int k_max, SplitMethod method,
     int num_threads) {
+  ScopedTimer timer("pipeline.curve_seconds");
+  MetricRegistry::Global()
+      .GetCounter("pipeline.curves_computed")
+      ->Add(objects.size());
   std::vector<VolumeCurve> curves(objects.size());
   ParallelFor(num_threads, objects.size(),
               [&](size_t /*chunk*/, size_t begin, size_t end) {

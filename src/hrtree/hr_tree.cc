@@ -46,7 +46,8 @@ HrTree::HrTree(HrConfig config) : config_(config) {
   STINDEX_CHECK(config_.max_entries >= 4);
   STINDEX_CHECK(config_.min_entries >= 1);
   STINDEX_CHECK(config_.min_entries <= config_.max_entries / 2);
-  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages);
+  store_.SetMetricScope("hr");
+  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages, "hr");
 }
 
 HrTree::~HrTree() = default;
@@ -61,7 +62,7 @@ const HrTree::Node* HrTree::FetchNode(BufferPool* buffer, PageId id) {
 
 std::unique_ptr<BufferPool> HrTree::NewQueryBuffer(size_t pages) const {
   return std::make_unique<BufferPool>(
-      &store_, pages == 0 ? config_.buffer_pages : pages);
+      &store_, pages == 0 ? config_.buffer_pages : pages, "hr");
 }
 
 size_t HrTree::NumVersions() const { return roots_.size(); }

@@ -1,6 +1,7 @@
 #include "io/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -37,12 +38,20 @@ std::vector<std::string> SplitFields(const std::string& line,
   return fields;
 }
 
+}  // namespace
+
 Status ParseDouble(const std::string& text, double* out) {
   errno = 0;
   char* end = nullptr;
   *out = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+  if (end == text.c_str() || *end != '\0') {
     return Status::InvalidArgument("malformed number: '" + text + "'");
+  }
+  // strtod sets ERANGE for subnormal underflow as well as overflow, but
+  // only overflow (±HUGE_VAL) loses the value — denormals written with
+  // %.17g must round-trip.
+  if (errno == ERANGE && (*out == HUGE_VAL || *out == -HUGE_VAL)) {
+    return Status::OutOfRange("number out of range: '" + text + "'");
   }
   return Status::OK();
 }
@@ -51,12 +60,17 @@ Status ParseTime(const std::string& text, Time* out) {
   errno = 0;
   char* end = nullptr;
   const long long value = std::strtoll(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+  if (end == text.c_str() || *end != '\0') {
     return Status::InvalidArgument("malformed time: '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("time out of range: '" + text + "'");
   }
   *out = static_cast<Time>(value);
   return Status::OK();
 }
+
+namespace {
 
 Status ParsePolynomial(const std::string& text, Polynomial* out) {
   std::vector<double> coefficients;

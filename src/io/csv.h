@@ -29,6 +29,15 @@ namespace stindex {
 //  * Queries:
 //      t_start,t_end,xlo,ylo,xhi,yhi
 
+// Field-level parsers used by the readers below, exposed for direct use
+// and testing. ParseDouble accepts everything strtod does — including
+// denormals, which underflow to a subnormal without losing the value —
+// and rejects only syntax errors (InvalidArgument) and genuine overflow
+// to ±HUGE_VAL (OutOfRange). ParseTime parses a base-10 integer into
+// Time with the same syntax/overflow split.
+Status ParseDouble(const std::string& text, double* out);
+Status ParseTime(const std::string& text, Time* out);
+
 Status WriteTrajectoriesCsv(const std::string& path,
                             const std::vector<Trajectory>& objects);
 Result<std::vector<Trajectory>> ReadTrajectoriesCsv(const std::string& path);

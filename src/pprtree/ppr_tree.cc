@@ -12,6 +12,7 @@
 #include "storage/page_codec.h"
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace stindex {
 
@@ -82,13 +83,18 @@ PprTree::PprTree(PprConfig config) : config_(config) {
   STINDEX_CHECK(config_.p_version > 0.0 && config_.p_version < 1.0);
   STINDEX_CHECK(config_.p_svu > config_.p_version);
   STINDEX_CHECK(config_.p_svo > config_.p_svu && config_.p_svo <= 1.0);
-  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages);
+  store_.SetMetricScope("ppr");
+  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages, "ppr");
   // The strong-version window must leave room to insert into a fresh node.
   STINDEX_CHECK(StrongMax() < config_.max_entries);
   STINDEX_CHECK(WeakMin() >= 1);
 }
 
-PprTree::~PprTree() = default;
+PprTree::~PprTree() {
+  if (!roots_.empty()) {
+    MetricRegistry::Global().GetGauge("ppr.root_eras")->SetMax(roots_.size());
+  }
+}
 
 size_t PprTree::WeakMin() const {
   return static_cast<size_t>(
@@ -115,7 +121,7 @@ const PprTree::Node* PprTree::FetchNode(BufferPool* buffer, PageId id) {
 
 std::unique_ptr<BufferPool> PprTree::NewQueryBuffer(size_t pages) const {
   return std::make_unique<BufferPool>(
-      &store_, pages == 0 ? config_.buffer_pages : pages);
+      &store_, pages == 0 ? config_.buffer_pages : pages, "ppr");
 }
 
 size_t PprTree::NumRoots() const { return roots_.size(); }
@@ -308,6 +314,9 @@ void PprTree::Restructure(std::vector<Frame> path, std::vector<Entry> pending,
   Node* node = GetNode(path.back().node);
   const int level = node->level();
   const bool is_root = path.size() == 1;
+  static Counter* const version_splits =
+      MetricRegistry::Global().GetCounter("ppr.version_splits");
+  version_splits->Increment();
 
   auto truncate_alive = [now](Node* victim, std::vector<Entry>* copies) {
     std::vector<Entry>& entries = victim->entries();
@@ -358,12 +367,18 @@ void PprTree::Restructure(std::vector<Frame> path, std::vector<Entry> pending,
     if (sibling_slot.has_value()) {
       Node* sibling = GetNode(siblings[*sibling_slot].child);
       truncate_alive(sibling, &copies);
+      static Counter* const sibling_merges =
+          MetricRegistry::Global().GetCounter("ppr.sibling_merges");
+      sibling_merges->Increment();
     }
   }
 
   // Partition the surviving alive set into one or two new nodes.
   std::vector<std::vector<Entry>> groups;
   if (copies.size() > StrongMax()) {
+    static Counter* const key_splits =
+        MetricRegistry::Global().GetCounter("ppr.key_splits");
+    key_splits->Increment();
     std::vector<Entry> left;
     std::vector<Entry> right;
     KeySplit(&copies, &left, &right);

@@ -7,6 +7,7 @@
 
 #include "util/check.h"
 #include "util/hilbert.h"
+#include "util/metrics.h"
 
 namespace stindex {
 
@@ -45,10 +46,18 @@ RStarTree::RStarTree(RStarConfig config) : config_(config) {
   STINDEX_CHECK(config_.min_entries <= config_.max_entries / 2);
   STINDEX_CHECK(config_.reinsert_count >= 1);
   STINDEX_CHECK(config_.reinsert_count < config_.max_entries);
-  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages);
+  store_.SetMetricScope("rstar");
+  buffer_ = std::make_unique<BufferPool>(&store_, config_.buffer_pages, "rstar");
 }
 
-RStarTree::~RStarTree() = default;
+RStarTree::~RStarTree() {
+  if (root_ != kInvalidPage) {
+    MetricRegistry::Global().GetGauge("rstar.height")->SetMax(Height());
+  }
+  // The default buffer publishes its lifetime I/O; it must die before the
+  // store it reads from.
+  buffer_.reset();
+}
 
 RStarTree::Node* RStarTree::GetNode(PageId id) const {
   return static_cast<Node*>(store_.Get(id));
@@ -60,7 +69,7 @@ const RStarTree::Node* RStarTree::FetchNode(BufferPool* buffer, PageId id) {
 
 std::unique_ptr<BufferPool> RStarTree::NewQueryBuffer(size_t pages) const {
   return std::make_unique<BufferPool>(
-      &store_, pages == 0 ? config_.buffer_pages : pages);
+      &store_, pages == 0 ? config_.buffer_pages : pages, "rstar");
 }
 
 size_t RStarTree::Height() const {
@@ -334,6 +343,9 @@ void RStarTree::Reinsert(std::vector<PageId>& path_nodes,
   Node* node = GetNode(path_nodes.back());
   const size_t level = static_cast<size_t>(node->level());
   reinserted_on_level_[level] = true;
+  static Counter* const reinsertions =
+      MetricRegistry::Global().GetCounter("rstar.reinsertions");
+  reinsertions->Increment();
 
   // Order entries by distance of their box center from the node MBR
   // center; the `reinsert_count` furthest leave the node.
@@ -616,6 +628,9 @@ void RStarTree::SplitNode(std::vector<PageId>& path_nodes,
   std::vector<Node::Entry>& entries = node->entries();
   const size_t min_fill = config_.min_entries;
   STINDEX_CHECK(entries.size() == config_.max_entries + 1);
+  static Counter* const node_splits =
+      MetricRegistry::Global().GetCounter("rstar.node_splits");
+  node_splits->Increment();
 
   std::vector<Node::Entry> right_group;
   switch (config_.split) {

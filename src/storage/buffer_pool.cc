@@ -1,15 +1,34 @@
 #include "storage/buffer_pool.h"
 
+#include <utility>
+
+#include "util/metrics.h"
+
 namespace stindex {
 
-BufferPool::BufferPool(const PageStore* store, size_t capacity)
-    : store_(store), capacity_(capacity) {
+BufferPool::BufferPool(const PageStore* store, size_t capacity,
+                       std::string metric_scope)
+    : store_(store),
+      capacity_(capacity),
+      metric_scope_(std::move(metric_scope)) {
   STINDEX_CHECK(store != nullptr);
   STINDEX_CHECK(capacity > 0);
 }
 
+BufferPool::~BufferPool() {
+  if (metric_scope_.empty() || lifetime_stats_.accesses == 0) return;
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("bufferpool." + metric_scope_ + ".accesses")
+      ->Add(lifetime_stats_.accesses);
+  registry.GetCounter("bufferpool." + metric_scope_ + ".misses")
+      ->Add(lifetime_stats_.misses);
+}
+
 const Page* BufferPool::Fetch(PageId id) {
+  STINDEX_CHECK_MSG(store_->IsLive(id),
+                    "BufferPool::Fetch of a freed or out-of-range PageId");
   ++stats_.accesses;
+  ++lifetime_stats_.accesses;
   auto it = index_.find(id);
   if (it != index_.end()) {
     // Hit: move to MRU position.
@@ -18,6 +37,7 @@ const Page* BufferPool::Fetch(PageId id) {
   }
   // Miss: one disk access; evict LRU page if full.
   ++stats_.misses;
+  ++lifetime_stats_.misses;
   if (lru_.size() == capacity_) {
     index_.erase(lru_.back());
     lru_.pop_back();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 
 #include "storage/page_store.h"
@@ -30,28 +31,43 @@ struct IoStats {
 class BufferPool {
  public:
   // `capacity` is the number of pages held in the cache (> 0).
-  BufferPool(const PageStore* store, size_t capacity);
+  // `metric_scope` names the index this pool serves ("ppr", "rstar",
+  // "hr"); when non-empty the pool's lifetime totals are published to the
+  // global MetricRegistry counters `bufferpool.<scope>.accesses` and
+  // `bufferpool.<scope>.misses` on destruction. Counter sums are
+  // order-independent, so per-worker pools keep instrumented runs
+  // deterministic at any thread count.
+  BufferPool(const PageStore* store, size_t capacity,
+             std::string metric_scope = std::string());
+  ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Reads a page through the cache; a miss counts as one disk access.
+  // The page must be live: fetching a freed or never-allocated PageId is
+  // a checked programming error (a crisp diagnostic, never UB) — an
+  // index handing out a dangling page id is structurally corrupt.
   const Page* Fetch(PageId id);
 
   // Drops all cached pages (as before each measured query).
   void ResetCache();
 
-  // Zeroes the counters.
+  // Zeroes the per-query counters (lifetime totals keep accumulating).
   void ResetStats() { stats_.Reset(); }
 
   const IoStats& stats() const { return stats_; }
+  // Totals since construction; unaffected by ResetStats/ResetCache.
+  const IoStats& lifetime_stats() const { return lifetime_stats_; }
   size_t capacity() const { return capacity_; }
   size_t CachedPages() const { return lru_.size(); }
 
  private:
   const PageStore* store_;
   size_t capacity_;
+  std::string metric_scope_;
   IoStats stats_;
+  IoStats lifetime_stats_;
   // Most-recently-used at front. For the tiny capacities used here a
   // list+map LRU is ample.
   std::list<PageId> lru_;

@@ -1,12 +1,26 @@
 #include "storage/page_store.h"
 
+#include "util/metrics.h"
+
 namespace stindex {
+
+PageStore::~PageStore() {
+  if (metric_scope_.empty()) return;
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetGauge("pagestore." + metric_scope_ + ".live_pages")
+      ->SetMax(live_count_);
+  registry.GetGauge("pagestore." + metric_scope_ + ".peak_pages")
+      ->SetMax(peak_live_count_);
+  registry.GetCounter("pagestore." + metric_scope_ + ".allocations")
+      ->Add(pages_.size());
+}
 
 PageId PageStore::Allocate(std::unique_ptr<Page> page) {
   STINDEX_CHECK(page != nullptr);
   STINDEX_CHECK_MSG(pages_.size() < kInvalidPage, "page id space exhausted");
   pages_.push_back(std::move(page));
   ++live_count_;
+  if (live_count_ > peak_live_count_) peak_live_count_ = live_count_;
   return static_cast<PageId>(pages_.size() - 1);
 }
 

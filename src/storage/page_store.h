@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "util/check.h"
@@ -47,6 +48,9 @@ class PageStore {
   // Number of live pages — the index's disk footprint in pages.
   size_t PageCount() const { return live_count_; }
 
+  // Highest number of simultaneously live pages ever observed.
+  size_t PeakPageCount() const { return peak_live_count_; }
+
   // Total ids ever allocated (live + freed).
   size_t AllocatedCount() const { return pages_.size(); }
 
@@ -54,9 +58,19 @@ class PageStore {
     return id < pages_.size() && pages_[id] != nullptr;
   }
 
+  // Names the index this store backs ("ppr", "rstar", "hr"). When set,
+  // the destructor publishes `pagestore.<scope>.live_pages` and
+  // `pagestore.<scope>.peak_pages` gauges (SetMax — order-independent)
+  // and adds AllocatedCount() to `pagestore.<scope>.allocations`.
+  void SetMetricScope(std::string scope) { metric_scope_ = std::move(scope); }
+
+  ~PageStore();
+
  private:
   std::vector<std::unique_ptr<Page>> pages_;
   size_t live_count_ = 0;
+  size_t peak_live_count_ = 0;
+  std::string metric_scope_;
 };
 
 }  // namespace stindex

@@ -1,0 +1,169 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace stindex {
+
+void JsonWriter::Indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    STINDEX_CHECK_MSG(!done_, "second top-level JSON value");
+    done_ = true;  // containers stay "open" until their matching End*
+    return;
+  }
+  if (stack_.back() == Scope::kArray) {
+    STINDEX_CHECK_MSG(!key_pending_, "Key() inside an array");
+    if (counts_.back() > 0) out_ += ',';
+    out_ += '\n';
+    Indent();
+  } else {
+    STINDEX_CHECK_MSG(key_pending_, "object value without a Key()");
+    key_pending_ = false;
+  }
+  ++counts_.back();
+}
+
+void JsonWriter::AppendEscaped(const std::string& text) {
+  out_ += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  STINDEX_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                    "EndObject without matching BeginObject");
+  STINDEX_CHECK_MSG(!key_pending_, "dangling Key() at EndObject");
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  STINDEX_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                    "EndArray without matching BeginArray");
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  STINDEX_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                    "Key() outside an object");
+  STINDEX_CHECK_MSG(!key_pending_, "two Key() calls in a row");
+  if (counts_.back() > 0) out_ += ',';
+  out_ += '\n';
+  Indent();
+  AppendEscaped(name);
+  out_ += ": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  AppendEscaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  STINDEX_CHECK_MSG(stack_.empty() && done_,
+                    "str() on an unfinished JSON document");
+  return out_;
+}
+
+}  // namespace stindex

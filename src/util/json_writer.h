@@ -1,0 +1,59 @@
+#ifndef STINDEX_UTIL_JSON_WRITER_H_
+#define STINDEX_UTIL_JSON_WRITER_H_
+
+// A minimal streaming JSON writer for the structured bench reports and
+// the CLI --stats dump. No reading, no DOM: callers emit a document in
+// order and take the string. Output is pretty-printed with 2-space
+// indentation and stable field order (whatever order the caller wrote),
+// so reports diff cleanly.
+//
+// The writer checks nesting with STINDEX_CHECK: a value outside an array
+// needs a preceding Key(), EndObject must match BeginObject, and exactly
+// one top-level value is allowed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stindex {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits the member name; must be followed by exactly one value (or
+  // container) and is only legal directly inside an object.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  // %.17g (shortest round-trip-safe form); NaN and infinities become null
+  // since JSON cannot represent them.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // The finished document. Checks that all containers were closed.
+  const std::string& str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();  // separators, indentation, key bookkeeping
+  void Indent();
+  void AppendEscaped(const std::string& text);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<size_t> counts_;  // values emitted in each open scope
+  bool key_pending_ = false;
+  bool done_ = false;  // a complete top-level value was written
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_JSON_WRITER_H_

@@ -1,0 +1,182 @@
+#include "util/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stindex {
+
+namespace {
+
+// Bucket 0's upper bound is 2^kExponentOffset; see header.
+constexpr int kExponentOffset = -20;
+
+}  // namespace
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN readings
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);
+  // frexp puts value in [2^(exponent-1), 2^exponent); our buckets are
+  // open below and CLOSED above, so an exact power of two belongs to the
+  // bucket it bounds.
+  int index = exponent - kExponentOffset;
+  if (mantissa == 0.5) --index;
+  if (index < 0) return 0;
+  if (index >= static_cast<int>(kBucketCount)) return kBucketCount - 1;
+  return static_cast<size_t>(index);
+}
+
+double Histogram::BucketUpperBound(size_t index) {
+  return std::ldexp(1.0, static_cast<int>(index) + kExponentOffset);
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) value = 0.0;
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  STINDEX_CHECK(p >= 0.0 && p <= 100.0);
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // The true value lies in this bucket; report its upper bound,
+      // clamped to the exact extremes.
+      double bound = BucketUpperBound(i);
+      if (bound > max_) bound = max_;
+      if (bound < min_) bound = min_;
+      return bound;
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = count_ == 0 ? 0.0 : min_;
+  snapshot.max = count_ == 0 ? 0.0 : max_;
+  snapshot.p50 = Percentile(50.0);
+  snapshot.p90 = Percentile(90.0);
+  snapshot.p99 = Percentile(99.0);
+  return snapshot;
+}
+
+void HistogramMetric::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Record(value);
+}
+
+void HistogramMetric::MergeFrom(const Histogram& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Merge(shard);
+}
+
+Histogram HistogramMetric::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histogram_;
+}
+
+void HistogramMetric::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_.Reset();
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<HistogramMetric>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Value().Snapshot());
+  }
+  return snapshot;
+}
+
+void MetricRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void MergeShards(const std::vector<Histogram>& shards,
+                 HistogramMetric* target) {
+  STINDEX_CHECK(target != nullptr);
+  for (const Histogram& shard : shards) target->MergeFrom(shard);
+}
+
+ScopedTimer::ScopedTimer(const std::string& histogram_name)
+    : histogram_(MetricRegistry::Global().GetHistogram(histogram_name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  histogram_->Record(elapsed.count());
+}
+
+}  // namespace stindex

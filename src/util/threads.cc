@@ -1,0 +1,34 @@
+#include "util/threads.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace stindex {
+
+Result<int> ParseThreadCount(const std::string& text,
+                             const std::string& source) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(source + ": '" + text +
+                                   "' is not an integer thread count");
+  }
+  if (errno == ERANGE || value < 1 || value > kMaxThreads) {
+    return Status::InvalidArgument(
+        source + ": thread count " + text + " out of range [1, " +
+        std::to_string(kMaxThreads) + "]");
+  }
+  return static_cast<int>(value);
+}
+
+Result<int> ResolveThreadCount(const std::string& flag_value) {
+  if (!flag_value.empty()) return ParseThreadCount(flag_value, "--threads");
+  const char* env = std::getenv("STINDEX_THREADS");
+  if (env != nullptr && *env != '\0') {
+    return ParseThreadCount(env, "STINDEX_THREADS");
+  }
+  return 1;
+}
+
+}  // namespace stindex

@@ -1,0 +1,37 @@
+#ifndef STINDEX_UTIL_THREADS_H_
+#define STINDEX_UTIL_THREADS_H_
+
+// Shared worker-thread-count resolution for every front end (benches and
+// stindex_cli), so `--threads=N` and the STINDEX_THREADS environment
+// variable mean the same thing everywhere:
+//
+//   resolution order:  --threads flag  >  STINDEX_THREADS  >  1
+//
+// Both sources are validated, not passed through: a value must parse as
+// an integer in [1, kMaxThreads]. Zero, negatives, garbage and overflow
+// are InvalidArgument — never silently clamped into the ThreadPool.
+
+#include <string>
+
+#include "util/status.h"
+
+namespace stindex {
+
+// Upper bound on accepted worker counts; far above any useful
+// parallelism here, it exists to catch typos like --threads=10000000.
+inline constexpr int kMaxThreads = 1024;
+
+// Parses `text` as a thread count in [1, kMaxThreads]. `source` names
+// where the value came from ("--threads", "STINDEX_THREADS") for the
+// error message.
+Result<int> ParseThreadCount(const std::string& text,
+                             const std::string& source);
+
+// Resolves the effective thread count: `flag_value` when non-empty, else
+// the STINDEX_THREADS environment variable when set, else 1. Invalid
+// values from either source are an error, not a fallback.
+Result<int> ResolveThreadCount(const std::string& flag_value);
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_THREADS_H_

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "datagen/query_gen.h"
 #include "datagen/random_dataset.h"
@@ -113,6 +115,93 @@ TEST(CsvTest, NonContiguousTuplesRejected) {
   }
   Result<std::vector<Trajectory>> read = ReadTrajectoriesCsv(path);
   EXPECT_FALSE(read.ok());
+}
+
+TEST(CsvTest, ParseDoubleRoundTripsExtremeValues) {
+  // Values written with %.17g must parse back bit-exact, including
+  // denormals (strtod flags their underflow with ERANGE, which must not
+  // be treated as an error) and the largest finite doubles.
+  const double extremes[] = {
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min() / 4,  // subnormal
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      0.0,
+      -1.5e-300,
+  };
+  for (const double value : extremes) {
+    char text[64];
+    std::snprintf(text, sizeof(text), "%.17g", value);
+    double parsed = 0.0;
+    const Status status = ParseDouble(text, &parsed);
+    ASSERT_TRUE(status.ok()) << text << ": " << status.ToString();
+    EXPECT_EQ(parsed, value) << text;
+  }
+}
+
+TEST(CsvTest, ParseDoubleRejectsOnlyOverflow) {
+  double parsed = 0.0;
+  // Overflow to +/-HUGE_VAL is OutOfRange...
+  Status status = ParseDouble("1e999", &parsed);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  status = ParseDouble("-1e999", &parsed);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  // ...while underflow toward zero is accepted.
+  EXPECT_TRUE(ParseDouble("1e-999", &parsed).ok());
+  EXPECT_EQ(parsed, 0.0);
+  // Syntax errors stay InvalidArgument.
+  for (const char* bad : {"", "banana", "1.5x", "1.5 ", " 1.5e"}) {
+    status = ParseDouble(bad, &parsed);
+    ASSERT_FALSE(status.ok()) << "'" << bad << "'";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(CsvTest, ParseTimeRejectsGarbageAndOverflow) {
+  Time parsed = 0;
+  EXPECT_TRUE(ParseTime("42", &parsed).ok());
+  EXPECT_EQ(parsed, 42);
+  EXPECT_TRUE(ParseTime("-7", &parsed).ok());
+  EXPECT_EQ(parsed, -7);
+  Status status = ParseTime("99999999999999999999", &parsed);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  for (const char* bad : {"", "4.5", "ten", "7 "}) {
+    status = ParseTime(bad, &parsed);
+    ASSERT_FALSE(status.ok()) << "'" << bad << "'";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(CsvTest, DenormalExtentsRoundTripThroughSegmentsCsv) {
+  SegmentRecord record;
+  record.object = 9;
+  record.box.interval = TimeInterval(0, 5);
+  record.box.rect = Rect2D(std::numeric_limits<double>::denorm_min(), 0.25,
+                           0.5, std::numeric_limits<double>::max());
+  const std::string path = TempPath("denormal.csv");
+  ASSERT_TRUE(WriteSegmentsCsv(path, {record}).ok());
+  Result<std::vector<SegmentRecord>> read = ReadSegmentsCsv(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), 1u);
+  EXPECT_EQ(read.value()[0].box, record.box);
+}
+
+TEST(CsvTest, TrailingDelimiterRejected) {
+  // A trailing comma produces an empty final field, which must be a
+  // parse error rather than a silently dropped or zeroed column.
+  const std::string path = TempPath("trailing.csv");
+  {
+    std::ofstream out(path);
+    out << "0,0,10,0.1,0.2,0.3,0.4,\n";
+  }
+  EXPECT_FALSE(ReadSegmentsCsv(path).ok());
+  Result<std::vector<STQuery>> queries = ReadQueriesCsv(path);
+  EXPECT_FALSE(queries.ok());
 }
 
 TEST(CsvTest, CommentsAndBlankLinesIgnored) {

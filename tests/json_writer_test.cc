@@ -1,0 +1,153 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+
+namespace stindex {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter writer;
+    writer.BeginObject().EndObject();
+    EXPECT_EQ(writer.str(), "{}");
+  }
+  {
+    JsonWriter writer;
+    writer.BeginArray().EndArray();
+    EXPECT_EQ(writer.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, ScalarTopLevel) {
+  JsonWriter writer;
+  writer.Int(-42);
+  EXPECT_EQ(writer.str(), "-42");
+}
+
+TEST(JsonWriterTest, PrettyPrintedObject) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("name")
+      .String("bench")
+      .Key("threads")
+      .Int(4)
+      .Key("ok")
+      .Bool(true)
+      .EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\n  \"name\": \"bench\",\n  \"threads\": 4,\n  \"ok\": true\n}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("series")
+      .BeginArray()
+      .BeginObject()
+      .Key("x")
+      .Int(1)
+      .EndObject()
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\n  \"series\": [\n    {\n      \"x\": 1\n    }\n  ]\n}");
+}
+
+TEST(JsonWriterTest, ArrayOfNumbers) {
+  JsonWriter writer;
+  writer.BeginArray().Int(1).Int(2).Int(3).EndArray();
+  EXPECT_EQ(writer.str(), "[\n  1,\n  2,\n  3\n]");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter writer;
+  writer.String(std::string("a\"b\\c\n\t\r") + '\x01');
+  EXPECT_EQ(writer.str(), "\"a\\\"b\\\\c\\n\\t\\r\\u0001\"");
+}
+
+TEST(JsonWriterTest, DoubleRoundTrips) {
+  JsonWriter writer;
+  writer.BeginArray()
+      .Double(0.1)
+      .Double(1.0)
+      .Double(-2.5e-300)
+      .EndArray();
+  const std::string text = writer.str();
+  EXPECT_NE(text.find("0.1"), std::string::npos);
+  EXPECT_NE(text.find("-2.5e-300"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter writer;
+  writer.BeginArray()
+      .Double(std::nan(""))
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(-std::numeric_limits<double>::infinity())
+      .EndArray();
+  EXPECT_EQ(writer.str(), "[\n  null,\n  null,\n  null\n]");
+}
+
+TEST(JsonWriterTest, UintNearMax) {
+  JsonWriter writer;
+  writer.Uint(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(writer.str(), "18446744073709551615");
+}
+
+TEST(JsonWriterTest, NullValue) {
+  JsonWriter writer;
+  writer.BeginObject().Key("x").Null().EndObject();
+  EXPECT_EQ(writer.str(), "{\n  \"x\": null\n}");
+}
+
+TEST(JsonWriterDeathTest, ValueInObjectWithoutKeyAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.BeginObject().Int(1);
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, KeyInsideArrayAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.BeginArray().Key("bad");
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, MismatchedCloseAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.BeginObject().EndArray();
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, StrOnUnfinishedDocumentAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.BeginObject();
+        writer.str();
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, SecondTopLevelValueAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter writer;
+        writer.Int(1);
+        writer.Int(2);
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace stindex

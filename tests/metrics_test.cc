@@ -1,0 +1,177 @@
+#include "util/metrics.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace stindex {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndSetMax) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.SetMax(3);  // lower: no effect
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.SetMax(11);
+  EXPECT_EQ(gauge.Value(), 11);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0.0);
+  EXPECT_EQ(snapshot.p50, 0.0);
+  EXPECT_EQ(snapshot.p99, 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesDouble) {
+  for (size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(i),
+                     2.0 * Histogram::BucketUpperBound(i - 1));
+  }
+  // A value sits in the bucket whose upper bound is the first one >= it.
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const double bound = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(bound), i);
+  }
+}
+
+TEST(HistogramTest, NonPositiveValuesLandInBucketZero) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e-300), 0u);
+}
+
+TEST(HistogramTest, PercentilesAreBucketAccurate) {
+  Histogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.Record(static_cast<double>(i));
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 100.0);
+  // Bucket-upper-bound semantics: within a factor of two above the true
+  // percentile and never beyond the observed extremes.
+  EXPECT_GE(snapshot.p50, 50.0);
+  EXPECT_LE(snapshot.p50, 100.0);
+  EXPECT_GE(snapshot.p99, 99.0);
+  EXPECT_LE(snapshot.p99, 100.0);
+}
+
+TEST(HistogramTest, SingleValuePercentilesAreExact) {
+  Histogram histogram;
+  histogram.Record(3.5);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.p50, 3.5);
+  EXPECT_DOUBLE_EQ(snapshot.p90, 3.5);
+  EXPECT_DOUBLE_EQ(snapshot.p99, 3.5);
+}
+
+TEST(HistogramTest, MergeEqualsSerialRecording) {
+  // The determinism contract: merging per-chunk shards in chunk order
+  // must reproduce the serial histogram exactly (bit-equal sum).
+  const std::vector<std::vector<double>> chunks = {
+      {0.1, 0.2, 0.3}, {1e-7, 123.0}, {}, {5.5, 0.25, 1e6}};
+
+  Histogram serial;
+  for (const auto& chunk : chunks) {
+    for (double value : chunk) serial.Record(value);
+  }
+
+  std::vector<Histogram> shards(chunks.size());
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    for (double value : chunks[c]) shards[c].Record(value);
+  }
+  HistogramMetric merged;
+  MergeShards(shards, &merged);
+
+  const HistogramSnapshot a = serial.Snapshot();
+  const HistogramSnapshot b = merged.Value().Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);  // bit-equal, not just close
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+}
+
+TEST(HistogramTest, NanRecordsAsZero) {
+  Histogram histogram;
+  histogram.Record(std::nan(""));
+  EXPECT_EQ(histogram.Count(), 1u);
+  EXPECT_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(MetricRegistryTest, GetReturnsStablePointers) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  Counter* counter = registry.GetCounter("test.registry.counter");
+  EXPECT_EQ(counter, registry.GetCounter("test.registry.counter"));
+  Gauge* gauge = registry.GetGauge("test.registry.gauge");
+  EXPECT_EQ(gauge, registry.GetGauge("test.registry.gauge"));
+  HistogramMetric* histogram = registry.GetHistogram("test.registry.histogram");
+  EXPECT_EQ(histogram, registry.GetHistogram("test.registry.histogram"));
+
+  counter->Add(5);
+  registry.ResetForTest();
+  EXPECT_EQ(counter->Value(), 0u);
+  // Reset keeps the registration.
+  EXPECT_EQ(counter, registry.GetCounter("test.registry.counter"));
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedByName) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("test.snapshot.zebra")->Add(1);
+  registry.GetCounter("test.snapshot.apple")->Add(2);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+  for (size_t i = 1; i < snapshot.gauges.size(); ++i) {
+    EXPECT_LT(snapshot.gauges[i - 1].first, snapshot.gauges[i].first);
+  }
+  for (size_t i = 1; i < snapshot.histograms.size(); ++i) {
+    EXPECT_LT(snapshot.histograms[i - 1].first, snapshot.histograms[i].first);
+  }
+}
+
+TEST(ScopedTimerTest, RecordsOneReading) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  HistogramMetric* histogram = registry.GetHistogram("test.scoped.timer");
+  const uint64_t before = histogram->Value().Count();
+  { ScopedTimer timer("test.scoped.timer"); }
+  const Histogram after = histogram->Value();
+  EXPECT_EQ(after.Count(), before + 1);
+  EXPECT_GE(after.Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace stindex

@@ -13,6 +13,7 @@
 #include "core/volume_curve.h"
 #include "datagen/clustered_dataset.h"
 #include "datagen/random_dataset.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace stindex {
@@ -174,6 +175,74 @@ TEST(ParallelPipelineTest, ClusteredDatasetEndToEndIdentical) {
     ExpectSegmentsIdentical(serial, parallel, threads);
     ASSERT_EQ(serial_volume, TotalVolume(parallel));
   }
+}
+
+TEST(ParallelPipelineTest, InstrumentedPipelineIdenticalAtAnyThreadCount) {
+  // The phase instrumentation (ScopedTimer histograms, event counters)
+  // must not perturb pipeline output, and the deterministic metrics must
+  // themselves be identical at every thread count. Wall-clock histogram
+  // SUMS are run-to-run noise by nature, but their record COUNTS are
+  // structural: one reading per phase invocation.
+  const std::vector<Trajectory> objects = RandomObjects(81, 300);
+
+  struct Observed {
+    std::vector<SegmentRecord> records;
+    double total_volume = 0.0;
+    uint64_t curves_computed = 0;
+    uint64_t segments_built = 0;
+    uint64_t curve_timings = 0;
+    uint64_t segment_timings = 0;
+    uint64_t distribute_timings = 0;
+  };
+  auto run = [&objects](int threads) {
+    MetricRegistry& registry = MetricRegistry::Global();
+    registry.ResetForTest();
+    Observed observed;
+    const std::vector<VolumeCurve> curves =
+        ComputeVolumeCurves(objects, 32, SplitMethod::kMerge, threads);
+    const Distribution dist = DistributeLAGreedy(curves, 300, threads);
+    observed.records =
+        BuildSegments(objects, dist.splits, SplitMethod::kMerge, threads);
+    observed.total_volume = TotalVolume(observed.records);
+    observed.curves_computed =
+        registry.GetCounter("pipeline.curves_computed")->Value();
+    observed.segments_built =
+        registry.GetCounter("pipeline.segments_built")->Value();
+    observed.curve_timings =
+        registry.GetHistogram("pipeline.curve_seconds")->Value().Count();
+    observed.segment_timings =
+        registry.GetHistogram("pipeline.segment_seconds")->Value().Count();
+    observed.distribute_timings =
+        registry.GetHistogram("pipeline.distribute_seconds")->Value().Count();
+    return observed;
+  };
+
+  const Observed serial = run(1);
+  EXPECT_EQ(serial.curves_computed, objects.size());
+  EXPECT_EQ(serial.segments_built, serial.records.size());
+  EXPECT_EQ(serial.curve_timings, 1u);
+  EXPECT_EQ(serial.segment_timings, 1u);
+  // LAGreedy runs the greedy prelude through the same public entry point
+  // exactly once: one distribute timing, not two.
+  EXPECT_EQ(serial.distribute_timings, 1u);
+
+  for (int threads : kThreadCounts) {
+    const Observed parallel = run(threads);
+    ExpectSegmentsIdentical(serial.records, parallel.records, threads);
+    ASSERT_EQ(serial.total_volume, parallel.total_volume)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.curves_computed, parallel.curves_computed)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.segments_built, parallel.segments_built)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.curve_timings, parallel.curve_timings)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.segment_timings, parallel.segment_timings)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.distribute_timings, parallel.distribute_timings)
+        << "threads=" << threads;
+  }
+  MetricRegistry::Global().ResetForTest();
 }
 
 TEST(ParallelPipelineTest, RandomizedSplitAllocationsManySeeds) {

@@ -39,6 +39,49 @@ TEST(PageStoreTest, FreeReducesLiveCount) {
   EXPECT_EQ(store.AllocatedCount(), 2u);
 }
 
+TEST(PageStoreTest, PeakPageCountTracksHighWaterMark) {
+  PageStore store;
+  PageId pages[3];
+  for (int i = 0; i < 3; ++i) {
+    pages[i] = store.Allocate(std::make_unique<TestPage>(i));
+  }
+  EXPECT_EQ(store.PeakPageCount(), 3u);
+  store.Free(pages[0]);
+  store.Free(pages[1]);
+  EXPECT_EQ(store.PageCount(), 1u);
+  EXPECT_EQ(store.PeakPageCount(), 3u);  // the peak never decays
+  store.Allocate(std::make_unique<TestPage>(9));
+  EXPECT_EQ(store.PageCount(), 2u);
+  EXPECT_EQ(store.PeakPageCount(), 3u);
+}
+
+TEST(BufferPoolDeathTest, FetchOfFreedPageAborts) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  store.Free(a);
+  EXPECT_DEATH(pool.Fetch(a), "freed or out-of-range");
+}
+
+TEST(BufferPoolDeathTest, FetchOfOutOfRangePageAborts) {
+  PageStore store;
+  store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  EXPECT_DEATH(pool.Fetch(static_cast<PageId>(999)), "freed or out-of-range");
+  EXPECT_DEATH(pool.Fetch(kInvalidPage), "freed or out-of-range");
+}
+
+TEST(BufferPoolDeathTest, StaleCacheEntryForFreedPageAborts) {
+  // Even a page already resident in the LRU cache must not be served
+  // once the store has freed it.
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  pool.Fetch(a);  // now cached
+  store.Free(a);
+  EXPECT_DEATH(pool.Fetch(a), "freed or out-of-range");
+}
+
 TEST(BufferPoolTest, FirstAccessIsMiss) {
   PageStore store;
   const PageId a = store.Allocate(std::make_unique<TestPage>(1));
@@ -88,6 +131,18 @@ TEST(BufferPoolTest, ResetStatsKeepsCache) {
   pool.Fetch(a);  // still cached: a hit
   EXPECT_EQ(pool.stats().accesses, 1u);
   EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST(BufferPoolTest, LifetimeStatsSurviveResetStats) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  pool.Fetch(a);
+  pool.ResetStats();
+  pool.Fetch(a);
+  EXPECT_EQ(pool.stats().accesses, 1u);
+  EXPECT_EQ(pool.lifetime_stats().accesses, 2u);
+  EXPECT_EQ(pool.lifetime_stats().misses, 1u);
 }
 
 TEST(BufferPoolTest, CapacityOneThrashes) {

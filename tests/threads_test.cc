@@ -1,0 +1,103 @@
+#include "util/threads.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace stindex {
+namespace {
+
+// RAII guard for STINDEX_THREADS so tests cannot leak state.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("STINDEX_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      unsetenv("STINDEX_THREADS");
+    } else {
+      setenv("STINDEX_THREADS", value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      setenv("STINDEX_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("STINDEX_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ParseThreadCountTest, AcceptsValidRange) {
+  EXPECT_EQ(ParseThreadCount("1", "--threads").value(), 1);
+  EXPECT_EQ(ParseThreadCount("7", "--threads").value(), 7);
+  EXPECT_EQ(ParseThreadCount(std::to_string(kMaxThreads), "--threads").value(),
+            kMaxThreads);
+}
+
+TEST(ParseThreadCountTest, RejectsNonPositive) {
+  EXPECT_FALSE(ParseThreadCount("0", "--threads").ok());
+  EXPECT_FALSE(ParseThreadCount("-3", "--threads").ok());
+}
+
+TEST(ParseThreadCountTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseThreadCount("", "--threads").ok());
+  EXPECT_FALSE(ParseThreadCount("four", "--threads").ok());
+  EXPECT_FALSE(ParseThreadCount("4x", "--threads").ok());
+  EXPECT_FALSE(ParseThreadCount("4.5", "--threads").ok());
+  EXPECT_FALSE(ParseThreadCount(" 4 ", "--threads").ok());
+}
+
+TEST(ParseThreadCountTest, RejectsOverflowAndHugeValues) {
+  EXPECT_FALSE(ParseThreadCount("99999999999999999999", "--threads").ok());
+  EXPECT_FALSE(
+      ParseThreadCount(std::to_string(kMaxThreads + 1), "--threads").ok());
+}
+
+TEST(ParseThreadCountTest, ErrorNamesTheSource) {
+  const Status status = ParseThreadCount("0", "STINDEX_THREADS").status();
+  EXPECT_NE(status.message().find("STINDEX_THREADS"), std::string::npos);
+}
+
+TEST(ResolveThreadCountTest, FlagWinsOverEnv) {
+  ScopedThreadsEnv env("8");
+  EXPECT_EQ(ResolveThreadCount("3").value(), 3);
+}
+
+TEST(ResolveThreadCountTest, EnvUsedWhenFlagAbsent) {
+  ScopedThreadsEnv env("8");
+  EXPECT_EQ(ResolveThreadCount("").value(), 8);
+}
+
+TEST(ResolveThreadCountTest, DefaultsToOne) {
+  ScopedThreadsEnv env(nullptr);
+  EXPECT_EQ(ResolveThreadCount("").value(), 1);
+}
+
+TEST(ResolveThreadCountTest, EmptyEnvIsUnset) {
+  ScopedThreadsEnv env("");
+  EXPECT_EQ(ResolveThreadCount("").value(), 1);
+}
+
+TEST(ResolveThreadCountTest, BadEnvIsAnErrorNotAFallback) {
+  ScopedThreadsEnv env("lots");
+  const Result<int> result = ResolveThreadCount("");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("STINDEX_THREADS"),
+            std::string::npos);
+}
+
+TEST(ResolveThreadCountTest, BadFlagIsAnError) {
+  ScopedThreadsEnv env("8");  // a valid env must not rescue a bad flag
+  EXPECT_FALSE(ResolveThreadCount("0").ok());
+  EXPECT_FALSE(ResolveThreadCount("-1").ok());
+  EXPECT_FALSE(ResolveThreadCount("abc").ok());
+}
+
+}  // namespace
+}  // namespace stindex

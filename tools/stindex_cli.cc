@@ -10,8 +10,13 @@
 //   stindex_cli query    --segments segments.csv --queries queries.csv
 //                        --index ppr
 //   stindex_cli advise   --in objects.csv --set small-range
+//
+// Every command additionally accepts --stats FILE, which dumps the
+// process metrics registry (buffer I/O, tree build events, pipeline
+// phase times) as JSON after a successful run.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -30,6 +35,9 @@
 #include "model/split_advisor.h"
 #include "pprtree/ppr_tree.h"
 #include "rstar/rstar_tree.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
+#include "util/threads.h"
 
 namespace stindex {
 namespace cli {
@@ -91,6 +99,52 @@ class Flags {
 void Die(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   std::exit(1);
+}
+
+// Shared thread-count resolution: --threads flag > STINDEX_THREADS > 1.
+// Bad values from either source are fatal, never silently replaced.
+int ResolveThreadsOrDie(Flags& flags) {
+  const Result<int> threads = ResolveThreadCount(flags.Get("threads", ""));
+  if (!threads.ok()) Die(threads.status());
+  return threads.value();
+}
+
+// Writes the process metrics registry to `path` as JSON, mirroring the
+// "metrics" section of the bench report schema (bench/bench_report.h).
+void DumpMetrics(const std::string& path) {
+  const MetricsSnapshot metrics = MetricRegistry::Global().Snapshot();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : metrics.counters) {
+    json.Key(name).Uint(value);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : metrics.gauges) {
+    json.Key(name).Int(value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, snapshot] : metrics.histograms) {
+    json.Key(name).BeginObject();
+    json.Key("count").Uint(snapshot.count);
+    json.Key("sum").Double(snapshot.sum);
+    json.Key("min").Double(snapshot.min);
+    json.Key("max").Double(snapshot.max);
+    json.Key("p50").Double(snapshot.p50);
+    json.Key("p90").Double(snapshot.p90);
+    json.Key("p99").Double(snapshot.p99);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  if (!out) {
+    Die(Status::FailedPrecondition("cannot write stats file: " + path));
+  }
+  std::fprintf(stderr, "wrote metrics to %s\n", path.c_str());
 }
 
 std::vector<Trajectory> LoadObjects(const std::string& path) {
@@ -169,7 +223,7 @@ int CmdSplit(Flags& flags) {
   const std::string method_name = flags.Get("method", "merge");
   // The split pipeline is deterministic at any thread count, so --threads
   // only changes wall-clock time, never the written segments.
-  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const int threads = ResolveThreadsOrDie(flags);
   flags.RejectUnknown();
 
   const std::vector<Trajectory> objects = LoadObjects(in);
@@ -349,7 +403,7 @@ int CmdAdvise(Flags& flags) {
   const Time domain = flags.GetInt("time-domain", 1000);
   query_config.time_domain = domain;
   const std::string mode = flags.Get("mode", "analytical");
-  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const int threads = ResolveThreadsOrDie(flags);
   flags.RejectUnknown();
 
   const std::vector<Trajectory> objects = LoadObjects(in);
@@ -398,7 +452,11 @@ int Usage() {
       "  stats     --segments FILE [--index ppr|rstar|hr]\n"
       "  query     --segments FILE --queries FILE [--index ppr|rstar|hr]\n"
       "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n"
-      "            [--threads N]\n");
+      "            [--threads N]\n"
+      "Common flags:\n"
+      "  --stats FILE   dump the metrics registry as JSON after the run\n"
+      "  --threads N    worker threads for split/advise (overrides the\n"
+      "                 STINDEX_THREADS environment variable; default 1)\n");
   return 2;
 }
 
@@ -406,14 +464,29 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "split") return CmdSplit(flags);
-  if (command == "piecewise") return CmdPiecewise(flags);
-  if (command == "queries") return CmdQueries(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "query") return CmdQuery(flags);
-  if (command == "advise") return CmdAdvise(flags);
-  return Usage();
+  // Claim --stats before dispatch so RejectUnknown accepts it for every
+  // command; the dump itself runs only after the command succeeds.
+  const std::string stats_path = flags.Get("stats", "");
+  int rc = 2;
+  if (command == "generate") {
+    rc = CmdGenerate(flags);
+  } else if (command == "split") {
+    rc = CmdSplit(flags);
+  } else if (command == "piecewise") {
+    rc = CmdPiecewise(flags);
+  } else if (command == "queries") {
+    rc = CmdQueries(flags);
+  } else if (command == "stats") {
+    rc = CmdStats(flags);
+  } else if (command == "query") {
+    rc = CmdQuery(flags);
+  } else if (command == "advise") {
+    rc = CmdAdvise(flags);
+  } else {
+    return Usage();
+  }
+  if (rc == 0 && !stats_path.empty()) DumpMetrics(stats_path);
+  return rc;
 }
 
 }  // namespace
