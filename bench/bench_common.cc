@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/distribute.h"
+#include "storage/file_backend.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -163,6 +164,52 @@ double AverageRStarIo(const RStarTree& tree,
         std::vector<DataId> results;
         tree.Search(QueryToBox(query, 0, time_domain), buffer, &results);
       });
+}
+
+namespace {
+
+std::unique_ptr<PageBackend> MakeBenchBackend(const BenchArgs& args,
+                                              const std::string& tag) {
+  if (args.backend == "memory") return std::make_unique<MemoryPageBackend>();
+  // One page file per attached tree; the counter keeps names unique when
+  // a harness reuses a tag across dataset sizes.
+  static int file_counter = 0;
+  const std::string path = args.db_path + "/" + args.bench_name + "_" + tag +
+                           "_" + std::to_string(file_counter++) + ".stpages";
+  Result<std::unique_ptr<FilePageBackend>> backend =
+      FilePageBackend::Create(path);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.bench_name.c_str(),
+                 backend.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(backend).value();
+}
+
+template <typename TreeT>
+void AttachBenchBackendImpl(TreeT* tree, const BenchArgs& args,
+                            const std::string& tag) {
+  Report().SetParam("backend", args.backend.empty() ? "store" : args.backend);
+  if (args.backend.empty()) return;
+  const Status status = tree->AttachBackend(MakeBenchBackend(args, tag));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: attaching %s backend for '%s': %s\n",
+                 args.bench_name.c_str(), args.backend.c_str(), tag.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+void AttachBenchBackend(RStarTree* tree, const BenchArgs& args,
+                        const std::string& tag) {
+  AttachBenchBackendImpl(tree, args, tag);
+}
+
+void AttachBenchBackend(PprTree* tree, const BenchArgs& args,
+                        const std::string& tag) {
+  AttachBenchBackendImpl(tree, args, tag);
 }
 
 std::vector<STQuery> MakeQueries(const QuerySetConfig& config, size_t count) {

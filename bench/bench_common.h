@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/split_pipeline.h"
 #include "datagen/query_gen.h"
 #include "datagen/railway.h"
@@ -82,6 +83,17 @@ double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
 double AverageRStarIo(const RStarTree& tree,
                       const std::vector<STQuery>& queries, Time time_domain,
                       int num_threads = 1, IoStats* aggregate = nullptr);
+
+// Persists `tree` through the storage backend selected by --backend/--db
+// (no-op for the default in-memory store) and records the choice as
+// report param "backend" ("store" | "memory" | "file"). After this the
+// tree's query buffers read real pages, so the io.query.* misses the
+// drivers report are actual backend reads. `tag` distinguishes the page
+// files of multiple trees in one run. Failures print and exit(1).
+void AttachBenchBackend(RStarTree* tree, const BenchArgs& args,
+                        const std::string& tag);
+void AttachBenchBackend(PprTree* tree, const BenchArgs& args,
+                        const std::string& tag);
 
 // A query set from Table II, truncated to `count` queries.
 std::vector<STQuery> MakeQueries(const QuerySetConfig& config, size_t count);

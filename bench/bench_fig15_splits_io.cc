@@ -12,13 +12,15 @@ namespace stindex {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(const BenchArgs& args) {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[2];
   Report().SetParam("objects", static_cast<int64_t>(n));
-  std::printf("Figure 15 reproduction (scale=%s): avg disk accesses vs "
-              "splits, small range queries, %zu-object random dataset.\n",
-              scale.name.c_str(), n);
+  std::printf("Figure 15 reproduction (scale=%s, backend=%s): avg disk "
+              "accesses vs splits, small range queries, %zu-object random "
+              "dataset.\n",
+              scale.name.c_str(),
+              args.backend.empty() ? "store" : args.backend.c_str(), n);
   const std::vector<Trajectory> objects = MakeRandomDataset(n);
   const std::vector<STQuery> queries =
       MakeQueries(SmallRangeSet(), scale.query_count);
@@ -29,7 +31,9 @@ void Run() {
     const std::vector<SegmentRecord> records =
         SplitWithLaGreedy(objects, percent);
     const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+    AttachBenchBackend(ppr.get(), args, "ppr");
     const std::unique_ptr<RStarTree> rstar = BuildRStar(records, 1000);
+    AttachBenchBackend(rstar.get(), args, "rstar");
     const double ppr_io = AveragePprIo(*ppr, queries);
     const double rstar_io = AverageRStarIo(*rstar, queries, 1000);
     char row[256];
@@ -51,9 +55,9 @@ void Run() {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  const stindex::bench::BenchArgs args =
-      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig15_splits_io");
-  stindex::bench::Run();
+  const stindex::bench::BenchArgs args = stindex::bench::ParseBenchArgs(
+      argc, argv, "bench_fig15_splits_io", /*accept_backend=*/true);
+  stindex::bench::Run(args);
   stindex::bench::FinishReport(args);
   return 0;
 }

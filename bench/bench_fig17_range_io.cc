@@ -12,11 +12,13 @@ namespace stindex {
 namespace bench {
 namespace {
 
-void Run(int num_threads) {
+void Run(const BenchArgs& args) {
+  const int num_threads = args.threads;
   const BenchScale scale = GetScale();
-  std::printf("Figure 17 reproduction (scale=%s, threads=%d): avg disk "
-              "accesses, small range queries.\n",
-              scale.name.c_str(), num_threads);
+  std::printf("Figure 17 reproduction (scale=%s, threads=%d, backend=%s): "
+              "avg disk accesses, small range queries.\n",
+              scale.name.c_str(), num_threads,
+              args.backend.empty() ? "store" : args.backend.c_str());
   const std::vector<STQuery> queries =
       MakeQueries(SmallRangeSet(), scale.query_count);
   PrintHeader("Fig 17: small range queries across dataset sizes",
@@ -28,16 +30,19 @@ void Run(int num_threads) {
     const std::vector<SegmentRecord> ppr_records =
         SplitWithLaGreedy(objects, 150, num_threads);
     const std::unique_ptr<PprTree> ppr = BuildPprTree(ppr_records);
+    AttachBenchBackend(ppr.get(), args, "ppr150");
 
     const std::vector<SegmentRecord> rstar_records =
         SplitWithLaGreedy(objects, 1, num_threads);
     const std::unique_ptr<RStarTree> rstar = BuildRStar(rstar_records, 1000);
+    AttachBenchBackend(rstar.get(), args, "rstar1");
 
     int64_t piecewise_splits = 0;
     const std::vector<SegmentRecord> piecewise_records =
         PiecewiseSplitAll(objects, &piecewise_splits);
     const std::unique_ptr<RStarTree> piecewise =
         BuildRStar(piecewise_records, 1000);
+    AttachBenchBackend(piecewise.get(), args, "piecewise");
 
     const double ppr_io = AveragePprIo(*ppr, queries, num_threads);
     const double rstar_io =
@@ -66,9 +71,9 @@ void Run(int num_threads) {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  const stindex::bench::BenchArgs args =
-      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig17_range_io");
-  stindex::bench::Run(args.threads);
+  const stindex::bench::BenchArgs args = stindex::bench::ParseBenchArgs(
+      argc, argv, "bench_fig17_range_io", /*accept_backend=*/true);
+  stindex::bench::Run(args);
   stindex::bench::FinishReport(args);
   return 0;
 }

@@ -13,11 +13,13 @@ namespace stindex {
 namespace bench {
 namespace {
 
-void Run(int num_threads) {
+void Run(const BenchArgs& args) {
+  const int num_threads = args.threads;
   const BenchScale scale = GetScale();
-  std::printf("Figure 18 reproduction (scale=%s, threads=%d): avg disk "
-              "accesses, mixed snapshot queries.\n",
-              scale.name.c_str(), num_threads);
+  std::printf("Figure 18 reproduction (scale=%s, threads=%d, backend=%s): "
+              "avg disk accesses, mixed snapshot queries.\n",
+              scale.name.c_str(), num_threads,
+              args.backend.empty() ? "store" : args.backend.c_str());
   const std::vector<STQuery> queries =
       MakeQueries(MixedSnapshotSet(), scale.query_count);
   PrintHeader("Fig 18: mixed snapshot queries across dataset sizes",
@@ -29,21 +31,25 @@ void Run(int num_threads) {
     const std::vector<SegmentRecord> ppr_records =
         SplitWithLaGreedy(objects, 150, num_threads);
     const std::unique_ptr<PprTree> ppr = BuildPprTree(ppr_records);
+    AttachBenchBackend(ppr.get(), args, "ppr150");
 
     const std::vector<SegmentRecord> rstar1_records =
         SplitWithLaGreedy(objects, 1, num_threads);
     const std::unique_ptr<RStarTree> rstar1 = BuildRStar(rstar1_records, 1000);
+    AttachBenchBackend(rstar1.get(), args, "rstar1");
 
     const std::vector<SegmentRecord> unsplit_records =
         BuildUnsplitSegments(objects, num_threads);
     const std::unique_ptr<RStarTree> rstar0 =
         BuildRStar(unsplit_records, 1000);
+    AttachBenchBackend(rstar0.get(), args, "rstar0");
 
     int64_t piecewise_splits = 0;
     const std::vector<SegmentRecord> piecewise_records =
         PiecewiseSplitAll(objects, &piecewise_splits);
     const std::unique_ptr<RStarTree> piecewise =
         BuildRStar(piecewise_records, 1000);
+    AttachBenchBackend(piecewise.get(), args, "piecewise");
 
     const double ppr_io = AveragePprIo(*ppr, queries, num_threads);
     const double rstar1_io =
@@ -73,9 +79,9 @@ void Run(int num_threads) {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  const stindex::bench::BenchArgs args =
-      stindex::bench::ParseBenchArgs(argc, argv, "bench_fig18_snapshot_io");
-  stindex::bench::Run(args.threads);
+  const stindex::bench::BenchArgs args = stindex::bench::ParseBenchArgs(
+      argc, argv, "bench_fig18_snapshot_io", /*accept_backend=*/true);
+  stindex::bench::Run(args);
   stindex::bench::FinishReport(args);
   return 0;
 }

@@ -12,8 +12,8 @@
 namespace stindex {
 namespace bench {
 
-BenchArgs ParseBenchArgs(int argc, char** argv,
-                         const std::string& bench_name) {
+BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
+                         bool accept_backend) {
   BenchArgs args;
   args.bench_name = bench_name;
   std::string threads_flag;
@@ -27,12 +27,32 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
       args.json_path = arg.substr(7);
     } else if (arg == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (accept_backend && arg.rfind("--backend=", 0) == 0) {
+      args.backend = arg.substr(10);
+    } else if (accept_backend && arg == "--backend" && i + 1 < argc) {
+      args.backend = argv[++i];
+    } else if (accept_backend && arg.rfind("--db=", 0) == 0) {
+      args.db_path = arg.substr(5);
+    } else if (accept_backend && arg == "--db" && i + 1 < argc) {
+      args.db_path = argv[++i];
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (--threads=N, "
-                   "--json=PATH)\n",
-                   bench_name.c_str(), arg.c_str());
+                   "--json=PATH%s)\n",
+                   bench_name.c_str(), arg.c_str(),
+                   accept_backend ? ", --backend=memory|file, --db=DIR" : "");
       std::exit(2);
     }
+  }
+  if (!args.backend.empty() && args.backend != "memory" &&
+      args.backend != "file") {
+    std::fprintf(stderr, "%s: --backend must be 'memory' or 'file', got '%s'\n",
+                 bench_name.c_str(), args.backend.c_str());
+    std::exit(2);
+  }
+  if (args.backend == "file" && args.db_path.empty()) {
+    std::fprintf(stderr, "%s: --backend=file requires --db=DIR\n",
+                 bench_name.c_str());
+    std::exit(2);
   }
   const Result<int> threads = ResolveThreadCount(threads_flag);
   if (!threads.ok()) {

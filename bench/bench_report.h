@@ -38,15 +38,25 @@ namespace bench {
 // Shared command-line surface of every bench binary:
 //   --threads=N | --threads N    worker threads (else STINDEX_THREADS, else 1)
 //   --json=PATH | --json PATH    write the structured report to PATH
+// Harnesses that can run against a real storage backend (fig15/17/18)
+// additionally accept:
+//   --backend=memory|file        persist indexes through a PageBackend and
+//                                query through it (default: the in-memory
+//                                store, no serialization)
+//   --db=DIR                     directory for the page files (required
+//                                for --backend=file)
 // Unknown arguments and invalid thread counts print a message and
 // exit(2); thread resolution shares util/threads.h with stindex_cli.
 struct BenchArgs {
   std::string bench_name;
   int threads = 1;
   std::string json_path;  // empty: no report file
+  std::string backend;    // "", "memory" or "file"
+  std::string db_path;    // --backend=file: directory for page files
 };
 
-BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name);
+BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
+                         bool accept_backend = false);
 
 // Accumulates the report body for the current process.
 class BenchReport {

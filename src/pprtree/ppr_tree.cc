@@ -78,6 +78,70 @@ class PprTree::Node : public Page {
   std::vector<Entry> entries_;
 };
 
+// Serializes nodes to sealed pages. Payload layout (little-endian):
+//   int32   level
+//   Time    created, closed
+//   uint64  entry count (encode CHECKs the fanout bound; Load tolerates
+//           max_entries + 1 for transient states, the codec matches)
+//   entries: Rect2D (32 bytes), TimeInterval (16 bytes), PageId, PprDataId
+class PprTree::NodeCodec : public PageCodec {
+ public:
+  explicit NodeCodec(size_t max_entries) : max_entries_(max_entries) {}
+
+  void Encode(const Page& page, uint8_t* out) const override {
+    const Node& node = static_cast<const Node&>(page);
+    STINDEX_CHECK_MSG(node.entries().size() <= max_entries_ + 1,
+                      "PPR-tree node exceeds the configured fanout");
+    PageWriter writer = PayloadWriter(out);
+    writer.Write(static_cast<int32_t>(node.level()));
+    writer.Write(node.created());
+    writer.Write(node.closed());
+    writer.Write(static_cast<uint64_t>(node.entries().size()));
+    for (const Entry& entry : node.entries()) {
+      writer.Write(entry.rect);
+      writer.Write(entry.lifetime);
+      writer.Write(entry.child);
+      writer.Write(entry.data);
+    }
+    SealPage(out, PageKind::kPprNode);
+  }
+
+  Result<std::unique_ptr<Page>> Decode(const uint8_t* page,
+                                       PageId id) const override {
+    Result<PageReader> payload = OpenPagePayload(page, PageKind::kPprNode, id);
+    if (!payload.ok()) return payload.status();
+    PageReader reader = payload.value();
+    int32_t level = 0;
+    Time created = 0;
+    Time closed = 0;
+    uint64_t count = 0;
+    if (!reader.Read(&level) || !reader.Read(&created) ||
+        !reader.Read(&closed) || !reader.Read(&count)) {
+      return Status::InvalidArgument("page " + std::to_string(id) +
+                                     ": short PPR-tree node header");
+    }
+    if (level < 0 || count > max_entries_ + 1) {
+      return Status::InvalidArgument(
+          "page " + std::to_string(id) + ": implausible PPR-tree node (level " +
+          std::to_string(level) + ", " + std::to_string(count) + " entries)");
+    }
+    auto node = std::make_unique<Node>(static_cast<int>(level), created);
+    if (closed != kTimeInfinity) node->Close(closed);
+    node->entries().resize(static_cast<size_t>(count));
+    for (Entry& entry : node->entries()) {
+      if (!reader.Read(&entry.rect) || !reader.Read(&entry.lifetime) ||
+          !reader.Read(&entry.child) || !reader.Read(&entry.data)) {
+        return Status::InvalidArgument("page " + std::to_string(id) +
+                                       ": truncated PPR-tree node entries");
+      }
+    }
+    return std::unique_ptr<Page>(std::move(node));
+  }
+
+ private:
+  size_t max_entries_;
+};
+
 PprTree::PprTree(PprConfig config) : config_(config) {
   STINDEX_CHECK(config_.max_entries >= 4);
   STINDEX_CHECK(config_.p_version > 0.0 && config_.p_version < 1.0);
@@ -115,13 +179,47 @@ PprTree::Node* PprTree::GetNode(PageId id) const {
   return static_cast<Node*>(store_.Get(id));
 }
 
-const PprTree::Node* PprTree::FetchNode(BufferPool* buffer, PageId id) {
-  return static_cast<const Node*>(buffer->Fetch(id));
+std::unique_ptr<BufferPool> PprTree::NewQueryBuffer(size_t pages) const {
+  const size_t capacity = pages == 0 ? config_.buffer_pages : pages;
+  if (backend_ != nullptr) {
+    return std::make_unique<BufferPool>(backend_.get(), codec_.get(), capacity,
+                                        "ppr");
+  }
+  return std::make_unique<BufferPool>(&store_, capacity, "ppr");
 }
 
-std::unique_ptr<BufferPool> PprTree::NewQueryBuffer(size_t pages) const {
-  return std::make_unique<BufferPool>(
-      &store_, pages == 0 ? config_.buffer_pages : pages, "ppr");
+Status PprTree::PersistAllNodes() {
+  // A write-back pool sized like the query buffer: with more nodes than
+  // frames, dirty evictions stream pages to the backend while the tail is
+  // flushed explicitly — the real write path, not a bulk memcpy.
+  BufferPool writer(backend_.get(), codec_.get(), config_.buffer_pages, "ppr");
+  for (PageId id = 0; id < store_.AllocatedCount(); ++id) {
+    if (!store_.IsLive(id)) continue;
+    const Node* node = GetNode(id);
+    auto clone = std::make_unique<Node>(node->level(), node->created());
+    if (node->closed() != kTimeInfinity) clone->Close(node->closed());
+    clone->entries() = node->entries();
+    Status status = writer.Put(id, std::move(clone));
+    if (!status.ok()) return status;
+  }
+  return writer.FlushAll();
+}
+
+Status PprTree::AttachBackend(std::unique_ptr<PageBackend> backend) {
+  STINDEX_CHECK_MSG(backend_ == nullptr, "backend already attached");
+  STINDEX_CHECK(backend != nullptr);
+  backend_ = std::move(backend);
+  codec_ = std::make_unique<NodeCodec>(config_.max_entries);
+  Status status = PersistAllNodes();
+  if (status.ok()) status = backend_->Sync();
+  if (!status.ok()) {
+    codec_.reset();
+    backend_.reset();
+    return status;
+  }
+  buffer_ = std::make_unique<BufferPool>(backend_.get(), codec_.get(),
+                                         config_.buffer_pages, "ppr");
+  return Status::OK();
 }
 
 size_t PprTree::NumRoots() const { return roots_.size(); }
@@ -230,6 +328,8 @@ void PprTree::ExpandPathRects(const std::vector<Frame>& path,
 }
 
 void PprTree::Insert(const Rect2D& rect, Time t, PprDataId data) {
+  STINDEX_CHECK_MSG(backend_ == nullptr,
+                    "PprTree is frozen after AttachBackend");
   STINDEX_CHECK_MSG(rect.IsValid(), "inserting an invalid rect");
   STINDEX_CHECK_MSG(t >= current_time_, "updates must be fed in time order");
   STINDEX_CHECK_MSG(alive_location_.find(data) == alive_location_.end(),
@@ -260,6 +360,8 @@ void PprTree::Insert(const Rect2D& rect, Time t, PprDataId data) {
 }
 
 void PprTree::Delete(PprDataId data, Time t) {
+  STINDEX_CHECK_MSG(backend_ == nullptr,
+                    "PprTree is frozen after AttachBackend");
   STINDEX_CHECK_MSG(t >= current_time_, "updates must be fed in time order");
   current_time_ = t;
   auto it = alive_location_.find(data);
@@ -601,7 +703,10 @@ void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
-    const Node* node = FetchNode(buffer, id);
+    // Pinned for the loop body: the node pointer must survive any
+    // evictions a deeper Fetch could cause in backend mode.
+    const PageRef ref = buffer->FetchPinned(id);
+    const Node* node = static_cast<const Node*>(ref.get());
     for (const Entry& entry : node->entries()) {
       if (!entry.lifetime.Contains(t)) continue;
       if (!entry.rect.Intersects(area)) continue;
@@ -630,7 +735,8 @@ void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
     while (!stack.empty()) {
       const PageId id = stack.back();
       stack.pop_back();
-      const Node* node = FetchNode(buffer, id);
+      const PageRef ref = buffer->FetchPinned(id);
+      const Node* node = static_cast<const Node*>(ref.get());
       for (const Entry& entry : node->entries()) {
         if (!entry.lifetime.Intersects(range)) continue;
         if (!entry.rect.Intersects(area)) continue;
@@ -693,7 +799,8 @@ size_t PprTree::SnapshotCount(const Rect2D& area, Time t,
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
-    const Node* node = FetchNode(buffer, id);
+    const PageRef ref = buffer->FetchPinned(id);
+    const Node* node = static_cast<const Node*>(ref.get());
     for (const Entry& entry : node->entries()) {
       if (!entry.lifetime.Contains(t)) continue;
       if (!entry.rect.Intersects(area)) continue;

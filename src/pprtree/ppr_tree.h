@@ -11,7 +11,9 @@
 #include "geometry/interval.h"
 #include "geometry/rect.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_backend.h"
 #include "storage/page_store.h"
+#include "util/status.h"
 
 namespace stindex {
 
@@ -89,8 +91,21 @@ class PprTree {
                      std::vector<PprDataId>* results) const;
 
   // A fresh LRU buffer over this tree's pages (`pages` = 0 uses the
-  // configured default).
+  // configured default). After AttachBackend the buffer reads (and
+  // decodes) real pages from the backend; before, it fronts the
+  // in-memory store.
   std::unique_ptr<BufferPool> NewQueryBuffer(size_t pages = 0) const;
+
+  // Serializes every node into `backend` through a pinning write-back
+  // buffer pool (dirty evictions perform real page writes), then serves
+  // all subsequent queries from the backend: buffer misses become actual
+  // backend reads. The tree is frozen afterwards — Insert/Delete become
+  // checked errors. Page ids are preserved, so query I/O counts are
+  // identical to the in-memory tree's.
+  Status AttachBackend(std::unique_ptr<PageBackend> backend);
+
+  // Nullptr until AttachBackend succeeds.
+  const PageBackend* backend() const { return backend_.get(); }
 
   // COUNT(*) of a snapshot query, without materializing ids — the
   // aggregation a monitoring dashboard runs per tick.
@@ -140,12 +155,15 @@ class PprTree {
 
  private:
   class Node;
+  class NodeCodec;
   struct Entry;
   struct Frame;
   struct RootEra;
 
   Node* GetNode(PageId id) const;
-  static const Node* FetchNode(BufferPool* buffer, PageId id);
+
+  // Writes every live node to backend_ via a write-back pool.
+  Status PersistAllNodes();
 
   size_t WeakMin() const;    // D
   size_t StrongMax() const;  // p_svo * B
@@ -195,6 +213,10 @@ class PprTree {
 
   PprConfig config_;
   mutable PageStore store_;
+  // Declared before buffer_ so every pool dies before the backend and
+  // codec it borrows.
+  std::unique_ptr<PageBackend> backend_;
+  std::unique_ptr<PageCodec> codec_;
   std::unique_ptr<BufferPool> buffer_;
   std::vector<RootEra> roots_;
   size_t size_ = 0;

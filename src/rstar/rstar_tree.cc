@@ -40,6 +40,62 @@ class RStarTree::Node : public Page {
   std::vector<Entry> entries_;
 };
 
+// Serializes nodes to sealed pages. Payload layout (little-endian):
+//   int32   level
+//   uint64  entry count (encode CHECKs the configured fanout bound)
+//   entries: Box3D (48 bytes), PageId, DataId
+class RStarTree::NodeCodec : public PageCodec {
+ public:
+  explicit NodeCodec(size_t max_entries) : max_entries_(max_entries) {}
+
+  void Encode(const Page& page, uint8_t* out) const override {
+    const Node& node = static_cast<const Node&>(page);
+    STINDEX_CHECK_MSG(node.entries().size() <= max_entries_,
+                      "R*-tree node exceeds the configured fanout");
+    PageWriter writer = PayloadWriter(out);
+    writer.Write(static_cast<int32_t>(node.level()));
+    writer.Write(static_cast<uint64_t>(node.entries().size()));
+    for (const Node::Entry& entry : node.entries()) {
+      writer.Write(entry.box);
+      writer.Write(entry.child);
+      writer.Write(entry.data);
+    }
+    SealPage(out, PageKind::kRStarNode);
+  }
+
+  Result<std::unique_ptr<Page>> Decode(const uint8_t* page,
+                                       PageId id) const override {
+    Result<PageReader> payload =
+        OpenPagePayload(page, PageKind::kRStarNode, id);
+    if (!payload.ok()) return payload.status();
+    PageReader reader = payload.value();
+    int32_t level = 0;
+    uint64_t count = 0;
+    if (!reader.Read(&level) || !reader.Read(&count)) {
+      return Status::InvalidArgument("page " + std::to_string(id) +
+                                     ": short R*-tree node header");
+    }
+    if (level < 0 || count > max_entries_) {
+      return Status::InvalidArgument(
+          "page " + std::to_string(id) + ": implausible R*-tree node (level " +
+          std::to_string(level) + ", " + std::to_string(count) + " entries)");
+    }
+    auto node = std::make_unique<Node>(static_cast<int>(level));
+    node->entries().resize(static_cast<size_t>(count));
+    for (Node::Entry& entry : node->entries()) {
+      if (!reader.Read(&entry.box) || !reader.Read(&entry.child) ||
+          !reader.Read(&entry.data)) {
+        return Status::InvalidArgument("page " + std::to_string(id) +
+                                       ": truncated R*-tree node entries");
+      }
+    }
+    return std::unique_ptr<Page>(std::move(node));
+  }
+
+ private:
+  size_t max_entries_;
+};
+
 RStarTree::RStarTree(RStarConfig config) : config_(config) {
   STINDEX_CHECK(config_.max_entries >= 4);
   STINDEX_CHECK(config_.min_entries >= 2);
@@ -63,13 +119,47 @@ RStarTree::Node* RStarTree::GetNode(PageId id) const {
   return static_cast<Node*>(store_.Get(id));
 }
 
-const RStarTree::Node* RStarTree::FetchNode(BufferPool* buffer, PageId id) {
-  return static_cast<const Node*>(buffer->Fetch(id));
+std::unique_ptr<BufferPool> RStarTree::NewQueryBuffer(size_t pages) const {
+  const size_t capacity = pages == 0 ? config_.buffer_pages : pages;
+  if (backend_ != nullptr) {
+    return std::make_unique<BufferPool>(backend_.get(), codec_.get(), capacity,
+                                        "rstar");
+  }
+  return std::make_unique<BufferPool>(&store_, capacity, "rstar");
 }
 
-std::unique_ptr<BufferPool> RStarTree::NewQueryBuffer(size_t pages) const {
-  return std::make_unique<BufferPool>(
-      &store_, pages == 0 ? config_.buffer_pages : pages, "rstar");
+Status RStarTree::PersistAllNodes() {
+  // A write-back pool sized like the query buffer: with more nodes than
+  // frames, dirty evictions stream pages to the backend while the tail is
+  // flushed explicitly — the real write path, not a bulk memcpy.
+  BufferPool writer(backend_.get(), codec_.get(), config_.buffer_pages,
+                    "rstar");
+  for (PageId id = 0; id < store_.AllocatedCount(); ++id) {
+    if (!store_.IsLive(id)) continue;
+    const Node* node = GetNode(id);
+    auto clone = std::make_unique<Node>(node->level());
+    clone->entries() = node->entries();
+    Status status = writer.Put(id, std::move(clone));
+    if (!status.ok()) return status;
+  }
+  return writer.FlushAll();
+}
+
+Status RStarTree::AttachBackend(std::unique_ptr<PageBackend> backend) {
+  STINDEX_CHECK_MSG(backend_ == nullptr, "backend already attached");
+  STINDEX_CHECK(backend != nullptr);
+  backend_ = std::move(backend);
+  codec_ = std::make_unique<NodeCodec>(config_.max_entries);
+  Status status = PersistAllNodes();
+  if (status.ok()) status = backend_->Sync();
+  if (!status.ok()) {
+    codec_.reset();
+    backend_.reset();
+    return status;
+  }
+  buffer_ = std::make_unique<BufferPool>(backend_.get(), codec_.get(),
+                                         config_.buffer_pages, "rstar");
+  return Status::OK();
 }
 
 size_t RStarTree::Height() const {
@@ -220,6 +310,8 @@ std::unique_ptr<RStarTree> RStarTree::BulkLoad(
 }
 
 void RStarTree::Insert(const Box3D& box, DataId data) {
+  STINDEX_CHECK_MSG(backend_ == nullptr,
+                    "RStarTree is frozen after AttachBackend");
   STINDEX_CHECK_MSG(box.IsValid(), "inserting an invalid box");
   if (root_ == kInvalidPage) {
     root_ = store_.Allocate(std::make_unique<Node>(0));
@@ -703,6 +795,8 @@ double MinDistance2(const double point[3], const Box3D& box) {
 }  // namespace
 
 bool RStarTree::Delete(const Box3D& box, DataId data) {
+  STINDEX_CHECK_MSG(backend_ == nullptr,
+                    "RStarTree is frozen after AttachBackend");
   if (root_ == kInvalidPage) return false;
 
   // DFS for the leaf holding (box, data); directory MBRs are exact, so
@@ -857,7 +951,8 @@ void RStarTree::NearestNeighbors(const double point[3], size_t k,
       results->push_back(top.data);
       continue;
     }
-    const Node* node = FetchNode(buffer_.get(), top.node);
+    const PageRef ref = buffer_->FetchPinned(top.node);
+    const Node* node = static_cast<const Node*>(ref.get());
     for (const Node::Entry& entry : node->entries()) {
       const double distance = MinDistance2(point, entry.box);
       if (node->IsLeaf()) {
@@ -882,7 +977,10 @@ void RStarTree::Search(const Box3D& query, BufferPool* buffer,
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
-    const Node* node = FetchNode(buffer, id);
+    // Pinned for the loop body: the node pointer must survive any
+    // evictions a deeper Fetch could cause in backend mode.
+    const PageRef ref = buffer->FetchPinned(id);
+    const Node* node = static_cast<const Node*>(ref.get());
     for (const Node::Entry& entry : node->entries()) {
       if (!entry.box.Intersects(query)) continue;
       if (node->IsLeaf()) {

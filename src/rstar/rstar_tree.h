@@ -7,7 +7,9 @@
 
 #include "geometry/box.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_backend.h"
 #include "storage/page_store.h"
+#include "util/status.h"
 
 namespace stindex {
 
@@ -99,7 +101,20 @@ class RStarTree {
               std::vector<DataId>* results) const;
 
   // A fresh LRU buffer over this tree's pages (0 = configured default).
+  // After AttachBackend the buffer reads (and decodes) real pages from
+  // the backend; before, it fronts the in-memory store.
   std::unique_ptr<BufferPool> NewQueryBuffer(size_t pages = 0) const;
+
+  // Serializes every node into `backend` through a pinning write-back
+  // buffer pool (dirty evictions perform real page writes), then serves
+  // all subsequent queries from the backend: buffer misses become actual
+  // backend reads. The tree is frozen afterwards — Insert/Delete become
+  // checked errors. Page ids are preserved, so query I/O counts are
+  // identical to the in-memory tree's.
+  Status AttachBackend(std::unique_ptr<PageBackend> backend);
+
+  // Nullptr until AttachBackend succeeds.
+  const PageBackend* backend() const { return backend_.get(); }
 
   // Number of leaf entries stored.
   size_t Size() const { return size_; }
@@ -129,9 +144,12 @@ class RStarTree {
 
  private:
   class Node;
+  class NodeCodec;
 
   Node* GetNode(PageId id) const;
-  static const Node* FetchNode(BufferPool* buffer, PageId id);
+
+  // Writes every live node to backend_ via a write-back pool.
+  Status PersistAllNodes();
 
   // Descends from the root to a node at `target_level`, recording the
   // path (page ids and the entry index taken in each parent).
@@ -160,6 +178,10 @@ class RStarTree {
 
   RStarConfig config_;
   mutable PageStore store_;
+  // Declared before buffer_ so every pool dies before the backend and
+  // codec it borrows.
+  std::unique_ptr<PageBackend> backend_;
+  std::unique_ptr<PageCodec> codec_;
   std::unique_ptr<BufferPool> buffer_;
   PageId root_ = kInvalidPage;
   size_t size_ = 0;

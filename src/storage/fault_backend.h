@@ -1,0 +1,68 @@
+#ifndef STINDEX_STORAGE_FAULT_BACKEND_H_
+#define STINDEX_STORAGE_FAULT_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/page_backend.h"
+#include "util/status.h"
+
+namespace stindex {
+
+// Test-only PageBackend wrapper that injects deterministic faults into a
+// wrapped backend (fail the Nth read/write, deliver a short read, flip a
+// bit in delivered data). Used by tests/storage_fault_test.cc to prove
+// every I/O error surfaces as a Status or CHECK naming the page id —
+// never as silent corruption.
+//
+// Counters are 1-based: `fail_read_at = 3` makes the third Read fail.
+// 0 disables that fault. Faults fire once and then disarm, so a test can
+// also verify recovery behaviour after the faulty call.
+class FaultInjectingBackend : public PageBackend {
+ public:
+  struct Faults {
+    // Fail the Nth Read with IoError (1-based; 0 = never).
+    uint64_t fail_read_at = 0;
+    // Fail the Nth Write with IoError.
+    uint64_t fail_write_at = 0;
+    // On the Nth Read, deliver only the first half of the page
+    // (simulates a short read of a truncated file) and report IoError.
+    uint64_t short_read_at = 0;
+    // On the Nth Read, flip one bit in the delivered page but report
+    // success — the checksum layer must catch it.
+    uint64_t corrupt_read_at = 0;
+    // Which bit to flip (byte_index * 8 + bit_index into the page).
+    uint64_t corrupt_bit = 0;
+  };
+
+  FaultInjectingBackend(std::unique_ptr<PageBackend> wrapped, Faults faults)
+      : wrapped_(std::move(wrapped)), faults_(faults) {}
+
+  size_t page_size() const override { return wrapped_->page_size(); }
+  Status Read(PageId id, uint8_t* out) const override;
+  Status Write(PageId id, const uint8_t* data) override;
+  Status Free(PageId id) override { return wrapped_->Free(id); }
+  bool IsAllocated(PageId id) const override {
+    return wrapped_->IsAllocated(id);
+  }
+  size_t SlotCount() const override { return wrapped_->SlotCount(); }
+  size_t LivePageCount() const override { return wrapped_->LivePageCount(); }
+  Status Sync() override { return wrapped_->Sync(); }
+  std::string Name() const override {
+    return "fault(" + wrapped_->Name() + ")";
+  }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  std::unique_ptr<PageBackend> wrapped_;
+  mutable Faults faults_;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_STORAGE_FAULT_BACKEND_H_

@@ -1,0 +1,289 @@
+#include "storage/file_backend.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "storage/page_codec.h"
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace stindex {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Full-buffer pread/pwrite: POSIX may return short counts, loop until the
+// whole page moved or the call fails. A short read at EOF is reported as
+// such (truncated file), not padded with zeros.
+Status PReadFull(int fd, uint8_t* buf, size_t size, off_t offset,
+                 const std::string& what) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pread(fd, buf + done, size - done,
+                              offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno(what));
+    }
+    if (n == 0) {
+      return Status::IoError(what + ": short read (" + std::to_string(done) +
+                             " of " + std::to_string(size) +
+                             " bytes; truncated file?)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, const uint8_t* buf, size_t size, off_t offset,
+                  const std::string& what) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd, buf + done, size - done,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno(what));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+struct FileMetrics {
+  Counter* reads;
+  Counter* writes;
+  Counter* bytes_read;
+  Counter* bytes_written;
+};
+
+const FileMetrics& Metrics() {
+  static const FileMetrics m = [] {
+    MetricRegistry& r = MetricRegistry::Global();
+    return FileMetrics{r.GetCounter("backend.file.reads"),
+                       r.GetCounter("backend.file.writes"),
+                       r.GetCounter("backend.file.bytes_read"),
+                       r.GetCounter("backend.file.bytes_written")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+FilePageBackend::FilePageBackend(std::string path, int fd, size_t bitmap_pages)
+    : path_(std::move(path)),
+      fd_(fd),
+      bitmap_pages_(bitmap_pages),
+      bitmap_(bitmap_pages * kPageSize, 0) {}
+
+Result<std::unique_ptr<FilePageBackend>> FilePageBackend::Create(
+    const std::string& path) {
+  return Create(path, Options());
+}
+
+Result<std::unique_ptr<FilePageBackend>> FilePageBackend::Create(
+    const std::string& path, const Options& options) {
+  if (options.bitmap_pages == 0) {
+    return Status::InvalidArgument("bitmap_pages must be > 0");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(Errno("open(" + path + ")"));
+  }
+  std::unique_ptr<FilePageBackend> backend(
+      new FilePageBackend(path, fd, options.bitmap_pages));
+  backend->meta_dirty_ = true;
+  Status status = backend->WriteMetadata();
+  if (!status.ok()) return status;
+  return backend;
+}
+
+Result<std::unique_ptr<FilePageBackend>> FilePageBackend::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError(Errno("open(" + path + ")"));
+  }
+  uint8_t header[kPageSize];
+  Status status =
+      PReadFull(fd, header, kPageSize, 0, "read header of " + path);
+  if (!status.ok()) {
+    ::close(fd);
+    if (status.code() == StatusCode::kIoError &&
+        status.message().find("short read") != std::string::npos) {
+      // A file too small for even the header page is malformed input,
+      // not an environment failure.
+      return Status::InvalidArgument(path + ": truncated page file (" +
+                                     status.message() + ")");
+    }
+    return status;
+  }
+  // Check the magic before the checksum so "this is not a page file at
+  // all" beats "this page file is corrupt".
+  uint64_t magic = 0;
+  std::memcpy(&magic, header + kPageEnvelopeBytes, sizeof(magic));
+  if (magic != kFilePageMagic) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": not a stindex page file (bad magic)");
+  }
+  Result<PageReader> payload =
+      OpenPagePayload(header, PageKind::kFileHeader, /*id=*/0);
+  if (!payload.ok()) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": corrupt header (" +
+                                   payload.status().message() + ")");
+  }
+  PageReader reader = payload.value();
+  uint32_t format_version = 0;
+  uint64_t page_size = 0;
+  uint64_t bitmap_pages = 0;
+  uint64_t slot_count = 0;
+  uint64_t live_count = 0;
+  bool parsed = reader.Read(&magic) && reader.Read(&format_version) &&
+                reader.Read(&page_size) && reader.Read(&bitmap_pages) &&
+                reader.Read(&slot_count) && reader.Read(&live_count);
+  if (!parsed) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": corrupt header (short payload)");
+  }
+  if (format_version != kFileFormatVersion) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        path + ": unsupported format version " +
+        std::to_string(format_version) + " (supported: " +
+        std::to_string(kFileFormatVersion) + ")");
+  }
+  if (page_size != kPageSize) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        path + ": page size " + std::to_string(page_size) +
+        " does not match compiled kPageSize " + std::to_string(kPageSize));
+  }
+  if (bitmap_pages == 0 || slot_count > bitmap_pages * kPageSize * 8) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": corrupt header (bitmap bounds)");
+  }
+  std::unique_ptr<FilePageBackend> backend(
+      new FilePageBackend(path, fd, static_cast<size_t>(bitmap_pages)));
+  backend->slot_count_ = static_cast<size_t>(slot_count);
+  backend->live_count_ = static_cast<size_t>(live_count);
+  status = PReadFull(fd, backend->bitmap_.data(), backend->bitmap_.size(),
+                     static_cast<off_t>(kPageSize),
+                     "read bitmap of " + path);
+  if (!status.ok()) {
+    if (status.message().find("short read") != std::string::npos) {
+      return Status::InvalidArgument(path + ": truncated page file (" +
+                                     status.message() + ")");
+    }
+    return status;
+  }
+  // The file must be large enough to hold every allocated data page.
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) return Status::IoError(Errno("lseek(" + path + ")"));
+  const off_t needed =
+      static_cast<off_t>((1 + bitmap_pages + slot_count) * kPageSize);
+  if (end < needed) {
+    return Status::InvalidArgument(
+        path + ": truncated page file (" + std::to_string(end) +
+        " bytes, header implies at least " + std::to_string(needed) + ")");
+  }
+  return backend;
+}
+
+FilePageBackend::~FilePageBackend() {
+  if (fd_ >= 0) {
+    const Status status = Sync();
+    STINDEX_CHECK_MSG(status.ok(), status.ToString().c_str());
+    ::close(fd_);
+  }
+}
+
+Status FilePageBackend::Read(PageId id, uint8_t* out) const {
+  if (id >= slot_count_ || !BitmapGet(id)) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   ": read of unallocated page");
+  }
+  Status status = PReadFull(fd_, out, kPageSize, DataOffset(id),
+                            "read page " + std::to_string(id) + " of " + path_);
+  if (!status.ok()) return status;
+  const FileMetrics& m = Metrics();
+  m.reads->Add(1);
+  m.bytes_read->Add(kPageSize);
+  return Status::OK();
+}
+
+Status FilePageBackend::Write(PageId id, const uint8_t* data) {
+  if (id == kInvalidPage || id >= MaxSlots()) {
+    return Status::IoError("page " + std::to_string(id) +
+                           ": beyond bitmap capacity of " +
+                           std::to_string(MaxSlots()) +
+                           " slots (recreate with more bitmap_pages)");
+  }
+  Status status = PWriteFull(fd_, data, kPageSize, DataOffset(id),
+                             "write page " + std::to_string(id) + " of " +
+                                 path_);
+  if (!status.ok()) return status;
+  if (!BitmapGet(id)) {
+    BitmapSet(id, true);
+    ++live_count_;
+  }
+  if (id + 1 > slot_count_) slot_count_ = id + 1;
+  meta_dirty_ = true;
+  const FileMetrics& m = Metrics();
+  m.writes->Add(1);
+  m.bytes_written->Add(kPageSize);
+  return Status::OK();
+}
+
+Status FilePageBackend::Free(PageId id) {
+  if (id >= slot_count_ || !BitmapGet(id)) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   ": free of unallocated page");
+  }
+  BitmapSet(id, false);
+  --live_count_;
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+bool FilePageBackend::IsAllocated(PageId id) const {
+  return id < slot_count_ && BitmapGet(id);
+}
+
+Status FilePageBackend::Sync() {
+  Status status = WriteMetadata();
+  if (!status.ok()) return status;
+  if (::fsync(fd_) < 0) {
+    return Status::IoError(Errno("fsync(" + path_ + ")"));
+  }
+  return Status::OK();
+}
+
+Status FilePageBackend::WriteMetadata() {
+  if (!meta_dirty_) return Status::OK();
+  uint8_t header[kPageSize];
+  PageWriter writer = PayloadWriter(header);
+  writer.Write(kFilePageMagic);
+  writer.Write(kFileFormatVersion);
+  writer.Write(static_cast<uint64_t>(kPageSize));
+  writer.Write(static_cast<uint64_t>(bitmap_pages_));
+  writer.Write(static_cast<uint64_t>(slot_count_));
+  writer.Write(static_cast<uint64_t>(live_count_));
+  SealPage(header, PageKind::kFileHeader);
+  Status status =
+      PWriteFull(fd_, header, kPageSize, 0, "write header of " + path_);
+  if (!status.ok()) return status;
+  status = PWriteFull(fd_, bitmap_.data(), bitmap_.size(),
+                      static_cast<off_t>(kPageSize),
+                      "write bitmap of " + path_);
+  if (!status.ok()) return status;
+  meta_dirty_ = false;
+  return Status::OK();
+}
+
+}  // namespace stindex

@@ -3,15 +3,61 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <type_traits>
 
+#include "storage/page_store.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace stindex {
 
 // On-disk page size. An index node (50 entries of 56 bytes plus a small
 // header) fits comfortably; serializers CHECK it.
 inline constexpr size_t kPageSize = 4096;
+
+// What a sealed page holds. Stored in the page envelope so a decoder can
+// reject a page of the wrong kind before looking at the payload.
+enum class PageKind : uint16_t {
+  kFileHeader = 1,  // FilePageBackend metadata page
+  kRStarNode = 2,   // serialized RStarTree::Node
+  kPprNode = 3,     // serialized PprTree::Node
+  kTest = 4,        // reserved for unit tests
+};
+
+// Every on-disk page carries an 8-byte envelope:
+//   [0, 4)  uint32 CRC-32 over bytes [4, kPageSize)
+//   [4, 6)  uint16 PageKind
+//   [6, 8)  uint16 codec version
+// The payload starts at kPageEnvelopeBytes.
+inline constexpr size_t kPageEnvelopeBytes = 8;
+inline constexpr size_t kPagePayloadBytes = kPageSize - kPageEnvelopeBytes;
+inline constexpr uint16_t kPageCodecVersion = 1;
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) over `size` bytes.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+// Stamps the envelope (kind, version, checksum) onto a kPageSize buffer
+// whose payload bytes [kPageEnvelopeBytes, kPageSize) are already filled.
+void SealPage(uint8_t* page, PageKind kind);
+
+// Encodes/decodes one Page subclass to/from sealed kPageSize buffers.
+// Implementations live next to the node types they serialize (the tree
+// classes keep their node layouts private).
+class PageCodec {
+ public:
+  virtual ~PageCodec() = default;
+
+  // Serializes `page` into `out` (kPageSize bytes) and seals it.
+  // Unencodable pages (fanout above the configured bound) are checked
+  // programming errors: node capacities are chosen so nodes fit.
+  virtual void Encode(const Page& page, uint8_t* out) const = 0;
+
+  // Rebuilds a Page from a sealed buffer. Corruption is a runtime
+  // condition: the error names the offending page id.
+  virtual Result<std::unique_ptr<Page>> Decode(const uint8_t* page,
+                                               PageId id) const = 0;
+};
 
 // Bounds-checked sequential writer over a fixed-size buffer. Overflowing
 // a page is a programming error (node capacities are chosen so nodes
@@ -47,6 +93,10 @@ class PageWriter {
 // (corrupt or truncated input is a runtime condition, not a bug).
 class PageReader {
  public:
+  // Empty reader (every read fails); lets Result<PageReader> default-
+  // construct its value slot on the error path.
+  PageReader() : PageReader(nullptr, 0) {}
+
   PageReader(const uint8_t* buffer, size_t capacity)
       : buffer_(buffer), capacity_(capacity) {}
 
@@ -72,6 +122,18 @@ class PageReader {
   size_t capacity_;
   size_t used_ = 0;
 };
+
+// Writer positioned at the payload of a page buffer; pair with SealPage.
+inline PageWriter PayloadWriter(uint8_t* page) {
+  std::memset(page, 0, kPageSize);
+  return PageWriter(page + kPageEnvelopeBytes, kPagePayloadBytes);
+}
+
+// Validates the envelope of a sealed kPageSize buffer and returns a
+// reader positioned at the payload. Any mismatch — bad checksum, wrong
+// kind, unknown version — is reported as InvalidArgument naming `id`.
+Result<PageReader> OpenPagePayload(const uint8_t* page, PageKind kind,
+                                   PageId id);
 
 }  // namespace stindex
 

@@ -1,5 +1,8 @@
 #include "storage/page_store.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "util/metrics.h"
 
 namespace stindex {
@@ -12,15 +15,24 @@ PageStore::~PageStore() {
   registry.GetGauge("pagestore." + metric_scope_ + ".peak_pages")
       ->SetMax(peak_live_count_);
   registry.GetCounter("pagestore." + metric_scope_ + ".allocations")
-      ->Add(pages_.size());
+      ->Add(total_allocations_);
 }
 
 PageId PageStore::Allocate(std::unique_ptr<Page> page) {
   STINDEX_CHECK(page != nullptr);
-  STINDEX_CHECK_MSG(pages_.size() < kInvalidPage, "page id space exhausted");
-  pages_.push_back(std::move(page));
+  ++total_allocations_;
   ++live_count_;
   if (live_count_ > peak_live_count_) peak_live_count_ = live_count_;
+  if (!free_slots_.empty()) {
+    std::pop_heap(free_slots_.begin(), free_slots_.end(),
+                  std::greater<PageId>());
+    const PageId id = free_slots_.back();
+    free_slots_.pop_back();
+    pages_[id] = std::move(page);
+    return id;
+  }
+  STINDEX_CHECK_MSG(pages_.size() < kInvalidPage, "page id space exhausted");
+  pages_.push_back(std::move(page));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
@@ -43,6 +55,9 @@ void PageStore::Free(PageId id) {
   STINDEX_CHECK_MSG(pages_[id] != nullptr, "double free of page");
   pages_[id].reset();
   --live_count_;
+  free_slots_.push_back(id);
+  std::push_heap(free_slots_.begin(), free_slots_.end(),
+                 std::greater<PageId>());
 }
 
 }  // namespace stindex

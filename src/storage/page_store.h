@@ -33,7 +33,10 @@ class PageStore {
   PageStore(const PageStore&) = delete;
   PageStore& operator=(const PageStore&) = delete;
 
-  // Takes ownership of `page` and returns its id.
+  // Takes ownership of `page` and returns its id. Freed slots are reused
+  // lowest-id-first before the backing vector grows, so long-running
+  // insert/delete workloads keep a bounded id space (and a bounded file,
+  // once pages are persisted through a backend).
   PageId Allocate(std::unique_ptr<Page> page);
 
   // Direct access without cache accounting (used while building indexes;
@@ -41,8 +44,7 @@ class PageStore {
   Page* Get(PageId id);
   const Page* Get(PageId id) const;
 
-  // Releases the page. The slot is not reused; PageCount() reflects live
-  // pages only.
+  // Releases the page; its slot becomes available for reuse.
   void Free(PageId id);
 
   // Number of live pages — the index's disk footprint in pages.
@@ -51,8 +53,12 @@ class PageStore {
   // Highest number of simultaneously live pages ever observed.
   size_t PeakPageCount() const { return peak_live_count_; }
 
-  // Total ids ever allocated (live + freed).
+  // Size of the id space (live + free slots) — the footprint a backend
+  // file needs. Stays flat when freed slots are recycled.
   size_t AllocatedCount() const { return pages_.size(); }
+
+  // Total Allocate() calls over the store's lifetime (reuse included).
+  size_t TotalAllocations() const { return total_allocations_; }
 
   bool IsLive(PageId id) const {
     return id < pages_.size() && pages_[id] != nullptr;
@@ -61,15 +67,19 @@ class PageStore {
   // Names the index this store backs ("ppr", "rstar", "hr"). When set,
   // the destructor publishes `pagestore.<scope>.live_pages` and
   // `pagestore.<scope>.peak_pages` gauges (SetMax — order-independent)
-  // and adds AllocatedCount() to `pagestore.<scope>.allocations`.
+  // and adds TotalAllocations() to `pagestore.<scope>.allocations`.
   void SetMetricScope(std::string scope) { metric_scope_ = std::move(scope); }
 
   ~PageStore();
 
  private:
   std::vector<std::unique_ptr<Page>> pages_;
+  // Min-heap of freed slot ids; Allocate pops the lowest so id reuse is
+  // deterministic for a given operation sequence.
+  std::vector<PageId> free_slots_;
   size_t live_count_ = 0;
   size_t peak_live_count_ = 0;
+  size_t total_allocations_ = 0;
   std::string metric_scope_;
 };
 

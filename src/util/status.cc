@@ -15,6 +15,8 @@ const char* CodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

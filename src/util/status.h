@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kNotFound,
   kFailedPrecondition,
+  kIoError,
 };
 
 // A lightweight Status carrying a code and a message. The library does not
@@ -39,6 +40,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,244 @@
+// Differential tests for the storage backends: the same seeded dataset
+// indexed three ways — the legacy in-memory PageStore, a persisted
+// MemoryPageBackend, and a persisted FilePageBackend — must answer every
+// query byte-identically and with identical per-query buffer-miss counts
+// (the paper's "disk accesses" metric), at every thread count. This pins
+// the tentpole property that moving the experiments onto real files
+// changes nothing about the reported numbers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distribute.h"
+#include "core/split_pipeline.h"
+#include "datagen/query_gen.h"
+#include "datagen/random_dataset.h"
+#include "pprtree/ppr_tree.h"
+#include "rstar/rstar_tree.h"
+#include "storage/file_backend.h"
+#include "storage/page_backend.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace stindex {
+namespace {
+
+constexpr Time kTimeDomain = 1000;
+
+// What one query produced: the answer ids in traversal order plus the
+// buffer misses it cost. Equality means "indistinguishable runs".
+struct QueryOutcome {
+  std::vector<uint64_t> results;
+  uint64_t misses = 0;
+
+  bool operator==(const QueryOutcome& other) const {
+    return results == other.results && misses == other.misses;
+  }
+};
+
+std::vector<SegmentRecord> MakeRecords() {
+  RandomDatasetConfig config;
+  config.num_objects = 300;
+  config.seed = 42;
+  config.time_domain = kTimeDomain;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, /*k_max=*/16, SplitMethod::kMerge, 1);
+  const Distribution dist = DistributeLAGreedy(
+      curves, static_cast<int64_t>(objects.size()), 1);
+  return BuildSegments(objects, dist.splits, SplitMethod::kMerge, 1);
+}
+
+std::vector<STQuery> MakeQueries() {
+  QuerySetConfig config = MixedSnapshotSet();
+  config.count = 48;
+  config.time_domain = kTimeDomain;
+  std::vector<STQuery> queries = GenerateQuerySet(config);
+  QuerySetConfig ranges = SmallRangeSet();
+  ranges.count = 24;
+  ranges.time_domain = kTimeDomain;
+  for (const STQuery& query : GenerateQuerySet(ranges)) {
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+std::unique_ptr<PageBackend> MakeFileBackend(const std::string& name) {
+  Result<std::unique_ptr<FilePageBackend>> backend =
+      FilePageBackend::Create(::testing::TempDir() + "/" + name + ".stpages");
+  EXPECT_TRUE(backend.ok()) << backend.status().ToString();
+  return std::move(backend).value();
+}
+
+// Runs the query set against `tree` with `num_threads` workers, one
+// private query buffer per chunk, cache reset before every query (the
+// paper protocol and the bench drivers' shape).
+template <typename RunQuery>
+std::vector<QueryOutcome> RunAll(const std::vector<STQuery>& queries,
+                                 int num_threads,
+                                 const RunQuery& run_query) {
+  std::vector<QueryOutcome> outcomes(queries.size());
+  ParallelFor(num_threads, queries.size(),
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                for (size_t q = begin; q < end; ++q) {
+                  outcomes[q] = run_query(queries[q]);
+                }
+              });
+  return outcomes;
+}
+
+std::vector<QueryOutcome> RunPpr(const PprTree& tree,
+                                 const std::vector<STQuery>& queries,
+                                 int num_threads) {
+  return RunAll(queries, num_threads, [&tree](const STQuery& query) {
+    // A fresh 10-page buffer per query keeps chunks independent, so the
+    // outcome vector cannot depend on the partition.
+    std::unique_ptr<BufferPool> buffer = tree.NewQueryBuffer();
+    std::vector<PprDataId> results;
+    if (query.IsSnapshot()) {
+      tree.SnapshotQuery(query.area, query.range.start, buffer.get(),
+                         &results);
+    } else {
+      tree.IntervalQuery(query.area, query.range, buffer.get(), &results);
+    }
+    QueryOutcome outcome;
+    outcome.results.assign(results.begin(), results.end());
+    outcome.misses = buffer->stats().misses;
+    return outcome;
+  });
+}
+
+std::vector<QueryOutcome> RunRStar(const RStarTree& tree,
+                                   const std::vector<STQuery>& queries,
+                                   int num_threads) {
+  return RunAll(queries, num_threads, [&tree](const STQuery& query) {
+    std::unique_ptr<BufferPool> buffer = tree.NewQueryBuffer();
+    std::vector<DataId> results;
+    tree.Search(QueryToBox(query, 0, kTimeDomain), buffer.get(), &results);
+    QueryOutcome outcome;
+    outcome.results.assign(results.begin(), results.end());
+    outcome.misses = buffer->stats().misses;
+    return outcome;
+  });
+}
+
+uint64_t FileReads() {
+  return MetricRegistry::Global().GetCounter("backend.file.reads")->Value();
+}
+
+uint64_t TotalMisses(const std::vector<QueryOutcome>& outcomes) {
+  uint64_t total = 0;
+  for (const QueryOutcome& outcome : outcomes) total += outcome.misses;
+  return total;
+}
+
+TEST(BackendDifferentialTest, PprTreeIdenticalAcrossBackendsAndThreads) {
+  const std::vector<SegmentRecord> records = MakeRecords();
+  const std::vector<STQuery> queries = MakeQueries();
+
+  const std::unique_ptr<PprTree> store_tree = BuildPprTree(records);
+  const std::unique_ptr<PprTree> memory_tree = BuildPprTree(records);
+  ASSERT_TRUE(
+      memory_tree->AttachBackend(std::make_unique<MemoryPageBackend>()).ok());
+  const std::unique_ptr<PprTree> file_tree = BuildPprTree(records);
+  ASSERT_TRUE(file_tree->AttachBackend(MakeFileBackend("diff_ppr")).ok());
+
+  const std::vector<QueryOutcome> baseline = RunPpr(*store_tree, queries, 1);
+  ASSERT_GT(TotalMisses(baseline), 0u);
+
+  const uint64_t reads_before = FileReads();
+  for (const int threads : {1, 2, 7}) {
+    EXPECT_EQ(RunPpr(*store_tree, queries, threads), baseline)
+        << "store backend, threads=" << threads;
+    EXPECT_EQ(RunPpr(*memory_tree, queries, threads), baseline)
+        << "memory backend, threads=" << threads;
+    EXPECT_EQ(RunPpr(*file_tree, queries, threads), baseline)
+        << "file backend, threads=" << threads;
+  }
+  // The file runs really hit the disk: every miss was a pread.
+  EXPECT_EQ(FileReads() - reads_before, 3 * TotalMisses(baseline));
+}
+
+TEST(BackendDifferentialTest, RStarTreeIdenticalAcrossBackendsAndThreads) {
+  const std::vector<SegmentRecord> records = MakeRecords();
+  const std::vector<STQuery> queries = MakeQueries();
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, kTimeDomain);
+
+  const auto build = [&boxes] {
+    auto tree = std::make_unique<RStarTree>();
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      tree->Insert(boxes[i], static_cast<DataId>(i));
+    }
+    return tree;
+  };
+  const std::unique_ptr<RStarTree> store_tree = build();
+  const std::unique_ptr<RStarTree> memory_tree = build();
+  ASSERT_TRUE(
+      memory_tree->AttachBackend(std::make_unique<MemoryPageBackend>()).ok());
+  const std::unique_ptr<RStarTree> file_tree = build();
+  ASSERT_TRUE(file_tree->AttachBackend(MakeFileBackend("diff_rstar")).ok());
+
+  const std::vector<QueryOutcome> baseline = RunRStar(*store_tree, queries, 1);
+  ASSERT_GT(TotalMisses(baseline), 0u);
+
+  const uint64_t reads_before = FileReads();
+  for (const int threads : {1, 2, 7}) {
+    EXPECT_EQ(RunRStar(*store_tree, queries, threads), baseline)
+        << "store backend, threads=" << threads;
+    EXPECT_EQ(RunRStar(*memory_tree, queries, threads), baseline)
+        << "memory backend, threads=" << threads;
+    EXPECT_EQ(RunRStar(*file_tree, queries, threads), baseline)
+        << "file backend, threads=" << threads;
+  }
+  EXPECT_EQ(FileReads() - reads_before, 3 * TotalMisses(baseline));
+}
+
+TEST(BackendDifferentialTest, FileBackendSurvivesReopen) {
+  // Persist an R*-tree to a file, then read the raw pages back through a
+  // freshly opened backend: every live page must decode to the same bytes
+  // the original backend serves.
+  const std::vector<SegmentRecord> records = MakeRecords();
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, kTimeDomain);
+  auto tree = std::make_unique<RStarTree>();
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    tree->Insert(boxes[i], static_cast<DataId>(i));
+  }
+  const std::string path = ::testing::TempDir() + "/diff_reopen.stpages";
+  Result<std::unique_ptr<FilePageBackend>> created =
+      FilePageBackend::Create(path);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_TRUE(tree->AttachBackend(std::move(created).value()).ok());
+  const size_t live = tree->backend()->LivePageCount();
+  const size_t slots = tree->backend()->SlotCount();
+  ASSERT_GT(live, 0u);
+
+  std::vector<std::vector<uint8_t>> original(slots);
+  for (PageId id = 0; id < slots; ++id) {
+    if (!tree->backend()->IsAllocated(id)) continue;
+    original[id].resize(kPageSize);
+    ASSERT_TRUE(tree->backend()->Read(id, original[id].data()).ok());
+  }
+  tree.reset();  // syncs and closes the file
+
+  Result<std::unique_ptr<FilePageBackend>> reopened =
+      FilePageBackend::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->LivePageCount(), live);
+  EXPECT_EQ(reopened.value()->SlotCount(), slots);
+  for (PageId id = 0; id < slots; ++id) {
+    if (original[id].empty()) {
+      EXPECT_FALSE(reopened.value()->IsAllocated(id));
+      continue;
+    }
+    uint8_t buffer[kPageSize];
+    ASSERT_TRUE(reopened.value()->Read(id, buffer).ok());
+    EXPECT_EQ(std::memcmp(buffer, original[id].data(), kPageSize), 0)
+        << "page " << id;
+  }
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,11 +1,20 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
+#include <cstdio>
+#include <memory>
+#include <string>
 
+#include "storage/file_backend.h"
 #include "storage/page_codec.h"
 
 namespace stindex {
 namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
 
 TEST(PageCodecTest, RoundTripMixedTypes) {
   std::array<uint8_t, kPageSize> page{};
@@ -65,6 +74,202 @@ TEST(PageCodecTest, NodeFitsInPage) {
   // + 50 entries x (32 rect + 16 lifetime + 4 child + 8 data).
   const size_t node_bytes = 4 + 8 + 8 + 8 + 50 * (32 + 16 + 4 + 8);
   EXPECT_LE(node_bytes, kPageSize);
+}
+
+// --- Page envelope (checksum / kind / version) ---
+
+std::array<uint8_t, kPageSize> SealedTestPage(uint64_t value) {
+  std::array<uint8_t, kPageSize> page{};
+  PageWriter writer = PayloadWriter(page.data());
+  writer.Write(value);
+  SealPage(page.data(), PageKind::kTest);
+  return page;
+}
+
+TEST(PageEnvelopeTest, SealAndOpenRoundTrip) {
+  std::array<uint8_t, kPageSize> page = SealedTestPage(0xfeedface);
+  Result<PageReader> payload =
+      OpenPagePayload(page.data(), PageKind::kTest, /*id=*/9);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  uint64_t value = 0;
+  PageReader reader = payload.value();
+  ASSERT_TRUE(reader.Read(&value));
+  EXPECT_EQ(value, 0xfeedfaceu);
+}
+
+TEST(PageEnvelopeTest, FlippedPayloadByteFailsChecksum) {
+  std::array<uint8_t, kPageSize> page = SealedTestPage(1);
+  page[kPageEnvelopeBytes + 100] ^= 0x40;  // one bit, deep in the payload
+  const Result<PageReader> payload =
+      OpenPagePayload(page.data(), PageKind::kTest, /*id=*/7);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(payload.status().message(), "page 7"))
+      << payload.status().ToString();
+  EXPECT_TRUE(Contains(payload.status().message(), "checksum mismatch"));
+}
+
+TEST(PageEnvelopeTest, FlippedChecksumByteFailsChecksum) {
+  std::array<uint8_t, kPageSize> page = SealedTestPage(1);
+  page[0] ^= 0x01;  // corrupt the stored CRC itself
+  EXPECT_FALSE(OpenPagePayload(page.data(), PageKind::kTest, 0).ok());
+}
+
+TEST(PageEnvelopeTest, WrongKindRejected) {
+  std::array<uint8_t, kPageSize> page = SealedTestPage(1);
+  const Result<PageReader> payload =
+      OpenPagePayload(page.data(), PageKind::kRStarNode, /*id=*/3);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(Contains(payload.status().message(), "page 3"))
+      << payload.status().ToString();
+  EXPECT_TRUE(Contains(payload.status().message(), "kind mismatch"));
+}
+
+TEST(PageEnvelopeTest, VersionSkewRejected) {
+  std::array<uint8_t, kPageSize> page = SealedTestPage(1);
+  // Stamp a future codec version and re-seal so only the version check
+  // (not the checksum) can reject the page.
+  page[6] = 99;
+  page[7] = 0;
+  const uint32_t crc = Crc32(page.data() + 4, kPageSize - 4);
+  page[0] = static_cast<uint8_t>(crc);
+  page[1] = static_cast<uint8_t>(crc >> 8);
+  page[2] = static_cast<uint8_t>(crc >> 16);
+  page[3] = static_cast<uint8_t>(crc >> 24);
+  const Result<PageReader> payload =
+      OpenPagePayload(page.data(), PageKind::kTest, /*id=*/5);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(Contains(payload.status().message(), "page 5"))
+      << payload.status().ToString();
+  EXPECT_TRUE(Contains(payload.status().message(), "unsupported codec version"));
+}
+
+TEST(PageEnvelopeTest, Crc32MatchesKnownVector) {
+  // The standard check value for CRC-32/IEEE over "123456789".
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data, sizeof(data)), 0xCBF43926u);
+}
+
+// --- FilePageBackend open-time validation ---
+
+class FileBackendValidationTest : public ::testing::Test {
+ protected:
+  // A valid two-page file to corrupt, created fresh per test.
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/codec_validation.stpages";
+    Result<std::unique_ptr<FilePageBackend>> backend =
+        FilePageBackend::Create(path_);
+    ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+    for (PageId id = 0; id < 2; ++id) {
+      const std::array<uint8_t, kPageSize> page = SealedTestPage(id);
+      ASSERT_TRUE(backend.value()->Write(id, page.data()).ok());
+    }
+    ASSERT_TRUE(backend.value()->Sync().ok());
+  }
+
+  // Overwrites `count` bytes at `offset` in the page file.
+  void Poke(long offset, const void* bytes, size_t count) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(bytes, 1, count, f), count);
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+
+  Status OpenStatus() {
+    Result<std::unique_ptr<FilePageBackend>> backend =
+        FilePageBackend::Open(path_);
+    return backend.ok() ? Status::OK() : backend.status();
+  }
+
+  std::string path_;
+};
+
+TEST_F(FileBackendValidationTest, RoundTripReopens) {
+  const Status status = OpenStatus();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST_F(FileBackendValidationTest, WrongMagicRejected) {
+  const uint64_t garbage = 0x1122334455667788ull;
+  Poke(kPageEnvelopeBytes, &garbage, sizeof(garbage));
+  const Status status = OpenStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "not a stindex page file"))
+      << status.ToString();
+}
+
+TEST_F(FileBackendValidationTest, FlippedHeaderByteRejectedByChecksum) {
+  // Past the magic, inside the sealed header payload.
+  const uint8_t garbage = 0xa5;
+  Poke(kPageEnvelopeBytes + 16, &garbage, 1);
+  const Status status = OpenStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "corrupt header"))
+      << status.ToString();
+}
+
+TEST_F(FileBackendValidationTest, VersionSkewRejected) {
+  // Rewrite the header with a bumped format version and a valid seal, so
+  // the version check itself must fire.
+  std::array<uint8_t, kPageSize> header{};
+  PageWriter writer = PayloadWriter(header.data());
+  writer.Write(kFilePageMagic);
+  writer.Write<uint32_t>(kFileFormatVersion + 1);
+  writer.Write<uint64_t>(kPageSize);
+  writer.Write<uint64_t>(4);  // bitmap_pages
+  writer.Write<uint64_t>(2);  // slot_count
+  writer.Write<uint64_t>(2);  // live_count
+  SealPage(header.data(), PageKind::kFileHeader);
+  Poke(0, header.data(), header.size());
+  const Status status = OpenStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "unsupported format version"))
+      << status.ToString();
+}
+
+TEST_F(FileBackendValidationTest, TruncatedFileRejected) {
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long full = std::ftell(f);
+  ASSERT_EQ(std::fclose(f), 0);
+  // Chop off the last data page; the header still promises two slots.
+  ASSERT_EQ(::truncate(path_.c_str(), full - static_cast<long>(kPageSize)), 0);
+  const Status status = OpenStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "truncated page file"))
+      << status.ToString();
+}
+
+TEST_F(FileBackendValidationTest, FileShorterThanHeaderRejected) {
+  ASSERT_EQ(::truncate(path_.c_str(), 100), 0);
+  const Status status = OpenStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Contains(status.message(), "truncated page file"))
+      << status.ToString();
+}
+
+TEST_F(FileBackendValidationTest, CorruptDataPageRejectedAtRead) {
+  // Data-page corruption is not an Open error (Open only validates
+  // metadata); it must surface when the page is decoded.
+  const uint8_t garbage = 0xff;
+  Poke(static_cast<long>((1 + 4 + 1) * kPageSize) + 200, &garbage, 1);
+  Result<std::unique_ptr<FilePageBackend>> backend =
+      FilePageBackend::Open(path_);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  uint8_t buffer[kPageSize];
+  ASSERT_TRUE(backend.value()->Read(1, buffer).ok());
+  const Result<PageReader> payload =
+      OpenPagePayload(buffer, PageKind::kTest, /*id=*/1);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(Contains(payload.status().message(), "checksum mismatch"))
+      << payload.status().ToString();
 }
 
 }  // namespace

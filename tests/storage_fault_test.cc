@@ -1,0 +1,235 @@
+// Fault-injection tests for the storage stack: every injected I/O error
+// must surface as a Status or a CHECK naming the offending page id —
+// never as silent corruption. FaultInjectingBackend wraps a
+// MemoryPageBackend, so the faults are deterministic and the tests run
+// without touching the filesystem.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "storage/buffer_pool.h"
+#include "storage/fault_backend.h"
+#include "storage/page_backend.h"
+#include "storage/page_codec.h"
+
+namespace stindex {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// One uint64 payload per page; enough to detect corruption and identity.
+class TestPage : public Page {
+ public:
+  explicit TestPage(uint64_t value) : value_(value) {}
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_;
+};
+
+class TestCodec : public PageCodec {
+ public:
+  void Encode(const Page& page, uint8_t* out) const override {
+    PageWriter writer = PayloadWriter(out);
+    writer.Write<uint64_t>(static_cast<const TestPage&>(page).value());
+    SealPage(out, PageKind::kTest);
+  }
+
+  Result<std::unique_ptr<Page>> Decode(const uint8_t* page,
+                                       PageId id) const override {
+    Result<PageReader> payload = OpenPagePayload(page, PageKind::kTest, id);
+    if (!payload.ok()) return payload.status();
+    PageReader reader = payload.value();
+    uint64_t value = 0;
+    if (!reader.Read(&value)) {
+      return Status::InvalidArgument("page " + std::to_string(id) +
+                                     ": short test page");
+    }
+    return Result<std::unique_ptr<Page>>(std::make_unique<TestPage>(value));
+  }
+};
+
+// Seals a TestPage with `value` into slot `id` of the wrapped backend.
+void WriteTestPage(PageBackend* backend, PageId id, uint64_t value) {
+  uint8_t buffer[kPageSize];
+  TestCodec().Encode(TestPage(value), buffer);
+  ASSERT_TRUE(backend->Write(id, buffer).ok());
+}
+
+std::unique_ptr<FaultInjectingBackend> MakeFaulty(
+    FaultInjectingBackend::Faults faults, int pages = 3) {
+  auto memory = std::make_unique<MemoryPageBackend>();
+  for (int i = 0; i < pages; ++i) {
+    WriteTestPage(memory.get(), static_cast<PageId>(i),
+                  1000 + static_cast<uint64_t>(i));
+  }
+  return std::make_unique<FaultInjectingBackend>(std::move(memory), faults);
+}
+
+TEST(FaultBackendTest, FailedReadSurfacesStatusWithPageId) {
+  FaultInjectingBackend::Faults faults;
+  faults.fail_read_at = 1;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  uint8_t buffer[kPageSize];
+  const Status status = backend->Read(2, buffer);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(Contains(status.message(), "page 2")) << status.ToString();
+  EXPECT_TRUE(Contains(status.message(), "injected read failure"));
+}
+
+TEST(FaultBackendTest, FaultsDisarmAfterFiring) {
+  FaultInjectingBackend::Faults faults;
+  faults.fail_read_at = 1;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  uint8_t buffer[kPageSize];
+  EXPECT_FALSE(backend->Read(0, buffer).ok());
+  EXPECT_TRUE(backend->Read(0, buffer).ok());  // the fault fired once
+  EXPECT_EQ(backend->reads(), 2u);
+}
+
+TEST(FaultBackendTest, ShortReadSurfacesStatusWithPageId) {
+  FaultInjectingBackend::Faults faults;
+  faults.short_read_at = 2;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  uint8_t buffer[kPageSize];
+  EXPECT_TRUE(backend->Read(0, buffer).ok());
+  const Status status = backend->Read(1, buffer);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(Contains(status.message(), "page 1")) << status.ToString();
+  EXPECT_TRUE(Contains(status.message(), "short read"));
+}
+
+TEST(FaultBackendTest, FailedWriteSurfacesStatusWithPageId) {
+  FaultInjectingBackend::Faults faults;
+  faults.fail_write_at = 1;
+  auto backend = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryPageBackend>(), faults);
+  uint8_t buffer[kPageSize];
+  TestCodec().Encode(TestPage(7), buffer);
+  const Status status = backend->Write(4, buffer);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(Contains(status.message(), "page 4")) << status.ToString();
+  EXPECT_TRUE(Contains(status.message(), "injected write failure"));
+  // Nothing was written, so the slot stays unallocated.
+  EXPECT_FALSE(backend->IsAllocated(4));
+}
+
+TEST(FaultBackendTest, BitFlipIsSilentAtBackendLevel) {
+  // The corrupting fault reports success — only the checksum layer can
+  // catch it, which the BufferPool death test below proves it does.
+  FaultInjectingBackend::Faults faults;
+  faults.corrupt_read_at = 1;
+  faults.corrupt_bit = (kPageEnvelopeBytes + 3) * 8 + 5;  // payload byte
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  uint8_t corrupt[kPageSize];
+  uint8_t clean[kPageSize];
+  ASSERT_TRUE(backend->Read(0, corrupt).ok());
+  ASSERT_TRUE(backend->Read(0, clean).ok());
+  EXPECT_NE(std::memcmp(corrupt, clean, kPageSize), 0);
+  EXPECT_FALSE(OpenPagePayload(corrupt, PageKind::kTest, 0).ok());
+  EXPECT_TRUE(OpenPagePayload(clean, PageKind::kTest, 0).ok());
+}
+
+TEST(FaultPoolDeathTest, FetchDiesOnInjectedReadFailureNamingPage) {
+  FaultInjectingBackend::Faults faults;
+  faults.fail_read_at = 1;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  TestCodec codec;
+  BufferPool pool(backend.get(), &codec, 4);
+  EXPECT_DEATH(pool.Fetch(2), "read of page 2 failed.*injected read failure");
+}
+
+TEST(FaultPoolDeathTest, FetchDiesOnShortReadNamingPage) {
+  FaultInjectingBackend::Faults faults;
+  faults.short_read_at = 1;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  TestCodec codec;
+  BufferPool pool(backend.get(), &codec, 4);
+  EXPECT_DEATH(pool.Fetch(1), "read of page 1 failed.*short read");
+}
+
+TEST(FaultPoolDeathTest, FetchDiesOnBitFlipViaChecksum) {
+  // The backend reports success for the corrupted page; the codec's
+  // envelope checksum must reject it before a garbage node is served.
+  FaultInjectingBackend::Faults faults;
+  faults.corrupt_read_at = 1;
+  faults.corrupt_bit = (kPageEnvelopeBytes + 1) * 8;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  TestCodec codec;
+  BufferPool pool(backend.get(), &codec, 4);
+  EXPECT_DEATH(pool.Fetch(0), "decode of page 0 failed.*checksum mismatch");
+}
+
+TEST(FaultPoolTest, EvictionWriteFailureSurfacesInPut) {
+  FaultInjectingBackend::Faults faults;
+  faults.fail_write_at = 1;
+  auto backend = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryPageBackend>(), faults);
+  TestCodec codec;
+  BufferPool pool(backend.get(), &codec, /*capacity=*/1);
+  ASSERT_TRUE(pool.Put(0, std::make_unique<TestPage>(10)).ok());
+  // Inserting page 1 evicts dirty page 0, whose write-back fails.
+  const Status status = pool.Put(1, std::make_unique<TestPage>(11));
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(Contains(status.message(), "write-back of page 0"))
+      << status.ToString();
+  EXPECT_TRUE(Contains(status.message(), "injected write failure"));
+  // The victim stayed resident and dirty; the fault disarmed, so the
+  // flush-on-destruction retry persists it.
+  EXPECT_EQ(pool.DirtyPages(), 1u);
+}
+
+TEST(FaultPoolTest, FlushAllWriteFailureSurfacesStatusAndRetries) {
+  FaultInjectingBackend::Faults faults;
+  faults.fail_write_at = 1;
+  auto backend = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryPageBackend>(), faults);
+  TestCodec codec;
+  BufferPool pool(backend.get(), &codec, 4);
+  ASSERT_TRUE(pool.Put(5, std::make_unique<TestPage>(55)).ok());
+  const Status status = pool.FlushAll();
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(Contains(status.message(), "write-back of page 5"))
+      << status.ToString();
+  EXPECT_EQ(pool.DirtyPages(), 1u);  // still dirty after the failure
+  // The fault disarmed: the retry succeeds and the data is intact.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.DirtyPages(), 0u);
+  uint8_t buffer[kPageSize];
+  ASSERT_TRUE(backend->Read(5, buffer).ok());
+  Result<std::unique_ptr<Page>> decoded = codec.Decode(buffer, 5);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(static_cast<const TestPage*>(decoded.value().get())->value(), 55u);
+}
+
+TEST(FaultPoolTest, WriteFaultDoesNotCorruptOtherPages) {
+  FaultInjectingBackend::Faults faults;
+  faults.fail_write_at = 2;
+  auto backend = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryPageBackend>(), faults);
+  TestCodec codec;
+  {
+    BufferPool pool(backend.get(), &codec, 8);
+    for (PageId id = 0; id < 4; ++id) {
+      ASSERT_TRUE(pool.Put(id, std::make_unique<TestPage>(100 + id)).ok());
+    }
+    EXPECT_FALSE(pool.FlushAll().ok());  // page 1's write fails
+    ASSERT_TRUE(pool.FlushAll().ok());   // retry after disarm
+  }
+  for (PageId id = 0; id < 4; ++id) {
+    uint8_t buffer[kPageSize];
+    ASSERT_TRUE(backend->Read(id, buffer).ok());
+    Result<std::unique_ptr<Page>> decoded = codec.Decode(buffer, id);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(static_cast<const TestPage*>(decoded.value().get())->value(),
+              100u + id);
+  }
+}
+
+}  // namespace
+}  // namespace stindex

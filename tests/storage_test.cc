@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "storage/buffer_pool.h"
+#include "storage/page_backend.h"
+#include "storage/page_codec.h"
 #include "storage/page_store.h"
 
 namespace stindex {
@@ -16,6 +21,29 @@ class TestPage : public Page {
 
  private:
   int tag_;
+};
+
+// Serializes TestPage for the backend-mode BufferPool tests below.
+class TestCodec : public PageCodec {
+ public:
+  void Encode(const Page& page, uint8_t* out) const override {
+    PageWriter writer = PayloadWriter(out);
+    writer.Write<int32_t>(static_cast<const TestPage&>(page).tag());
+    SealPage(out, PageKind::kTest);
+  }
+
+  Result<std::unique_ptr<Page>> Decode(const uint8_t* page,
+                                       PageId id) const override {
+    Result<PageReader> payload = OpenPagePayload(page, PageKind::kTest, id);
+    if (!payload.ok()) return payload.status();
+    PageReader reader = payload.value();
+    int32_t tag = 0;
+    if (!reader.Read(&tag)) {
+      return Status::InvalidArgument("page " + std::to_string(id) +
+                                     ": short test page");
+    }
+    return Result<std::unique_ptr<Page>>(std::make_unique<TestPage>(tag));
+  }
 };
 
 TEST(PageStoreTest, AllocateAndGet) {
@@ -53,6 +81,58 @@ TEST(PageStoreTest, PeakPageCountTracksHighWaterMark) {
   store.Allocate(std::make_unique<TestPage>(9));
   EXPECT_EQ(store.PageCount(), 2u);
   EXPECT_EQ(store.PeakPageCount(), 3u);
+}
+
+TEST(PageStoreTest, FreedSlotsAreReusedLowestFirst) {
+  // Regression for the slot leak: Free used to strand the slot forever,
+  // so insert/delete workloads grew AllocatedCount() without bound.
+  PageStore store;
+  PageId pages[4];
+  for (int i = 0; i < 4; ++i) {
+    pages[i] = store.Allocate(std::make_unique<TestPage>(i));
+  }
+  EXPECT_EQ(store.AllocatedCount(), 4u);
+  store.Free(pages[2]);
+  store.Free(pages[0]);
+  // Reuse picks the lowest free id first — deterministic for a given
+  // operation sequence.
+  EXPECT_EQ(store.Allocate(std::make_unique<TestPage>(10)), pages[0]);
+  EXPECT_EQ(store.Allocate(std::make_unique<TestPage>(12)), pages[2]);
+  EXPECT_EQ(store.AllocatedCount(), 4u);  // the id space did not grow
+  EXPECT_EQ(store.PageCount(), 4u);
+  EXPECT_EQ(store.TotalAllocations(), 6u);
+  // A store with no free slots grows again.
+  store.Allocate(std::make_unique<TestPage>(13));
+  EXPECT_EQ(store.AllocatedCount(), 5u);
+}
+
+TEST(PageStoreTest, AllocatedCountStaysFlatUnderChurn) {
+  PageStore store;
+  std::vector<PageId> live;
+  for (int i = 0; i < 8; ++i) {
+    live.push_back(store.Allocate(std::make_unique<TestPage>(i)));
+  }
+  for (int round = 0; round < 50; ++round) {
+    store.Free(live.back());
+    live.pop_back();
+    live.push_back(store.Allocate(std::make_unique<TestPage>(round)));
+  }
+  EXPECT_EQ(store.AllocatedCount(), 8u);
+  EXPECT_EQ(store.PageCount(), 8u);
+  EXPECT_EQ(store.TotalAllocations(), 58u);
+}
+
+TEST(BufferPoolTest, ReusedSlotIsNeverServedStale) {
+  // A page cached in the pool, freed in the store, and replaced by a new
+  // allocation under the same id must be served as the NEW page.
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 4);
+  EXPECT_EQ(static_cast<const TestPage*>(pool.Fetch(a))->tag(), 1);
+  store.Free(a);
+  const PageId b = store.Allocate(std::make_unique<TestPage>(2));
+  ASSERT_EQ(a, b);  // the slot was reused
+  EXPECT_EQ(static_cast<const TestPage*>(pool.Fetch(a))->tag(), 2);
 }
 
 TEST(BufferPoolDeathTest, FetchOfFreedPageAborts) {
@@ -171,6 +251,164 @@ TEST(BufferPoolTest, LargeCapacityHoldsWorkingSet) {
   }
   EXPECT_EQ(pool.stats().misses, 8u);  // only cold misses
   EXPECT_EQ(pool.CachedPages(), 8u);
+}
+
+TEST(BufferPoolTest, EvictionCounter) {
+  PageStore store;
+  PageId pages[3];
+  for (int i = 0; i < 3; ++i) {
+    pages[i] = store.Allocate(std::make_unique<TestPage>(i));
+  }
+  BufferPool pool(&store, 2);
+  pool.Fetch(pages[0]);
+  pool.Fetch(pages[1]);
+  EXPECT_EQ(pool.Evictions(), 0u);
+  pool.Fetch(pages[2]);  // evicts pages[0]
+  EXPECT_EQ(pool.Evictions(), 1u);
+  pool.ResetCache();     // dropping frames is not an eviction
+  EXPECT_EQ(pool.Evictions(), 1u);
+}
+
+TEST(BufferPoolTest, PinBlocksEviction) {
+  PageStore store;
+  PageId pages[3];
+  for (int i = 0; i < 3; ++i) {
+    pages[i] = store.Allocate(std::make_unique<TestPage>(i));
+  }
+  BufferPool pool(&store, 2);
+  PageRef pinned = pool.FetchPinned(pages[0]);  // LRU position after...
+  pool.Fetch(pages[1]);                         // ...this access
+  EXPECT_EQ(pool.PinnedPages(), 1u);
+  // Eviction must skip the pinned LRU frame and take pages[1] instead.
+  pool.Fetch(pages[2]);
+  pool.Fetch(pages[0]);  // hit: still resident
+  EXPECT_EQ(pool.stats().misses, 3u);
+  EXPECT_EQ(pool.stats().accesses, 4u);
+  pinned.Release();
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+  // pages[0] became MRU with the hit above, so the next miss evicts
+  // pages[2]; the formerly pinned frame stays resident on merit.
+  pool.Fetch(pages[1]);  // miss, evicts pages[2]
+  pool.Fetch(pages[0]);  // hit
+  EXPECT_EQ(pool.stats().misses, 4u);
+}
+
+TEST(BufferPoolDeathTest, AllPinnedCannotEvict) {
+  PageStore store;
+  PageId pages[3];
+  for (int i = 0; i < 3; ++i) {
+    pages[i] = store.Allocate(std::make_unique<TestPage>(i));
+  }
+  BufferPool pool(&store, 2);
+  PageRef a = pool.FetchPinned(pages[0]);
+  PageRef b = pool.FetchPinned(pages[1]);
+  EXPECT_DEATH(pool.Fetch(pages[2]), "every frame is pinned");
+}
+
+TEST(BufferPoolTest, PageRefMoveTransfersPin) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 2);
+  PageRef ref = pool.FetchPinned(a);
+  EXPECT_EQ(pool.PinnedPages(), 1u);
+  PageRef moved = std::move(ref);
+  EXPECT_EQ(pool.PinnedPages(), 1u);  // exactly one pin, now owned by `moved`
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_FALSE(static_cast<bool>(ref));  // NOLINT(bugprone-use-after-move)
+  moved.Release();
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+}
+
+// --- Backend mode: Put / write-back / flush ---
+
+TEST(BufferPoolBackendTest, PutFlushFetchRoundTrip) {
+  MemoryPageBackend backend;
+  TestCodec codec;
+  BufferPool pool(&backend, &codec, 4);
+  EXPECT_TRUE(pool.backend_mode());
+  ASSERT_TRUE(pool.Put(0, std::make_unique<TestPage>(10)).ok());
+  ASSERT_TRUE(pool.Put(1, std::make_unique<TestPage>(11)).ok());
+  EXPECT_EQ(pool.DirtyPages(), 2u);
+  EXPECT_EQ(backend.LivePageCount(), 0u);  // nothing written yet
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.DirtyPages(), 0u);
+  EXPECT_EQ(backend.LivePageCount(), 2u);
+  // A fresh pool over the same backend decodes what was written.
+  BufferPool reader(&backend, &codec, 4);
+  EXPECT_EQ(static_cast<const TestPage*>(reader.Fetch(0))->tag(), 10);
+  EXPECT_EQ(static_cast<const TestPage*>(reader.Fetch(1))->tag(), 11);
+  EXPECT_EQ(reader.stats().misses, 2u);
+  reader.Fetch(0);  // resident: a hit, no backend read
+  EXPECT_EQ(reader.stats().misses, 2u);
+}
+
+TEST(BufferPoolBackendTest, EvictionWritesBackDirtyVictim) {
+  MemoryPageBackend backend;
+  TestCodec codec;
+  BufferPool pool(&backend, &codec, /*capacity=*/1);
+  ASSERT_TRUE(pool.Put(0, std::make_unique<TestPage>(20)).ok());
+  // Inserting page 1 must spill dirty page 0 to the backend.
+  ASSERT_TRUE(pool.Put(1, std::make_unique<TestPage>(21)).ok());
+  EXPECT_EQ(pool.Evictions(), 1u);
+  EXPECT_TRUE(backend.IsAllocated(0));
+  uint8_t buffer[kPageSize];
+  ASSERT_TRUE(backend.Read(0, buffer).ok());
+  Result<std::unique_ptr<Page>> decoded = codec.Decode(buffer, 0);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(static_cast<const TestPage*>(decoded.value().get())->tag(), 20);
+}
+
+TEST(BufferPoolBackendTest, DestructionFlushesDirtyFrames) {
+  MemoryPageBackend backend;
+  TestCodec codec;
+  {
+    BufferPool pool(&backend, &codec, 4);
+    ASSERT_TRUE(pool.Put(3, std::make_unique<TestPage>(33)).ok());
+    EXPECT_EQ(backend.LivePageCount(), 0u);
+  }  // flush-on-destruction
+  EXPECT_EQ(backend.LivePageCount(), 1u);
+  uint8_t buffer[kPageSize];
+  ASSERT_TRUE(backend.Read(3, buffer).ok());
+  Result<std::unique_ptr<Page>> decoded = codec.Decode(buffer, 3);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(static_cast<const TestPage*>(decoded.value().get())->tag(), 33);
+}
+
+TEST(BufferPoolBackendTest, MissCountsMatchStoreModeExactly) {
+  // The shared-LRU property the differential suite relies on, in
+  // miniature: the same access pattern costs the same misses in both
+  // modes.
+  PageStore store;
+  MemoryPageBackend backend;
+  TestCodec codec;
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    ids[i] = store.Allocate(std::make_unique<TestPage>(i));
+    uint8_t buffer[kPageSize];
+    codec.Encode(TestPage(i), buffer);
+    ASSERT_TRUE(backend.Write(ids[i], buffer).ok());
+  }
+  BufferPool store_pool(&store, 2);
+  BufferPool backend_pool(&backend, &codec, 2);
+  const PageId pattern[] = {ids[0], ids[1], ids[0], ids[2],
+                            ids[0], ids[1], ids[2]};
+  for (const PageId id : pattern) {
+    store_pool.Fetch(id);
+    backend_pool.Fetch(id);
+  }
+  EXPECT_EQ(store_pool.stats().accesses, backend_pool.stats().accesses);
+  EXPECT_EQ(store_pool.stats().misses, backend_pool.stats().misses);
+  EXPECT_EQ(store_pool.Evictions(), backend_pool.Evictions());
+}
+
+TEST(BufferPoolBackendTest, FetchOfUnwrittenPageAborts) {
+  MemoryPageBackend backend;
+  TestCodec codec;
+  uint8_t buffer[kPageSize];
+  codec.Encode(TestPage(1), buffer);
+  ASSERT_TRUE(backend.Write(0, buffer).ok());
+  BufferPool pool(&backend, &codec, 4);
+  EXPECT_DEATH(pool.Fetch(9), "freed or out-of-range");
 }
 
 }  // namespace

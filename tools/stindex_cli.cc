@@ -35,6 +35,8 @@
 #include "model/split_advisor.h"
 #include "pprtree/ppr_tree.h"
 #include "rstar/rstar_tree.h"
+#include "storage/file_backend.h"
+#include "storage/page_backend.h"
 #include "util/json_writer.h"
 #include "util/metrics.h"
 #include "util/threads.h"
@@ -157,6 +159,37 @@ std::vector<SegmentRecord> LoadSegments(const std::string& path) {
   Result<std::vector<SegmentRecord>> result = ReadSegmentsCsv(path);
   if (!result.ok()) Die(result.status());
   return std::move(result).value();
+}
+
+// Backend selection for `query`: --backend store|memory|file plus --db
+// DIR for the file backend. "store" is the legacy in-memory PageStore
+// (no serialization); the other two persist the index through a
+// PageBackend so buffer misses are actual page reads. Returns the
+// validated backend name.
+std::string GetBackendFlags(Flags& flags, std::string* db_path) {
+  const std::string backend = flags.Get("backend", "store");
+  *db_path = flags.Get("db", "");
+  if (backend != "store" && backend != "memory" && backend != "file") {
+    std::fprintf(stderr,
+                 "--backend must be 'store', 'memory' or 'file', got '%s'\n",
+                 backend.c_str());
+    std::exit(2);
+  }
+  if (backend == "file" && db_path->empty()) {
+    std::fprintf(stderr, "--backend file requires --db DIR\n");
+    std::exit(2);
+  }
+  return backend;
+}
+
+std::unique_ptr<PageBackend> MakeCliBackend(const std::string& backend,
+                                            const std::string& db_path,
+                                            const std::string& tag) {
+  if (backend == "memory") return std::make_unique<MemoryPageBackend>();
+  Result<std::unique_ptr<FilePageBackend>> file =
+      FilePageBackend::Create(db_path + "/" + tag + ".stpages");
+  if (!file.ok()) Die(file.status());
+  return std::move(file).value();
 }
 
 QuerySetConfig NamedQuerySet(const std::string& name) {
@@ -327,7 +360,14 @@ int CmdQuery(Flags& flags) {
   const std::string queries_path = flags.Require("queries");
   const std::string index = flags.Get("index", "ppr");
   const Time domain = flags.GetInt("time-domain", 1000);
+  std::string db_path;
+  const std::string backend = GetBackendFlags(flags, &db_path);
   flags.RejectUnknown();
+  if (backend != "store" && index == "hr") {
+    std::fprintf(stderr, "--backend %s: the hr index only supports the "
+                 "in-memory store\n", backend.c_str());
+    return 2;
+  }
 
   const std::vector<SegmentRecord> records = LoadSegments(segments_path);
   Result<std::vector<STQuery>> queries_result =
@@ -342,6 +382,11 @@ int CmdQuery(Flags& flags) {
     std::unique_ptr<HrTree> hr;
     if (index == "ppr") {
       ppr = BuildPprTree(records);
+      if (backend != "store") {
+        const Status status =
+            ppr->AttachBackend(MakeCliBackend(backend, db_path, "query_ppr"));
+        if (!status.ok()) Die(status);
+      }
     } else {
       hr = BuildHrTree(records);
     }
@@ -374,6 +419,11 @@ int CmdQuery(Flags& flags) {
     const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, domain);
     for (size_t i = 0; i < boxes.size(); ++i) {
       tree.Insert(boxes[i], static_cast<DataId>(i));
+    }
+    if (backend != "store") {
+      const Status status =
+          tree.AttachBackend(MakeCliBackend(backend, db_path, "query_rstar"));
+      if (!status.ok()) Die(status);
     }
     std::vector<DataId> out;
     for (const STQuery& query : queries) {
@@ -451,6 +501,7 @@ int Usage() {
       "  queries   --set NAME --out FILE [--count N] [--time-domain T]\n"
       "  stats     --segments FILE [--index ppr|rstar|hr]\n"
       "  query     --segments FILE --queries FILE [--index ppr|rstar|hr]\n"
+      "            [--backend store|memory|file] [--db DIR]\n"
       "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n"
       "            [--threads N]\n"
       "Common flags:\n"
