@@ -12,6 +12,7 @@
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace stindex {
 namespace bench {
@@ -101,21 +102,30 @@ namespace {
 // fixed).
 template <typename MakeBuffer, typename RunQuery>
 double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
-                         IoStats* aggregate, const MakeBuffer& make_buffer,
+                         IoStats* aggregate, const FalseHitRefiner* refiner,
+                         QueryProfile* profile_out,
+                         const MakeBuffer& make_buffer,
                          const RunQuery& run_query) {
+  TraceSpan span("bench", "query_driver");
+  span.Arg("queries", static_cast<int64_t>(queries.size()))
+      .Arg("threads", static_cast<int64_t>(num_threads));
+  const bool profiling = refiner != nullptr || profile_out != nullptr;
   const size_t chunks = ParallelChunks(num_threads, queries.size());
   std::vector<IoStats> chunk_stats(chunks);
   std::vector<Histogram> latency_shards(chunks);
+  std::vector<QueryProfile> profile_shards(profiling ? chunks : 0);
   ParallelFor(num_threads, queries.size(),
               [&](size_t chunk, size_t begin, size_t end) {
                 std::unique_ptr<BufferPool> buffer = make_buffer();
                 IoStats& stats = chunk_stats[chunk];
                 Histogram& latency = latency_shards[chunk];
+                QueryProfile* profile =
+                    profiling ? &profile_shards[chunk] : nullptr;
                 for (size_t q = begin; q < end; ++q) {
                   buffer->ResetCache();
                   buffer->ResetStats();
                   const auto start = std::chrono::steady_clock::now();
-                  run_query(queries[q], buffer.get());
+                  run_query(queries[q], buffer.get(), profile);
                   const std::chrono::duration<double, std::milli> elapsed =
                       std::chrono::steady_clock::now() - start;
                   latency.Record(elapsed.count());
@@ -132,6 +142,14 @@ double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
   registry.GetCounter("io.query.accesses")->Add(total.accesses);
   registry.GetCounter("io.query.misses")->Add(total.misses);
   MergeShards(latency_shards, registry.GetHistogram("io.query.latency_ms"));
+  if (profiling) {
+    QueryProfile merged;
+    for (const QueryProfile& shard : profile_shards) merged.Merge(shard);
+    if (refiner != nullptr) {
+      registry.GetCounter("io.query.false_hits")->Add(merged.false_hits);
+    }
+    if (profile_out != nullptr) profile_out->Merge(merged);
+  }
   if (aggregate != nullptr) *aggregate = total;
   return static_cast<double>(total.misses) /
          static_cast<double>(queries.size());
@@ -140,29 +158,42 @@ double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
 }  // namespace
 
 double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
-                    int num_threads, IoStats* aggregate) {
+                    int num_threads, IoStats* aggregate,
+                    const FalseHitRefiner* refiner, QueryProfile* profile) {
   return AverageIoParallel(
-      queries, num_threads, aggregate,
+      queries, num_threads, aggregate, refiner, profile,
       [&tree] { return tree.NewQueryBuffer(); },
-      [&tree](const STQuery& query, BufferPool* buffer) {
+      [&tree, refiner](const STQuery& query, BufferPool* buffer,
+                       QueryProfile* query_profile) {
         std::vector<PprDataId> results;
         if (query.IsSnapshot()) {
-          tree.SnapshotQuery(query.area, query.range.start, buffer, &results);
+          tree.SnapshotQuery(query.area, query.range.start, buffer, &results,
+                             query_profile);
         } else {
-          tree.IntervalQuery(query.area, query.range, buffer, &results);
+          tree.IntervalQuery(query.area, query.range, buffer, &results,
+                             query_profile);
+        }
+        if (refiner != nullptr) {
+          refiner->CountFalseHits(results, query, query_profile);
         }
       });
 }
 
 double AverageRStarIo(const RStarTree& tree,
                       const std::vector<STQuery>& queries, Time time_domain,
-                      int num_threads, IoStats* aggregate) {
+                      int num_threads, IoStats* aggregate,
+                      const FalseHitRefiner* refiner, QueryProfile* profile) {
   return AverageIoParallel(
-      queries, num_threads, aggregate,
+      queries, num_threads, aggregate, refiner, profile,
       [&tree] { return tree.NewQueryBuffer(); },
-      [&tree, time_domain](const STQuery& query, BufferPool* buffer) {
+      [&tree, time_domain, refiner](const STQuery& query, BufferPool* buffer,
+                                    QueryProfile* query_profile) {
         std::vector<DataId> results;
-        tree.Search(QueryToBox(query, 0, time_domain), buffer, &results);
+        tree.Search(QueryToBox(query, 0, time_domain), buffer, &results,
+                    query_profile);
+        if (refiner != nullptr) {
+          refiner->CountFalseHits(results, query, query_profile);
+        }
       });
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_report.h"
+#include "core/query_profile.h"
 #include "core/split_pipeline.h"
 #include "datagen/query_gen.h"
 #include "datagen/railway.h"
@@ -78,11 +79,22 @@ std::unique_ptr<RStarTree> BuildRStar(const std::vector<SegmentRecord>& records,
 // so per-query miss counts are independent of the partition and the
 // aggregate equals the serial run exactly. Per-worker IoStats are summed
 // into *aggregate when non-null.
+//
+// When `refiner` is non-null every query's candidates are re-checked
+// against the exact trajectory geometry and the rejects are published to
+// the io.query.false_hits counter (the paper's empty-space effect as a
+// number). When `profile` is non-null, per-chunk QueryProfile shards are
+// collected and merged into it in ascending chunk order (integer counts,
+// so totals are thread-count independent).
 double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
-                    int num_threads = 1, IoStats* aggregate = nullptr);
+                    int num_threads = 1, IoStats* aggregate = nullptr,
+                    const FalseHitRefiner* refiner = nullptr,
+                    QueryProfile* profile = nullptr);
 double AverageRStarIo(const RStarTree& tree,
                       const std::vector<STQuery>& queries, Time time_domain,
-                      int num_threads = 1, IoStats* aggregate = nullptr);
+                      int num_threads = 1, IoStats* aggregate = nullptr,
+                      const FalseHitRefiner* refiner = nullptr,
+                      QueryProfile* profile = nullptr);
 
 // Persists `tree` through the storage backend selected by --backend/--db
 // (no-op for the default in-memory store) and records the choice as

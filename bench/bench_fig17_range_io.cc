@@ -7,6 +7,7 @@
 #include "bench_common.h"
 #include "bench_report.h"
 #include "core/piecewise_split.h"
+#include "core/query_profile.h"
 
 namespace stindex {
 namespace bench {
@@ -44,7 +45,13 @@ void Run(const BenchArgs& args) {
         BuildRStar(piecewise_records, 1000);
     AttachBenchBackend(piecewise.get(), args, "piecewise");
 
-    const double ppr_io = AveragePprIo(*ppr, queries, num_threads);
+    // Refine the PPR candidates against exact trajectories so the report
+    // carries the false-hit totals (io.query.false_hits).
+    const FalseHitRefiner refiner(objects, ppr_records);
+    QueryProfile ppr_profile;
+    const double ppr_io =
+        AveragePprIo(*ppr, queries, num_threads, /*aggregate=*/nullptr,
+                     &refiner, &ppr_profile);
     const double rstar_io =
         AverageRStarIo(*rstar, queries, 1000, num_threads);
     const double piecewise_io =
@@ -60,6 +67,9 @@ void Run(const BenchArgs& args) {
     Report().AddSample("ppr150_io", x, ppr_io);
     Report().AddSample("rstar1_io", x, rstar_io);
     Report().AddSample("piecewise_io", x, piecewise_io);
+    Report().AddSample("ppr150_false_hits_per_query", x,
+                       static_cast<double>(ppr_profile.false_hits) /
+                           static_cast<double>(queries.size()));
   }
   std::printf("\nExpected shape: ppr150_io lowest at every size; the "
               "piecewise R*-tree is by far the worst (paper Figure 17; "

@@ -8,6 +8,7 @@
 #include "bench_common.h"
 #include "bench_report.h"
 #include "core/piecewise_split.h"
+#include "core/query_profile.h"
 
 namespace stindex {
 namespace bench {
@@ -51,7 +52,11 @@ void Run(const BenchArgs& args) {
         BuildRStar(piecewise_records, 1000);
     AttachBenchBackend(piecewise.get(), args, "piecewise");
 
-    const double ppr_io = AveragePprIo(*ppr, queries, num_threads);
+    const FalseHitRefiner refiner(objects, ppr_records);
+    QueryProfile ppr_profile;
+    const double ppr_io =
+        AveragePprIo(*ppr, queries, num_threads, /*aggregate=*/nullptr,
+                     &refiner, &ppr_profile);
     const double rstar1_io =
         AverageRStarIo(*rstar1, queries, 1000, num_threads);
     const double rstar0_io =
@@ -68,6 +73,9 @@ void Run(const BenchArgs& args) {
     Report().AddSample("rstar1_io", x, rstar1_io);
     Report().AddSample("rstar0_io", x, rstar0_io);
     Report().AddSample("piecewise_io", x, piecewise_io);
+    Report().AddSample("ppr150_false_hits_per_query", x,
+                       static_cast<double>(ppr_profile.false_hits) /
+                           static_cast<double>(queries.size()));
   }
   std::printf("\nExpected shape: ppr150_io lowest (paper: 20%% better for "
               "small interval queries, >50%% for snapshots); piecewise_io "

@@ -7,7 +7,9 @@
 #include "bench_common.h"
 #include "util/json_writer.h"
 #include "util/metrics.h"
+#include "util/status.h"
 #include "util/threads.h"
+#include "util/trace.h"
 
 namespace stindex {
 namespace bench {
@@ -27,6 +29,10 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
       args.json_path = arg.substr(7);
     } else if (arg == "--json" && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace_path = arg.substr(8);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
     } else if (accept_backend && arg.rfind("--backend=", 0) == 0) {
       args.backend = arg.substr(10);
     } else if (accept_backend && arg == "--backend" && i + 1 < argc) {
@@ -37,7 +43,7 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
       args.db_path = argv[++i];
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (--threads=N, "
-                   "--json=PATH%s)\n",
+                   "--json=PATH, --trace=PATH%s)\n",
                    bench_name.c_str(), arg.c_str(),
                    accept_backend ? ", --backend=memory|file, --db=DIR" : "");
       std::exit(2);
@@ -61,6 +67,9 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
     std::exit(2);
   }
   args.threads = threads.value();
+  // Start tracing here so index builds and the query phases all land in
+  // the capture; FinishReport stops the session and writes the file.
+  if (!args.trace_path.empty()) TraceSession::Start();
   return args;
 }
 
@@ -138,6 +147,8 @@ void WriteHistogramSnapshot(JsonWriter& json,
       .Double(snapshot.p50)
       .Key("p90")
       .Double(snapshot.p90)
+      .Key("p95")
+      .Double(snapshot.p95)
       .Key("p99")
       .Double(snapshot.p99)
       .EndObject();
@@ -150,7 +161,7 @@ std::string BenchReport::ToJson(const std::string& bench_name,
   MetricRegistry& registry = MetricRegistry::Global();
   JsonWriter json;
   json.BeginObject();
-  json.Key("schema_version").Int(1);
+  json.Key("schema_version").Int(2);
   json.Key("bench").String(bench_name);
   json.Key("scale").String(GetScale().name);
   json.Key("threads").Int(threads);
@@ -201,6 +212,8 @@ std::string BenchReport::ToJson(const std::string& bench_name,
       .Uint(misses)
       .Key("hits")
       .Uint(accesses - misses)
+      .Key("false_hits")
+      .Uint(registry.GetCounter("io.query.false_hits")->Value())
       .EndObject();
 
   json.Key("latency_ms");
@@ -213,6 +226,8 @@ std::string BenchReport::ToJson(const std::string& bench_name,
       .Double(latency.p50)
       .Key("p90")
       .Double(latency.p90)
+      .Key("p95")
+      .Double(latency.p95)
       .Key("p99")
       .Double(latency.p99)
       .Key("max")
@@ -249,6 +264,18 @@ BenchReport& Report() {
 }
 
 void FinishReport(const BenchArgs& args) {
+  if (!args.trace_path.empty()) {
+    TraceSession::Stop();
+    const Status status = TraceSession::WriteChromeTrace(args.trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.bench_name.c_str(),
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 TraceSession::CollectedEvents().size(),
+                 args.trace_path.c_str());
+  }
   if (args.json_path.empty()) return;
   const std::string document =
       Report().ToJson(args.bench_name, args.threads);

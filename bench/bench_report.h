@@ -8,7 +8,7 @@
 // document:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench": "<name>",           // harness name
 //     "scale": "<small|medium|paper>",
 //     "threads": N,
@@ -17,12 +17,17 @@
 //       {"name": "...", "points": [{"x": ..., "y": ...} |
 //                                  {"label": "...", "y": ...}]}
 //     ],
-//     "io": {"accesses": N, "misses": N, "hits": N},   // query-time totals
-//     "latency_ms": {"count": N, "p50": ..., "p90": ..., "p99": ...,
-//                    "max": ...},  // per-query wall times
+//     "io": {"accesses": N, "misses": N, "hits": N,
+//            "false_hits": N},     // query-time totals; false_hits is 0
+//                                  // unless the harness ran a refiner
+//     "latency_ms": {"count": N, "p50": ..., "p90": ..., "p95": ...,
+//                    "p99": ..., "max": ...},  // per-query wall times
 //     "metrics": { "counters": {...}, "gauges": {...},
-//                  "histograms": {name: {count,sum,min,max,p50,p90,p99}} }
+//                  "histograms": {name:
+//                      {count,sum,min,max,p50,p90,p95,p99}} }
 //   }
+//
+// Schema history: v2 added io.false_hits and the p95 percentile fields.
 //
 // The io and latency sections are fed by the shared query drivers in
 // bench_common (registry metrics io.query.*); metrics is the full
@@ -38,6 +43,9 @@ namespace bench {
 // Shared command-line surface of every bench binary:
 //   --threads=N | --threads N    worker threads (else STINDEX_THREADS, else 1)
 //   --json=PATH | --json PATH    write the structured report to PATH
+//   --trace=PATH | --trace PATH  capture a Chrome trace of the whole run
+//                                (tracing starts inside ParseBenchArgs and
+//                                FinishReport stops it and writes the file)
 // Harnesses that can run against a real storage backend (fig15/17/18)
 // additionally accept:
 //   --backend=memory|file        persist indexes through a PageBackend and
@@ -50,9 +58,10 @@ namespace bench {
 struct BenchArgs {
   std::string bench_name;
   int threads = 1;
-  std::string json_path;  // empty: no report file
-  std::string backend;    // "", "memory" or "file"
-  std::string db_path;    // --backend=file: directory for page files
+  std::string json_path;   // empty: no report file
+  std::string trace_path;  // empty: no Chrome trace capture
+  std::string backend;     // "", "memory" or "file"
+  std::string db_path;     // --backend=file: directory for page files
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,

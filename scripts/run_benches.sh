@@ -2,7 +2,7 @@
 # Runs every structured-report bench harness with --json and aggregates
 # the per-bench reports into one BENCH_results.json:
 #
-#   { "schema_version": 1, "results": [ <per-bench report>, ... ] }
+#   { "schema_version": 2, "results": [ <per-bench report>, ... ] }
 #
 # The per-bench report schema is documented in bench/bench_report.h.
 # bench_micro_ops is skipped — it is a google-benchmark binary with its
@@ -29,7 +29,14 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
                      continue ;;
   esac
   echo "== $name =="
-  "$bench" --json="$OUT_DIR/$name.json" | tee "$OUT_DIR/$name.txt"
+  # fig17 doubles as the tracing smoke: capture a Chrome trace of the
+  # whole run and validate it below.
+  extra=()
+  if [ "$name" = "bench_fig17_range_io" ]; then
+    extra=(--trace="$OUT_DIR/$name.trace.json")
+  fi
+  "$bench" --json="$OUT_DIR/$name.json" "${extra[@]}" \
+    | tee "$OUT_DIR/$name.txt"
   reports+=("$OUT_DIR/$name.json")
 done
 
@@ -48,12 +55,18 @@ for path in paths:
     with open(path, "r", encoding="utf-8") as f:
         results.append(json.load(f))
 with open(out, "w", encoding="utf-8") as f:
-    json.dump({"schema_version": 1, "results": results}, f, indent=2)
+    json.dump({"schema_version": 2, "results": results}, f, indent=2)
     f.write("\n")
 EOF
 
 python3 "$(dirname "$0")/validate_report.py" "$AGGREGATE"
 echo "Aggregated ${#reports[@]} reports into $AGGREGATE"
+
+# Validate the fig17 trace capture (ph/ts/tid fields, balanced B/E).
+FIG17_TRACE="$OUT_DIR/bench_fig17_range_io.trace.json"
+if [ -f "$FIG17_TRACE" ]; then
+  python3 "$(dirname "$0")/validate_trace.py" "$FIG17_TRACE"
+fi
 
 # File-backend smoke: run the CLI pipeline against a real page file in a
 # scratch directory and check the metrics dump proves actual disk reads
@@ -69,7 +82,10 @@ if [ -x "$CLI" ]; then
   "$CLI" queries --set small --count 50 --out "$SMOKE_DIR/queries.csv"
   "$CLI" query --segments "$SMOKE_DIR/segments.csv" \
     --queries "$SMOKE_DIR/queries.csv" --index ppr \
-    --backend file --db "$SMOKE_DIR" --stats "$SMOKE_DIR/metrics.json"
+    --backend file --db "$SMOKE_DIR" --stats "$SMOKE_DIR/metrics.json" \
+    --explain --objects "$SMOKE_DIR/objects.csv" \
+    --trace "$SMOKE_DIR/query.trace.json"
+  python3 "$(dirname "$0")/validate_trace.py" "$SMOKE_DIR/query.trace.json"
   python3 - "$SMOKE_DIR/metrics.json" <<'EOF'
 import json, sys
 with open(sys.argv[1], "r", encoding="utf-8") as f:

@@ -45,8 +45,8 @@ def validate_point(point, path, where):
 
 def validate_report(report, path):
     expect(isinstance(report, dict), path, "report is not a JSON object")
-    expect(report.get("schema_version") == 1, path,
-           f"schema_version is {report.get('schema_version')!r}, want 1")
+    expect(report.get("schema_version") == 2, path,
+           f"schema_version is {report.get('schema_version')!r}, want 2")
     for key, kind in (("bench", str), ("scale", str), ("threads", int),
                       ("params", dict), ("series", list), ("io", dict),
                       ("latency_ms", dict), ("metrics", dict)):
@@ -73,7 +73,7 @@ def validate_report(report, path):
             validate_point(point, path, f"series '{name}'")
 
     io = report["io"]
-    for key in ("accesses", "misses", "hits"):
+    for key in ("accesses", "misses", "hits", "false_hits"):
         expect(isinstance(io.get(key), int) and io[key] >= 0, path,
                f"io.{key} missing or not a non-negative integer")
     expect(io["accesses"] == io["misses"] + io["hits"], path,
@@ -82,11 +82,12 @@ def validate_report(report, path):
     latency = report["latency_ms"]
     expect(isinstance(latency.get("count"), int) and latency["count"] >= 0,
            path, "latency_ms.count missing or negative")
-    for key in ("p50", "p90", "p99", "max"):
+    for key in ("p50", "p90", "p95", "p99", "max"):
         expect(is_number(latency.get(key)), path,
                f"latency_ms.{key} missing or not a number")
     if latency["count"] > 0:
-        expect(latency["p50"] <= latency["p90"] <= latency["p99"], path,
+        expect(latency["p50"] <= latency["p90"] <= latency["p95"]
+               <= latency["p99"] <= latency["max"], path,
                "latency percentiles are not monotone")
 
     metrics = report["metrics"]
@@ -101,6 +102,12 @@ def validate_report(report, path):
         for name, value in entries.items():
             expect(isinstance(value, kind), path,
                    f"metrics.{section}['{name}'] is not a {kind.__name__}")
+            if section == "histograms":
+                for field in ("count", "sum", "min", "max", "p50", "p90",
+                              "p95", "p99"):
+                    expect(is_number(value.get(field)), path,
+                           f"metrics.histograms['{name}'].{field} missing "
+                           "or not a number")
 
 
 def main(argv):
@@ -114,8 +121,8 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as error:
             fail(path, f"unreadable or invalid JSON: {error}")
         if "results" in document:
-            expect(document.get("schema_version") == 1, path,
-                   "aggregate schema_version != 1")
+            expect(document.get("schema_version") == 2, path,
+                   "aggregate schema_version != 2")
             results = document["results"]
             expect(isinstance(results, list) and results, path,
                    "aggregate 'results' missing or empty")

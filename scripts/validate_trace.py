@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON capture (util/trace.h export).
+
+Checks, per file:
+  * top level is an object with a traceEvents array and
+    otherData.dropped_events;
+  * every event carries ph, ts, pid and tid, with ts a non-negative
+    number and ph one of B/E/C;
+  * B/E events carry cat and name; C events carry name and a numeric
+    args value;
+  * per (pid, tid), timestamps are non-decreasing and B/E events nest:
+    every E closes the matching open B (same cat/name), and nothing is
+    left open at the end. When the capture dropped events
+    (otherData.dropped_events > 0) the ring may have evicted opening
+    events, so unmatched E prefixes and unclosed B tails are tolerated
+    for that file only.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "C"}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_event_fields(path, i, event):
+    for field in ("ph", "ts", "pid", "tid"):
+        if field not in event:
+            fail(path, f"event {i} missing '{field}': {event}")
+    if event["ph"] not in ALLOWED_PHASES:
+        fail(path, f"event {i} has unknown phase {event['ph']!r}")
+    if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+        fail(path, f"event {i} has bad ts {event['ts']!r}")
+    for field in ("pid", "tid"):
+        if not isinstance(event[field], int):
+            fail(path, f"event {i} has non-integer {field}")
+    if event["ph"] in ("B", "E"):
+        for field in ("cat", "name"):
+            if not isinstance(event.get(field), str) or not event[field]:
+                fail(path, f"event {i} ({event['ph']}) missing '{field}'")
+    else:  # C
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            fail(path, f"counter event {i} missing 'name'")
+        args = event.get("args")
+        if not isinstance(args, dict) or not args:
+            fail(path, f"counter event {i} missing args: {event}")
+        for key, value in args.items():
+            if not isinstance(value, (int, float)):
+                fail(path, f"counter event {i} arg {key!r} is not numeric")
+
+
+def validate_thread_nesting(path, tid_key, events, drops_allowed):
+    last_ts = None
+    stack = []
+    unmatched_ends = 0
+    for event in events:
+        if last_ts is not None and event["ts"] < last_ts:
+            fail(path, f"thread {tid_key}: timestamps run backwards "
+                       f"({event['ts']} after {last_ts})")
+        last_ts = event["ts"]
+        if event["ph"] == "B":
+            stack.append(event)
+        elif event["ph"] == "E":
+            if stack:
+                opener = stack.pop()
+                if (opener["cat"], opener["name"]) != (event["cat"],
+                                                       event["name"]):
+                    fail(path, f"thread {tid_key}: E {event['cat']}:"
+                               f"{event['name']} closes B {opener['cat']}:"
+                               f"{opener['name']}")
+            else:
+                unmatched_ends += 1
+    if not drops_allowed:
+        if unmatched_ends:
+            fail(path, f"thread {tid_key}: {unmatched_ends} E events with "
+                       "no matching B (and dropped_events == 0)")
+        if stack:
+            fail(path, f"thread {tid_key}: {len(stack)} B events never "
+                       "closed (and dropped_events == 0)")
+
+
+def validate(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            document = json.load(f)
+        except json.JSONDecodeError as error:
+            fail(path, f"not valid JSON: {error}")
+    if not isinstance(document, dict):
+        fail(path, "top level is not an object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "missing traceEvents array")
+    other = document.get("otherData")
+    if not isinstance(other, dict) or "dropped_events" not in other:
+        fail(path, "missing otherData.dropped_events")
+    dropped = other["dropped_events"]
+    if not isinstance(dropped, int) or dropped < 0:
+        fail(path, f"bad dropped_events {dropped!r}")
+
+    threads = {}
+    duration_events = 0
+    for i, event in enumerate(events):
+        validate_event_fields(path, i, event)
+        if event["ph"] == "C":
+            continue
+        duration_events += 1
+        threads.setdefault((event["pid"], event["tid"]), []).append(event)
+    for tid_key, thread_events in sorted(threads.items()):
+        validate_thread_nesting(path, tid_key, thread_events,
+                                drops_allowed=dropped > 0)
+
+    print(f"{path}: OK ({len(events)} events, {duration_events} duration "
+          f"events on {len(threads)} threads, {dropped} dropped)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace stindex {
 
@@ -45,6 +46,9 @@ Distribution DistributeOptimal(const std::vector<VolumeCurve>& curves,
                                int64_t k_total) {
   STINDEX_CHECK(k_total >= 0);
   ScopedTimer timer("pipeline.distribute_seconds");
+  TraceSpan span("pipeline", "distribute_optimal");
+  span.Arg("objects", static_cast<int64_t>(curves.size()))
+      .Arg("k_total", k_total);
   const int n = static_cast<int>(curves.size());
   const int budget = static_cast<int>(
       std::min<int64_t>(k_total, std::numeric_limits<int>::max()));
@@ -151,6 +155,9 @@ Distribution DistributeGreedyImpl(const std::vector<VolumeCurve>& curves,
 Distribution DistributeGreedy(const std::vector<VolumeCurve>& curves,
                               int64_t k_total, int num_threads) {
   ScopedTimer timer("pipeline.distribute_seconds");
+  TraceSpan span("pipeline", "distribute_greedy");
+  span.Arg("objects", static_cast<int64_t>(curves.size()))
+      .Arg("k_total", k_total);
   return DistributeGreedyImpl(curves, k_total, num_threads);
 }
 
@@ -297,6 +304,9 @@ class LaGreedyState {
 Distribution DistributeLAGreedy(const std::vector<VolumeCurve>& curves,
                                 int64_t k_total, int num_threads) {
   ScopedTimer timer("pipeline.distribute_seconds");
+  TraceSpan span("pipeline", "distribute_lagreedy");
+  span.Arg("objects", static_cast<int64_t>(curves.size()))
+      .Arg("k_total", k_total);
   Distribution result = DistributeGreedyImpl(curves, k_total, num_threads);
   LaGreedyState state(curves, &result, num_threads);
   while (state.TryExchange()) {

@@ -5,6 +5,7 @@
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace stindex {
 
@@ -50,6 +51,9 @@ std::vector<SegmentRecord> BuildSegments(
     int num_threads) {
   STINDEX_CHECK(objects.size() == splits_per_object.size());
   ScopedTimer timer("pipeline.segment_seconds");
+  TraceSpan span("pipeline", "build_segments");
+  span.Arg("objects", static_cast<int64_t>(objects.size()))
+      .Arg("threads", static_cast<int64_t>(num_threads));
   if (num_threads <= 1) {
     std::vector<SegmentRecord> records;
     records.reserve(objects.size());
@@ -81,6 +85,8 @@ std::vector<SegmentRecord> BuildSegments(
 std::vector<SegmentRecord> BuildUnsplitSegments(
     const std::vector<Trajectory>& objects, int num_threads) {
   ScopedTimer timer("pipeline.segment_seconds");
+  TraceSpan span("pipeline", "build_unsplit_segments");
+  span.Arg("objects", static_cast<int64_t>(objects.size()));
   std::vector<SegmentRecord> records(objects.size());
   ParallelFor(num_threads, objects.size(),
               [&](size_t /*chunk*/, size_t begin, size_t end) {

@@ -5,6 +5,7 @@
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace stindex {
 
@@ -27,6 +28,9 @@ std::vector<VolumeCurve> ComputeVolumeCurves(
     const std::vector<Trajectory>& objects, int k_max, SplitMethod method,
     int num_threads) {
   ScopedTimer timer("pipeline.curve_seconds");
+  TraceSpan span("pipeline", "compute_volume_curves");
+  span.Arg("objects", static_cast<int64_t>(objects.size()))
+      .Arg("k_max", static_cast<int64_t>(k_max));
   MetricRegistry::Global()
       .GetCounter("pipeline.curves_computed")
       ->Add(objects.size());

@@ -9,10 +9,12 @@
 #include <optional>
 #include <unordered_set>
 
+#include "core/query_profile.h"
 #include "storage/page_codec.h"
 
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace stindex {
 
@@ -208,6 +210,8 @@ Status PprTree::PersistAllNodes() {
 Status PprTree::AttachBackend(std::unique_ptr<PageBackend> backend) {
   STINDEX_CHECK_MSG(backend_ == nullptr, "backend already attached");
   STINDEX_CHECK(backend != nullptr);
+  TraceSpan span("ppr", "attach_backend");
+  span.Arg("pages", static_cast<int64_t>(store_.PageCount()));
   backend_ = std::move(backend);
   codec_ = std::make_unique<NodeCodec>(config_.max_entries);
   Status status = PersistAllNodes();
@@ -688,7 +692,8 @@ void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
 }
 
 void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
-                            std::vector<PprDataId>* results) const {
+                            std::vector<PprDataId>* results,
+                            QueryProfile* profile) const {
   results->clear();
   // Find the era owning instant t: the last era starting at or before t.
   auto it = std::upper_bound(roots_.begin(), roots_.end(), t,
@@ -699,6 +704,8 @@ void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
   --it;
   if (it->root == kInvalidPage) return;
 
+  TraceSpan span("ppr", "snapshot_query");
+  const IoStats before = buffer->stats();
   std::vector<PageId> stack = {it->root};
   while (!stack.empty()) {
     const PageId id = stack.back();
@@ -707,6 +714,12 @@ void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
     // evictions a deeper Fetch could cause in backend mode.
     const PageRef ref = buffer->FetchPinned(id);
     const Node* node = static_cast<const Node*>(ref.get());
+    if (profile != nullptr) {
+      profile->CountNode(node->level());
+      if (node->IsLeaf()) {
+        profile->leaf_entries_scanned += node->entries().size();
+      }
+    }
     for (const Entry& entry : node->entries()) {
       if (!entry.lifetime.Contains(t)) continue;
       if (!entry.rect.Intersects(area)) continue;
@@ -717,13 +730,24 @@ void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
       }
     }
   }
+  if (profile != nullptr) {
+    profile->candidates += results->size();
+    const IoStats after = buffer->stats();
+    profile->pages_missed += after.misses - before.misses;
+    profile->pages_hit +=
+        (after.accesses - before.accesses) - (after.misses - before.misses);
+  }
+  span.Arg("results", static_cast<int64_t>(results->size()));
 }
 
 void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
                             BufferPool* buffer,
-                            std::vector<PprDataId>* results) const {
+                            std::vector<PprDataId>* results,
+                            QueryProfile* profile) const {
   results->clear();
   if (!range.IsValid()) return;
+  TraceSpan span("ppr", "interval_query");
+  const IoStats before = buffer->stats();
   std::unordered_set<PprDataId> seen;
   for (size_t e = 0; e < roots_.size(); ++e) {
     const TimeInterval era(roots_[e].start, e + 1 < roots_.size()
@@ -737,6 +761,12 @@ void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
       stack.pop_back();
       const PageRef ref = buffer->FetchPinned(id);
       const Node* node = static_cast<const Node*>(ref.get());
+      if (profile != nullptr) {
+        profile->CountNode(node->level());
+        if (node->IsLeaf()) {
+          profile->leaf_entries_scanned += node->entries().size();
+        }
+      }
       for (const Entry& entry : node->entries()) {
         if (!entry.lifetime.Intersects(range)) continue;
         if (!entry.rect.Intersects(area)) continue;
@@ -750,6 +780,14 @@ void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
       }
     }
   }
+  if (profile != nullptr) {
+    profile->candidates += results->size();
+    const IoStats after = buffer->stats();
+    profile->pages_missed += after.misses - before.misses;
+    profile->pages_hit +=
+        (after.accesses - before.accesses) - (after.misses - before.misses);
+  }
+  span.Arg("results", static_cast<int64_t>(results->size()));
 }
 
 std::vector<PprTree::AliveNodeSummary> PprTree::CollectAliveSummaries(
@@ -1090,6 +1128,8 @@ Result<std::unique_ptr<PprTree>> PprTree::Load(const std::string& path) {
 std::unique_ptr<PprTree> BuildPprTree(
     const std::vector<SegmentRecord>& records, PprConfig config) {
   auto tree = std::make_unique<PprTree>(config);
+  TraceSpan span("ppr", "build");
+  span.Arg("records", static_cast<int64_t>(records.size()));
 
   // Replay the evolution: one insert and one delete event per record,
   // deletes first at equal timestamps (a record with lifetime [a, b) is

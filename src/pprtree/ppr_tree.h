@@ -17,6 +17,8 @@
 
 namespace stindex {
 
+struct QueryProfile;
+
 // Payload of a PPR-tree data record (a segment-record index in the
 // experiments).
 using PprDataId = uint64_t;
@@ -83,12 +85,16 @@ class PprTree {
 
   // Query variants reading through a caller-owned buffer pool. Queries
   // never mutate the structure, so concurrent threads may query with one
-  // BufferPool each (see NewQueryBuffer).
+  // BufferPool each (see NewQueryBuffer). When `profile` is non-null,
+  // per-level node visits, buffer hit/miss deltas, leaf entries scanned
+  // and candidate counts are accumulated into it (see
+  // core/query_profile.h); nullptr skips all profiling work.
   void SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
-                     std::vector<PprDataId>* results) const;
+                     std::vector<PprDataId>* results,
+                     QueryProfile* profile = nullptr) const;
   void IntervalQuery(const Rect2D& area, const TimeInterval& range,
-                     BufferPool* buffer,
-                     std::vector<PprDataId>* results) const;
+                     BufferPool* buffer, std::vector<PprDataId>* results,
+                     QueryProfile* profile = nullptr) const;
 
   // A fresh LRU buffer over this tree's pages (`pages` = 0 uses the
   // configured default). After AttachBackend the buffer reads (and

@@ -5,9 +5,11 @@
 #include <limits>
 #include <queue>
 
+#include "core/query_profile.h"
 #include "util/check.h"
 #include "util/hilbert.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace stindex {
 
@@ -148,6 +150,8 @@ Status RStarTree::PersistAllNodes() {
 Status RStarTree::AttachBackend(std::unique_ptr<PageBackend> backend) {
   STINDEX_CHECK_MSG(backend_ == nullptr, "backend already attached");
   STINDEX_CHECK(backend != nullptr);
+  TraceSpan span("rstar", "attach_backend");
+  span.Arg("pages", static_cast<int64_t>(store_.PageCount()));
   backend_ = std::move(backend);
   codec_ = std::make_unique<NodeCodec>(config_.max_entries);
   Status status = PersistAllNodes();
@@ -203,6 +207,8 @@ std::unique_ptr<RStarTree> RStarTree::BulkLoad(
     RStarConfig config) {
   auto tree = std::make_unique<RStarTree>(config);
   if (boxes.empty()) return tree;
+  TraceSpan span("rstar", "bulk_load");
+  span.Arg("boxes", static_cast<int64_t>(boxes.size()));
 
   // Order the items along the packing curve.
   std::vector<size_t> order(boxes.size());
@@ -970,9 +976,12 @@ void RStarTree::Search(const Box3D& query,
 }
 
 void RStarTree::Search(const Box3D& query, BufferPool* buffer,
-                       std::vector<DataId>* results) const {
+                       std::vector<DataId>* results,
+                       QueryProfile* profile) const {
   results->clear();
   if (root_ == kInvalidPage) return;
+  TraceSpan span("rstar", "search");
+  const IoStats before = buffer->stats();
   std::vector<PageId> stack = {root_};
   while (!stack.empty()) {
     const PageId id = stack.back();
@@ -981,6 +990,12 @@ void RStarTree::Search(const Box3D& query, BufferPool* buffer,
     // evictions a deeper Fetch could cause in backend mode.
     const PageRef ref = buffer->FetchPinned(id);
     const Node* node = static_cast<const Node*>(ref.get());
+    if (profile != nullptr) {
+      profile->CountNode(node->level());
+      if (node->IsLeaf()) {
+        profile->leaf_entries_scanned += node->entries().size();
+      }
+    }
     for (const Node::Entry& entry : node->entries()) {
       if (!entry.box.Intersects(query)) continue;
       if (node->IsLeaf()) {
@@ -990,6 +1005,14 @@ void RStarTree::Search(const Box3D& query, BufferPool* buffer,
       }
     }
   }
+  if (profile != nullptr) {
+    profile->candidates += results->size();
+    const IoStats after = buffer->stats();
+    profile->pages_missed += after.misses - before.misses;
+    profile->pages_hit +=
+        (after.accesses - before.accesses) - (after.misses - before.misses);
+  }
+  span.Arg("results", static_cast<int64_t>(results->size()));
 }
 
 namespace {

@@ -13,6 +13,8 @@
 
 namespace stindex {
 
+struct QueryProfile;
+
 // Opaque payload attached to a leaf entry (a segment-record index in the
 // experiments; callers de-duplicate by object after lookup).
 using DataId = uint64_t;
@@ -96,9 +98,13 @@ class RStarTree {
   // accesses in stats()).
   void Search(const Box3D& query, std::vector<DataId>* results) const;
 
-  // Same, through a caller-owned buffer (one per querying thread).
+  // Same, through a caller-owned buffer (one per querying thread). When
+  // `profile` is non-null, per-level node visits, buffer hit/miss deltas,
+  // leaf entries scanned and candidate counts are accumulated into it
+  // (see core/query_profile.h); nullptr skips all profiling work.
   void Search(const Box3D& query, BufferPool* buffer,
-              std::vector<DataId>* results) const;
+              std::vector<DataId>* results,
+              QueryProfile* profile = nullptr) const;
 
   // A fresh LRU buffer over this tree's pages (0 = configured default).
   // After AttachBackend the buffer reads (and decodes) real pages from

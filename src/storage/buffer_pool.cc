@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace stindex {
 
@@ -106,6 +107,9 @@ Status BufferPool::EvictIfFull() {
     const PageId victim = *it;
     Frame& frame = frames_.at(victim);
     if (frame.pins > 0) continue;
+    TraceSpan span("storage", "evict");
+    span.Arg("page", static_cast<int64_t>(victim))
+        .Arg("dirty", static_cast<int64_t>(frame.dirty ? 1 : 0));
     if (frame.dirty) {
       Status status = WriteBack(victim, frame);
       if (!status.ok()) return status;
@@ -167,6 +171,8 @@ const Page* BufferPool::Fetch(PageId id) {
   // Miss: one disk access (a real one in backend mode).
   ++stats_.misses;
   ++lifetime_stats_.misses;
+  TraceSpan span("storage", "fetch_miss");
+  span.Arg("page", static_cast<int64_t>(id));
   Status status = EvictIfFull();
   if (!status.ok()) {
     // Fetch has no Status channel; an eviction write-back failure while
@@ -224,6 +230,8 @@ Status BufferPool::Put(PageId id, std::unique_ptr<Page> page) {
 Status BufferPool::FlushAll() {
   if (dirty_count_ == 0) return Status::OK();
   STINDEX_CHECK(backend_ != nullptr);
+  TraceSpan span("storage", "flush_all");
+  span.Arg("dirty", static_cast<int64_t>(dirty_count_));
   // Ascending page id, so flush I/O order is deterministic.
   std::vector<PageId> dirty;
   dirty.reserve(dirty_count_);

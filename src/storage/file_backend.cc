@@ -9,6 +9,7 @@
 #include "storage/page_codec.h"
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace stindex {
 namespace {
@@ -208,6 +209,8 @@ Status FilePageBackend::Read(PageId id, uint8_t* out) const {
     return Status::InvalidArgument("page " + std::to_string(id) +
                                    ": read of unallocated page");
   }
+  TraceSpan span("storage", "pread");
+  span.Arg("page", static_cast<int64_t>(id));
   Status status = PReadFull(fd_, out, kPageSize, DataOffset(id),
                             "read page " + std::to_string(id) + " of " + path_);
   if (!status.ok()) return status;
@@ -224,6 +227,8 @@ Status FilePageBackend::Write(PageId id, const uint8_t* data) {
                            std::to_string(MaxSlots()) +
                            " slots (recreate with more bitmap_pages)");
   }
+  TraceSpan span("storage", "pwrite");
+  span.Arg("page", static_cast<int64_t>(id));
   Status status = PWriteFull(fd_, data, kPageSize, DataOffset(id),
                              "write page " + std::to_string(id) + " of " +
                                  path_);

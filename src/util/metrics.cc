@@ -59,9 +59,11 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
-double Histogram::Percentile(double p) const {
+double Histogram::ValueAtPercentile(double p) const {
   if (count_ == 0) return 0.0;
   STINDEX_CHECK(p >= 0.0 && p <= 100.0);
+  if (p == 0.0) return min_;
+  if (p == 100.0) return max_;
   uint64_t rank =
       static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
   if (rank == 0) rank = 1;
@@ -86,9 +88,10 @@ HistogramSnapshot Histogram::Snapshot() const {
   snapshot.sum = sum_;
   snapshot.min = count_ == 0 ? 0.0 : min_;
   snapshot.max = count_ == 0 ? 0.0 : max_;
-  snapshot.p50 = Percentile(50.0);
-  snapshot.p90 = Percentile(90.0);
-  snapshot.p99 = Percentile(99.0);
+  snapshot.p50 = ValueAtPercentile(50.0);
+  snapshot.p90 = ValueAtPercentile(90.0);
+  snapshot.p95 = ValueAtPercentile(95.0);
+  snapshot.p99 = ValueAtPercentile(99.0);
   return snapshot;
 }
 

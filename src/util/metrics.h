@@ -75,6 +75,7 @@ struct HistogramSnapshot {
   double max = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
 };
 
@@ -103,8 +104,14 @@ class Histogram {
   static double BucketUpperBound(size_t index);
   static size_t BucketIndex(double value);
 
-  // p in [0, 100]. Returns 0 for an empty histogram.
-  double Percentile(double p) const;
+  // The value at percentile p, p in [0, 100]: the upper bound of the
+  // bucket holding rank ceil(p/100 * count) (bucket-accurate, one bucket
+  // width = a factor of two), clamped to the recorded extremes — so the
+  // result is EXACT at p=0 (the minimum), at p=100 (the maximum), and
+  // for single-sample histograms. Returns 0 for an empty histogram.
+  double ValueAtPercentile(double p) const;
+  // Deprecated spelling of ValueAtPercentile.
+  double Percentile(double p) const { return ValueAtPercentile(p); }
 
   HistogramSnapshot Snapshot() const;
 

@@ -1,0 +1,63 @@
+#include "util/prom_writer.h"
+
+#include <cstdio>
+
+namespace stindex {
+
+namespace {
+
+bool IsPromChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// %.17g matches the JSON writer's round-trip-safe float rendering.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendQuantile(std::string& out, const std::string& name,
+                    const char* quantile, double value) {
+  out += name + "{quantile=\"" + quantile + "\"} " + FormatDouble(value) +
+         "\n";
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string sanitized = "stindex_";
+  sanitized.reserve(sanitized.size() + name.size());
+  for (const char c : name) {
+    sanitized.push_back(IsPromChar(c) ? c : '_');
+  }
+  return sanitized;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusMetricName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusMetricName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = PrometheusMetricName(name);
+    out += "# TYPE " + prom + " summary\n";
+    AppendQuantile(out, prom, "0.5", histogram.p50);
+    AppendQuantile(out, prom, "0.9", histogram.p90);
+    AppendQuantile(out, prom, "0.95", histogram.p95);
+    AppendQuantile(out, prom, "0.99", histogram.p99);
+    out += prom + "_sum " + FormatDouble(histogram.sum) + "\n";
+    out += prom + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace stindex

@@ -1,0 +1,29 @@
+#ifndef STINDEX_UTIL_PROM_WRITER_H_
+#define STINDEX_UTIL_PROM_WRITER_H_
+
+// Prometheus text-exposition rendering of a MetricsSnapshot (the
+// `stindex_cli --stats-format=prom` output). Counters and gauges map
+// directly; histograms become summaries with quantile labels plus the
+// conventional _sum and _count series. Metric names are sanitized to the
+// Prometheus charset [a-zA-Z0-9_] (every other byte becomes '_') and
+// prefixed with "stindex_", so `bufferpool.rstar.misses` is exposed as
+// `stindex_bufferpool_rstar_misses`.
+
+#include <string>
+
+#include "util/metrics.h"
+
+namespace stindex {
+
+// `name` after sanitization and prefixing — exposed for tests and for
+// anything that needs to predict the exposition name of a metric.
+std::string PrometheusMetricName(const std::string& name);
+
+// The full exposition document: one # TYPE line and one-or-more sample
+// lines per metric, counters first, then gauges, then histograms (each
+// group in the snapshot's sorted name order). Ends with a newline.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_PROM_WRITER_H_

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace stindex {
 
@@ -92,6 +93,10 @@ void ThreadPool::ParallelFor(
 
   if (num_chunks == 1 || current_pool == this) {
     for (size_t c = 0; c < num_chunks; ++c) {
+      TraceSpan span("pool", "chunk");
+      span.Arg("chunk", static_cast<int64_t>(c))
+          .Arg("size", static_cast<int64_t>(chunk_begin(c + 1) -
+                                            chunk_begin(c)));
       body(c, chunk_begin(c), chunk_begin(c + 1));
     }
     return;
@@ -108,6 +113,9 @@ void ThreadPool::ParallelFor(
       queue_.emplace_back([batch, c, begin, end, &body] {
         std::exception_ptr error;
         try {
+          TraceSpan span("pool", "chunk");
+          span.Arg("chunk", static_cast<int64_t>(c))
+              .Arg("size", static_cast<int64_t>(end - begin));
           body(c, begin, end);
         } catch (...) {
           error = std::current_exception();
@@ -143,6 +151,9 @@ void ParallelFor(int num_threads, size_t n,
                  const std::function<void(size_t, size_t, size_t)>& body) {
   if (n == 0) return;
   if (num_threads <= 1) {
+    TraceSpan span("pool", "chunk");
+    span.Arg("chunk", static_cast<int64_t>(0)).Arg("size",
+                                                   static_cast<int64_t>(n));
     body(0, 0, n);
     return;
   }

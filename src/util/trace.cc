@@ -1,0 +1,340 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include <fstream>
+
+#include "util/check.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
+
+namespace stindex {
+
+namespace trace_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_internal
+
+namespace {
+
+// One thread's event ring. The owning thread is the only writer; the
+// draining session reads it only after the enabled/writing handshake in
+// Drain() proved no write is in flight (and none can start, since
+// writers re-check g_enabled after raising `writing`). Buffers are
+// registered once per thread and live for the process lifetime, so a
+// worker that outlives several sessions keeps its slot and a thread
+// that exits leaves its last capture readable.
+struct ThreadBuffer {
+  explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
+
+  const uint32_t tid;
+  std::atomic<bool> writing{false};
+  std::atomic<uint64_t> head{0};  // events ever written this session
+  size_t capacity = 0;            // power of two; 0 = ring not sized yet
+  std::unique_ptr<TraceEvent[]> events;
+};
+
+struct TraceGlobals {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  size_t ring_capacity = 1 << 16;  // active session's per-thread capacity
+  std::chrono::steady_clock::time_point session_start;
+  bool stopped = true;
+  std::vector<TraceEvent> collected;
+  uint64_t dropped = 0;
+  MetricsSnapshot start_sample;
+  MetricsSnapshot stop_sample;
+  uint64_t stop_ts_ns = 0;
+};
+
+TraceGlobals& Globals() {
+  static TraceGlobals* globals = new TraceGlobals();
+  return *globals;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Registers (or resizes) the calling thread's ring. Called with tracing
+// enabled, outside the writing-flag window, so Drain cannot be reading
+// the ring it replaces.
+ThreadBuffer* RegisterThisThread() {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  if (tls_buffer == nullptr) {
+    const uint32_t tid = static_cast<uint32_t>(globals.buffers.size()) + 1;
+    globals.buffers.push_back(std::make_unique<ThreadBuffer>(tid));
+    tls_buffer = globals.buffers.back().get();
+  }
+  if (tls_buffer->capacity != globals.ring_capacity) {
+    tls_buffer->capacity = globals.ring_capacity;
+    tls_buffer->events = std::make_unique<TraceEvent[]>(tls_buffer->capacity);
+  }
+  return tls_buffer;
+}
+
+uint64_t NowNs() {
+  const auto elapsed =
+      std::chrono::steady_clock::now() - Globals().session_start;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+// Writer side of the drain handshake. `writing` is raised BEFORE the
+// enabled re-check: in the seq-cst total order either this write sees
+// enabled==false and bails, or Stop()'s drain sees writing==true and
+// waits for the release-store below — either way the ring is never read
+// and written concurrently.
+void Emit(const TraceEvent& event) {
+  ThreadBuffer* buffer = tls_buffer;
+  if (buffer == nullptr || buffer->capacity != Globals().ring_capacity) {
+    buffer = RegisterThisThread();
+  }
+  buffer->writing.store(true, std::memory_order_seq_cst);
+  if (!trace_internal::g_enabled.load(std::memory_order_seq_cst)) {
+    buffer->writing.store(false, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t head = buffer->head.load(std::memory_order_relaxed);
+  buffer->events[head & (buffer->capacity - 1)] = event;
+  buffer->events[head & (buffer->capacity - 1)].tid = buffer->tid;
+  buffer->head.store(head + 1, std::memory_order_relaxed);
+  buffer->writing.store(false, std::memory_order_release);
+}
+
+void AppendArgJson(JsonWriter& json, const TraceEvent::Arg& arg) {
+  json.Key(arg.key);
+  switch (arg.kind) {
+    case TraceEvent::Arg::Kind::kInt:
+      json.Int(arg.int_value);
+      break;
+    case TraceEvent::Arg::Kind::kDouble:
+      json.Double(arg.double_value);
+      break;
+    case TraceEvent::Arg::Kind::kString:
+      json.String(arg.string_value);
+      break;
+    case TraceEvent::Arg::Kind::kNone:
+      json.Null();
+      break;
+  }
+}
+
+// One counter-track sample ('C' event) per registry counter/gauge, at
+// the given session-relative timestamp. pid/tid 0 keeps the tracks out
+// of the per-thread lanes.
+void AppendCounterSamples(JsonWriter& json, const MetricsSnapshot& sample,
+                          uint64_t ts_ns) {
+  const double ts_us = static_cast<double>(ts_ns) / 1000.0;
+  for (const auto& [name, value] : sample.counters) {
+    json.BeginObject()
+        .Key("ph").String("C")
+        .Key("ts").Double(ts_us)
+        .Key("pid").Int(1)
+        .Key("tid").Int(0)
+        .Key("name").String(name)
+        .Key("args").BeginObject().Key("value").Uint(value).EndObject()
+        .EndObject();
+  }
+  for (const auto& [name, value] : sample.gauges) {
+    json.BeginObject()
+        .Key("ph").String("C")
+        .Key("ts").Double(ts_us)
+        .Key("pid").Int(1)
+        .Key("tid").Int(0)
+        .Key("name").String(name)
+        .Key("args").BeginObject().Key("value").Int(value).EndObject()
+        .EndObject();
+  }
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* category, const char* name) {
+  if (!TracingActive()) return;
+  active_ = true;
+  category_ = category;
+  name_ = name;
+  TraceEvent event;
+  event.phase = 'B';
+  event.ts_ns = NowNs();
+  event.category = category;
+  event.name = name;
+  Emit(event);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceEvent event;
+  event.phase = 'E';
+  event.ts_ns = NowNs();
+  event.category = category_;
+  event.name = name_;
+  event.num_args = num_args_;
+  for (uint32_t i = 0; i < num_args_; ++i) event.args[i] = args_[i];
+  Emit(event);
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, int64_t value) {
+  if (!active_ || num_args_ >= TraceEvent::kMaxArgs) return *this;
+  args_[num_args_].key = key;
+  args_[num_args_].kind = TraceEvent::Arg::Kind::kInt;
+  args_[num_args_].int_value = value;
+  ++num_args_;
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, uint64_t value) {
+  return Arg(key, static_cast<int64_t>(value));
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, double value) {
+  if (!active_ || num_args_ >= TraceEvent::kMaxArgs) return *this;
+  args_[num_args_].key = key;
+  args_[num_args_].kind = TraceEvent::Arg::Kind::kDouble;
+  args_[num_args_].double_value = value;
+  ++num_args_;
+  return *this;
+}
+
+TraceSpan& TraceSpan::Arg(const char* key, const char* value) {
+  if (!active_ || num_args_ >= TraceEvent::kMaxArgs) return *this;
+  args_[num_args_].key = key;
+  args_[num_args_].kind = TraceEvent::Arg::Kind::kString;
+  std::strncpy(args_[num_args_].string_value, value,
+               sizeof(args_[num_args_].string_value) - 1);
+  args_[num_args_].string_value[sizeof(args_[num_args_].string_value) - 1] =
+      '\0';
+  ++num_args_;
+  return *this;
+}
+
+void TraceSession::Start(const TraceSessionConfig& config) {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  STINDEX_CHECK_MSG(!trace_internal::g_enabled.load(),
+                    "TraceSession::Start while a session is active");
+  STINDEX_CHECK(config.events_per_thread > 0);
+  globals.ring_capacity = RoundUpPow2(config.events_per_thread);
+  // Tracing is off, so no writer touches heads/rings here; pre-existing
+  // buffers are resized lazily by their owning thread's first event.
+  for (auto& buffer : globals.buffers) {
+    buffer->head.store(0, std::memory_order_relaxed);
+  }
+  globals.collected.clear();
+  globals.dropped = 0;
+  globals.stopped = false;
+  globals.session_start = std::chrono::steady_clock::now();
+  globals.start_sample = MetricRegistry::Global().Snapshot();
+  trace_internal::g_enabled.store(true, std::memory_order_seq_cst);
+}
+
+void TraceSession::Stop() {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  if (globals.stopped) return;
+  globals.stopped = true;
+  globals.stop_ts_ns = NowNs();
+  trace_internal::g_enabled.store(false, std::memory_order_seq_cst);
+  for (auto& buffer : globals.buffers) {
+    // Drain handshake: once `writing` reads false (acquire) after the
+    // seq-cst disable above, every write to this ring happened-before
+    // this point and no new one can start.
+    while (buffer->writing.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    if (buffer->capacity == 0) continue;
+    const uint64_t head = buffer->head.load(std::memory_order_relaxed);
+    const uint64_t kept =
+        head < buffer->capacity ? head : static_cast<uint64_t>(buffer->capacity);
+    globals.dropped += head - kept;
+    for (uint64_t i = head - kept; i < head; ++i) {
+      globals.collected.push_back(
+          buffer->events[i & (buffer->capacity - 1)]);
+    }
+  }
+  globals.stop_sample = MetricRegistry::Global().Snapshot();
+  if (globals.dropped > 0) {
+    MetricRegistry::Global()
+        .GetCounter("trace.dropped_events")
+        ->Add(globals.dropped);
+  }
+}
+
+bool TraceSession::IsActive() {
+  return trace_internal::g_enabled.load(std::memory_order_seq_cst);
+}
+
+const std::vector<TraceEvent>& TraceSession::CollectedEvents() {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  STINDEX_CHECK_MSG(globals.stopped,
+                    "TraceSession::CollectedEvents before Stop");
+  return globals.collected;
+}
+
+uint64_t TraceSession::DroppedEvents() {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  return globals.dropped;
+}
+
+std::string TraceSession::ExportChromeTrace() {
+  TraceGlobals& globals = Globals();
+  std::lock_guard<std::mutex> lock(globals.mu);
+  STINDEX_CHECK_MSG(globals.stopped,
+                    "TraceSession::ExportChromeTrace before Stop");
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit").String("ms");
+  json.Key("otherData")
+      .BeginObject()
+      .Key("tool").String("stindex")
+      .Key("dropped_events").Uint(globals.dropped)
+      .EndObject();
+  json.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : globals.collected) {
+    json.BeginObject()
+        .Key("ph").String(std::string(1, event.phase))
+        .Key("ts").Double(static_cast<double>(event.ts_ns) / 1000.0)
+        .Key("pid").Int(1)
+        .Key("tid").Uint(event.tid)
+        .Key("cat").String(event.category)
+        .Key("name").String(event.name);
+    json.Key("args").BeginObject();
+    for (uint32_t i = 0; i < event.num_args; ++i) {
+      AppendArgJson(json, event.args[i]);
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  AppendCounterSamples(json, globals.start_sample, 0);
+  AppendCounterSamples(json, globals.stop_sample, globals.stop_ts_ns);
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status TraceSession::WriteChromeTrace(const std::string& path) {
+  const std::string document = ExportChromeTrace();
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  out << document << "\n";
+  if (!out.good()) {
+    return Status::IoError("write to trace file failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace stindex

@@ -1,0 +1,144 @@
+#ifndef STINDEX_UTIL_TRACE_H_
+#define STINDEX_UTIL_TRACE_H_
+
+// Process-wide span tracing: who spent time where, on which thread.
+//
+// Instrumentation sites declare RAII spans:
+//
+//   STINDEX_TRACE_SPAN("rstar", "search");            // common case
+//   TraceSpan span("storage", "fetch_miss");          // when args are needed
+//   span.Arg("page", static_cast<int64_t>(id));
+//
+// Spans are recorded into fixed-capacity per-thread ring buffers
+// (drop-oldest on overflow; drops are counted in the
+// `trace.dropped_events` registry counter). A TraceSession owns one
+// capture: Start() arms the process-wide enabled flag, Stop() disarms it
+// and drains every thread buffer; ExportChromeTrace() renders the
+// capture as Chrome trace-event JSON, loadable in chrome://tracing and
+// Perfetto (ui.perfetto.dev), with counter tracks sampled from the
+// MetricRegistry at session start and stop.
+//
+// Cost contract (same spirit as util/metrics.h):
+//
+//  * Disabled (the default), a span is ONE relaxed atomic load — no
+//    allocation, no branch beyond the check — so permanently
+//    instrumented hot paths stay free in production runs.
+//  * Enabled, an event write is a couple of atomic flag stores plus a
+//    struct copy into the calling thread's own ring; threads never
+//    contend with each other. Only Stop() synchronizes with writers
+//    (a seq-cst enabled/writing handshake per buffer), so enabling
+//    tracing cannot change any computed output: instrumented runs stay
+//    byte-identical at any thread count (pinned by
+//    tests/parallel_pipeline_test.cc).
+//
+// Category/name must be string literals (static storage): events store
+// the pointers, not copies. Argument string values ARE copied (and
+// truncated) into a small inline buffer.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stindex {
+
+namespace trace_internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_internal
+
+// The single-branch off-path check; relaxed is enough because a stale
+// read only delays the first/last events of a capture by one event.
+inline bool TracingActive() {
+  return trace_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// One recorded event. Phases follow the Chrome trace-event format:
+// 'B'egin / 'E'nd duration pairs, 'C'ounter samples.
+struct TraceEvent {
+  struct Arg {
+    enum class Kind : uint8_t { kNone, kInt, kDouble, kString };
+    const char* key = nullptr;  // string literal
+    Kind kind = Kind::kNone;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    char string_value[24] = {0};  // truncated copy
+  };
+  static constexpr int kMaxArgs = 2;
+
+  char phase = 'B';
+  uint32_t tid = 0;      // session-assigned, dense from 1
+  uint64_t ts_ns = 0;    // nanoseconds since session start
+  const char* category = nullptr;  // string literal
+  const char* name = nullptr;      // string literal
+  uint32_t num_args = 0;
+  Arg args[kMaxArgs];
+};
+
+// RAII span: emits 'B' at construction and 'E' at destruction. Args
+// added between the two ride on the 'E' event (Chrome merges B/E args
+// when displaying a duration). Inactive instances (tracing disabled at
+// construction) ignore everything.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  TraceSpan& Arg(const char* key, int64_t value);
+  TraceSpan& Arg(const char* key, uint64_t value);
+  TraceSpan& Arg(const char* key, double value);
+  TraceSpan& Arg(const char* key, const char* value);
+
+ private:
+  bool active_ = false;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  uint32_t num_args_ = 0;
+  TraceEvent::Arg args_[TraceEvent::kMaxArgs];
+};
+
+#define STINDEX_TRACE_CONCAT_INNER(a, b) a##b
+#define STINDEX_TRACE_CONCAT(a, b) STINDEX_TRACE_CONCAT_INNER(a, b)
+// Declares an anonymous span covering the rest of the enclosing scope.
+#define STINDEX_TRACE_SPAN(category, name)                               \
+  ::stindex::TraceSpan STINDEX_TRACE_CONCAT(stindex_trace_span_,         \
+                                            __LINE__)((category), (name))
+
+struct TraceSessionConfig {
+  // Ring capacity per thread, in events; rounded up to a power of two.
+  // A span is two events. When a thread records more than this between
+  // Start and Stop, the oldest events are overwritten (drop-oldest) and
+  // counted in `trace.dropped_events`.
+  size_t events_per_thread = 1 << 16;
+};
+
+// The process-wide capture. Static interface: at most one session is
+// active at a time (Start while active is a checked error).
+class TraceSession {
+ public:
+  static void Start(const TraceSessionConfig& config = TraceSessionConfig());
+  // Disarms tracing, waits out in-flight writers, and drains every
+  // thread ring into the collected-event list. Idempotent per capture.
+  static void Stop();
+  static bool IsActive();
+
+  // After Stop: the drained events, per-thread chronological order
+  // concatenated in thread-registration order, and the total number of
+  // events the rings overwrote.
+  static const std::vector<TraceEvent>& CollectedEvents();
+  static uint64_t DroppedEvents();
+
+  // Chrome trace-event JSON of the collected capture: duration events
+  // per thread plus 'C' counter tracks holding every registry counter
+  // and gauge sampled at session start and stop. Call after Stop.
+  static std::string ExportChromeTrace();
+  static Status WriteChromeTrace(const std::string& path);
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_TRACE_H_

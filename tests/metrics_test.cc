@@ -1,5 +1,6 @@
 #include "util/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -92,7 +93,45 @@ TEST(HistogramTest, SingleValuePercentilesAreExact) {
   const HistogramSnapshot snapshot = histogram.Snapshot();
   EXPECT_DOUBLE_EQ(snapshot.p50, 3.5);
   EXPECT_DOUBLE_EQ(snapshot.p90, 3.5);
+  EXPECT_DOUBLE_EQ(snapshot.p95, 3.5);
   EXPECT_DOUBLE_EQ(snapshot.p99, 3.5);
+}
+
+TEST(HistogramTest, ValueAtPercentileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.ValueAtPercentile(0.0), 0.0);
+  EXPECT_EQ(empty.ValueAtPercentile(50.0), 0.0);
+  EXPECT_EQ(empty.ValueAtPercentile(100.0), 0.0);
+
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(static_cast<double>(i));
+  // p=0 and p=100 are exact (the recorded extremes), regardless of which
+  // bucket the extremes fall in.
+  EXPECT_DOUBLE_EQ(histogram.ValueAtPercentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.ValueAtPercentile(100.0), 1000.0);
+  // Interior percentiles are bucket-accurate: at or above the true value
+  // and within a factor of two, never beyond the max.
+  for (const double p : {25.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double truth = p / 100.0 * 1000.0;
+    const double reported = histogram.ValueAtPercentile(p);
+    EXPECT_GE(reported, truth) << "p" << p;
+    EXPECT_LE(reported, std::min(2.0 * truth, 1000.0)) << "p" << p;
+  }
+  // Monotone in p.
+  double last = 0.0;
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double value = histogram.ValueAtPercentile(p);
+    EXPECT_GE(value, last);
+    last = value;
+  }
+}
+
+TEST(HistogramTest, PercentileSpellingMatchesValueAtPercentile) {
+  Histogram histogram;
+  for (int i = 1; i <= 64; ++i) histogram.Record(static_cast<double>(i));
+  for (const double p : {0.0, 42.0, 95.0, 100.0}) {
+    EXPECT_EQ(histogram.Percentile(p), histogram.ValueAtPercentile(p));
+  }
 }
 
 TEST(HistogramTest, MergeEqualsSerialRecording) {

@@ -6,6 +6,7 @@
 // count and include a prime, so chunk boundaries land everywhere.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "core/distribute.h"
@@ -15,6 +16,7 @@
 #include "datagen/random_dataset.h"
 #include "util/metrics.h"
 #include "util/random.h"
+#include "util/trace.h"
 
 namespace stindex {
 namespace {
@@ -243,6 +245,42 @@ TEST(ParallelPipelineTest, InstrumentedPipelineIdenticalAtAnyThreadCount) {
         << "threads=" << threads;
   }
   MetricRegistry::Global().ResetForTest();
+}
+
+TEST(ParallelPipelineTest, TracingEnabledPipelineIdenticalAtAnyThreadCount) {
+  // Tracing only observes: with a session active (spans recorded from
+  // every worker, including the per-chunk ParallelFor spans), the
+  // pipeline output must stay byte-identical to the untraced serial run
+  // at every thread count.
+  const std::vector<Trajectory> objects = RandomObjects(91, 300);
+
+  const std::vector<VolumeCurve> curves =
+      ComputeVolumeCurves(objects, 32, SplitMethod::kMerge);
+  const Distribution dist = DistributeLAGreedy(curves, 300);
+  const std::vector<SegmentRecord> serial =
+      BuildSegments(objects, dist.splits, SplitMethod::kMerge);
+  const double serial_volume = TotalVolume(serial);
+
+  for (int threads : kThreadCounts) {
+    TraceSession::Start();
+    const std::vector<VolumeCurve> t_curves =
+        ComputeVolumeCurves(objects, 32, SplitMethod::kMerge, threads);
+    const Distribution t_dist = DistributeLAGreedy(t_curves, 300, threads);
+    const std::vector<SegmentRecord> traced =
+        BuildSegments(objects, t_dist.splits, SplitMethod::kMerge, threads);
+    TraceSession::Stop();
+
+    ASSERT_EQ(dist.splits, t_dist.splits) << "threads=" << threads;
+    ASSERT_EQ(dist.total_volume, t_dist.total_volume);
+    ExpectSegmentsIdentical(serial, traced, threads);
+    ASSERT_EQ(serial_volume, TotalVolume(traced)) << "threads=" << threads;
+    // The capture actually saw the pipeline phases.
+    size_t pipeline_spans = 0;
+    for (const TraceEvent& event : TraceSession::CollectedEvents()) {
+      if (std::strcmp(event.category, "pipeline") == 0) ++pipeline_spans;
+    }
+    EXPECT_GE(pipeline_spans, 6u) << "threads=" << threads;
+  }
 }
 
 TEST(ParallelPipelineTest, RandomizedSplitAllocationsManySeeds) {

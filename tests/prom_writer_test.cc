@@ -1,0 +1,122 @@
+#include "util/prom_writer.h"
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/metrics.h"
+
+namespace stindex {
+namespace {
+
+TEST(PromWriterTest, MetricNameSanitization) {
+  EXPECT_EQ(PrometheusMetricName("io.query.misses"),
+            "stindex_io_query_misses");
+  EXPECT_EQ(PrometheusMetricName("already_clean"), "stindex_already_clean");
+  EXPECT_EQ(PrometheusMetricName("Mixed.Case-09"), "stindex_Mixed_Case_09");
+  EXPECT_EQ(PrometheusMetricName("sp ace/slash:colon"),
+            "stindex_sp_ace_slash_colon");
+  // Only [a-zA-Z0-9_] survives.
+  const std::string name = PrometheusMetricName("a\tb\nc\"d{e}");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    EXPECT_TRUE(ok) << "bad char in " << name;
+  }
+}
+
+TEST(PromWriterTest, RendersEveryKindWithTypeLines) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("io.query.misses", 42);
+  snapshot.gauges.emplace_back("tree.height", -3);
+  HistogramSnapshot histogram;
+  histogram.count = 10;
+  histogram.sum = 12.5;
+  histogram.min = 0.5;
+  histogram.max = 4.0;
+  histogram.p50 = 1.0;
+  histogram.p90 = 2.0;
+  histogram.p95 = 2.0;
+  histogram.p99 = 4.0;
+  snapshot.histograms.emplace_back("io.query.latency_ms", histogram);
+
+  const std::string out = RenderPrometheus(snapshot);
+  EXPECT_NE(out.find("# TYPE stindex_io_query_misses counter\n"
+                     "stindex_io_query_misses 42\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE stindex_tree_height gauge\n"
+                     "stindex_tree_height -3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE stindex_io_query_latency_ms summary\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("stindex_io_query_latency_ms{quantile=\"0.95\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("stindex_io_query_latency_ms_sum 12.5\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("stindex_io_query_latency_ms_count 10\n"),
+            std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+// Round trip: parse the exposition text back and compare against the
+// snapshot it was rendered from. The parser accepts exactly the subset
+// the writer emits: "# TYPE name kind" lines and "name[{labels}] value".
+TEST(PromWriterTest, RoundTripsThroughTextParse) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.ResetForTest();
+  registry.GetCounter("prom.roundtrip.counter")->Add(123);
+  registry.GetGauge("prom.roundtrip.gauge")->Set(-77);
+  HistogramMetric* histogram =
+      registry.GetHistogram("prom.roundtrip.hist");
+  for (int i = 1; i <= 100; ++i) histogram->Record(static_cast<double>(i));
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  std::map<std::string, std::string> types;
+  std::map<std::string, double> samples;
+  std::istringstream in(RenderPrometheus(snapshot));
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, kind;
+      fields >> name >> kind;
+      types[name] = kind;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusMetricName(name);
+    EXPECT_EQ(types[prom], "counter");
+    EXPECT_EQ(samples[prom], static_cast<double>(value)) << prom;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusMetricName(name);
+    EXPECT_EQ(types[prom], "gauge");
+    EXPECT_EQ(samples[prom], static_cast<double>(value)) << prom;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = PrometheusMetricName(name);
+    EXPECT_EQ(types[prom], "summary");
+    EXPECT_EQ(samples[prom + "{quantile=\"0.5\"}"], hist.p50) << prom;
+    EXPECT_EQ(samples[prom + "{quantile=\"0.9\"}"], hist.p90) << prom;
+    EXPECT_EQ(samples[prom + "{quantile=\"0.95\"}"], hist.p95) << prom;
+    EXPECT_EQ(samples[prom + "{quantile=\"0.99\"}"], hist.p99) << prom;
+    EXPECT_EQ(samples[prom + "_sum"], hist.sum) << prom;
+    EXPECT_EQ(samples[prom + "_count"], static_cast<double>(hist.count))
+        << prom;
+  }
+  // Every emitted # TYPE line corresponds to a snapshot metric.
+  EXPECT_EQ(types.size(), snapshot.counters.size() + snapshot.gauges.size() +
+                              snapshot.histograms.size());
+  registry.ResetForTest();
+}
+
+}  // namespace
+}  // namespace stindex

@@ -1,0 +1,197 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/metrics.h"
+
+namespace stindex {
+namespace {
+
+// Counts events in the capture matching a (category, name, phase).
+size_t CountEvents(const std::vector<TraceEvent>& events, const char* category,
+                   const char* name, char phase) {
+  size_t count = 0;
+  for (const TraceEvent& event : events) {
+    if (event.phase == phase && std::strcmp(event.category, category) == 0 &&
+        std::strcmp(event.name, name) == 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(TraceTest, DisabledByDefaultAndSpansAreNoOps) {
+  ASSERT_FALSE(TraceSession::IsActive());
+  EXPECT_FALSE(TracingActive());
+  {
+    TraceSpan span("test", "noop");
+    span.Arg("k", static_cast<int64_t>(1));
+  }
+  // Nothing to observe beyond "does not crash / does not arm tracing".
+  EXPECT_FALSE(TracingActive());
+}
+
+TEST(TraceTest, SpanNestingProducesBalancedOrderedPairs) {
+  TraceSession::Start();
+  {
+    TraceSpan outer("test", "outer");
+    outer.Arg("objects", static_cast<int64_t>(7));
+    {
+      STINDEX_TRACE_SPAN("test", "inner");
+    }
+  }
+  TraceSession::Stop();
+  const std::vector<TraceEvent>& events = TraceSession::CollectedEvents();
+  ASSERT_EQ(events.size(), 4u);
+
+  // Per-thread chronological order: B(outer) B(inner) E(inner) E(outer).
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_STREQ(events[2].name, "inner");
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_STREQ(events[3].name, "outer");
+  for (const TraceEvent& event : events) {
+    EXPECT_STREQ(event.category, "test");
+    EXPECT_EQ(event.tid, events[0].tid);
+  }
+  // Timestamps never run backwards within the thread.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+  // Args ride on the closing event.
+  EXPECT_EQ(events[3].num_args, 1u);
+  EXPECT_STREQ(events[3].args[0].key, "objects");
+  EXPECT_EQ(events[3].args[0].kind, TraceEvent::Arg::Kind::kInt);
+  EXPECT_EQ(events[3].args[0].int_value, 7);
+  EXPECT_EQ(TraceSession::DroppedEvents(), 0u);
+}
+
+TEST(TraceTest, ArgKindsRoundTrip) {
+  TraceSession::Start();
+  {
+    TraceSpan span("test", "args");
+    span.Arg("ratio", 0.25).Arg("label", "hello");
+  }
+  TraceSession::Stop();
+  const std::vector<TraceEvent>& events = TraceSession::CollectedEvents();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& end = events[1];
+  ASSERT_EQ(end.num_args, 2u);
+  EXPECT_EQ(end.args[0].kind, TraceEvent::Arg::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(end.args[0].double_value, 0.25);
+  EXPECT_EQ(end.args[1].kind, TraceEvent::Arg::Kind::kString);
+  EXPECT_STREQ(end.args[1].string_value, "hello");
+}
+
+TEST(TraceTest, RingWraparoundDropsOldestAndCountsDrops) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  const uint64_t dropped_before =
+      registry.GetCounter("trace.dropped_events")->Value();
+
+  TraceSessionConfig config;
+  config.events_per_thread = 8;  // tiny ring: 4 spans fit
+  TraceSession::Start(config);
+  constexpr int kSpans = 50;  // 100 events >> 8
+  for (int i = 0; i < kSpans; ++i) {
+    STINDEX_TRACE_SPAN("test", "wrap");
+  }
+  TraceSession::Stop();
+
+  const std::vector<TraceEvent>& events = TraceSession::CollectedEvents();
+  EXPECT_EQ(events.size(), 8u);
+  EXPECT_EQ(TraceSession::DroppedEvents(), 2u * kSpans - 8u);
+  // Drop-oldest: the retained tail ends with the final span's 'E'.
+  EXPECT_EQ(events.back().phase, 'E');
+  // Kept events alternate B/E (spans are sequential, not nested).
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].phase, i % 2 == 0 ? 'B' : 'E');
+  }
+  EXPECT_EQ(registry.GetCounter("trace.dropped_events")->Value(),
+            dropped_before + 2u * kSpans - 8u);
+}
+
+TEST(TraceTest, CollectsEventsFromMultipleThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  TraceSession::Start();
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < kSpansPerThread; ++i) {
+          TraceSpan span("test", "worker");
+          span.Arg("i", static_cast<int64_t>(i));
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  TraceSession::Stop();
+
+  const std::vector<TraceEvent>& events = TraceSession::CollectedEvents();
+  EXPECT_EQ(CountEvents(events, "test", "worker", 'B'),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(CountEvents(events, "test", "worker", 'E'),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+
+  std::set<uint32_t> tids;
+  for (const TraceEvent& event : events) tids.insert(event.tid);
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  // Within each thread, timestamps are chronological in the drained list.
+  for (const uint32_t tid : tids) {
+    uint64_t last = 0;
+    for (const TraceEvent& event : events) {
+      if (event.tid != tid) continue;
+      EXPECT_GE(event.ts_ns, last);
+      last = event.ts_ns;
+    }
+  }
+}
+
+TEST(TraceTest, StopIsIdempotentAndSpansAfterStopAreIgnored)
+{
+  TraceSession::Start();
+  { STINDEX_TRACE_SPAN("test", "once"); }
+  TraceSession::Stop();
+  const size_t collected = TraceSession::CollectedEvents().size();
+  { STINDEX_TRACE_SPAN("test", "late"); }
+  TraceSession::Stop();  // second Stop: no-op
+  EXPECT_EQ(TraceSession::CollectedEvents().size(), collected);
+  EXPECT_EQ(CountEvents(TraceSession::CollectedEvents(), "test", "late", 'B'),
+            0u);
+}
+
+TEST(TraceTest, ExportChromeTraceIsWellFormed) {
+  MetricRegistry::Global().GetCounter("test.trace.export")->Add(3);
+  TraceSession::Start();
+  {
+    TraceSpan span("test", "export");
+    span.Arg("n", static_cast<int64_t>(5)).Arg("what", "x");
+  }
+  TraceSession::Stop();
+  const std::string json = TraceSession::ExportChromeTrace();
+  // Structural markers rather than a full JSON parse: the python
+  // validator (scripts/validate_trace.py) does the strict pass in CI.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  // Counter tracks sampled from the registry.
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("test.trace.export"), std::string::npos);
+  // The span args made it out.
+  EXPECT_NE(json.find("\"what\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stindex

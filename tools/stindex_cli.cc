@@ -13,7 +13,11 @@
 //
 // Every command additionally accepts --stats FILE, which dumps the
 // process metrics registry (buffer I/O, tree build events, pipeline
-// phase times) as JSON after a successful run.
+// phase times) after a successful run — as JSON by default, or as
+// Prometheus text exposition with --stats-format prom. The query command
+// also supports --explain (per-level EXPLAIN profile), --objects FILE
+// (exact-geometry refinement / false-hit counting) and --trace FILE
+// (Chrome trace capture of build and query spans).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,11 +39,14 @@
 #include "model/split_advisor.h"
 #include "pprtree/ppr_tree.h"
 #include "rstar/rstar_tree.h"
+#include "core/query_profile.h"
 #include "storage/file_backend.h"
 #include "storage/page_backend.h"
 #include "util/json_writer.h"
 #include "util/metrics.h"
+#include "util/prom_writer.h"
 #include "util/threads.h"
+#include "util/trace.h"
 
 namespace stindex {
 namespace cli {
@@ -54,7 +61,11 @@ class Flags {
         std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
         std::exit(2);
       }
-      key = key.substr(2);
+      key.erase(0, 2);
+      if (IsBoolean(key)) {
+        values_[key] = std::string("1");
+        continue;
+      }
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for --%s\n", key.c_str());
         std::exit(2);
@@ -62,6 +73,11 @@ class Flags {
       values_[key] = argv[++i];
     }
   }
+
+  // Presence flags that take no value.
+  static bool IsBoolean(const std::string& key) { return key == "explain"; }
+
+  bool GetBool(const std::string& key) { return Get(key, "") == "1"; }
 
   std::string Get(const std::string& key, const std::string& fallback) {
     used_.insert(key);
@@ -111,38 +127,46 @@ int ResolveThreadsOrDie(Flags& flags) {
   return threads.value();
 }
 
-// Writes the process metrics registry to `path` as JSON, mirroring the
-// "metrics" section of the bench report schema (bench/bench_report.h).
-void DumpMetrics(const std::string& path) {
+// Writes the process metrics registry to `path` — as JSON mirroring the
+// "metrics" section of the bench report schema (bench/bench_report.h), or
+// as Prometheus text exposition (util/prom_writer.h).
+void DumpMetrics(const std::string& path, const std::string& format) {
   const MetricsSnapshot metrics = MetricRegistry::Global().Snapshot();
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("counters").BeginObject();
-  for (const auto& [name, value] : metrics.counters) {
-    json.Key(name).Uint(value);
-  }
-  json.EndObject();
-  json.Key("gauges").BeginObject();
-  for (const auto& [name, value] : metrics.gauges) {
-    json.Key(name).Int(value);
-  }
-  json.EndObject();
-  json.Key("histograms").BeginObject();
-  for (const auto& [name, snapshot] : metrics.histograms) {
-    json.Key(name).BeginObject();
-    json.Key("count").Uint(snapshot.count);
-    json.Key("sum").Double(snapshot.sum);
-    json.Key("min").Double(snapshot.min);
-    json.Key("max").Double(snapshot.max);
-    json.Key("p50").Double(snapshot.p50);
-    json.Key("p90").Double(snapshot.p90);
-    json.Key("p99").Double(snapshot.p99);
+  std::string document;
+  if (format == "prom") {
+    document = RenderPrometheus(metrics);
+  } else {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("counters").BeginObject();
+    for (const auto& [name, value] : metrics.counters) {
+      json.Key(name).Uint(value);
+    }
     json.EndObject();
+    json.Key("gauges").BeginObject();
+    for (const auto& [name, value] : metrics.gauges) {
+      json.Key(name).Int(value);
+    }
+    json.EndObject();
+    json.Key("histograms").BeginObject();
+    for (const auto& [name, snapshot] : metrics.histograms) {
+      json.Key(name).BeginObject();
+      json.Key("count").Uint(snapshot.count);
+      json.Key("sum").Double(snapshot.sum);
+      json.Key("min").Double(snapshot.min);
+      json.Key("max").Double(snapshot.max);
+      json.Key("p50").Double(snapshot.p50);
+      json.Key("p90").Double(snapshot.p90);
+      json.Key("p95").Double(snapshot.p95);
+      json.Key("p99").Double(snapshot.p99);
+      json.EndObject();
+    }
+    json.EndObject();
+    json.EndObject();
+    document = json.str() + "\n";
   }
-  json.EndObject();
-  json.EndObject();
   std::ofstream out(path);
-  out << json.str() << "\n";
+  out << document;
   if (!out) {
     Die(Status::FailedPrecondition("cannot write stats file: " + path));
   }
@@ -360,12 +384,20 @@ int CmdQuery(Flags& flags) {
   const std::string queries_path = flags.Require("queries");
   const std::string index = flags.Get("index", "ppr");
   const Time domain = flags.GetInt("time-domain", 1000);
+  const bool explain = flags.GetBool("explain");
+  const std::string trace_path = flags.Get("trace", "");
+  const std::string objects_path = flags.Get("objects", "");
   std::string db_path;
   const std::string backend = GetBackendFlags(flags, &db_path);
   flags.RejectUnknown();
   if (backend != "store" && index == "hr") {
     std::fprintf(stderr, "--backend %s: the hr index only supports the "
                  "in-memory store\n", backend.c_str());
+    return 2;
+  }
+  if (index == "hr" && (explain || !objects_path.empty())) {
+    std::fprintf(stderr,
+                 "--explain/--objects are only supported for ppr and rstar\n");
     return 2;
   }
 
@@ -375,44 +407,59 @@ int CmdQuery(Flags& flags) {
   if (!queries_result.ok()) Die(queries_result.status());
   const std::vector<STQuery>& queries = queries_result.value();
 
+  // --objects supplies the original trajectories so candidates can be
+  // refined against exact per-instant rectangles (false-hit counting).
+  std::vector<Trajectory> objects;
+  std::unique_ptr<FalseHitRefiner> refiner;
+  if (!objects_path.empty()) {
+    objects = LoadObjects(objects_path);
+    refiner = std::make_unique<FalseHitRefiner>(objects, records);
+  }
+  QueryProfile profile;
+  QueryProfile* profile_ptr =
+      (explain || refiner != nullptr) ? &profile : nullptr;
+
+  // Start tracing before the build so index-construction spans land in
+  // the capture alongside the query spans.
+  if (!trace_path.empty()) TraceSession::Start();
+
   uint64_t misses = 0;
   uint64_t hits_total = 0;
-  if (index == "ppr" || index == "hr") {
-    std::unique_ptr<PprTree> ppr;
-    std::unique_ptr<HrTree> hr;
-    if (index == "ppr") {
-      ppr = BuildPprTree(records);
-      if (backend != "store") {
-        const Status status =
-            ppr->AttachBackend(MakeCliBackend(backend, db_path, "query_ppr"));
-        if (!status.ok()) Die(status);
-      }
-    } else {
-      hr = BuildHrTree(records);
+  if (index == "ppr") {
+    const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+    if (backend != "store") {
+      const Status status =
+          ppr->AttachBackend(MakeCliBackend(backend, db_path, "query_ppr"));
+      if (!status.ok()) Die(status);
     }
-    std::vector<uint64_t> results;
+    const std::unique_ptr<BufferPool> buffer = ppr->NewQueryBuffer();
     for (const STQuery& query : queries) {
-      if (ppr) {
-        ppr->ResetQueryState();
-        std::vector<PprDataId> out;
-        if (query.IsSnapshot()) {
-          ppr->SnapshotQuery(query.area, query.range.start, &out);
-        } else {
-          ppr->IntervalQuery(query.area, query.range, &out);
-        }
-        misses += ppr->stats().misses;
-        hits_total += out.size();
+      buffer->ResetCache();
+      buffer->ResetStats();
+      std::vector<PprDataId> out;
+      if (query.IsSnapshot()) {
+        ppr->SnapshotQuery(query.area, query.range.start, buffer.get(), &out,
+                           profile_ptr);
       } else {
-        hr->ResetQueryState();
-        std::vector<HrDataId> out;
-        if (query.IsSnapshot()) {
-          hr->SnapshotQuery(query.area, query.range.start, &out);
-        } else {
-          hr->IntervalQuery(query.area, query.range, &out);
-        }
-        misses += hr->stats().misses;
-        hits_total += out.size();
+        ppr->IntervalQuery(query.area, query.range, buffer.get(), &out,
+                           profile_ptr);
       }
+      if (refiner != nullptr) refiner->CountFalseHits(out, query, profile_ptr);
+      misses += buffer->stats().misses;
+      hits_total += out.size();
+    }
+  } else if (index == "hr") {
+    const std::unique_ptr<HrTree> hr = BuildHrTree(records);
+    for (const STQuery& query : queries) {
+      hr->ResetQueryState();
+      std::vector<HrDataId> out;
+      if (query.IsSnapshot()) {
+        hr->SnapshotQuery(query.area, query.range.start, &out);
+      } else {
+        hr->IntervalQuery(query.area, query.range, &out);
+      }
+      misses += hr->stats().misses;
+      hits_total += out.size();
     }
   } else if (index == "rstar") {
     RStarTree tree;
@@ -425,11 +472,15 @@ int CmdQuery(Flags& flags) {
           tree.AttachBackend(MakeCliBackend(backend, db_path, "query_rstar"));
       if (!status.ok()) Die(status);
     }
-    std::vector<DataId> out;
+    const std::unique_ptr<BufferPool> buffer = tree.NewQueryBuffer();
     for (const STQuery& query : queries) {
-      tree.ResetQueryState();
-      tree.Search(QueryToBox(query, 0, domain), &out);
-      misses += tree.stats().misses;
+      buffer->ResetCache();
+      buffer->ResetStats();
+      std::vector<DataId> out;
+      tree.Search(QueryToBox(query, 0, domain), buffer.get(), &out,
+                  profile_ptr);
+      if (refiner != nullptr) refiner->CountFalseHits(out, query, profile_ptr);
+      misses += buffer->stats().misses;
       hits_total += out.size();
     }
   } else {
@@ -437,12 +488,31 @@ int CmdQuery(Flags& flags) {
                  index.c_str());
     return 2;
   }
+
+  if (!trace_path.empty()) {
+    TraceSession::Stop();
+    const Status status = TraceSession::WriteChromeTrace(trace_path);
+    if (!status.ok()) Die(status);
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 TraceSession::CollectedEvents().size(), trace_path.c_str());
+  }
+  if (refiner != nullptr) {
+    MetricRegistry::Global().GetCounter("io.query.false_hits")
+        ->Add(profile.false_hits);
+  }
   std::printf("%zu queries: avg %.2f disk accesses, avg %.2f hits\n",
               queries.size(),
               static_cast<double>(misses) /
                   static_cast<double>(queries.size()),
               static_cast<double>(hits_total) /
                   static_cast<double>(queries.size()));
+  if (explain) {
+    std::fputs(profile.ToTable().c_str(), stdout);
+    if (refiner == nullptr) {
+      std::printf("  (pass --objects FILE to refine candidates and count "
+                  "false hits)\n");
+    }
+  }
   return 0;
 }
 
@@ -501,11 +571,21 @@ int Usage() {
       "  queries   --set NAME --out FILE [--count N] [--time-domain T]\n"
       "  stats     --segments FILE [--index ppr|rstar|hr]\n"
       "  query     --segments FILE --queries FILE [--index ppr|rstar|hr]\n"
-      "            [--backend store|memory|file] [--db DIR]\n"
+      "            [--backend store|memory|file] [--db DIR] [--explain]\n"
+      "            [--objects FILE] [--trace FILE]\n"
       "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n"
       "            [--threads N]\n"
+      "Query flags:\n"
+      "  --explain       print a per-query-set profile (node visits per\n"
+      "                  level, buffer hits/misses, candidates, false hits)\n"
+      "  --objects FILE  original trajectories; refines candidates against\n"
+      "                  exact per-instant rectangles to count false hits\n"
+      "  --trace FILE    capture a Chrome trace (chrome://tracing, Perfetto)\n"
+      "                  of the build and query spans\n"
       "Common flags:\n"
-      "  --stats FILE   dump the metrics registry as JSON after the run\n"
+      "  --stats FILE         dump the metrics registry after the run\n"
+      "  --stats-format FMT   'json' (default) or 'prom' (Prometheus text\n"
+      "                       exposition)\n"
       "  --threads N    worker threads for split/advise (overrides the\n"
       "                 STINDEX_THREADS environment variable; default 1)\n");
   return 2;
@@ -515,9 +595,16 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
-  // Claim --stats before dispatch so RejectUnknown accepts it for every
-  // command; the dump itself runs only after the command succeeds.
+  // Claim --stats/--stats-format before dispatch so RejectUnknown accepts
+  // them for every command; the dump itself runs only after the command
+  // succeeds.
   const std::string stats_path = flags.Get("stats", "");
+  const std::string stats_format = flags.Get("stats-format", "json");
+  if (stats_format != "json" && stats_format != "prom") {
+    std::fprintf(stderr, "--stats-format must be 'json' or 'prom', got '%s'\n",
+                 stats_format.c_str());
+    return 2;
+  }
   int rc = 2;
   if (command == "generate") {
     rc = CmdGenerate(flags);
@@ -536,7 +623,7 @@ int Main(int argc, char** argv) {
   } else {
     return Usage();
   }
-  if (rc == 0 && !stats_path.empty()) DumpMetrics(stats_path);
+  if (rc == 0 && !stats_path.empty()) DumpMetrics(stats_path, stats_format);
   return rc;
 }
 
