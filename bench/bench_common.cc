@@ -9,6 +9,7 @@
 
 #include "core/distribute.h"
 #include "storage/file_backend.h"
+#include "storage/shared_buffer_pool.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -88,10 +89,12 @@ std::unique_ptr<RStarTree> BuildRStar(
 
 namespace {
 
-// Shared shape of the two multi-threaded query drivers: each chunk of the
-// query set runs on one worker with a private BufferPool (the store is
-// read-only during queries), the cache is reset before every query, and
-// per-chunk IoStats are summed in chunk order afterwards.
+// Shared shape of the two multi-threaded query drivers: every worker
+// shares one sharded SharedBufferPool (total capacity, thread-safe pins)
+// and runs its chunk through a private Session implementing the paper's
+// per-query-reset LRU accounting, so the reported miss counts are
+// byte-identical at any thread count while resident capacity stays
+// fixed. Per-chunk IoStats are summed in chunk order afterwards.
 //
 // The drivers feed the structured reports: totals go to the
 // io.query.accesses/misses counters, and per-query wall times are
@@ -100,11 +103,10 @@ namespace {
 // util/metrics.h — the I/O numbers stay byte-identical at any thread
 // count; wall times are inherently noisy but their collection order is
 // fixed).
-template <typename MakeBuffer, typename RunQuery>
+template <typename MakePool, typename RunQuery>
 double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
                          IoStats* aggregate, const FalseHitRefiner* refiner,
-                         QueryProfile* profile_out,
-                         const MakeBuffer& make_buffer,
+                         QueryProfile* profile_out, const MakePool& make_pool,
                          const RunQuery& run_query) {
   TraceSpan span("bench", "query_driver");
   span.Arg("queries", static_cast<int64_t>(queries.size()))
@@ -114,25 +116,34 @@ double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
   std::vector<IoStats> chunk_stats(chunks);
   std::vector<Histogram> latency_shards(chunks);
   std::vector<QueryProfile> profile_shards(profiling ? chunks : 0);
+  std::unique_ptr<SharedBufferPool> pool = make_pool();
+  // The Sessions' simulated LRU runs the paper protocol at the pool's
+  // full capacity, so the miss counts match a serial private pool of the
+  // same size while the frames stay shared across workers.
+  const size_t protocol_pages = pool->capacity();
+  span.Arg("buffer_pages", static_cast<int64_t>(protocol_pages));
+  Report().SetParam("effective_buffer_pages",
+                    static_cast<int64_t>(protocol_pages));
   ParallelFor(num_threads, queries.size(),
               [&](size_t chunk, size_t begin, size_t end) {
-                std::unique_ptr<BufferPool> buffer = make_buffer();
+                SharedBufferPool::Session session(pool.get(), protocol_pages);
                 IoStats& stats = chunk_stats[chunk];
                 Histogram& latency = latency_shards[chunk];
                 QueryProfile* profile =
                     profiling ? &profile_shards[chunk] : nullptr;
                 for (size_t q = begin; q < end; ++q) {
-                  buffer->ResetCache();
-                  buffer->ResetStats();
+                  session.ResetCache();
+                  session.ResetStats();
                   const auto start = std::chrono::steady_clock::now();
-                  run_query(queries[q], buffer.get(), profile);
+                  run_query(queries[q], &session, profile);
                   const std::chrono::duration<double, std::milli> elapsed =
                       std::chrono::steady_clock::now() - start;
                   latency.Record(elapsed.count());
-                  stats.accesses += buffer->stats().accesses;
-                  stats.misses += buffer->stats().misses;
+                  stats.accesses += session.stats().accesses;
+                  stats.misses += session.stats().misses;
                 }
               });
+  pool->PublishStats();
   IoStats total;
   for (const IoStats& stats : chunk_stats) {
     total.accesses += stats.accesses;
@@ -159,11 +170,12 @@ double AverageIoParallel(const std::vector<STQuery>& queries, int num_threads,
 
 double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
                     int num_threads, IoStats* aggregate,
-                    const FalseHitRefiner* refiner, QueryProfile* profile) {
+                    const FalseHitRefiner* refiner, QueryProfile* profile,
+                    size_t buffer_pages) {
   return AverageIoParallel(
       queries, num_threads, aggregate, refiner, profile,
-      [&tree] { return tree.NewQueryBuffer(); },
-      [&tree, refiner](const STQuery& query, BufferPool* buffer,
+      [&tree, buffer_pages] { return tree.NewSharedQueryPool(buffer_pages); },
+      [&tree, refiner](const STQuery& query, PageCache* buffer,
                        QueryProfile* query_profile) {
         std::vector<PprDataId> results;
         if (query.IsSnapshot()) {
@@ -182,11 +194,12 @@ double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
 double AverageRStarIo(const RStarTree& tree,
                       const std::vector<STQuery>& queries, Time time_domain,
                       int num_threads, IoStats* aggregate,
-                      const FalseHitRefiner* refiner, QueryProfile* profile) {
+                      const FalseHitRefiner* refiner, QueryProfile* profile,
+                      size_t buffer_pages) {
   return AverageIoParallel(
       queries, num_threads, aggregate, refiner, profile,
-      [&tree] { return tree.NewQueryBuffer(); },
-      [&tree, time_domain, refiner](const STQuery& query, BufferPool* buffer,
+      [&tree, buffer_pages] { return tree.NewSharedQueryPool(buffer_pages); },
+      [&tree, time_domain, refiner](const STQuery& query, PageCache* buffer,
                                     QueryProfile* query_profile) {
         std::vector<DataId> results;
         tree.Search(QueryToBox(query, 0, time_domain), buffer, &results,

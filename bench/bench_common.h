@@ -72,13 +72,19 @@ std::unique_ptr<RStarTree> BuildRStar(const std::vector<SegmentRecord>& records,
 // Average disk accesses (buffer misses, buffer reset per query) over the
 // query set.
 //
-// With num_threads > 1 the query set is partitioned into contiguous
-// chunks and each worker runs its chunk through a private BufferPool over
-// the tree's shared read-only PageStore (the concurrency contract from
-// buffer_pool.h). The cache is reset before every query (paper protocol),
-// so per-query miss counts are independent of the partition and the
-// aggregate equals the serial run exactly. Per-worker IoStats are summed
-// into *aggregate when non-null.
+// All workers share ONE sharded SharedBufferPool of `buffer_pages` total
+// frames (0 = the tree's configured default, the paper's 10-page setup) —
+// `--buffer-pages` means total resident capacity regardless of
+// --threads. Each worker runs its contiguous chunk through a private
+// SharedBufferPool::Session whose simulated LRU (same capacity as the
+// pool) implements the paper's measurement protocol: reset before every
+// query, so per-query miss counts are partition-independent and the
+// aggregate equals the serial run exactly at any thread count. Page
+// bytes come from the shared pool, so with a backend attached the real
+// read count reflects the shared capacity (reads <= protocol misses).
+// Per-worker protocol IoStats are summed into *aggregate when non-null;
+// the pool's total capacity is recorded as report param
+// "effective_buffer_pages".
 //
 // When `refiner` is non-null every query's candidates are re-checked
 // against the exact trajectory geometry and the rejects are published to
@@ -89,12 +95,12 @@ std::unique_ptr<RStarTree> BuildRStar(const std::vector<SegmentRecord>& records,
 double AveragePprIo(const PprTree& tree, const std::vector<STQuery>& queries,
                     int num_threads = 1, IoStats* aggregate = nullptr,
                     const FalseHitRefiner* refiner = nullptr,
-                    QueryProfile* profile = nullptr);
+                    QueryProfile* profile = nullptr, size_t buffer_pages = 0);
 double AverageRStarIo(const RStarTree& tree,
                       const std::vector<STQuery>& queries, Time time_domain,
                       int num_threads = 1, IoStats* aggregate = nullptr,
                       const FalseHitRefiner* refiner = nullptr,
-                      QueryProfile* profile = nullptr);
+                      QueryProfile* profile = nullptr, size_t buffer_pages = 0);
 
 // Persists `tree` through the storage backend selected by --backend/--db
 // (no-op for the default in-memory store) and records the choice as

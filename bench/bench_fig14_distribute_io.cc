@@ -64,7 +64,7 @@ std::vector<Trajectory> MakeVShapeDataset(size_t n, Time domain) {
   return objects;
 }
 
-void Run() {
+void Run(const BenchArgs& args) {
   const BenchScale scale = GetScale();
   std::printf("Figure 14 reproduction (scale=%s): avg disk accesses, mixed "
               "snapshot queries, PPR-tree over 150%% splits distributed "
@@ -101,7 +101,9 @@ void Run() {
         const std::vector<SegmentRecord> records =
             BuildSegments(objects, dist.splits, SplitMethod::kMerge);
         const std::unique_ptr<PprTree> tree = BuildPprTree(records);
-        io[which] = AveragePprIo(*tree, queries);
+        io[which] = AveragePprIo(*tree, queries, args.threads,
+                                 /*aggregate=*/nullptr, /*refiner=*/nullptr,
+                                 /*profile=*/nullptr, args.buffer_pages);
         volume[which] = dist.total_volume;
         ++which;
       }
@@ -157,7 +159,7 @@ void Run() {
 int main(int argc, char** argv) {
   const stindex::bench::BenchArgs args =
       stindex::bench::ParseBenchArgs(argc, argv, "bench_fig14_distribute_io");
-  stindex::bench::Run();
+  stindex::bench::Run(args);
   stindex::bench::FinishReport(args);
   return 0;
 }

@@ -41,10 +41,13 @@ void Run(const BenchArgs& args) {
     // Per-budget profile (the registry counter is cumulative across the
     // loop; the series wants this budget's false hits alone).
     QueryProfile ppr_profile;
-    const double ppr_io = AveragePprIo(*ppr, queries, /*num_threads=*/1,
+    const double ppr_io = AveragePprIo(*ppr, queries, args.threads,
                                        /*aggregate=*/nullptr, &refiner,
-                                       &ppr_profile);
-    const double rstar_io = AverageRStarIo(*rstar, queries, 1000);
+                                       &ppr_profile, args.buffer_pages);
+    const double rstar_io =
+        AverageRStarIo(*rstar, queries, 1000, args.threads,
+                       /*aggregate=*/nullptr, /*refiner=*/nullptr,
+                       /*profile=*/nullptr, args.buffer_pages);
     const double false_per_query =
         static_cast<double>(ppr_profile.false_hits) /
         static_cast<double>(queries.size());

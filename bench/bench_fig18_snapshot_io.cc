@@ -56,13 +56,19 @@ void Run(const BenchArgs& args) {
     QueryProfile ppr_profile;
     const double ppr_io =
         AveragePprIo(*ppr, queries, num_threads, /*aggregate=*/nullptr,
-                     &refiner, &ppr_profile);
+                     &refiner, &ppr_profile, args.buffer_pages);
     const double rstar1_io =
-        AverageRStarIo(*rstar1, queries, 1000, num_threads);
+        AverageRStarIo(*rstar1, queries, 1000, num_threads,
+                       /*aggregate=*/nullptr, /*refiner=*/nullptr,
+                       /*profile=*/nullptr, args.buffer_pages);
     const double rstar0_io =
-        AverageRStarIo(*rstar0, queries, 1000, num_threads);
+        AverageRStarIo(*rstar0, queries, 1000, num_threads,
+                       /*aggregate=*/nullptr, /*refiner=*/nullptr,
+                       /*profile=*/nullptr, args.buffer_pages);
     const double piecewise_io =
-        AverageRStarIo(*piecewise, queries, 1000, num_threads);
+        AverageRStarIo(*piecewise, queries, 1000, num_threads,
+                       /*aggregate=*/nullptr, /*refiner=*/nullptr,
+                       /*profile=*/nullptr, args.buffer_pages);
     char row[256];
     std::snprintf(row, sizeof(row),
                   "%7zu | %10.2f | %10.2f | %10.2f | %12.2f", n, ppr_io,

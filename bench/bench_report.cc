@@ -33,6 +33,20 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
       args.trace_path = arg.substr(8);
     } else if (arg == "--trace" && i + 1 < argc) {
       args.trace_path = argv[++i];
+    } else if (arg.rfind("--buffer-pages=", 0) == 0 ||
+               (arg == "--buffer-pages" && i + 1 < argc)) {
+      const std::string value =
+          arg == "--buffer-pages" ? argv[++i] : arg.substr(15);
+      char* end = nullptr;
+      const long pages = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || pages < 0) {
+        std::fprintf(stderr,
+                     "%s: --buffer-pages expects a non-negative page "
+                     "count, got '%s'\n",
+                     bench_name.c_str(), value.c_str());
+        std::exit(2);
+      }
+      args.buffer_pages = static_cast<size_t>(pages);
     } else if (accept_backend && arg.rfind("--backend=", 0) == 0) {
       args.backend = arg.substr(10);
     } else if (accept_backend && arg == "--backend" && i + 1 < argc) {
@@ -43,7 +57,7 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
       args.db_path = argv[++i];
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s' (--threads=N, "
-                   "--json=PATH, --trace=PATH%s)\n",
+                   "--json=PATH, --trace=PATH, --buffer-pages=N%s)\n",
                    bench_name.c_str(), arg.c_str(),
                    accept_backend ? ", --backend=memory|file, --db=DIR" : "");
       std::exit(2);

@@ -46,6 +46,10 @@ namespace bench {
 //   --trace=PATH | --trace PATH  capture a Chrome trace of the whole run
 //                                (tracing starts inside ParseBenchArgs and
 //                                FinishReport stops it and writes the file)
+//   --buffer-pages=N             *total* query-buffer capacity in pages,
+//                                shared by all worker threads (0: the
+//                                tree's configured default, the paper's
+//                                10-page protocol)
 // Harnesses that can run against a real storage backend (fig15/17/18)
 // additionally accept:
 //   --backend=memory|file        persist indexes through a PageBackend and
@@ -62,6 +66,8 @@ struct BenchArgs {
   std::string trace_path;  // empty: no Chrome trace capture
   std::string backend;     // "", "memory" or "file"
   std::string db_path;     // --backend=file: directory for page files
+  size_t buffer_pages = 0;  // total pool pages across all threads; 0 =
+                            // the tree's configured default
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,

@@ -1,0 +1,221 @@
+// Server-style query driver: N client threads replay a large mixed
+// stream of snapshot and small-range queries against ONE shared sharded
+// buffer pool (total capacity `--buffer-pages`, default 64 — a warm
+// cache, not the paper's per-query-reset measurement protocol). Reports
+// throughput (QPS) and per-query latency percentiles through the
+// standard schema-v2 JSON report; `--prom=PATH` additionally dumps the
+// metric registry in Prometheus text format for scraping.
+//
+// Extra flags on top of the shared bench surface (bench_report.h):
+//   --stream=N   total queries replayed across all clients
+//                (default: 20x the scale's query_count)
+//   --prom=PATH  write a Prometheus text-format metrics snapshot
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_report.h"
+#include "storage/shared_buffer_pool.h"
+#include "util/metrics.h"
+#include "util/prom_writer.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace stindex {
+namespace bench {
+namespace {
+
+struct ServerFlags {
+  size_t stream = 0;      // 0: scale default
+  std::string prom_path;  // empty: no Prometheus dump
+};
+
+// Splits the server-only flags off argv before ParseBenchArgs sees it
+// (unknown arguments are a hard error there).
+ServerFlags ExtractServerFlags(int* argc, char** argv) {
+  ServerFlags flags;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    bool matched = true;
+    if (arg.rfind("--stream=", 0) == 0) {
+      value = arg.substr(9);
+    } else if (arg == "--stream" && i + 1 < *argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--prom=", 0) == 0) {
+      flags.prom_path = arg.substr(7);
+    } else if (arg == "--prom" && i + 1 < *argc) {
+      flags.prom_path = argv[++i];
+    } else {
+      matched = false;
+      argv[out++] = argv[i];
+    }
+    if (matched && !value.empty()) {
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || n <= 0) {
+        std::fprintf(stderr,
+                     "stindex_server: --stream expects a positive query "
+                     "count, got '%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
+      flags.stream = static_cast<size_t>(n);
+    }
+  }
+  *argc = out;
+  return flags;
+}
+
+// Alternates the two paper query mixes into one request stream, so
+// neighboring requests from one client exercise different access
+// patterns (like interleaved dashboard + drill-down traffic).
+std::vector<STQuery> MakeRequestStream(const BenchScale& scale, size_t total) {
+  const size_t half = (total + 1) / 2;
+  const std::vector<STQuery> snapshots =
+      MakeQueries(MixedSnapshotSet(), half);
+  const std::vector<STQuery> ranges = MakeQueries(SmallRangeSet(), half);
+  std::vector<STQuery> stream;
+  stream.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    const std::vector<STQuery>& set = i % 2 == 0 ? snapshots : ranges;
+    stream.push_back(set[(i / 2) % set.size()]);
+  }
+  return stream;
+}
+
+void Run(const BenchArgs& args, const ServerFlags& flags) {
+  const BenchScale scale = GetScale();
+  const size_t n = scale.dataset_sizes.front();
+  const size_t stream_size =
+      flags.stream == 0 ? scale.query_count * 20 : flags.stream;
+  const size_t buffer_pages = args.buffer_pages == 0 ? 64 : args.buffer_pages;
+  std::printf("stindex_server (scale=%s, clients=%d, backend=%s): %zu-query "
+              "mixed stream over a %zu-object PPR-tree, one shared "
+              "%zu-page pool.\n",
+              scale.name.c_str(), args.threads,
+              args.backend.empty() ? "store" : args.backend.c_str(),
+              stream_size, n, buffer_pages);
+
+  const std::vector<Trajectory> objects = MakeRandomDataset(n);
+  const std::vector<SegmentRecord> records =
+      SplitWithLaGreedy(objects, 150, args.threads);
+  const std::unique_ptr<PprTree> tree = BuildPprTree(records);
+  AttachBenchBackend(tree.get(), args, "server");
+  const std::vector<STQuery> stream = MakeRequestStream(scale, stream_size);
+
+  const std::unique_ptr<SharedBufferPool> pool =
+      tree->NewSharedQueryPool(buffer_pages);
+  Report().SetParam("objects", static_cast<int64_t>(n));
+  Report().SetParam("clients", static_cast<int64_t>(args.threads));
+  Report().SetParam("stream", static_cast<int64_t>(stream_size));
+  Report().SetParam("effective_buffer_pages",
+                    static_cast<int64_t>(pool->capacity()));
+  Report().SetParam("pool_shards", static_cast<int64_t>(pool->shard_count()));
+
+  const size_t chunks = ParallelChunks(args.threads, stream.size());
+  std::vector<IoStats> chunk_stats(chunks);
+  std::vector<Histogram> latency_shards(chunks);
+  std::vector<uint64_t> chunk_results(chunks, 0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    TraceSpan span("bench", "server_replay");
+    span.Arg("requests", static_cast<int64_t>(stream.size()))
+        .Arg("clients", static_cast<int64_t>(args.threads));
+    ParallelFor(args.threads, stream.size(),
+                [&](size_t chunk, size_t begin, size_t end) {
+                  // Pass-through session: no per-query reset, stats
+                  // mirror the shared pool's real hits and misses.
+                  SharedBufferPool::Session session(pool.get(), 0);
+                  Histogram& latency = latency_shards[chunk];
+                  for (size_t q = begin; q < end; ++q) {
+                    const STQuery& query = stream[q];
+                    std::vector<PprDataId> results;
+                    const auto start = std::chrono::steady_clock::now();
+                    if (query.IsSnapshot()) {
+                      tree->SnapshotQuery(query.area, query.range.start,
+                                          &session, &results);
+                    } else {
+                      tree->IntervalQuery(query.area, query.range, &session,
+                                          &results);
+                    }
+                    const std::chrono::duration<double, std::milli> elapsed =
+                        std::chrono::steady_clock::now() - start;
+                    latency.Record(elapsed.count());
+                    chunk_results[chunk] += results.size();
+                  }
+                  chunk_stats[chunk] = session.stats();
+                });
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  IoStats total;
+  uint64_t result_rows = 0;
+  for (size_t i = 0; i < chunks; ++i) {
+    total.accesses += chunk_stats[i].accesses;
+    total.misses += chunk_stats[i].misses;
+    result_rows += chunk_results[i];
+  }
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("io.query.accesses")->Add(total.accesses);
+  registry.GetCounter("io.query.misses")->Add(total.misses);
+  MergeShards(latency_shards, registry.GetHistogram("io.query.latency_ms"));
+  pool->PublishStats();
+
+  const double seconds = wall.count();
+  const double qps =
+      seconds > 0.0 ? static_cast<double>(stream.size()) / seconds : 0.0;
+  const HistogramSnapshot latency =
+      registry.GetHistogram("io.query.latency_ms")->Value().Snapshot();
+  PrintHeader("stindex_server: shared-pool replay",
+              "clients | qps        | p50_ms  | p95_ms  | p99_ms  | "
+              "miss_rate | rows");
+  char row[256];
+  std::snprintf(row, sizeof(row),
+                "%7d | %10.0f | %7.3f | %7.3f | %7.3f | %9.4f | %zu",
+                args.threads, qps, latency.p50, latency.p95, latency.p99,
+                total.accesses == 0
+                    ? 0.0
+                    : static_cast<double>(total.misses) /
+                          static_cast<double>(total.accesses),
+                static_cast<size_t>(result_rows));
+  PrintRow(row);
+  Report().AddSample("qps", "overall", qps);
+  Report().AddSample("latency_p50_ms", "overall", latency.p50);
+  Report().AddSample("latency_p95_ms", "overall", latency.p95);
+  Report().AddSample("latency_p99_ms", "overall", latency.p99);
+  Report().AddSample("result_rows", "overall",
+                     static_cast<double>(result_rows));
+
+  if (!flags.prom_path.empty()) {
+    const std::string text = RenderPrometheus(registry.Snapshot());
+    std::ofstream out(flags.prom_path);
+    out << text;
+    if (!out.good()) {
+      std::fprintf(stderr, "stindex_server: write to '%s' failed\n",
+                   flags.prom_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote %s\n", flags.prom_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stindex
+
+int main(int argc, char** argv) {
+  stindex::bench::ServerFlags flags =
+      stindex::bench::ExtractServerFlags(&argc, argv);
+  const stindex::bench::BenchArgs args = stindex::bench::ParseBenchArgs(
+      argc, argv, "stindex_server", /*accept_backend=*/true);
+  stindex::bench::Run(args, flags);
+  stindex::bench::FinishReport(args);
+  return 0;
+}

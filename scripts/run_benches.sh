@@ -68,14 +68,46 @@ if [ -f "$FIG17_TRACE" ]; then
   python3 "$(dirname "$0")/validate_trace.py" "$FIG17_TRACE"
 fi
 
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# Server-driver smoke: replay a short mixed stream from 4 client threads
+# against one shared sharded pool over a real page file; the report must
+# validate and prove actual disk reads (backend.file.reads > 0).
+SERVER="$BUILD_DIR/bench/stindex_server"
+if [ -x "$SERVER" ]; then
+  echo "== stindex_server shared-pool smoke =="
+  "$SERVER" --threads=4 --stream=400 --buffer-pages=32 \
+    --backend=file --db="$SMOKE_DIR" \
+    --json="$OUT_DIR/stindex_server.json" \
+    --prom="$OUT_DIR/stindex_server.prom" \
+    | tee "$OUT_DIR/stindex_server.txt"
+  python3 "$(dirname "$0")/validate_report.py" "$OUT_DIR/stindex_server.json"
+  python3 - "$OUT_DIR/stindex_server.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], "r", encoding="utf-8") as f:
+    report = json.load(f)
+counters = report["metrics"]["counters"]
+reads = counters.get("backend.file.reads", 0)
+assert reads > 0, f"expected file-backend reads, got {counters}"
+series = {s["name"] for s in report["series"]}
+for required in ("qps", "latency_p50_ms", "latency_p95_ms",
+                 "latency_p99_ms"):
+    assert required in series, f"report missing series '{required}'"
+assert report["params"]["effective_buffer_pages"] == 32, report["params"]
+print(f"stindex_server smoke OK: {reads} file reads, "
+      f"{report['latency_ms']['count']} latencies")
+EOF
+else
+  echo "warning: $SERVER not built, skipping server smoke" >&2
+fi
+
 # File-backend smoke: run the CLI pipeline against a real page file in a
 # scratch directory and check the metrics dump proves actual disk reads
 # (backend.file.reads > 0) rather than the simulated store.
 CLI="$BUILD_DIR/tools/stindex_cli"
 if [ -x "$CLI" ]; then
   echo "== stindex_cli --backend file smoke =="
-  SMOKE_DIR="$(mktemp -d)"
-  trap 'rm -rf "$SMOKE_DIR"' EXIT
   "$CLI" generate --family random --n 500 --out "$SMOKE_DIR/objects.csv"
   "$CLI" split --in "$SMOKE_DIR/objects.csv" --out "$SMOKE_DIR/segments.csv" \
     --budget-percent 100

@@ -11,6 +11,7 @@
 
 #include "core/query_profile.h"
 #include "storage/page_codec.h"
+#include "storage/shared_buffer_pool.h"
 
 #include "util/check.h"
 #include "util/metrics.h"
@@ -188,6 +189,19 @@ std::unique_ptr<BufferPool> PprTree::NewQueryBuffer(size_t pages) const {
                                         "ppr");
   }
   return std::make_unique<BufferPool>(&store_, capacity, "ppr");
+}
+
+std::unique_ptr<SharedBufferPool> PprTree::NewSharedQueryPool(
+    size_t pages) const {
+  SharedBufferPoolOptions options;
+  options.capacity = pages == 0 ? config_.buffer_pages : pages;
+  options.pin_overflow = true;
+  options.metric_scope = "ppr.shared";
+  if (backend_ != nullptr) {
+    return std::make_unique<SharedBufferPool>(backend_.get(), codec_.get(),
+                                              options);
+  }
+  return std::make_unique<SharedBufferPool>(&store_, options);
 }
 
 Status PprTree::PersistAllNodes() {
@@ -691,7 +705,7 @@ void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
   IntervalQuery(area, range, buffer_.get(), results);
 }
 
-void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
+void PprTree::SnapshotQuery(const Rect2D& area, Time t, PageCache* buffer,
                             std::vector<PprDataId>* results,
                             QueryProfile* profile) const {
   results->clear();
@@ -741,7 +755,7 @@ void PprTree::SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
 }
 
 void PprTree::IntervalQuery(const Rect2D& area, const TimeInterval& range,
-                            BufferPool* buffer,
+                            PageCache* buffer,
                             std::vector<PprDataId>* results,
                             QueryProfile* profile) const {
   results->clear();
@@ -824,7 +838,7 @@ size_t PprTree::SnapshotCount(const Rect2D& area, Time t) const {
 }
 
 size_t PprTree::SnapshotCount(const Rect2D& area, Time t,
-                              BufferPool* buffer) const {
+                              PageCache* buffer) const {
   auto it = std::upper_bound(roots_.begin(), roots_.end(), t,
                              [](Time value, const RootEra& era) {
                                return value < era.start;

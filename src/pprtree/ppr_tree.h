@@ -18,6 +18,7 @@
 namespace stindex {
 
 struct QueryProfile;
+class SharedBufferPool;
 
 // Payload of a PPR-tree data record (a segment-record index in the
 // experiments).
@@ -83,17 +84,19 @@ class PprTree {
   void IntervalQuery(const Rect2D& area, const TimeInterval& range,
                      std::vector<PprDataId>* results) const;
 
-  // Query variants reading through a caller-owned buffer pool. Queries
+  // Query variants reading through a caller-owned page cache. Queries
   // never mutate the structure, so concurrent threads may query with one
-  // BufferPool each (see NewQueryBuffer). When `profile` is non-null,
-  // per-level node visits, buffer hit/miss deltas, leaf entries scanned
-  // and candidate counts are accumulated into it (see
-  // core/query_profile.h); nullptr skips all profiling work.
-  void SnapshotQuery(const Rect2D& area, Time t, BufferPool* buffer,
+  // PageCache each: a private BufferPool (see NewQueryBuffer) or a
+  // per-worker Session of one SharedBufferPool (see NewSharedQueryPool).
+  // When `profile` is non-null, per-level node visits, buffer hit/miss
+  // deltas, leaf entries scanned and candidate counts are accumulated
+  // into it (see core/query_profile.h); nullptr skips all profiling
+  // work.
+  void SnapshotQuery(const Rect2D& area, Time t, PageCache* buffer,
                      std::vector<PprDataId>* results,
                      QueryProfile* profile = nullptr) const;
   void IntervalQuery(const Rect2D& area, const TimeInterval& range,
-                     BufferPool* buffer, std::vector<PprDataId>* results,
+                     PageCache* buffer, std::vector<PprDataId>* results,
                      QueryProfile* profile = nullptr) const;
 
   // A fresh LRU buffer over this tree's pages (`pages` = 0 uses the
@@ -101,6 +104,14 @@ class PprTree {
   // decodes) real pages from the backend; before, it fronts the
   // in-memory store.
   std::unique_ptr<BufferPool> NewQueryBuffer(size_t pages = 0) const;
+
+  // A sharded thread-safe pool over this tree's pages whose `pages`
+  // frames (0 = the configured default) are shared by every worker —
+  // total capacity, unlike one NewQueryBuffer per worker. Workers query
+  // through per-worker SharedBufferPool::Sessions. Pin overflow is
+  // enabled: queries hold one transient pin each, and a hashed pile-up
+  // on one shard must not fail a query.
+  std::unique_ptr<SharedBufferPool> NewSharedQueryPool(size_t pages = 0) const;
 
   // Serializes every node into `backend` through a pinning write-back
   // buffer pool (dirty evictions perform real page writes), then serves
@@ -116,7 +127,7 @@ class PprTree {
   // COUNT(*) of a snapshot query, without materializing ids — the
   // aggregation a monitoring dashboard runs per tick.
   size_t SnapshotCount(const Rect2D& area, Time t) const;
-  size_t SnapshotCount(const Rect2D& area, Time t, BufferPool* buffer) const;
+  size_t SnapshotCount(const Rect2D& area, Time t, PageCache* buffer) const;
 
   // Per-instant occupancy of `area` over [range.start, range.end):
   // element i is the count at instant range.start + i.

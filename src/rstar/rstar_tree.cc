@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "core/query_profile.h"
+#include "storage/shared_buffer_pool.h"
 #include "util/check.h"
 #include "util/hilbert.h"
 #include "util/metrics.h"
@@ -128,6 +129,19 @@ std::unique_ptr<BufferPool> RStarTree::NewQueryBuffer(size_t pages) const {
                                         "rstar");
   }
   return std::make_unique<BufferPool>(&store_, capacity, "rstar");
+}
+
+std::unique_ptr<SharedBufferPool> RStarTree::NewSharedQueryPool(
+    size_t pages) const {
+  SharedBufferPoolOptions options;
+  options.capacity = pages == 0 ? config_.buffer_pages : pages;
+  options.pin_overflow = true;
+  options.metric_scope = "rstar.shared";
+  if (backend_ != nullptr) {
+    return std::make_unique<SharedBufferPool>(backend_.get(), codec_.get(),
+                                              options);
+  }
+  return std::make_unique<SharedBufferPool>(&store_, options);
 }
 
 Status RStarTree::PersistAllNodes() {
@@ -975,7 +989,7 @@ void RStarTree::Search(const Box3D& query,
   Search(query, buffer_.get(), results);
 }
 
-void RStarTree::Search(const Box3D& query, BufferPool* buffer,
+void RStarTree::Search(const Box3D& query, PageCache* buffer,
                        std::vector<DataId>* results,
                        QueryProfile* profile) const {
   results->clear();

@@ -14,6 +14,7 @@
 namespace stindex {
 
 struct QueryProfile;
+class SharedBufferPool;
 
 // Opaque payload attached to a leaf entry (a segment-record index in the
 // experiments; callers de-duplicate by object after lookup).
@@ -98,11 +99,13 @@ class RStarTree {
   // accesses in stats()).
   void Search(const Box3D& query, std::vector<DataId>* results) const;
 
-  // Same, through a caller-owned buffer (one per querying thread). When
-  // `profile` is non-null, per-level node visits, buffer hit/miss deltas,
-  // leaf entries scanned and candidate counts are accumulated into it
-  // (see core/query_profile.h); nullptr skips all profiling work.
-  void Search(const Box3D& query, BufferPool* buffer,
+  // Same, through a caller-owned page cache (one per querying thread): a
+  // private BufferPool (NewQueryBuffer) or a per-worker Session of one
+  // SharedBufferPool (NewSharedQueryPool). When `profile` is non-null,
+  // per-level node visits, buffer hit/miss deltas, leaf entries scanned
+  // and candidate counts are accumulated into it (see
+  // core/query_profile.h); nullptr skips all profiling work.
+  void Search(const Box3D& query, PageCache* buffer,
               std::vector<DataId>* results,
               QueryProfile* profile = nullptr) const;
 
@@ -110,6 +113,13 @@ class RStarTree {
   // After AttachBackend the buffer reads (and decodes) real pages from
   // the backend; before, it fronts the in-memory store.
   std::unique_ptr<BufferPool> NewQueryBuffer(size_t pages = 0) const;
+
+  // A sharded thread-safe pool over this tree's pages whose `pages`
+  // frames (0 = the configured default) are shared by every worker —
+  // total capacity, unlike one NewQueryBuffer per worker. Workers query
+  // through per-worker SharedBufferPool::Sessions; pin overflow is
+  // enabled (queries hold one transient pin each).
+  std::unique_ptr<SharedBufferPool> NewSharedQueryPool(size_t pages = 0) const;
 
   // Serializes every node into `backend` through a pinning write-back
   // buffer pool (dirty evictions perform real page writes), then serves

@@ -16,6 +16,7 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
     id_ = other.id_;
     page_ = other.page_;
     other.pool_ = nullptr;
+    other.id_ = kInvalidPage;
     other.page_ = nullptr;
   }
   return *this;
@@ -26,9 +27,10 @@ PageRef::~PageRef() { Release(); }
 void PageRef::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(id_);
-    pool_ = nullptr;
-    page_ = nullptr;
   }
+  pool_ = nullptr;
+  id_ = kInvalidPage;
+  page_ = nullptr;
 }
 
 BufferPool::BufferPool(const PageStore* store, size_t capacity,
@@ -58,18 +60,26 @@ BufferPool::~BufferPool() {
     const Status status = FlushAll();
     STINDEX_CHECK_MSG(status.ok(), status.ToString().c_str());
   }
+  PublishStats();
+}
+
+void BufferPool::PublishStats() {
   if (metric_scope_.empty()) return;
   MetricRegistry& registry = MetricRegistry::Global();
-  if (lifetime_stats_.accesses > 0) {
+  const uint64_t accesses = lifetime_stats_.accesses - published_stats_.accesses;
+  const uint64_t misses = lifetime_stats_.misses - published_stats_.misses;
+  const uint64_t evictions = lifetime_evictions_ - published_evictions_;
+  if (accesses > 0) {
     registry.GetCounter("bufferpool." + metric_scope_ + ".accesses")
-        ->Add(lifetime_stats_.accesses);
-    registry.GetCounter("bufferpool." + metric_scope_ + ".misses")
-        ->Add(lifetime_stats_.misses);
+        ->Add(accesses);
+    registry.GetCounter("bufferpool." + metric_scope_ + ".misses")->Add(misses);
   }
-  if (lifetime_evictions_ > 0) {
+  if (evictions > 0) {
     registry.GetCounter("bufferpool." + metric_scope_ + ".evictions")
-        ->Add(lifetime_evictions_);
+        ->Add(evictions);
   }
+  published_stats_ = lifetime_stats_;
+  published_evictions_ = lifetime_evictions_;
 }
 
 BufferPool::Frame* BufferPool::FindResident(PageId id) {
@@ -189,7 +199,7 @@ PageRef BufferPool::FetchPinned(PageId id) {
   STINDEX_CHECK(frame != nullptr);
   if (frame->pins == 0) ++pinned_count_;
   ++frame->pins;
-  return PageRef(this, id, page);
+  return MakeRef(id, page);
 }
 
 void BufferPool::Unpin(PageId id) {

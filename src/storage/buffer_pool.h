@@ -14,7 +14,7 @@
 
 namespace stindex {
 
-class BufferPool;
+class PageRef;
 
 // Counters for disk traffic. "Disk accesses" in all experiments are
 // buffer-pool misses, exactly the metric the paper plots. In backend mode
@@ -28,14 +28,43 @@ struct IoStats {
   void Reset() { *this = IoStats(); }
 };
 
+// What the tree query paths read pages through: a pinning cache handing
+// out PageRefs and counting accesses/misses. Implemented by BufferPool
+// (one private cache per caller) and SharedBufferPool::Session (a
+// per-worker view of one pool shared by all workers). Implementations
+// are single-caller objects: one thread uses one PageCache at a time.
+class PageCache {
+ public:
+  virtual ~PageCache() = default;
+
+  // Fetch + pin: the page stays resident until the PageRef dies.
+  virtual PageRef FetchPinned(PageId id) = 0;
+
+  // Access/miss counters for this cache view (resettable by the
+  // concrete type's ResetStats, where offered).
+  virtual const IoStats& stats() const = 0;
+
+ protected:
+  friend class PageRef;
+
+  // Drops one pin on `id` (called by PageRef on release/destruction).
+  virtual void Unpin(PageId id) = 0;
+
+  // PageRef's constructor is private; implementations mint refs here.
+  PageRef MakeRef(PageId id, const Page* page);
+};
+
 // RAII pin on a buffered page. While a PageRef is live the frame cannot
-// be evicted; destruction unpins. Move-only.
+// be evicted; destruction unpins. Move-only. A moved-from or released
+// ref is fully reset (null page, kInvalidPage id) and Release() on it is
+// a safe no-op.
 class PageRef {
  public:
   PageRef() = default;
   PageRef(PageRef&& other) noexcept
       : pool_(other.pool_), id_(other.id_), page_(other.page_) {
     other.pool_ = nullptr;
+    other.id_ = kInvalidPage;
     other.page_ = nullptr;
   }
   PageRef& operator=(PageRef&& other) noexcept;
@@ -49,18 +78,22 @@ class PageRef {
   PageId id() const { return id_; }
   explicit operator bool() const { return page_ != nullptr; }
 
-  // Drops the pin early (idempotent).
+  // Drops the pin early (idempotent, safe on moved-from refs).
   void Release();
 
  private:
-  friend class BufferPool;
-  PageRef(BufferPool* pool, PageId id, const Page* page)
+  friend class PageCache;
+  PageRef(PageCache* pool, PageId id, const Page* page)
       : pool_(pool), id_(id), page_(page) {}
 
-  BufferPool* pool_ = nullptr;
+  PageCache* pool_ = nullptr;
   PageId id_ = kInvalidPage;
   const Page* page_ = nullptr;
 };
+
+inline PageRef PageCache::MakeRef(PageId id, const Page* page) {
+  return PageRef(this, id, page);
+}
 
 // A pinning write-back LRU page cache. Two modes:
 //
@@ -81,14 +114,16 @@ class PageRef {
 //
 // A pool only reads from its store/backend during queries, so multiple
 // pools over the same substrate may be used concurrently (one per
-// querying thread); a single pool is not itself thread-safe.
-class BufferPool {
+// querying thread); a single pool is not itself thread-safe. For one
+// cache whose capacity is shared by all threads, see SharedBufferPool.
+class BufferPool : public PageCache {
  public:
   // Store mode. `capacity` is the number of page frames (> 0).
   // `metric_scope` names the index this pool serves ("ppr", "rstar",
   // "hr"); when non-empty the pool's lifetime totals are published to the
   // global MetricRegistry counters `bufferpool.<scope>.accesses`,
-  // `.misses` and `.evictions` on destruction. Counter sums are
+  // `.misses` and `.evictions` — incrementally via PublishStats(), with
+  // the remainder published on destruction. Counter sums are
   // order-independent, so per-worker pools keep instrumented runs
   // deterministic at any thread count.
   BufferPool(const PageStore* store, size_t capacity,
@@ -100,7 +135,7 @@ class BufferPool {
   BufferPool(PageBackend* backend, const PageCodec* codec, size_t capacity,
              std::string metric_scope = std::string());
 
-  ~BufferPool();
+  ~BufferPool() override;
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -114,7 +149,7 @@ class BufferPool {
   const Page* Fetch(PageId id);
 
   // Fetch + pin: the frame stays resident until the PageRef dies.
-  PageRef FetchPinned(PageId id);
+  PageRef FetchPinned(PageId id) override;
 
   // Backend mode only: inserts `page` as a dirty frame for `id`, evicting
   // (with write-back) if needed. An eviction write failure surfaces here.
@@ -131,7 +166,14 @@ class BufferPool {
   // Zeroes the per-query counters (lifetime totals keep accumulating).
   void ResetStats() { stats_.Reset(); }
 
-  const IoStats& stats() const { return stats_; }
+  // Publishes the lifetime-total deltas accumulated since the last
+  // publish to the bufferpool.<scope>.* counters (no-op without a
+  // metric scope). The destructor publishes whatever remains, so calling
+  // this any number of times — e.g. from a long-running server's stats
+  // endpoint, which never reaches the destructor — never double-counts.
+  void PublishStats();
+
+  const IoStats& stats() const override { return stats_; }
   // Totals since construction; unaffected by ResetStats/ResetCache.
   const IoStats& lifetime_stats() const { return lifetime_stats_; }
   size_t capacity() const { return capacity_; }
@@ -141,9 +183,10 @@ class BufferPool {
   uint64_t Evictions() const { return lifetime_evictions_; }
   bool backend_mode() const { return backend_ != nullptr; }
 
- private:
-  friend class PageRef;
+ protected:
+  void Unpin(PageId id) override;
 
+ private:
   struct Frame {
     const Page* page = nullptr;      // what Fetch returns
     std::unique_ptr<Page> owned;     // backend mode: decoded node
@@ -152,7 +195,6 @@ class BufferPool {
     std::list<PageId>::iterator lru;  // position in lru_
   };
 
-  void Unpin(PageId id);
   // Frees one frame slot if at capacity. Write-back failure of a dirty
   // victim is reported; all-frames-pinned is a checked error.
   Status EvictIfFull();
@@ -169,7 +211,9 @@ class BufferPool {
   std::string metric_scope_;
   IoStats stats_;
   IoStats lifetime_stats_;
+  IoStats published_stats_;
   uint64_t lifetime_evictions_ = 0;
+  uint64_t published_evictions_ = 0;
   size_t pinned_count_ = 0;  // frames with pins > 0
   size_t dirty_count_ = 0;
   // Most-recently-used at front; every resident frame is listed, pinned

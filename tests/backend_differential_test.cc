@@ -20,6 +20,7 @@
 #include "rstar/rstar_tree.h"
 #include "storage/file_backend.h"
 #include "storage/page_backend.h"
+#include "storage/shared_buffer_pool.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -125,6 +126,64 @@ std::vector<QueryOutcome> RunRStar(const RStarTree& tree,
   });
 }
 
+// Same protocol through ONE shared pool for the whole run: per-chunk
+// Sessions simulate the private 10-page LRU (reset per query) while the
+// real frames are shared, so the outcomes must stay byte-identical to
+// the private-pool baseline at every thread count.
+template <typename RunQuery>
+std::vector<QueryOutcome> RunShared(const std::vector<STQuery>& queries,
+                                    int num_threads, SharedBufferPool* pool,
+                                    const RunQuery& run_query) {
+  std::vector<QueryOutcome> outcomes(queries.size());
+  const size_t protocol_pages = pool->capacity();
+  ParallelFor(num_threads, queries.size(),
+              [&](size_t /*chunk*/, size_t begin, size_t end) {
+                SharedBufferPool::Session session(pool, protocol_pages);
+                for (size_t q = begin; q < end; ++q) {
+                  session.ResetCache();
+                  session.ResetStats();
+                  outcomes[q] = run_query(queries[q], &session);
+                  outcomes[q].misses = session.stats().misses;
+                }
+              });
+  return outcomes;
+}
+
+std::vector<QueryOutcome> RunPprShared(const PprTree& tree,
+                                       const std::vector<STQuery>& queries,
+                                       int num_threads) {
+  const std::unique_ptr<SharedBufferPool> pool = tree.NewSharedQueryPool();
+  return RunShared(queries, num_threads, pool.get(),
+                   [&tree](const STQuery& query, PageCache* buffer) {
+                     std::vector<PprDataId> results;
+                     if (query.IsSnapshot()) {
+                       tree.SnapshotQuery(query.area, query.range.start,
+                                          buffer, &results);
+                     } else {
+                       tree.IntervalQuery(query.area, query.range, buffer,
+                                          &results);
+                     }
+                     QueryOutcome outcome;
+                     outcome.results.assign(results.begin(), results.end());
+                     return outcome;
+                   });
+}
+
+std::vector<QueryOutcome> RunRStarShared(const RStarTree& tree,
+                                         const std::vector<STQuery>& queries,
+                                         int num_threads) {
+  const std::unique_ptr<SharedBufferPool> pool = tree.NewSharedQueryPool();
+  return RunShared(queries, num_threads, pool.get(),
+                   [&tree](const STQuery& query, PageCache* buffer) {
+                     std::vector<DataId> results;
+                     tree.Search(QueryToBox(query, 0, kTimeDomain), buffer,
+                                 &results);
+                     QueryOutcome outcome;
+                     outcome.results.assign(results.begin(), results.end());
+                     return outcome;
+                   });
+}
+
 uint64_t FileReads() {
   return MetricRegistry::Global().GetCounter("backend.file.reads")->Value();
 }
@@ -162,6 +221,36 @@ TEST(BackendDifferentialTest, PprTreeIdenticalAcrossBackendsAndThreads) {
   EXPECT_EQ(FileReads() - reads_before, 3 * TotalMisses(baseline));
 }
 
+TEST(BackendDifferentialTest, PprSharedPoolMatchesPrivateBaseline) {
+  // The tentpole invariant: answers AND aggregate protocol miss counts
+  // through one shared pool are byte-identical to the per-worker
+  // private-pool baseline at every thread count, while the real reads
+  // underneath are deduplicated pool-wide.
+  const std::vector<SegmentRecord> records = MakeRecords();
+  const std::vector<STQuery> queries = MakeQueries();
+
+  const std::unique_ptr<PprTree> store_tree = BuildPprTree(records);
+  const std::unique_ptr<PprTree> file_tree = BuildPprTree(records);
+  ASSERT_TRUE(
+      file_tree->AttachBackend(MakeFileBackend("diff_ppr_shared")).ok());
+
+  const std::vector<QueryOutcome> baseline = RunPpr(*store_tree, queries, 1);
+  ASSERT_GT(TotalMisses(baseline), 0u);
+
+  for (const int threads : {1, 2, 7, 16}) {
+    EXPECT_EQ(RunPprShared(*store_tree, queries, threads), baseline)
+        << "store backend, threads=" << threads;
+    const uint64_t reads_before = FileReads();
+    EXPECT_EQ(RunPprShared(*file_tree, queries, threads), baseline)
+        << "file backend, threads=" << threads;
+    // Shared residency: the run really read the file, but never more
+    // than the protocol misses (shared frames only deduplicate).
+    const uint64_t reads = FileReads() - reads_before;
+    EXPECT_GT(reads, 0u) << "threads=" << threads;
+    EXPECT_LE(reads, TotalMisses(baseline)) << "threads=" << threads;
+  }
+}
+
 TEST(BackendDifferentialTest, RStarTreeIdenticalAcrossBackendsAndThreads) {
   const std::vector<SegmentRecord> records = MakeRecords();
   const std::vector<STQuery> queries = MakeQueries();
@@ -194,6 +283,38 @@ TEST(BackendDifferentialTest, RStarTreeIdenticalAcrossBackendsAndThreads) {
         << "file backend, threads=" << threads;
   }
   EXPECT_EQ(FileReads() - reads_before, 3 * TotalMisses(baseline));
+}
+
+TEST(BackendDifferentialTest, RStarSharedPoolMatchesPrivateBaseline) {
+  const std::vector<SegmentRecord> records = MakeRecords();
+  const std::vector<STQuery> queries = MakeQueries();
+  const std::vector<Box3D> boxes = SegmentsToBoxes(records, 0, kTimeDomain);
+
+  const auto build = [&boxes] {
+    auto tree = std::make_unique<RStarTree>();
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      tree->Insert(boxes[i], static_cast<DataId>(i));
+    }
+    return tree;
+  };
+  const std::unique_ptr<RStarTree> store_tree = build();
+  const std::unique_ptr<RStarTree> file_tree = build();
+  ASSERT_TRUE(
+      file_tree->AttachBackend(MakeFileBackend("diff_rstar_shared")).ok());
+
+  const std::vector<QueryOutcome> baseline = RunRStar(*store_tree, queries, 1);
+  ASSERT_GT(TotalMisses(baseline), 0u);
+
+  for (const int threads : {1, 2, 7, 16}) {
+    EXPECT_EQ(RunRStarShared(*store_tree, queries, threads), baseline)
+        << "store backend, threads=" << threads;
+    const uint64_t reads_before = FileReads();
+    EXPECT_EQ(RunRStarShared(*file_tree, queries, threads), baseline)
+        << "file backend, threads=" << threads;
+    const uint64_t reads = FileReads() - reads_before;
+    EXPECT_GT(reads, 0u) << "threads=" << threads;
+    EXPECT_LE(reads, TotalMisses(baseline)) << "threads=" << threads;
+  }
 }
 
 TEST(BackendDifferentialTest, FileBackendSurvivesReopen) {

@@ -1,0 +1,423 @@
+#include "storage/shared_buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page_backend.h"
+#include "storage/page_codec.h"
+#include "storage/page_store.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace stindex {
+namespace {
+
+// Same trivial page/codec pair as storage_test.cc.
+class TestPage : public Page {
+ public:
+  explicit TestPage(int tag) : tag_(tag) {}
+  int tag() const { return tag_; }
+
+ private:
+  int tag_;
+};
+
+class TestCodec : public PageCodec {
+ public:
+  void Encode(const Page& page, uint8_t* out) const override {
+    PageWriter writer = PayloadWriter(out);
+    writer.Write<int32_t>(static_cast<const TestPage&>(page).tag());
+    SealPage(out, PageKind::kTest);
+  }
+
+  Result<std::unique_ptr<Page>> Decode(const uint8_t* page,
+                                       PageId id) const override {
+    Result<PageReader> payload = OpenPagePayload(page, PageKind::kTest, id);
+    if (!payload.ok()) return payload.status();
+    PageReader reader = payload.value();
+    int32_t tag = 0;
+    if (!reader.Read(&tag)) {
+      return Status::InvalidArgument("page " + std::to_string(id) +
+                                     ": short test page");
+    }
+    return Result<std::unique_ptr<Page>>(std::make_unique<TestPage>(tag));
+  }
+};
+
+void FillStore(PageStore* store, size_t pages) {
+  for (size_t i = 0; i < pages; ++i) {
+    store->Allocate(std::make_unique<TestPage>(static_cast<int>(i)));
+  }
+}
+
+TEST(SharedBufferPoolTest, StoreModeHitsAndMisses) {
+  PageStore store;
+  FillStore(&store, 8);
+  SharedBufferPoolOptions options;
+  options.capacity = 4;
+  options.shards = 1;
+  SharedBufferPool pool(&store, options);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.shard_count(), 1u);
+
+  bool missed = false;
+  Result<const Page*> page = pool.Pin(0, &missed);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(missed);
+  EXPECT_EQ(static_cast<const TestPage*>(page.value())->tag(), 0);
+  pool.Unpin(0);
+
+  page = pool.Pin(0, &missed);
+  ASSERT_TRUE(page.ok());
+  EXPECT_FALSE(missed);  // resident now
+  pool.Unpin(0);
+
+  const IoStats stats = pool.AggregateStats();
+  EXPECT_EQ(stats.accesses, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(pool.CachedPages(), 1u);
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+}
+
+TEST(SharedBufferPoolTest, CapacityIsTotalAcrossShards) {
+  PageStore store;
+  FillStore(&store, 64);
+  SharedBufferPoolOptions options;
+  options.capacity = 10;
+  options.shards = 4;
+  SharedBufferPool pool(&store, options);
+  EXPECT_EQ(pool.shard_count(), 4u);
+  bool missed = false;
+  for (PageId id = 0; id < 64; ++id) {
+    ASSERT_TRUE(pool.Pin(id, &missed).ok());
+    pool.Unpin(id);
+  }
+  // No shard may hold more than its slice: the whole pool never exceeds
+  // the requested total.
+  EXPECT_LE(pool.CachedPages(), 10u);
+  EXPECT_GT(pool.Evictions(), 0u);
+}
+
+// The Session's simulated LRU must reproduce a private BufferPool of the
+// same capacity exactly: same accesses, same misses, for an arbitrary
+// access stream with periodic protocol resets.
+TEST(SharedBufferPoolTest, SessionProtocolMatchesPrivateBufferPool) {
+  constexpr size_t kPages = 40;
+  constexpr size_t kCapacity = 10;
+  PageStore store;
+  FillStore(&store, kPages);
+
+  // One fixed pseudo-random access stream, reset every 50 accesses.
+  Rng rng(1234);
+  std::vector<PageId> accesses;
+  for (size_t i = 0; i < 2000; ++i) {
+    accesses.push_back(static_cast<PageId>(
+        rng.UniformInt(0, static_cast<int64_t>(kPages) - 1)));
+  }
+
+  BufferPool reference(&store, kCapacity);
+  IoStats reference_total;
+  for (size_t i = 0; i < accesses.size(); ++i) {
+    if (i % 50 == 0) {
+      reference.ResetCache();
+      reference_total.accesses += reference.stats().accesses;
+      reference_total.misses += reference.stats().misses;
+      reference.ResetStats();
+    }
+    reference.Fetch(accesses[i]);
+  }
+  reference_total.accesses += reference.stats().accesses;
+  reference_total.misses += reference.stats().misses;
+
+  SharedBufferPoolOptions options;
+  options.capacity = kCapacity;
+  SharedBufferPool pool(&store, options);
+  SharedBufferPool::Session session(&pool, kCapacity);
+  IoStats session_total;
+  for (size_t i = 0; i < accesses.size(); ++i) {
+    if (i % 50 == 0) {
+      session.ResetCache();
+      session_total.accesses += session.stats().accesses;
+      session_total.misses += session.stats().misses;
+      session.ResetStats();
+    }
+    const PageRef ref = session.FetchPinned(accesses[i]);
+    ASSERT_TRUE(static_cast<bool>(ref));
+  }
+  session_total.accesses += session.stats().accesses;
+  session_total.misses += session.stats().misses;
+
+  EXPECT_EQ(session_total.accesses, reference_total.accesses);
+  EXPECT_EQ(session_total.misses, reference_total.misses);
+  // The shared pool underneath saw every access but deduplicated the
+  // loads: real misses cannot exceed the protocol misses.
+  EXPECT_EQ(pool.AggregateStats().accesses, accesses.size());
+  EXPECT_LE(pool.AggregateStats().misses, session_total.misses);
+}
+
+// Satellite: partitioning one query stream across N worker sessions of
+// one shared pool must sum to the serial baseline's miss count exactly,
+// for every N — the measurement-protocol invariant the old per-worker
+// pools only satisfied by accident of their private capacity.
+TEST(SharedBufferPoolTest, MissAggregateInvariantAcrossThreadCounts) {
+  constexpr size_t kPages = 60;
+  constexpr size_t kCapacity = 10;
+  constexpr size_t kQueries = 120;
+  constexpr size_t kAccessesPerQuery = 30;
+  PageStore store;
+  FillStore(&store, kPages);
+
+  // Queries are deterministic functions of their index, so any partition
+  // replays the same per-query access sequences.
+  const auto query_page = [](size_t query, size_t step) {
+    Rng rng(Rng::DeriveSeed(777, query));
+    PageId id = 0;
+    for (size_t s = 0; s <= step; ++s) {
+      id = static_cast<PageId>(
+          rng.UniformInt(0, static_cast<int64_t>(kPages) - 1));
+    }
+    return id;
+  };
+
+  // Serial baseline through a private BufferPool, reset per query.
+  BufferPool reference(&store, kCapacity);
+  uint64_t baseline_misses = 0;
+  for (size_t q = 0; q < kQueries; ++q) {
+    reference.ResetCache();
+    reference.ResetStats();
+    for (size_t s = 0; s < kAccessesPerQuery; ++s) {
+      reference.Fetch(query_page(q, s));
+    }
+    baseline_misses += reference.stats().misses;
+  }
+
+  for (const int threads : {1, 2, 7, 16}) {
+    SharedBufferPoolOptions options;
+    options.capacity = kCapacity;
+    options.pin_overflow = true;  // hashed pin pile-ups must not fail
+    SharedBufferPool pool(&store, options);
+    const size_t chunks =
+        ParallelChunks(threads, kQueries);
+    std::vector<uint64_t> chunk_misses(chunks, 0);
+    ParallelFor(threads, kQueries,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  SharedBufferPool::Session session(&pool, kCapacity);
+                  for (size_t q = begin; q < end; ++q) {
+                    session.ResetCache();
+                    session.ResetStats();
+                    for (size_t s = 0; s < kAccessesPerQuery; ++s) {
+                      const PageRef ref =
+                          session.FetchPinned(query_page(q, s));
+                      ASSERT_TRUE(static_cast<bool>(ref));
+                    }
+                    chunk_misses[chunk] += session.stats().misses;
+                  }
+                });
+    uint64_t total = 0;
+    for (const uint64_t misses : chunk_misses) total += misses;
+    EXPECT_EQ(total, baseline_misses) << "threads=" << threads;
+    EXPECT_LE(pool.CachedPages(), kCapacity);
+  }
+}
+
+TEST(SharedBufferPoolTest, AllPinnedShardFailsCleanlyWhenStrict) {
+  PageStore store;
+  FillStore(&store, 4);
+  SharedBufferPoolOptions options;
+  options.capacity = 2;
+  options.shards = 1;
+  SharedBufferPool pool(&store, options);  // pin_overflow off: strict
+
+  bool missed = false;
+  ASSERT_TRUE(pool.Pin(0, &missed).ok());
+  ASSERT_TRUE(pool.Pin(1, &missed).ok());
+  // Every frame pinned: the next distinct pin must fail cleanly, not
+  // abort and not grow the pool.
+  Result<const Page*> overflow = pool.Pin(2, &missed);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.CachedPages(), 2u);
+  // Re-pinning a resident page still works (no eviction needed).
+  ASSERT_TRUE(pool.Pin(0, &missed).ok());
+  pool.Unpin(0);
+
+  pool.Unpin(1);
+  ASSERT_TRUE(pool.Pin(2, &missed).ok());  // a victim exists now
+  pool.Unpin(2);
+  pool.Unpin(0);
+}
+
+TEST(SharedBufferPoolTest, PinOverflowGrowsTransientlyAndTrimsBack) {
+  PageStore store;
+  FillStore(&store, 8);
+  SharedBufferPoolOptions options;
+  options.capacity = 2;
+  options.shards = 1;
+  options.pin_overflow = true;
+  SharedBufferPool pool(&store, options);
+
+  bool missed = false;
+  ASSERT_TRUE(pool.Pin(0, &missed).ok());
+  ASSERT_TRUE(pool.Pin(1, &missed).ok());
+  ASSERT_TRUE(pool.Pin(2, &missed).ok());  // transient third frame
+  EXPECT_EQ(pool.CachedPages(), 3u);
+  pool.Unpin(0);
+  pool.Unpin(1);
+  pool.Unpin(2);
+  // The next miss evicts back under the slice before inserting.
+  ASSERT_TRUE(pool.Pin(3, &missed).ok());
+  pool.Unpin(3);
+  EXPECT_LE(pool.CachedPages(), 2u);
+}
+
+TEST(SharedBufferPoolDeathTest, UnpinOfNonResidentPageAborts) {
+  PageStore store;
+  FillStore(&store, 2);
+  SharedBufferPoolOptions options;
+  options.capacity = 2;
+  SharedBufferPool pool(&store, options);
+  EXPECT_DEATH(pool.Unpin(1), "non-resident");
+}
+
+TEST(SharedBufferPoolTest, PutReplacingPinnedFrameFails) {
+  MemoryPageBackend backend;
+  TestCodec codec;
+  SharedBufferPoolOptions options;
+  options.capacity = 4;
+  SharedBufferPool pool(&backend, &codec, options);
+  ASSERT_TRUE(pool.Put(0, std::make_unique<TestPage>(10)).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  bool missed = false;
+  ASSERT_TRUE(pool.Pin(0, &missed).ok());
+  // A concurrent reader may hold the decoded page: replacing it in place
+  // must be refused, not dangle the pinner.
+  const Status replace = pool.Put(0, std::make_unique<TestPage>(11));
+  ASSERT_FALSE(replace.ok());
+  EXPECT_EQ(replace.code(), StatusCode::kFailedPrecondition);
+  pool.Unpin(0);
+  ASSERT_TRUE(pool.Put(0, std::make_unique<TestPage>(11)).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+}
+
+TEST(SharedBufferPoolTest, PublishStatsDoesNotDoubleCount) {
+  PageStore store;
+  FillStore(&store, 4);
+  MetricRegistry& registry = MetricRegistry::Global();
+  const std::string scope = "test.shared_publish";
+  const uint64_t accesses_before =
+      registry.GetCounter("bufferpool." + scope + ".accesses")->Value();
+  const uint64_t misses_before =
+      registry.GetCounter("bufferpool." + scope + ".misses")->Value();
+  {
+    SharedBufferPoolOptions options;
+    options.capacity = 2;
+    options.metric_scope = scope;
+    SharedBufferPool pool(&store, options);
+    bool missed = false;
+    ASSERT_TRUE(pool.Pin(0, &missed).ok());
+    pool.Unpin(0);
+    pool.PublishStats();  // mid-run publish, e.g. a stats endpoint
+    ASSERT_TRUE(pool.Pin(0, &missed).ok());
+    pool.Unpin(0);
+    pool.PublishStats();
+    pool.PublishStats();  // idempotent with no new traffic
+    ASSERT_TRUE(pool.Pin(1, &missed).ok());
+    pool.Unpin(1);
+    // Destruction publishes only the remainder.
+  }
+  EXPECT_EQ(
+      registry.GetCounter("bufferpool." + scope + ".accesses")->Value() -
+          accesses_before,
+      3u);
+  EXPECT_EQ(registry.GetCounter("bufferpool." + scope + ".misses")->Value() -
+                misses_before,
+            2u);
+}
+
+// TSan-targeted stress: >= 8 threads hammer one backend-mode pool with
+// session reads, direct pins, Puts on a disjoint id range, and flushes.
+// The assertions are deliberately loose — the point is the data-race-free
+// execution under ThreadSanitizer and the self-consistency of the
+// aggregate counters afterwards.
+TEST(SharedBufferPoolTest, ConcurrentStressIsRaceFree) {
+  constexpr PageId kReadPages = 48;   // readers touch [0, 48)
+  constexpr PageId kWritePages = 16;  // writers touch [48, 64)
+  MemoryPageBackend backend;
+  TestCodec codec;
+  {
+    // Seed every page through a writer pool.
+    SharedBufferPoolOptions options;
+    options.capacity = 8;
+    SharedBufferPool seeder(&backend, &codec, options);
+    for (PageId id = 0; id < kReadPages + kWritePages; ++id) {
+      ASSERT_TRUE(
+          seeder.Put(id, std::make_unique<TestPage>(static_cast<int>(id)))
+              .ok());
+    }
+    ASSERT_TRUE(seeder.FlushAll().ok());
+  }
+
+  SharedBufferPoolOptions options;
+  options.capacity = 12;
+  options.shards = 4;
+  options.pin_overflow = true;
+  SharedBufferPool pool(&backend, &codec, options);
+
+  constexpr int kThreads = 10;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int> put_failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(Rng::DeriveSeed(42, static_cast<uint64_t>(t)));
+      SharedBufferPool::Session session(&pool, 0);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int64_t dice = rng.UniformInt(0, 99);
+        if (dice < 80) {
+          // Read a shared page; the decoded tag must match its id.
+          const PageId id = static_cast<PageId>(
+              rng.UniformInt(0, static_cast<int64_t>(kReadPages) - 1));
+          const PageRef ref = session.FetchPinned(id);
+          ASSERT_TRUE(static_cast<bool>(ref));
+          ASSERT_EQ(static_cast<const TestPage*>(ref.get())->tag(),
+                    static_cast<int>(id));
+        } else if (dice < 95) {
+          // Rewrite a page no reader thread ever pins. Racing Puts can
+          // still collide with a transiently pinned frame of another
+          // writer under pin_overflow; a clean refusal is acceptable.
+          const PageId id = static_cast<PageId>(
+              kReadPages +
+              rng.UniformInt(0, static_cast<int64_t>(kWritePages) - 1));
+          const Status status =
+              pool.Put(id, std::make_unique<TestPage>(static_cast<int>(id)));
+          if (!status.ok()) put_failures.fetch_add(1);
+        } else {
+          const Status status = pool.FlushAll();
+          ASSERT_TRUE(status.ok()) << status.ToString();
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+  EXPECT_EQ(pool.DirtyPages(), 0u);
+  const IoStats stats = pool.AggregateStats();
+  EXPECT_GE(stats.accesses, stats.misses);
+  EXPECT_GT(stats.accesses, 0u);
+  // Writers only Put/Flush; every read access came from the sessions.
+  EXPECT_EQ(put_failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace stindex

@@ -319,6 +319,52 @@ TEST(BufferPoolTest, PageRefMoveTransfersPin) {
   EXPECT_EQ(pool.PinnedPages(), 0u);
 }
 
+TEST(BufferPoolTest, PageRefMoveResetsSourceCompletely) {
+  // Regression: the move operations used to leave a stale id_ in the
+  // moved-from ref, so it still claimed the old PageId while holding no
+  // pin.
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  const PageId b = store.Allocate(std::make_unique<TestPage>(2));
+  BufferPool pool(&store, 2);
+
+  PageRef ref = pool.FetchPinned(a);
+  PageRef moved = std::move(ref);
+  EXPECT_EQ(ref.id(), kInvalidPage);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(ref.get(), nullptr);
+  EXPECT_FALSE(static_cast<bool>(ref));
+
+  // Move assignment must reset the source the same way (and release the
+  // destination's old pin exactly once).
+  PageRef target = pool.FetchPinned(b);
+  EXPECT_EQ(pool.PinnedPages(), 2u);
+  target = std::move(moved);
+  EXPECT_EQ(pool.PinnedPages(), 1u);
+  EXPECT_EQ(target.id(), a);
+  EXPECT_EQ(moved.id(), kInvalidPage);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved.get(), nullptr);
+}
+
+TEST(BufferPoolTest, PageRefReleaseIsIdempotentAndMovedFromSafe) {
+  PageStore store;
+  const PageId a = store.Allocate(std::make_unique<TestPage>(1));
+  BufferPool pool(&store, 2);
+
+  PageRef ref = pool.FetchPinned(a);
+  PageRef moved = std::move(ref);
+  // Releasing a moved-from ref must not unpin anything (the pin moved).
+  ref.Release();  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(pool.PinnedPages(), 1u);
+
+  moved.Release();
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+  EXPECT_EQ(moved.id(), kInvalidPage);
+  EXPECT_EQ(moved.get(), nullptr);
+  // Double release is a no-op, not a double unpin.
+  moved.Release();
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+}
+
 // --- Backend mode: Put / write-back / flush ---
 
 TEST(BufferPoolBackendTest, PutFlushFetchRoundTrip) {

@@ -387,9 +387,23 @@ int CmdQuery(Flags& flags) {
   const bool explain = flags.GetBool("explain");
   const std::string trace_path = flags.Get("trace", "");
   const std::string objects_path = flags.Get("objects", "");
+  // Total LRU capacity of the query buffer in pages; 0 keeps the tree's
+  // configured default (the paper's 10-page protocol).
+  const long long buffer_pages_flag = flags.GetInt("buffer-pages", 0);
   std::string db_path;
   const std::string backend = GetBackendFlags(flags, &db_path);
   flags.RejectUnknown();
+  if (buffer_pages_flag < 0) {
+    std::fprintf(stderr, "--buffer-pages must be non-negative, got %lld\n",
+                 buffer_pages_flag);
+    return 2;
+  }
+  const size_t buffer_pages = static_cast<size_t>(buffer_pages_flag);
+  if (index == "hr" && buffer_pages != 0) {
+    std::fprintf(stderr,
+                 "--buffer-pages is only supported for ppr and rstar\n");
+    return 2;
+  }
   if (backend != "store" && index == "hr") {
     std::fprintf(stderr, "--backend %s: the hr index only supports the "
                  "in-memory store\n", backend.c_str());
@@ -432,7 +446,8 @@ int CmdQuery(Flags& flags) {
           ppr->AttachBackend(MakeCliBackend(backend, db_path, "query_ppr"));
       if (!status.ok()) Die(status);
     }
-    const std::unique_ptr<BufferPool> buffer = ppr->NewQueryBuffer();
+    const std::unique_ptr<BufferPool> buffer =
+        ppr->NewQueryBuffer(buffer_pages);
     for (const STQuery& query : queries) {
       buffer->ResetCache();
       buffer->ResetStats();
@@ -472,7 +487,8 @@ int CmdQuery(Flags& flags) {
           tree.AttachBackend(MakeCliBackend(backend, db_path, "query_rstar"));
       if (!status.ok()) Die(status);
     }
-    const std::unique_ptr<BufferPool> buffer = tree.NewQueryBuffer();
+    const std::unique_ptr<BufferPool> buffer =
+        tree.NewQueryBuffer(buffer_pages);
     for (const STQuery& query : queries) {
       buffer->ResetCache();
       buffer->ResetStats();
@@ -572,7 +588,7 @@ int Usage() {
       "  stats     --segments FILE [--index ppr|rstar|hr]\n"
       "  query     --segments FILE --queries FILE [--index ppr|rstar|hr]\n"
       "            [--backend store|memory|file] [--db DIR] [--explain]\n"
-      "            [--objects FILE] [--trace FILE]\n"
+      "            [--objects FILE] [--trace FILE] [--buffer-pages N]\n"
       "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n"
       "            [--threads N]\n"
       "Query flags:\n"
@@ -582,6 +598,8 @@ int Usage() {
       "                  exact per-instant rectangles to count false hits\n"
       "  --trace FILE    capture a Chrome trace (chrome://tracing, Perfetto)\n"
       "                  of the build and query spans\n"
+      "  --buffer-pages N  total LRU buffer capacity in pages (0/default:\n"
+      "                  the tree's configured 10-page paper protocol)\n"
       "Common flags:\n"
       "  --stats FILE         dump the metrics registry after the run\n"
       "  --stats-format FMT   'json' (default) or 'prom' (Prometheus text\n"
