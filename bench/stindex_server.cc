@@ -7,18 +7,32 @@
 // metric registry in Prometheus text format for scraping.
 //
 // Extra flags on top of the shared bench surface (bench_report.h):
-//   --stream=N   total queries replayed across all clients
-//                (default: 20x the scale's query_count)
-//   --prom=PATH  write a Prometheus text-format metrics snapshot
+//   --stream=N        total requests replayed across all clients
+//                     (default: 20x the scale's query_count)
+//   --prom=PATH       write a Prometheus text-format metrics snapshot
+//   --update-frac=F   fraction of the request stream that are movement
+//                     updates (0 <= F < 1, default 0). With F > 0 the
+//                     server runs the crash-safe live ingestion tier
+//                     (src/live): updates stream through the WAL-journaled
+//                     LiveIndex and migrate into the PPR-tree while the
+//                     remaining requests run freshness-bound tiered
+//                     queries (historical tree + in-flight migration +
+//                     live buffers) concurrently. --backend=file puts the
+//                     WAL on a real page file under --db.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "bench_report.h"
+#include "live/live_tier.h"
+#include "storage/file_backend.h"
+#include "storage/page_backend.h"
 #include "storage/shared_buffer_pool.h"
 #include "util/metrics.h"
 #include "util/prom_writer.h"
@@ -30,8 +44,9 @@ namespace bench {
 namespace {
 
 struct ServerFlags {
-  size_t stream = 0;      // 0: scale default
-  std::string prom_path;  // empty: no Prometheus dump
+  size_t stream = 0;        // 0: scale default
+  std::string prom_path;    // empty: no Prometheus dump
+  double update_frac = 0.0;  // 0: pure-query replay (the classic mode)
 };
 
 // Splits the server-only flags off argv before ParseBenchArgs sees it
@@ -51,6 +66,20 @@ ServerFlags ExtractServerFlags(int* argc, char** argv) {
       flags.prom_path = arg.substr(7);
     } else if (arg == "--prom" && i + 1 < *argc) {
       flags.prom_path = argv[++i];
+    } else if (arg.rfind("--update-frac=", 0) == 0 ||
+               (arg == "--update-frac" && i + 1 < *argc)) {
+      const std::string frac =
+          arg == "--update-frac" ? argv[++i] : arg.substr(14);
+      char* end = nullptr;
+      flags.update_frac = std::strtod(frac.c_str(), &end);
+      if (end == frac.c_str() || *end != '\0' || flags.update_frac < 0.0 ||
+          flags.update_frac >= 1.0) {
+        std::fprintf(stderr,
+                     "stindex_server: --update-frac expects a fraction in "
+                     "[0, 1), got '%s'\n",
+                     frac.c_str());
+        std::exit(2);
+      }
     } else {
       matched = false;
       argv[out++] = argv[i];
@@ -87,6 +116,192 @@ std::vector<STQuery> MakeRequestStream(const BenchScale& scale, size_t total) {
     stream.push_back(set[(i / 2) % set.size()]);
   }
   return stream;
+}
+
+// --- mixed update/query mode (--update-frac > 0) -------------------------
+//
+// Request i is an update when the Bresenham accumulator crosses an
+// integer (so updates are spread evenly through the stream at the exact
+// requested fraction). Updates are pulled in stream order from one
+// shared cursor under a mutex — the live tier requires globally
+// non-decreasing times — while queries fan out across all clients
+// through the tier's readers-writer lock and shared pool. A Commit every
+// `kCommitEvery` applied updates acknowledges the batch through the WAL.
+void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
+  constexpr size_t kCommitEvery = 32;
+  const BenchScale scale = GetScale();
+  const size_t n = scale.dataset_sizes.front();
+  const size_t stream_size =
+      flags.stream == 0 ? scale.query_count * 20 : flags.stream;
+  std::printf(
+      "stindex_server (scale=%s, clients=%d, backend=%s): %zu-request "
+      "stream at update-frac %.2f over a live tier of %zu objects.\n",
+      scale.name.c_str(), args.threads,
+      args.backend.empty() ? "store" : args.backend.c_str(), stream_size,
+      flags.update_frac, n);
+
+  const std::vector<Trajectory> objects = MakeRandomDataset(n);
+  const std::vector<LiveObservation> updates = MakeObservationStream(objects);
+  const std::vector<STQuery> queries = MakeRequestStream(scale, stream_size);
+
+  std::unique_ptr<PageBackend> wal;
+  if (args.backend == "file") {
+    Result<std::unique_ptr<FilePageBackend>> file =
+        FilePageBackend::Create(args.db_path + "/stindex_server_wal.stpages");
+    if (!file.ok()) {
+      std::fprintf(stderr, "stindex_server: %s\n",
+                   file.status().ToString().c_str());
+      std::exit(1);
+    }
+    wal = std::move(file).value();
+  } else {
+    wal = std::make_unique<MemoryPageBackend>();
+  }
+
+  LiveTierOptions options;
+  options.index.capacity = 32;  // seal eagerly so migration runs mid-bench
+  options.query_pool_pages = args.buffer_pages;
+  Result<std::unique_ptr<LiveTier>> opened =
+      LiveTier::Open(options, std::move(wal));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "stindex_server: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  LiveTier* tier = opened.value().get();
+
+  Report().SetParam("objects", static_cast<int64_t>(n));
+  Report().SetParam("clients", static_cast<int64_t>(args.threads));
+  Report().SetParam("stream", static_cast<int64_t>(stream_size));
+  Report().SetParam("backend", args.backend.empty() ? "store" : args.backend);
+  Report().SetParam("update_frac", flags.update_frac);
+
+  std::mutex update_mu;
+  size_t update_cursor = 0;
+  size_t updates_applied = 0;
+  bool update_failed = false;
+
+  const size_t chunks = ParallelChunks(args.threads, stream_size);
+  std::vector<Histogram> query_latency(chunks);
+  std::vector<Histogram> update_latency(chunks);
+  std::vector<uint64_t> chunk_results(chunks, 0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    TraceSpan span("bench", "server_mixed_replay");
+    span.Arg("requests", static_cast<int64_t>(stream_size))
+        .Arg("clients", static_cast<int64_t>(args.threads));
+    ParallelFor(args.threads, stream_size,
+                [&](size_t chunk, size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    const bool is_update =
+                        static_cast<size_t>(static_cast<double>(i + 1) *
+                                            flags.update_frac) >
+                        static_cast<size_t>(static_cast<double>(i) *
+                                            flags.update_frac);
+                    const auto start = std::chrono::steady_clock::now();
+                    if (is_update) {
+                      std::lock_guard<std::mutex> lock(update_mu);
+                      if (update_cursor < updates.size() && !update_failed) {
+                        const Status status =
+                            tier->Apply(updates[update_cursor]);
+                        if (!status.ok()) {
+                          std::fprintf(stderr, "stindex_server: update: %s\n",
+                                       status.ToString().c_str());
+                          update_failed = true;
+                        } else {
+                          ++update_cursor;
+                          if (++updates_applied % kCommitEvery == 0 &&
+                              !tier->Commit().ok()) {
+                            update_failed = true;
+                          }
+                        }
+                      }
+                      const std::chrono::duration<double, std::milli> ms =
+                          std::chrono::steady_clock::now() - start;
+                      update_latency[chunk].Record(ms.count());
+                    } else {
+                      const STQuery& query = queries[i];
+                      std::vector<ObjectId> results;
+                      if (query.IsSnapshot()) {
+                        tier->SnapshotQuery(query.area, query.range.start,
+                                            &results);
+                      } else {
+                        tier->IntervalQuery(query.area, query.range, &results);
+                      }
+                      const std::chrono::duration<double, std::milli> ms =
+                          std::chrono::steady_clock::now() - start;
+                      query_latency[chunk].Record(ms.count());
+                      chunk_results[chunk] += results.size();
+                    }
+                  }
+                });
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  if (update_failed) {
+    std::fprintf(stderr, "stindex_server: update stream failed\n");
+    std::exit(1);
+  }
+  const Status commit = tier->Commit();
+  if (!commit.ok()) {
+    std::fprintf(stderr, "stindex_server: final commit: %s\n",
+                 commit.ToString().c_str());
+    std::exit(1);
+  }
+
+  uint64_t result_rows = 0;
+  for (size_t i = 0; i < chunks; ++i) result_rows += chunk_results[i];
+  MetricRegistry& registry = MetricRegistry::Global();
+  MergeShards(query_latency, registry.GetHistogram("io.query.latency_ms"));
+  MergeShards(update_latency, registry.GetHistogram("live.update.latency_ms"));
+
+  const double seconds = wall.count();
+  const double qps =
+      seconds > 0.0 ? static_cast<double>(stream_size) / seconds : 0.0;
+  const double ups = seconds > 0.0
+                         ? static_cast<double>(updates_applied) / seconds
+                         : 0.0;
+  const HistogramSnapshot latency =
+      registry.GetHistogram("io.query.latency_ms")->Value().Snapshot();
+  const HistogramSnapshot update_ms =
+      registry.GetHistogram("live.update.latency_ms")->Value().Snapshot();
+  PrintHeader("stindex_server: mixed update/query replay",
+              "clients | qps        | updates/s  | q_p50_ms | u_p50_ms | "
+              "segments | live | rows");
+  char row[256];
+  std::snprintf(row, sizeof(row),
+                "%7d | %10.0f | %10.0f | %8.3f | %8.3f | %8zu | %4zu | %zu",
+                args.threads, qps, ups, latency.p50, update_ms.p50,
+                tier->migrated_segments().size(), tier->live_objects(),
+                static_cast<size_t>(result_rows));
+  PrintRow(row);
+
+  Report().SetParam("updates_applied", static_cast<int64_t>(updates_applied));
+  Report().SetParam("migrated_segments",
+                    static_cast<int64_t>(tier->migrated_segments().size()));
+  Report().SetParam("live_objects",
+                    static_cast<int64_t>(tier->live_objects()));
+  Report().SetParam("wal_commits", static_cast<int64_t>(tier->wal_commits()));
+  Report().AddSample("qps", "overall", qps);
+  Report().AddSample("updates_per_s", "overall", ups);
+  Report().AddSample("latency_p50_ms", "overall", latency.p50);
+  Report().AddSample("latency_p95_ms", "overall", latency.p95);
+  Report().AddSample("latency_p99_ms", "overall", latency.p99);
+  Report().AddSample("update_latency_p50_ms", "overall", update_ms.p50);
+  Report().AddSample("result_rows", "overall",
+                     static_cast<double>(result_rows));
+
+  if (!flags.prom_path.empty()) {
+    const std::string text = RenderPrometheus(registry.Snapshot());
+    std::ofstream out(flags.prom_path);
+    out << text;
+    if (!out.good()) {
+      std::fprintf(stderr, "stindex_server: write to '%s' failed\n",
+                   flags.prom_path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "wrote %s\n", flags.prom_path.c_str());
+  }
 }
 
 void Run(const BenchArgs& args, const ServerFlags& flags) {
@@ -215,7 +430,11 @@ int main(int argc, char** argv) {
       stindex::bench::ExtractServerFlags(&argc, argv);
   const stindex::bench::BenchArgs args = stindex::bench::ParseBenchArgs(
       argc, argv, "stindex_server", /*accept_backend=*/true);
-  stindex::bench::Run(args, flags);
+  if (flags.update_frac > 0.0) {
+    stindex::bench::RunMixed(args, flags);
+  } else {
+    stindex::bench::Run(args, flags);
+  }
   stindex::bench::FinishReport(args);
   return 0;
 }

@@ -102,6 +102,41 @@ else
   echo "warning: $SERVER not built, skipping server smoke" >&2
 fi
 
+# Mixed update/query smoke: one fifth of the request stream are live
+# movement updates journaled through the WAL onto a real page file while
+# the rest run freshness-bound tiered queries from 4 client threads. The
+# report must validate against schema v2 and prove actual journal writes
+# (backend.file.writes > 0).
+if [ -x "$SERVER" ]; then
+  echo "== stindex_server mixed update/query smoke =="
+  "$SERVER" --threads=4 --stream=400 --update-frac=0.2 \
+    --backend=file --db="$SMOKE_DIR" \
+    --json="$OUT_DIR/stindex_server_mixed.json" \
+    | tee "$OUT_DIR/stindex_server_mixed.txt"
+  python3 "$(dirname "$0")/validate_report.py" \
+    "$OUT_DIR/stindex_server_mixed.json"
+  python3 - "$OUT_DIR/stindex_server_mixed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], "r", encoding="utf-8") as f:
+    report = json.load(f)
+params = report["params"]
+assert params["update_frac"] == 0.2, params
+assert params["updates_applied"] > 0, params
+assert params["wal_commits"] > 0, params
+counters = report["metrics"]["counters"]
+writes = counters.get("backend.file.writes", 0)
+assert writes > 0, f"expected WAL file writes, got {counters}"
+observes = counters.get("live.observes", 0)
+assert observes > 0, f"expected live observes, got {counters}"
+series = {s["name"] for s in report["series"]}
+for required in ("qps", "updates_per_s", "latency_p50_ms",
+                 "update_latency_p50_ms"):
+    assert required in series, f"report missing series '{required}'"
+print(f"stindex_server mixed smoke OK: {params['updates_applied']} updates, "
+      f"{writes} WAL file writes, {params['wal_commits']} commits")
+EOF
+fi
+
 # File-backend smoke: run the CLI pipeline against a real page file in a
 # scratch directory and check the metrics dump proves actual disk reads
 # (backend.file.reads > 0) rather than the simulated store.

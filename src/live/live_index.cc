@@ -1,0 +1,164 @@
+#include "live/live_index.h"
+
+#include <algorithm>
+
+namespace stindex {
+namespace {
+
+std::string ObjTime(ObjectId object, Time t) {
+  return "object " + std::to_string(object) + " at t=" + std::to_string(t);
+}
+
+}  // namespace
+
+LiveIndex::LiveIndex(LiveIndexOptions options) : options_(options) {}
+
+Status LiveIndex::Observe(ObjectId object, Time t, const Rect2D& rect,
+                          bool* applied) {
+  *applied = false;
+  if (!rect.IsValid()) {
+    return Status::InvalidArgument(ObjTime(object, t) + ": invalid rectangle");
+  }
+  const auto last = last_instant_.find(object);
+  if (last != last_instant_.end() && t <= last->second) {
+    return Status::OK();  // already absorbed (re-ingested tail)
+  }
+  if (retired_.count(object) != 0) {
+    return Status::InvalidArgument(ObjTime(object, t) +
+                                   ": observation of an ended object");
+  }
+  if (t < last_global_) {
+    return Status::InvalidArgument(
+        ObjTime(object, t) + ": out of order (stream is at t=" +
+        std::to_string(last_global_) + ")");
+  }
+  if (last != last_instant_.end() && t != last->second + 1) {
+    return Status::InvalidArgument(
+        ObjTime(object, t) + ": non-consecutive instant (previous t=" +
+        std::to_string(last->second) + ")");
+  }
+  auto buffer = buffers_.find(object);
+  if (buffer == buffers_.end()) {
+    buffer = buffers_.emplace(object, Buffer(t, options_.split)).first;
+  }
+  buffer->second.rects.push_back(rect);
+  buffer->second.splitter.Observe(rect);
+  last_instant_[object] = t;
+  last_global_ = t;
+  ++buffered_instants_;
+  *applied = true;
+  return Status::OK();
+}
+
+Status LiveIndex::End(ObjectId object, Time t, bool* applied) {
+  *applied = false;
+  const auto last = last_instant_.find(object);
+  if (last == last_instant_.end()) {
+    return Status::InvalidArgument(ObjTime(object, t) +
+                                   ": end of an unknown object");
+  }
+  if (t != last->second + 1) {
+    return Status::InvalidArgument(
+        ObjTime(object, t) + ": end does not follow the last instant (t=" +
+        std::to_string(last->second) + ")");
+  }
+  if (retired_.count(object) != 0) {
+    return Status::OK();  // already ended (re-ingested tail)
+  }
+  retired_.insert(object);
+  *applied = true;
+  return Status::OK();
+}
+
+Result<LiveIndex::SealedChunk> LiveIndex::Seal(ObjectId object) {
+  auto buffer = buffers_.find(object);
+  if (buffer == buffers_.end()) {
+    return Status::InvalidArgument("object " + std::to_string(object) +
+                                   ": seal without a buffered observation");
+  }
+  SealedChunk chunk;
+  chunk.object = object;
+  chunk.start = buffer->second.start;
+  chunk.rects = std::move(buffer->second.rects);
+  chunk.cuts = buffer->second.splitter.cuts();
+  buffered_instants_ -= chunk.rects.size();
+  buffers_.erase(buffer);
+  return chunk;
+}
+
+bool LiveIndex::OverThreshold(ObjectId object) const {
+  const auto buffer = buffers_.find(object);
+  if (buffer == buffers_.end()) return false;
+  if (options_.capacity != 0 &&
+      buffer->second.rects.size() >= options_.capacity) {
+    return true;
+  }
+  // Duration counts global time, so a buffer also ripens while *other*
+  // objects advance the clock.
+  return options_.duration != 0 &&
+         last_global_ - buffer->second.start + 1 >= options_.duration;
+}
+
+ObjectId LiveIndex::BudgetVictim() const {
+  ObjectId victim = kInvalidObject;
+  Time victim_start = 0;
+  for (const auto& [object, buffer] : buffers_) {
+    if (victim == kInvalidObject || buffer.start < victim_start ||
+        (buffer.start == victim_start && object < victim)) {
+      victim = object;
+      victim_start = buffer.start;
+    }
+  }
+  return victim;
+}
+
+std::vector<ObjectId> LiveIndex::RipeForCatchUp() const {
+  std::vector<ObjectId> ended;
+  std::vector<ObjectId> over;
+  for (const auto& [object, buffer] : buffers_) {
+    if (retired_.count(object) != 0) {
+      ended.push_back(object);
+    } else if (OverThreshold(object)) {
+      over.push_back(object);
+    }
+  }
+  std::sort(ended.begin(), ended.end());
+  std::sort(over.begin(), over.end());
+  ended.insert(ended.end(), over.begin(), over.end());
+  return ended;
+}
+
+std::vector<ObjectId> LiveIndex::BufferedObjects() const {
+  std::vector<ObjectId> objects;
+  objects.reserve(buffers_.size());
+  for (const auto& [object, buffer] : buffers_) objects.push_back(object);
+  std::sort(objects.begin(), objects.end());
+  return objects;
+}
+
+void LiveIndex::CollectLive(const Rect2D& area, const TimeInterval& range,
+                            std::vector<ObjectId>* out) const {
+  for (const auto& [object, buffer] : buffers_) {
+    const Time end = buffer.start + static_cast<Time>(buffer.rects.size());
+    const Time lo = std::max(range.start, buffer.start);
+    const Time hi = std::min(range.end, end);
+    for (Time t = lo; t < hi; ++t) {
+      if (buffer.rects[static_cast<size_t>(t - buffer.start)]
+              .Intersects(area)) {
+        out->push_back(object);
+        break;
+      }
+    }
+  }
+}
+
+Time LiveIndex::Watermark() const {
+  if (buffers_.empty()) return last_global_;
+  Time watermark = std::numeric_limits<Time>::max();
+  for (const auto& [object, buffer] : buffers_) {
+    watermark = std::min(watermark, buffer.start);
+  }
+  return watermark;
+}
+
+}  // namespace stindex

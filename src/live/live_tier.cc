@@ -1,0 +1,297 @@
+#include "live/live_tier.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace stindex {
+namespace {
+
+struct TierMetrics {
+  Counter* observes;
+  Counter* ends;
+  Counter* dup_skips;
+  Counter* queries;
+};
+
+const TierMetrics& Metrics() {
+  static const TierMetrics m = [] {
+    MetricRegistry& r = MetricRegistry::Global();
+    return TierMetrics{r.GetCounter("live.observes"),
+                       r.GetCounter("live.ends"),
+                       r.GetCounter("live.dup_skips"),
+                       r.GetCounter("live.queries")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+LiveTier::LiveTier(LiveTierOptions options,
+                   std::unique_ptr<PageBackend> wal_backend)
+    : options_(options),
+      wal_backend_(std::move(wal_backend)),
+      index_(options.index),
+      tree_(std::make_unique<PprTree>(options.ppr)),
+      pipeline_(tree_.get()),
+      pool_(tree_->NewSharedQueryPool(options.query_pool_pages)) {}
+
+Result<std::unique_ptr<LiveTier>> LiveTier::Open(
+    LiveTierOptions options, std::unique_ptr<PageBackend> wal_backend) {
+  if (wal_backend == nullptr) {
+    return Status::InvalidArgument("live tier requires a WAL backend");
+  }
+  std::unique_ptr<LiveTier> tier(
+      new LiveTier(options, std::move(wal_backend)));
+  Status status = tier->Recover();
+  if (!status.ok()) return status;
+  return tier;
+}
+
+Status LiveTier::Recover() {
+  TraceSpan span("live", "recover");
+  Result<WalReplayStats> stats = ReplayWal(
+      *wal_backend_,
+      [this](const WalRecord& record) { return ApplyReplayRecord(record); });
+  if (!stats.ok()) return stats.status();
+  recovered_ = stats.value();
+  writer_ =
+      std::make_unique<WalWriter>(wal_backend_.get(), recovered_.next_page);
+  // Seals directly follow their trigger in the log, so only the very tail
+  // can have lost them; re-derive those now, through the same policy the
+  // uninterrupted run used.
+  return SealRipe();
+}
+
+Status LiveTier::ApplyReplayRecord(const WalRecord& record) {
+  bool applied = false;
+  switch (record.kind) {
+    case WalRecord::Kind::kObserve: {
+      Status status = index_.Observe(record.object, record.time, record.rect,
+                                     &applied);
+      if (!status.ok()) return status;
+      if (!applied) {
+        return Status::InvalidArgument(
+            "wal replay: duplicate observation of object " +
+            std::to_string(record.object));
+      }
+      return Status::OK();
+    }
+    case WalRecord::Kind::kEnd: {
+      Status status = index_.End(record.object, record.time, &applied);
+      if (!status.ok()) return status;
+      if (!applied) {
+        return Status::InvalidArgument("wal replay: duplicate end of object " +
+                                       std::to_string(record.object));
+      }
+      return Status::OK();
+    }
+    case WalRecord::Kind::kSeal: {
+      // Log-driven seal: do exactly what the original run journaled, and
+      // verify the replayed state produces the same chunk.
+      Result<LiveIndex::SealedChunk> chunk = index_.Seal(record.object);
+      if (!chunk.ok()) {
+        return Status::InvalidArgument(
+            "wal replay: seal does not match replayed state (" +
+            chunk.status().message() + ")");
+      }
+      if (chunk.value().start != record.time) {
+        return Status::InvalidArgument(
+            "wal replay: seal of object " + std::to_string(record.object) +
+            " starts at t=" + std::to_string(chunk.value().start) +
+            ", log says t=" + std::to_string(record.time));
+      }
+      const size_t produced = pipeline_.Enqueue(chunk.value());
+      if (produced != record.segments) {
+        return Status::InvalidArgument(
+            "wal replay: seal of object " + std::to_string(record.object) +
+            " produced " + std::to_string(produced) + " segments, log says " +
+            std::to_string(record.segments));
+      }
+      pipeline_.Advance(index_.Watermark());
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("wal replay: unknown record kind");
+}
+
+Status LiveTier::CheckAlive() const {
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "live tier hit a WAL I/O failure — reopen the journal to recover");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("live tier is finished");
+  }
+  return Status::OK();
+}
+
+Status LiveTier::Latch(Status status) {
+  failed_ = true;
+  return status;
+}
+
+Status LiveTier::SealAndJournal(ObjectId object) {
+  Result<LiveIndex::SealedChunk> chunk = index_.Seal(object);
+  if (!chunk.ok()) return chunk.status();
+  // ApplySplits yields one segment per cut plus the tail.
+  const uint32_t segments =
+      static_cast<uint32_t>(chunk.value().cuts.size() + 1);
+  Status status = writer_->Append(
+      WalRecord::Seal(object, chunk.value().start, segments));
+  if (!status.ok()) return Latch(status);
+  const size_t produced = pipeline_.Enqueue(chunk.value());
+  STINDEX_CHECK(produced == segments);
+  return Status::OK();
+}
+
+Status LiveTier::SealRipe() {
+  for (ObjectId object : index_.RipeForCatchUp()) {
+    Status status = SealAndJournal(object);
+    if (!status.ok()) return status;
+  }
+  while (index_.OverBudget()) {
+    const ObjectId victim = index_.BudgetVictim();
+    STINDEX_CHECK(victim != LiveIndex::kInvalidObject);
+    Status status = SealAndJournal(victim);
+    if (!status.ok()) return status;
+  }
+  pipeline_.Advance(index_.Watermark());
+  return Status::OK();
+}
+
+Status LiveTier::Observe(ObjectId object, Time t, const Rect2D& rect) {
+  std::unique_lock lock(mu_);
+  Status status = CheckAlive();
+  if (!status.ok()) return status;
+  bool applied = false;
+  status = index_.Observe(object, t, rect, &applied);
+  if (!status.ok()) return status;
+  if (!applied) {
+    Metrics().dup_skips->Add(1);
+    return Status::OK();
+  }
+  Metrics().observes->Add(1);
+  status = writer_->Append(WalRecord::Observe(object, t, rect));
+  if (!status.ok()) return Latch(status);
+  return SealRipe();
+}
+
+Status LiveTier::End(ObjectId object, Time t) {
+  std::unique_lock lock(mu_);
+  Status status = CheckAlive();
+  if (!status.ok()) return status;
+  bool applied = false;
+  status = index_.End(object, t, &applied);
+  if (!status.ok()) return status;
+  if (!applied) {
+    Metrics().dup_skips->Add(1);
+    return Status::OK();
+  }
+  Metrics().ends->Add(1);
+  status = writer_->Append(WalRecord::End(object, t));
+  if (!status.ok()) return Latch(status);
+  return SealRipe();
+}
+
+Status LiveTier::Apply(const LiveObservation& update) {
+  if (update.is_end) return End(update.object, update.time);
+  return Observe(update.object, update.time, update.rect);
+}
+
+Status LiveTier::Commit() {
+  std::unique_lock lock(mu_);
+  Status status = CheckAlive();
+  if (!status.ok()) return status;
+  status = writer_->Commit();
+  if (!status.ok()) return Latch(status);
+  return Status::OK();
+}
+
+Status LiveTier::Finish() {
+  std::unique_lock lock(mu_);
+  Status status = CheckAlive();
+  if (!status.ok()) return status;
+  for (ObjectId object : index_.BufferedObjects()) {
+    status = SealAndJournal(object);
+    if (!status.ok()) return status;
+  }
+  pipeline_.Drain();
+  status = writer_->Commit();
+  if (!status.ok()) return Latch(status);
+  finished_ = true;
+  return Status::OK();
+}
+
+void LiveTier::IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                             std::vector<ObjectId>* out) const {
+  std::shared_lock lock(mu_);
+  Metrics().queries->Add(1);
+  out->clear();
+  std::vector<PprDataId> raw;
+  SharedBufferPool::Session session(pool_.get());
+  tree_->IntervalQuery(area, range, &session, &raw);
+  for (PprDataId id : raw) {
+    // A record whose delete is still queued looks alive-to-infinity
+    // inside the tree; re-check against the true segment interval.
+    if (pipeline_.ClipToInterval(id, range)) {
+      out->push_back(pipeline_.ObjectOf(id));
+    }
+  }
+  pipeline_.CollectPending(area, range, out);
+  index_.CollectLive(area, range, out);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void LiveTier::SnapshotQuery(const Rect2D& area, Time t,
+                             std::vector<ObjectId>* out) const {
+  IntervalQuery(area, TimeInterval(t, t + 1), out);
+}
+
+size_t LiveTier::live_objects() const {
+  std::shared_lock lock(mu_);
+  return index_.live_objects();
+}
+
+size_t LiveTier::buffered_instants() const {
+  std::shared_lock lock(mu_);
+  return index_.buffered_instants();
+}
+
+size_t LiveTier::pending_events() const {
+  std::shared_lock lock(mu_);
+  return pipeline_.pending_events();
+}
+
+std::vector<LiveObservation> MakeObservationStream(
+    const std::vector<Trajectory>& objects) {
+  std::vector<LiveObservation> stream;
+  for (const Trajectory& object : objects) {
+    const TimeInterval life = object.Lifetime();
+    const std::vector<Rect2D> rects = object.Sample();
+    for (Time t = life.start; t < life.end; ++t) {
+      LiveObservation update;
+      update.object = object.id();
+      update.time = t;
+      update.rect = rects[static_cast<size_t>(t - life.start)];
+      stream.push_back(update);
+    }
+    LiveObservation end;
+    end.object = object.id();
+    end.time = life.end;
+    end.is_end = true;
+    stream.push_back(end);
+  }
+  std::sort(stream.begin(), stream.end(),
+            [](const LiveObservation& a, const LiveObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.is_end != b.is_end) return a.is_end;
+              return a.object < b.object;
+            });
+  return stream;
+}
+
+}  // namespace stindex

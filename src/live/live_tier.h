@@ -1,0 +1,148 @@
+#ifndef STINDEX_LIVE_LIVE_TIER_H_
+#define STINDEX_LIVE_LIVE_TIER_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "live/live_index.h"
+#include "live/migration.h"
+#include "live/wal.h"
+#include "pprtree/ppr_tree.h"
+#include "storage/page_backend.h"
+#include "storage/shared_buffer_pool.h"
+#include "util/status.h"
+
+namespace stindex {
+
+struct LiveTierOptions {
+  LiveIndexOptions index;
+  PprConfig ppr;
+  // Frames of the shared query pool over the historical tree (0 = the
+  // PprConfig default).
+  size_t query_pool_pages = 0;
+};
+
+// One movement update of the input stream; `MakeObservationStream` turns
+// a trajectory dataset into the tick-ordered sequence of these that a
+// position feed would deliver.
+struct LiveObservation {
+  ObjectId object = 0;
+  Time time = 0;
+  Rect2D rect;
+  bool is_end = false;  // when set, `time` is one past the last instant
+};
+
+// The crash-safe live ingestion tier: movement updates land in an
+// in-memory LiveIndex and are journaled to a write-ahead log; ripe
+// buffers (capacity / duration / global-budget knobs, LIT's -c/-d/-b)
+// seal into segments through the online splitter and migrate into a
+// persistent PPR-tree in time order (see MigrationPipeline). Queries
+// consult all three layers — historical tree, in-flight migration
+// records, live buffers — so an acknowledged update is immediately and
+// exactly visible.
+//
+// Durability contract: an update is acknowledged once a later Commit()
+// returns OK. On crash, reopen the WAL backend and Open() again: redo
+// replay reconstructs the acknowledged prefix (seals are log-driven, so
+// the rebuilt tree is byte-identical), and re-ingesting the whole input
+// is safe — absorbed records are detected and skipped. Any WAL I/O error
+// latches the tier dead (kFailedPrecondition thereafter): the in-memory
+// state may be ahead of the log, so the only safe continuation is
+// recovery from the durable prefix.
+//
+// Thread safety: updates and Commit/Finish are serialized internally and
+// may run concurrently with any number of queries (readers-writer lock;
+// historical reads go through a sharded SharedBufferPool).
+class LiveTier {
+ public:
+  // `wal_backend` holds the journal: freshly Create()d for a new tier, or
+  // re-Open()ed after a crash — Open replays it before returning.
+  static Result<std::unique_ptr<LiveTier>> Open(
+      LiveTierOptions options, std::unique_ptr<PageBackend> wal_backend);
+
+  // --- updates (serialized; acknowledged by the next Commit) -----------
+
+  Status Observe(ObjectId object, Time t, const Rect2D& rect);
+  Status End(ObjectId object, Time t);
+  Status Apply(const LiveObservation& update);
+
+  // Makes every update since the last Commit durable.
+  Status Commit();
+
+  // End of stream: seals every remaining buffer, drains the migration
+  // pipeline into the tree and commits. The tier is frozen afterwards
+  // (further updates are kFailedPrecondition; queries keep working).
+  Status Finish();
+
+  // --- queries (exact over acknowledged and in-flight updates) ---------
+
+  void SnapshotQuery(const Rect2D& area, Time t,
+                     std::vector<ObjectId>* out) const;
+  // Objects occupying `area` at any instant of [range.start, range.end);
+  // sorted, de-duplicated.
+  void IntervalQuery(const Rect2D& area, const TimeInterval& range,
+                     std::vector<ObjectId>* out) const;
+
+  // --- introspection ----------------------------------------------------
+
+  // The persistent tree. Only stable while no update runs concurrently;
+  // the differential tests compare it against a batch-built tree after
+  // Finish().
+  const PprTree& historical() const { return *tree_; }
+  // Segments migrated so far, in migration order (PprDataId = index).
+  const std::vector<SegmentRecord>& migrated_segments() const {
+    return pipeline_.segments();
+  }
+
+  size_t live_objects() const;
+  size_t buffered_instants() const;
+  size_t pending_events() const;
+  uint64_t wal_records() const { return writer_->appended_records(); }
+  uint64_t wal_pages() const { return writer_->pages_written(); }
+  uint64_t wal_commits() const { return writer_->commits(); }
+  // Replay statistics from Open.
+  const WalReplayStats& recovered() const { return recovered_; }
+
+ private:
+  LiveTier(LiveTierOptions options, std::unique_ptr<PageBackend> wal_backend);
+
+  // Replays the WAL and seals anything whose seal record was lost with
+  // the log's tail.
+  Status Recover();
+  Status ApplyReplayRecord(const WalRecord& record);
+
+  // Seals every ripe buffer (the deterministic order documented on
+  // LiveIndex::RipeForCatchUp, then budget evictions) and advances the
+  // migration pipeline. Runs after every applied update and at recovery
+  // catch-up — one code path, so a crashed-and-recovered run seals
+  // exactly where an uninterrupted one would.
+  Status SealRipe();
+  Status SealAndJournal(ObjectId object);
+
+  Status CheckAlive() const;
+  Status Latch(Status status);  // records a WAL failure; returns it
+
+  LiveTierOptions options_;
+  std::unique_ptr<PageBackend> wal_backend_;
+  std::unique_ptr<WalWriter> writer_;  // set once Recover finishes replay
+  LiveIndex index_;
+  std::unique_ptr<PprTree> tree_;
+  MigrationPipeline pipeline_;
+  std::unique_ptr<SharedBufferPool> pool_;
+  WalReplayStats recovered_;
+  bool failed_ = false;
+  bool finished_ = false;
+  mutable std::shared_mutex mu_;
+};
+
+// Flattens a trajectory dataset into the live tier's input: one observe
+// per alive instant plus one end per object, ordered by (tick, ends
+// before observes, object id) — the order a per-tick position feed
+// delivers.
+std::vector<LiveObservation> MakeObservationStream(
+    const std::vector<Trajectory>& objects);
+
+}  // namespace stindex
+
+#endif  // STINDEX_LIVE_LIVE_TIER_H_

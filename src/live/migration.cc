@@ -1,0 +1,93 @@
+#include "live/migration.h"
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace stindex {
+namespace {
+
+struct MigrationMetrics {
+  Counter* chunks;
+  Counter* segments;
+  Counter* applied;
+};
+
+const MigrationMetrics& Metrics() {
+  static const MigrationMetrics m = [] {
+    MetricRegistry& r = MetricRegistry::Global();
+    return MigrationMetrics{r.GetCounter("live.migration.chunks"),
+                            r.GetCounter("live.migration.segments"),
+                            r.GetCounter("live.migration.applied_events")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+MigrationPipeline::MigrationPipeline(PprTree* tree) : tree_(tree) {}
+
+size_t MigrationPipeline::Enqueue(const LiveIndex::SealedChunk& chunk) {
+  TraceSpan span("live", "migrate_seal");
+  span.Arg("object", static_cast<int64_t>(chunk.object));
+  const std::vector<SegmentRecord> records =
+      ApplySplits(chunk.object, chunk.rects, chunk.start, chunk.cuts);
+  for (const SegmentRecord& record : records) {
+    const PprDataId id = static_cast<PprDataId>(segments_.size());
+    segments_.push_back(record);
+    insert_pending_.insert(id);
+    delete_pending_.insert(id);
+    events_.push(Event{record.box.interval.start, /*is_insert=*/true, id});
+    events_.push(Event{record.box.interval.end, /*is_insert=*/false, id});
+  }
+  Metrics().chunks->Add(1);
+  Metrics().segments->Add(records.size());
+  return records.size();
+}
+
+void MigrationPipeline::Apply(const Event& event) {
+  const SegmentRecord& record = segments_[static_cast<size_t>(event.id)];
+  if (event.is_insert) {
+    tree_->Insert(record.box.rect, event.time, event.id);
+    insert_pending_.erase(event.id);
+  } else {
+    tree_->Delete(event.id, event.time);
+    delete_pending_.erase(event.id);
+  }
+  ++applied_events_;
+  Metrics().applied->Add(1);
+}
+
+void MigrationPipeline::Advance(Time watermark) {
+  while (!events_.empty() && events_.top().time < watermark) {
+    const Event event = events_.top();
+    events_.pop();
+    Apply(event);
+  }
+}
+
+void MigrationPipeline::Drain() {
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    Apply(event);
+  }
+}
+
+void MigrationPipeline::CollectPending(const Rect2D& area,
+                                       const TimeInterval& range,
+                                       std::vector<ObjectId>* out) const {
+  const STBox query(area, range);
+  for (const PprDataId id : insert_pending_) {
+    if (segments_[static_cast<size_t>(id)].box.Intersects(query)) {
+      out->push_back(ObjectOf(id));
+    }
+  }
+}
+
+bool MigrationPipeline::ClipToInterval(PprDataId id,
+                                       const TimeInterval& range) const {
+  if (delete_pending_.count(id) == 0) return true;
+  return segments_[static_cast<size_t>(id)].box.interval.Intersects(range);
+}
+
+}  // namespace stindex

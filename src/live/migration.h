@@ -1,0 +1,98 @@
+#ifndef STINDEX_LIVE_MIGRATION_H_
+#define STINDEX_LIVE_MIGRATION_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/segment.h"
+#include "live/live_index.h"
+#include "pprtree/ppr_tree.h"
+#include "util/status.h"
+
+namespace stindex {
+
+// Moves sealed live-tier chunks into the persistent PPR-tree.
+//
+// The PPR-tree demands updates in globally non-decreasing time order, but
+// chunks seal out of time order (whichever buffer ripens first). The
+// pipeline therefore splits each chunk into segment records immediately —
+// data ids are assigned in migration order, exactly as BuildPprTree
+// numbers its input — and holds the resulting insert/delete events in a
+// priority queue keyed (time, deletes-first, data id), the same order
+// BuildPprTree replays a batch. Advance(watermark) applies every event
+// strictly below the watermark (no later chunk can produce an earlier
+// event, see LiveIndex::Watermark), so feeding the same chunks in the
+// same order as a batch build yields a byte-identical tree.
+//
+// Events still queued are invisible to (delete-pending: overstated by)
+// the tree; CollectPending and ClipToInterval give queries exact answers
+// over the in-flight records.
+class MigrationPipeline {
+ public:
+  explicit MigrationPipeline(PprTree* tree);
+
+  // Splits `chunk` into segment records and queues their events. Returns
+  // the number of segments produced.
+  size_t Enqueue(const LiveIndex::SealedChunk& chunk);
+
+  // Applies every queued event with time < `watermark` to the tree.
+  // Watermarks must be non-decreasing across calls.
+  void Advance(Time watermark);
+
+  // Applies everything. Only valid at end of stream: a later Enqueue
+  // could produce events before ones already applied.
+  void Drain();
+
+  // Every migrated segment, in migration order: segment i has PprDataId i.
+  const std::vector<SegmentRecord>& segments() const { return segments_; }
+
+  size_t applied_events() const { return applied_events_; }
+  size_t pending_events() const { return events_.size(); }
+
+  // --- query support over in-flight records ----------------------------
+
+  // Segments whose insert has not been applied (the tree cannot see
+  // them): appends the objects of those intersecting the query to `out`.
+  void CollectPending(const Rect2D& area, const TimeInterval& range,
+                      std::vector<ObjectId>* out) const;
+
+  // The tree reports `id` for `range`; true if the segment really does
+  // intersect `range` in time. (An insert-applied, delete-pending record
+  // looks alive-to-infinity inside the tree.)
+  bool ClipToInterval(PprDataId id, const TimeInterval& range) const;
+
+  ObjectId ObjectOf(PprDataId id) const {
+    return segments_[static_cast<size_t>(id)].object;
+  }
+
+ private:
+  struct Event {
+    Time time = 0;
+    bool is_insert = false;
+    PprDataId id = 0;
+  };
+  // Orders the min-heap by (time, deletes-first, data id) — BuildPprTree's
+  // replay order.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.is_insert != b.is_insert) return a.is_insert && !b.is_insert;
+      return a.id > b.id;
+    }
+  };
+
+  void Apply(const Event& event);
+
+  PprTree* tree_;
+  std::vector<SegmentRecord> segments_;
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::unordered_set<PprDataId> insert_pending_;
+  std::unordered_set<PprDataId> delete_pending_;
+  size_t applied_events_ = 0;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_LIVE_MIGRATION_H_

@@ -1,0 +1,226 @@
+#include "live/wal.h"
+
+#include <cstring>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace stindex {
+namespace {
+
+struct WalMetrics {
+  Counter* records;
+  Counter* pages;
+  Counter* commits;
+  Counter* replayed_records;
+  Counter* replayed_pages;
+};
+
+const WalMetrics& Metrics() {
+  static const WalMetrics m = [] {
+    MetricRegistry& r = MetricRegistry::Global();
+    return WalMetrics{r.GetCounter("live.wal.records"),
+                      r.GetCounter("live.wal.pages"),
+                      r.GetCounter("live.wal.commits"),
+                      r.GetCounter("live.wal.replayed_records"),
+                      r.GetCounter("live.wal.replayed_pages")};
+  }();
+  return m;
+}
+
+// Serialized sizes (payload bytes) per record kind; a fixed header of
+// kind + object + time, plus kind-specific fields.
+constexpr size_t kHeaderBytes =
+    sizeof(uint8_t) + sizeof(ObjectId) + sizeof(Time);
+
+size_t RecordBytes(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecord::Kind::kObserve:
+      return kHeaderBytes + 4 * sizeof(double);
+    case WalRecord::Kind::kEnd:
+      return kHeaderBytes;
+    case WalRecord::Kind::kSeal:
+      return kHeaderBytes + sizeof(uint32_t);
+  }
+  return 0;
+}
+
+void SerializeRecord(const WalRecord& record, PageWriter* writer) {
+  writer->Write(static_cast<uint8_t>(record.kind));
+  writer->Write(record.object);
+  writer->Write(record.time);
+  switch (record.kind) {
+    case WalRecord::Kind::kObserve:
+      writer->Write(record.rect.xlo);
+      writer->Write(record.rect.ylo);
+      writer->Write(record.rect.xhi);
+      writer->Write(record.rect.yhi);
+      break;
+    case WalRecord::Kind::kEnd:
+      break;
+    case WalRecord::Kind::kSeal:
+      writer->Write(record.segments);
+      break;
+  }
+}
+
+// Returns false on a short or malformed payload (the caller decides
+// whether that is a torn tail or corruption).
+bool DeserializeRecord(PageReader* reader, WalRecord* out) {
+  uint8_t kind = 0;
+  if (!reader->Read(&kind) || !reader->Read(&out->object) ||
+      !reader->Read(&out->time)) {
+    return false;
+  }
+  switch (kind) {
+    case static_cast<uint8_t>(WalRecord::Kind::kObserve):
+      out->kind = WalRecord::Kind::kObserve;
+      return reader->Read(&out->rect.xlo) && reader->Read(&out->rect.ylo) &&
+             reader->Read(&out->rect.xhi) && reader->Read(&out->rect.yhi);
+    case static_cast<uint8_t>(WalRecord::Kind::kEnd):
+      out->kind = WalRecord::Kind::kEnd;
+      return true;
+    case static_cast<uint8_t>(WalRecord::Kind::kSeal):
+      out->kind = WalRecord::Kind::kSeal;
+      return reader->Read(&out->segments);
+    default:
+      return false;  // unknown kind: garbage
+  }
+}
+
+}  // namespace
+
+bool WalRecord::operator==(const WalRecord& o) const {
+  if (kind != o.kind || object != o.object || time != o.time) return false;
+  switch (kind) {
+    case Kind::kObserve:
+      return rect.xlo == o.rect.xlo && rect.ylo == o.rect.ylo &&
+             rect.xhi == o.rect.xhi && rect.yhi == o.rect.yhi;
+    case Kind::kEnd:
+      return true;
+    case Kind::kSeal:
+      return segments == o.segments;
+  }
+  return false;
+}
+
+WalWriter::WalWriter(PageBackend* backend, PageId next_page)
+    : backend_(backend), next_page_(next_page) {
+  buffered_.reserve(kPagePayloadBytes);
+}
+
+Status WalWriter::FlushPage() {
+  uint8_t page[kPageSize];
+  PageWriter writer = PayloadWriter(page);
+  writer.Write(buffered_count_);
+  writer.WriteBytes(buffered_.data(), buffered_.size());
+  SealPage(page, PageKind::kWalPage);
+  Status status = backend_->Write(next_page_, page);
+  if (!status.ok()) return status;
+  ++next_page_;
+  ++pages_written_;
+  Metrics().pages->Add(1);
+  buffered_.clear();
+  buffered_count_ = 0;
+  dirty_since_sync_ = true;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  const size_t bytes = RecordBytes(record);
+  // +4 for the record-count field at the head of the payload.
+  if (sizeof(uint32_t) + buffered_.size() + bytes > kPagePayloadBytes) {
+    Status status = FlushPage();
+    if (!status.ok()) return status;
+  }
+  const size_t offset = buffered_.size();
+  buffered_.resize(offset + bytes);
+  PageWriter writer(buffered_.data() + offset, bytes);
+  SerializeRecord(record, &writer);
+  ++buffered_count_;
+  ++appended_records_;
+  Metrics().records->Add(1);
+  return Status::OK();
+}
+
+Status WalWriter::Commit() {
+  if (buffered_count_ > 0) {
+    Status status = FlushPage();
+    if (!status.ok()) return status;
+  }
+  if (!dirty_since_sync_) return Status::OK();
+  TraceSpan span("live", "wal_commit");
+  Status status = backend_->Sync();
+  if (!status.ok()) return status;
+  dirty_since_sync_ = false;
+  ++commits_;
+  Metrics().commits->Add(1);
+  return Status::OK();
+}
+
+Result<WalReplayStats> ReplayWal(
+    const PageBackend& backend,
+    const std::function<Status(const WalRecord&)>& apply) {
+  TraceSpan span("live", "wal_replay");
+  // The durable log is pages 0..k-1 for some k: WalWriter appends them in
+  // order and never frees one. Find the end so a decode failure there can
+  // be classified as a torn tail rather than interior corruption.
+  PageId last = kInvalidPage;
+  for (PageId id = 0; id < backend.SlotCount(); ++id) {
+    if (backend.IsAllocated(id)) last = id;
+  }
+  WalReplayStats stats;
+  uint8_t page[kPageSize];
+  for (PageId id = 0; id == 0 || id <= last; ++id) {
+    if (last == kInvalidPage || !backend.IsAllocated(id)) break;
+    Status status = backend.Read(id, page);
+    if (!status.ok()) return status;  // environment failure, not corruption
+    Result<PageReader> payload = OpenPagePayload(page, PageKind::kWalPage, id);
+    if (!payload.ok()) {
+      if (id == last) {
+        stats.torn_tail = true;
+        break;
+      }
+      return Status::InvalidArgument("wal page " + std::to_string(id) + ": " +
+                                     payload.status().message());
+    }
+    PageReader reader = payload.value();
+    uint32_t count = 0;
+    bool well_formed = reader.Read(&count);
+    std::vector<WalRecord> records;
+    if (well_formed) {
+      records.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        WalRecord record;
+        if (!DeserializeRecord(&reader, &record)) {
+          well_formed = false;
+          break;
+        }
+        records.push_back(record);
+      }
+    }
+    if (!well_formed) {
+      // The checksum passed but the payload decodes short: only plausible
+      // as a torn tail of a half-written final page; anywhere else the
+      // log is corrupt.
+      if (id == last) {
+        stats.torn_tail = true;
+        break;
+      }
+      return Status::InvalidArgument("wal page " + std::to_string(id) +
+                                     ": malformed record payload");
+    }
+    for (const WalRecord& record : records) {
+      Status status_apply = apply(record);
+      if (!status_apply.ok()) return status_apply;
+      ++stats.records;
+    }
+    ++stats.pages;
+  }
+  stats.next_page = static_cast<PageId>(stats.pages);
+  Metrics().replayed_records->Add(stats.records);
+  Metrics().replayed_pages->Add(stats.pages);
+  return stats;
+}
+
+}  // namespace stindex

@@ -1,0 +1,136 @@
+#ifndef STINDEX_LIVE_WAL_H_
+#define STINDEX_LIVE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "storage/page_backend.h"
+#include "storage/page_codec.h"
+#include "trajectory/trajectory.h"
+#include "util/status.h"
+
+namespace stindex {
+
+// One logical record in the live-tier write-ahead log.
+//
+// The log is the durable form of the *input stream*, not of the derived
+// state: kObserve/kEnd records replay the movement updates through the
+// same code that applied them originally, and kSeal records pin down
+// exactly where the migration pipeline sealed a chunk, so replay is
+// log-driven rather than re-deriving threshold decisions (whose inputs —
+// the unacknowledged tail — may be partially lost).
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kObserve = 1,  // object occupied `rect` at instant `time`
+    kEnd = 2,      // object's life ended; `time` is one past its last instant
+    kSeal = 3,     // object's buffer was sealed; `time` is the chunk's first
+                   // instant, `segments` the number of records produced
+  };
+
+  Kind kind = Kind::kObserve;
+  ObjectId object = 0;
+  Time time = 0;
+  Rect2D rect;            // kObserve only
+  uint32_t segments = 0;  // kSeal only
+
+  static WalRecord Observe(ObjectId object, Time time, const Rect2D& rect) {
+    WalRecord r;
+    r.kind = Kind::kObserve;
+    r.object = object;
+    r.time = time;
+    r.rect = rect;
+    return r;
+  }
+  static WalRecord End(ObjectId object, Time time) {
+    WalRecord r;
+    r.kind = Kind::kEnd;
+    r.object = object;
+    r.time = time;
+    return r;
+  }
+  static WalRecord Seal(ObjectId object, Time first_instant,
+                        uint32_t segments) {
+    WalRecord r;
+    r.kind = Kind::kSeal;
+    r.object = object;
+    r.time = first_instant;
+    r.segments = segments;
+    return r;
+  }
+
+  bool operator==(const WalRecord& o) const;
+};
+
+// Appends WalRecords to consecutive pages of a PageBackend, starting at
+// `next_page`. Records accumulate in an in-memory page image; a page is
+// written when full or at Commit(), which also fsyncs. Committed pages
+// are never rewritten, so the durable log is always a record-sequence
+// prefix of the logical log — the invariant recovery builds on.
+//
+// Durability contract: a record is durable iff a Commit() issued after
+// its Append() returned OK. Callers acknowledge input batches only then.
+class WalWriter {
+ public:
+  // `backend` is borrowed and must outlive the writer. `next_page` is the
+  // first page to write — 0 for a fresh log, or WalReplayStats::next_page
+  // to continue a replayed one (a torn tail page is overwritten).
+  WalWriter(PageBackend* backend, PageId next_page);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Serializes `record` into the open page, flushing it to the backend
+  // first if the record does not fit. An I/O failure leaves the writer
+  // unusable for further appends of the same logical batch — the caller
+  // must treat it as a crash and recover.
+  Status Append(const WalRecord& record);
+
+  // Flushes the open page (if it holds any records) and fsyncs the
+  // backend. No-op when nothing was appended or flushed since the last
+  // Commit.
+  Status Commit();
+
+  PageId next_page() const { return next_page_; }
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t pages_written() const { return pages_written_; }
+  uint64_t commits() const { return commits_; }
+
+ private:
+  Status FlushPage();
+
+  PageBackend* backend_;
+  PageId next_page_;
+  std::vector<uint8_t> buffered_;  // serialized records of the open page
+  uint32_t buffered_count_ = 0;
+  bool dirty_since_sync_ = false;
+  uint64_t appended_records_ = 0;
+  uint64_t pages_written_ = 0;
+  uint64_t commits_ = 0;
+};
+
+struct WalReplayStats {
+  uint64_t pages = 0;    // pages replayed cleanly
+  uint64_t records = 0;  // records delivered to the callback
+  // True when the last allocated page failed its checksum or decoded
+  // short — the torn tail of a crashed append, treated as clean end of
+  // log. `next_page` points at it so a continuing writer overwrites the
+  // garbage.
+  bool torn_tail = false;
+  PageId next_page = 0;  // where a continuing WalWriter should write
+};
+
+// Redo-only replay: reads pages 0, 1, ... until the first unallocated
+// page and delivers every record, in order, to `apply`. A checksum or
+// decode failure on the *last* allocated page is a torn tail (clean end
+// of log, see WalReplayStats); anywhere else it is corruption and
+// replay fails. A non-OK status from `apply` aborts replay with that
+// status.
+Result<WalReplayStats> ReplayWal(
+    const PageBackend& backend,
+    const std::function<Status(const WalRecord&)>& apply);
+
+}  // namespace stindex
+
+#endif  // STINDEX_LIVE_WAL_H_

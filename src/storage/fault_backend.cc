@@ -4,7 +4,32 @@
 
 namespace stindex {
 
+namespace {
+std::string OpTarget(const char* op, PageId id) {
+  if (id == kInvalidPage) return op;
+  return "page " + std::to_string(id) + ": " + op;
+}
+}  // namespace
+
+Status FaultInjectingBackend::CheckMutation(const char* op, PageId id) {
+  if (crashed_) {
+    return Status::IoError(OpTarget(op, id) + " after injected crash");
+  }
+  ++mutations_;
+  if (faults_.crash_at_write != 0 && mutations_ == faults_.crash_at_write) {
+    crashed_ = true;
+    return Status::IoError(OpTarget(op, id) +
+                           " hit injected crash point (mutation " +
+                           std::to_string(mutations_) + ")");
+  }
+  return Status::OK();
+}
+
 Status FaultInjectingBackend::Read(PageId id, uint8_t* out) const {
+  if (crashed_) {
+    return Status::IoError("page " + std::to_string(id) +
+                           ": read after injected crash");
+  }
   ++reads_;
   if (faults_.fail_read_at != 0 && reads_ == faults_.fail_read_at) {
     faults_.fail_read_at = 0;
@@ -35,6 +60,8 @@ Status FaultInjectingBackend::Read(PageId id, uint8_t* out) const {
 }
 
 Status FaultInjectingBackend::Write(PageId id, const uint8_t* data) {
+  Status alive = CheckMutation("write", id);
+  if (!alive.ok()) return alive;
   ++writes_;
   if (faults_.fail_write_at != 0 && writes_ == faults_.fail_write_at) {
     faults_.fail_write_at = 0;
@@ -42,6 +69,18 @@ Status FaultInjectingBackend::Write(PageId id, const uint8_t* data) {
                            ": injected write failure");
   }
   return wrapped_->Write(id, data);
+}
+
+Status FaultInjectingBackend::Free(PageId id) {
+  Status alive = CheckMutation("free", id);
+  if (!alive.ok()) return alive;
+  return wrapped_->Free(id);
+}
+
+Status FaultInjectingBackend::Sync() {
+  Status alive = CheckMutation("sync", kInvalidPage);
+  if (!alive.ok()) return alive;
+  return wrapped_->Sync();
 }
 
 }  // namespace stindex

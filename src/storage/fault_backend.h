@@ -18,7 +18,8 @@ namespace stindex {
 //
 // Counters are 1-based: `fail_read_at = 3` makes the third Read fail.
 // 0 disables that fault. Faults fire once and then disarm, so a test can
-// also verify recovery behaviour after the faulty call.
+// also verify recovery behaviour after the faulty call — except the
+// crash trigger, which by design never disarms.
 class FaultInjectingBackend : public PageBackend {
  public:
   struct Faults {
@@ -26,6 +27,13 @@ class FaultInjectingBackend : public PageBackend {
     uint64_t fail_read_at = 0;
     // Fail the Nth Write with IoError.
     uint64_t fail_write_at = 0;
+    // Crash at the Nth *mutating* call — Write, Sync and Free share one
+    // 1-based counter (see mutations()). That call fails with IoError
+    // and, unlike the one-shot faults above, the backend stays dead:
+    // every subsequent call (reads included) also fails, simulating
+    // process death at that write site. The crash-point recovery
+    // harness sweeps this over every mutation of a run.
+    uint64_t crash_at_write = 0;
     // On the Nth Read, deliver only the first half of the page
     // (simulates a short read of a truncated file) and report IoError.
     uint64_t short_read_at = 0;
@@ -42,25 +50,41 @@ class FaultInjectingBackend : public PageBackend {
   size_t page_size() const override { return wrapped_->page_size(); }
   Status Read(PageId id, uint8_t* out) const override;
   Status Write(PageId id, const uint8_t* data) override;
-  Status Free(PageId id) override { return wrapped_->Free(id); }
+  Status Free(PageId id) override;
   bool IsAllocated(PageId id) const override {
     return wrapped_->IsAllocated(id);
   }
   size_t SlotCount() const override { return wrapped_->SlotCount(); }
   size_t LivePageCount() const override { return wrapped_->LivePageCount(); }
-  Status Sync() override { return wrapped_->Sync(); }
+  Status Sync() override;
   std::string Name() const override {
     return "fault(" + wrapped_->Name() + ")";
   }
 
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
+  // Mutating calls observed so far (Write + Sync + Free) — the counter
+  // `crash_at_write` indexes into.
+  uint64_t mutations() const { return mutations_; }
+  // True once the crash trigger fired; everything fails from then on.
+  bool crashed() const { return crashed_; }
+
+  // The wrapped backend, e.g. to Abandon() a FilePageBackend after a
+  // simulated crash so its destructor does not quietly sync the file the
+  // "dead process" never wrote.
+  PageBackend* wrapped() { return wrapped_.get(); }
 
  private:
+  // Advances the mutation counter and fires/latches the crash trigger.
+  // Returns non-OK when the backend is (now) dead.
+  Status CheckMutation(const char* op, PageId id);
+
   std::unique_ptr<PageBackend> wrapped_;
   mutable Faults faults_;
   mutable uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t mutations_ = 0;
+  mutable bool crashed_ = false;
 };
 
 }  // namespace stindex

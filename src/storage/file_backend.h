@@ -77,6 +77,13 @@ class FilePageBackend : public PageBackend {
   // Capacity implied by the bitmap region.
   size_t MaxSlots() const { return bitmap_.size() * 8; }
 
+  // Closes the file WITHOUT syncing pending metadata — the on-disk state
+  // stays exactly what previous Write/Sync calls produced, as if the
+  // process had died here. Every later call on this object is IoError.
+  // The crash-point recovery harness uses this so a simulated crash is
+  // not quietly healed by the destructor's sync backstop.
+  void Abandon();
+
  private:
   FilePageBackend(std::string path, int fd, size_t bitmap_pages);
 

@@ -23,6 +23,7 @@ enum class PageKind : uint16_t {
   kRStarNode = 2,   // serialized RStarTree::Node
   kPprNode = 3,     // serialized PprTree::Node
   kTest = 4,        // reserved for unit tests
+  kWalPage = 5,     // live-tier write-ahead-log page (live/wal.h)
 };
 
 // Every on-disk page carries an 8-byte envelope:

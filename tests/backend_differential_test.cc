@@ -16,6 +16,7 @@
 #include "core/split_pipeline.h"
 #include "datagen/query_gen.h"
 #include "datagen/random_dataset.h"
+#include "live/live_tier.h"
 #include "pprtree/ppr_tree.h"
 #include "rstar/rstar_tree.h"
 #include "storage/file_backend.h"
@@ -358,6 +359,69 @@ TEST(BackendDifferentialTest, FileBackendSurvivesReopen) {
     ASSERT_TRUE(reopened.value()->Read(id, buffer).ok());
     EXPECT_EQ(std::memcmp(buffer, original[id].data(), kPageSize), 0)
         << "page " << id;
+  }
+}
+
+// The live-ingestion differential (the Figure 17/18 protocol run through
+// the live tier): streaming a dataset through LiveIndex -> WAL ->
+// MigrationPipeline must leave a PPR-tree *byte-identical* to batch-
+// building one from the very segments the migration produced — same
+// answers AND same per-query miss counts, at every thread count. This
+// pins the pipeline's ordering claim: watermark-gated event application
+// replays exactly the (time, deletes-first, id) sequence BuildPprTree
+// uses.
+TEST(BackendDifferentialTest, LiveIngestedPprMatchesBatchBuild) {
+  RandomDatasetConfig config;
+  config.num_objects = 300;
+  config.seed = 42;
+  config.time_domain = kTimeDomain;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(config);
+  const std::vector<STQuery> queries = MakeQueries();
+
+  LiveTierOptions options;
+  options.index.capacity = 24;
+  options.index.buffer = 4000;
+  Result<std::unique_ptr<LiveTier>> tier =
+      LiveTier::Open(options, std::make_unique<MemoryPageBackend>());
+  ASSERT_TRUE(tier.ok()) << tier.status().ToString();
+
+  const std::vector<LiveObservation> stream = MakeObservationStream(objects);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_TRUE(tier.value()->Apply(stream[i]).ok());
+    if ((i + 1) % 64 == 0) {
+      ASSERT_TRUE(tier.value()->Commit().ok());
+    }
+  }
+  ASSERT_TRUE(tier.value()->Finish().ok());
+
+  const std::vector<SegmentRecord>& segments =
+      tier.value()->migrated_segments();
+  ASSERT_GT(segments.size(), objects.size());
+  const std::unique_ptr<PprTree> batch = BuildPprTree(segments);
+
+  // Identical structure, not just identical answers.
+  EXPECT_EQ(tier.value()->historical().PageCount(), batch->PageCount());
+  EXPECT_EQ(tier.value()->historical().NumRoots(), batch->NumRoots());
+
+  const std::vector<QueryOutcome> baseline = RunPpr(*batch, queries, 1);
+  ASSERT_GT(TotalMisses(baseline), 0u);
+  for (const int threads : {1, 2, 7}) {
+    EXPECT_EQ(RunPpr(tier.value()->historical(), queries, threads), baseline)
+        << "live-ingested tree, threads=" << threads;
+  }
+
+  // And the tiered query facade agrees with the batch tree at object
+  // granularity.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<ObjectId> want;
+    for (const uint64_t id : baseline[q].results) {
+      want.push_back(segments[id].object);
+    }
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+    std::vector<ObjectId> got;
+    tier.value()->IntervalQuery(queries[q].area, queries[q].range, &got);
+    EXPECT_EQ(got, want) << "query " << q;
   }
 }
 

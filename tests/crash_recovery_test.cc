@@ -1,0 +1,305 @@
+// Crash-point recovery harness for the live ingestion tier — the
+// headline test of the crash-safety contract.
+//
+// A reference run streams a dataset through a LiveTier journaling onto a
+// real FilePageBackend, committing every few updates, and records every
+// mutating backend call (page write / sync) along the way. The sweep then
+// repeats the run once per mutation site with FaultInjectingBackend's
+// crash trigger armed at that site: the call fails, every later call
+// fails too, and the file is Abandon()ed so the on-disk bytes are exactly
+// what a killed process leaves behind. Recovery reopens the file, replays
+// the WAL, re-ingests the unacknowledged tail (everything after the last
+// successful Commit), and finishes the stream.
+//
+// After every single crash point the recovered tier must be
+// indistinguishable from the never-crashed reference: byte-identical
+// query answers, the identical migrated segment list (same order, same
+// boxes — so the same PprDataIds), and the identical tree shape.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/query_gen.h"
+#include "datagen/random_dataset.h"
+#include "live/live_tier.h"
+#include "storage/fault_backend.h"
+#include "storage/file_backend.h"
+#include "util/status.h"
+
+namespace stindex {
+namespace {
+
+constexpr Time kTimeDomain = 150;
+constexpr size_t kCommitEvery = 16;
+
+std::vector<Trajectory> MakeObjects() {
+  RandomDatasetConfig config;
+  config.num_objects = 40;
+  config.time_domain = kTimeDomain;
+  config.max_lifetime = 30;
+  config.min_extent = 0.01;
+  config.max_extent = 0.05;
+  config.seed = 1234;
+  return GenerateRandomDataset(config);
+}
+
+std::vector<STQuery> MakeQueries() {
+  QuerySetConfig config = MixedSnapshotSet();
+  config.count = 16;
+  config.time_domain = kTimeDomain;
+  config.min_extent = 0.02;
+  config.max_extent = 0.2;
+  std::vector<STQuery> queries = GenerateQuerySet(config);
+  QuerySetConfig ranges = SmallRangeSet();
+  ranges.count = 8;
+  ranges.time_domain = kTimeDomain;
+  ranges.min_extent = 0.02;
+  ranges.max_extent = 0.2;
+  for (const STQuery& query : GenerateQuerySet(ranges)) queries.push_back(query);
+  return queries;
+}
+
+LiveTierOptions TierOptions() {
+  LiveTierOptions options;
+  options.index.capacity = 10;
+  options.index.buffer = 120;
+  return options;
+}
+
+struct RunResult {
+  std::vector<std::vector<ObjectId>> answers;
+  std::vector<SegmentRecord> segments;
+  size_t tree_pages = 0;
+  size_t tree_roots = 0;
+};
+
+bool SameSegments(const std::vector<SegmentRecord>& a,
+                  const std::vector<SegmentRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].object != b[i].object ||
+        a[i].box.interval.start != b[i].box.interval.start ||
+        a[i].box.interval.end != b[i].box.interval.end ||
+        a[i].box.rect.xlo != b[i].box.rect.xlo ||
+        a[i].box.rect.ylo != b[i].box.rect.ylo ||
+        a[i].box.rect.xhi != b[i].box.rect.xhi ||
+        a[i].box.rect.yhi != b[i].box.rect.yhi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RunResult Snapshot(const LiveTier& tier, const std::vector<STQuery>& queries) {
+  RunResult result;
+  for (const STQuery& query : queries) {
+    std::vector<ObjectId> answer;
+    tier.IntervalQuery(query.area, query.range, &answer);
+    result.answers.push_back(std::move(answer));
+  }
+  result.segments = tier.migrated_segments();
+  result.tree_pages = tier.historical().PageCount();
+  result.tree_roots = tier.historical().NumRoots();
+  return result;
+}
+
+// The never-crashed run; `mutations` (when non-null) receives the number
+// of mutating backend calls the whole run performs — the sweep space.
+RunResult ReferenceRun(const std::string& path,
+                       const std::vector<LiveObservation>& stream,
+                       const std::vector<STQuery>& queries,
+                       uint64_t* mutations) {
+  RunResult result;
+  Result<std::unique_ptr<FilePageBackend>> file = FilePageBackend::Create(path);
+  EXPECT_TRUE(file.ok()) << file.status().ToString();
+  auto fault = std::make_unique<FaultInjectingBackend>(
+      std::move(file).value(), FaultInjectingBackend::Faults{});
+  FaultInjectingBackend* counter = fault.get();
+  Result<std::unique_ptr<LiveTier>> tier =
+      LiveTier::Open(TierOptions(), std::move(fault));
+  EXPECT_TRUE(tier.ok()) << tier.status().ToString();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_TRUE(tier.value()->Apply(stream[i]).ok());
+    if ((i + 1) % kCommitEvery == 0) {
+      EXPECT_TRUE(tier.value()->Commit().ok());
+    }
+  }
+  EXPECT_TRUE(tier.value()->Finish().ok());
+  if (mutations != nullptr) *mutations = counter->mutations();
+  return Snapshot(*tier.value(), queries);
+}
+
+TEST(CrashRecoveryTest, EveryWriteSiteRecoversToTheReferenceRun) {
+  const std::vector<Trajectory> objects = MakeObjects();
+  const std::vector<LiveObservation> stream = MakeObservationStream(objects);
+  const std::vector<STQuery> queries = MakeQueries();
+
+  const std::string ref_path = ::testing::TempDir() + "/crash_ref.stpages";
+  uint64_t mutations = 0;
+  const RunResult reference =
+      ReferenceRun(ref_path, stream, queries, &mutations);
+  ASSERT_GT(mutations, 50u) << "sweep space suspiciously small";
+  ASSERT_FALSE(reference.segments.empty());
+
+  const std::string path = ::testing::TempDir() + "/crash_sweep.stpages";
+  size_t crashes_mid_stream = 0;
+  size_t crashes_in_finish = 0;
+
+  for (uint64_t crash_at = 1; crash_at <= mutations; ++crash_at) {
+    SCOPED_TRACE("crash_at_write=" + std::to_string(crash_at));
+
+    // --- the doomed run -------------------------------------------------
+    Result<std::unique_ptr<FilePageBackend>> file =
+        FilePageBackend::Create(path);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    FilePageBackend* raw_file = file.value().get();
+    FaultInjectingBackend::Faults faults;
+    faults.crash_at_write = crash_at;
+    auto fault = std::make_unique<FaultInjectingBackend>(
+        std::move(file).value(), faults);
+    FaultInjectingBackend* raw_fault = fault.get();
+
+    Result<std::unique_ptr<LiveTier>> doomed =
+        LiveTier::Open(TierOptions(), std::move(fault));
+    ASSERT_TRUE(doomed.ok()) << doomed.status().ToString();
+
+    size_t acked = 0;  // updates acknowledged by a successful Commit
+    bool crashed = false;
+    for (size_t i = 0; i < stream.size() && !crashed; ++i) {
+      if (!doomed.value()->Apply(stream[i]).ok()) {
+        crashed = true;
+        break;
+      }
+      if ((i + 1) % kCommitEvery == 0) {
+        if (!doomed.value()->Commit().ok()) {
+          crashed = true;
+          break;
+        }
+        acked = i + 1;
+      }
+    }
+    if (!crashed) {
+      // The crash fires inside Finish. Updates applied after the last
+      // successful Commit were never acknowledged, so `acked` stays put:
+      // recovery re-ingests them.
+      ASSERT_FALSE(doomed.value()->Finish().ok())
+          << "crash point " << crash_at << " of " << mutations
+          << " never fired";
+      ++crashes_in_finish;
+    } else {
+      ++crashes_mid_stream;
+    }
+    ASSERT_TRUE(raw_fault->crashed());
+    // Close the fd without the destructor's sync backstop: the disk now
+    // holds exactly what the dead process managed to persist.
+    raw_file->Abandon();
+    doomed.value().reset();
+
+    // --- recovery -------------------------------------------------------
+    Result<std::unique_ptr<FilePageBackend>> reopened =
+        FilePageBackend::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    Result<std::unique_ptr<LiveTier>> recovered =
+        LiveTier::Open(TierOptions(), std::move(reopened).value());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+    // Re-ingest the unacknowledged tail; absorbed records are skipped.
+    for (size_t i = acked; i < stream.size(); ++i) {
+      ASSERT_TRUE(recovered.value()->Apply(stream[i]).ok());
+      if ((i + 1) % kCommitEvery == 0) {
+        ASSERT_TRUE(recovered.value()->Commit().ok());
+      }
+    }
+    ASSERT_TRUE(recovered.value()->Finish().ok());
+
+    // --- equivalence ----------------------------------------------------
+    const RunResult after = Snapshot(*recovered.value(), queries);
+    ASSERT_EQ(after.answers, reference.answers);
+    ASSERT_TRUE(SameSegments(after.segments, reference.segments));
+    ASSERT_EQ(after.tree_pages, reference.tree_pages);
+    ASSERT_EQ(after.tree_roots, reference.tree_roots);
+  }
+
+  // The sweep must have exercised both phases.
+  EXPECT_GT(crashes_mid_stream, 0u);
+  EXPECT_GT(crashes_in_finish, 0u);
+
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+}
+
+// A second, smaller sweep where recovery itself reuses the file for
+// further committed work and then "crashes" again (clean close), proving
+// the journal stays replayable across generations of appends.
+TEST(CrashRecoveryTest, RecoveredJournalSurvivesAnotherGeneration) {
+  const std::vector<Trajectory> objects = MakeObjects();
+  const std::vector<LiveObservation> stream = MakeObservationStream(objects);
+  const std::vector<STQuery> queries = MakeQueries();
+
+  const std::string ref_path = ::testing::TempDir() + "/crash_gen_ref.stpages";
+  const RunResult reference =
+      ReferenceRun(ref_path, stream, queries, nullptr);
+
+  const std::string path = ::testing::TempDir() + "/crash_gen.stpages";
+  const size_t third = stream.size() / 3;
+
+  // Generation 1: ingest a third, commit, drop the tier (clean close).
+  {
+    Result<std::unique_ptr<FilePageBackend>> file =
+        FilePageBackend::Create(path);
+    ASSERT_TRUE(file.ok());
+    Result<std::unique_ptr<LiveTier>> tier =
+        LiveTier::Open(TierOptions(), std::move(file).value());
+    ASSERT_TRUE(tier.ok());
+    for (size_t i = 0; i < third; ++i) {
+      ASSERT_TRUE(tier.value()->Apply(stream[i]).ok());
+    }
+    ASSERT_TRUE(tier.value()->Commit().ok());
+  }
+  // Generation 2: recover, ingest another third with a mid-write crash.
+  size_t acked = third;
+  {
+    Result<std::unique_ptr<FilePageBackend>> file = FilePageBackend::Open(path);
+    ASSERT_TRUE(file.ok());
+    FilePageBackend* raw_file = file.value().get();
+    FaultInjectingBackend::Faults faults;
+    faults.crash_at_write = 7;
+    auto fault = std::make_unique<FaultInjectingBackend>(
+        std::move(file).value(), faults);
+    Result<std::unique_ptr<LiveTier>> tier =
+        LiveTier::Open(TierOptions(), std::move(fault));
+    ASSERT_TRUE(tier.ok());
+    for (size_t i = third; i < 2 * third; ++i) {
+      if (!tier.value()->Apply(stream[i]).ok()) break;
+      if ((i + 1) % kCommitEvery == 0) {
+        if (!tier.value()->Commit().ok()) break;
+        acked = i + 1;
+      }
+    }
+    raw_file->Abandon();
+  }
+  // Generation 3: recover again and run to the end.
+  {
+    Result<std::unique_ptr<FilePageBackend>> file = FilePageBackend::Open(path);
+    ASSERT_TRUE(file.ok());
+    Result<std::unique_ptr<LiveTier>> tier =
+        LiveTier::Open(TierOptions(), std::move(file).value());
+    ASSERT_TRUE(tier.ok()) << tier.status().ToString();
+    for (size_t i = acked; i < stream.size(); ++i) {
+      ASSERT_TRUE(tier.value()->Apply(stream[i]).ok());
+    }
+    ASSERT_TRUE(tier.value()->Finish().ok());
+    const RunResult after = Snapshot(*tier.value(), queries);
+    EXPECT_EQ(after.answers, reference.answers);
+    EXPECT_TRUE(SameSegments(after.segments, reference.segments));
+  }
+
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stindex

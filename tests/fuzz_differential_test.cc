@@ -7,10 +7,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "datagen/query_gen.h"
+#include "datagen/random_dataset.h"
 #include "hrtree/hr_tree.h"
+#include "live/live_tier.h"
 #include "pprtree/ppr_tree.h"
+#include "storage/fault_backend.h"
+#include "storage/file_backend.h"
 #include "util/random.h"
 
 namespace stindex {
@@ -165,6 +176,206 @@ TEST_P(FuzzDifferentialTest, PprAndHrMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
                          ::testing::Range<uint64_t>(1000, 1012));
+
+// ---------------------------------------------------------------------------
+// Live-tier fuzzing: randomized interleaved update/query/crash schedules.
+//
+// Each seed draws a random dataset, random tier knobs (capacity /
+// duration / buffer), random queries, a random crash point, and a
+// random commit cadence, then runs the schedule once per querier-thread
+// count in {1, 2, 7}: a writer streams updates (crashing partway if the
+// trigger fires) while querier threads hammer IntervalQuery
+// concurrently. Two invariants must hold, both reported with the seed on
+// failure:
+//
+//   1. Every concurrently observed answer is a subset of the final
+//      answer — answers only accumulate: live rects are exact, sealed
+//      segments cover them, and the migrated segment list only grows.
+//   2. After crash recovery (reopen, WAL replay, re-ingest of the
+//      unacknowledged tail) and Finish, every answer is byte-identical
+//      to a never-crashed reference run of the same schedule.
+// ---------------------------------------------------------------------------
+
+std::vector<STQuery> RandomLiveQueries(Rng& rng, Time domain, int count) {
+  std::vector<STQuery> queries;
+  for (int i = 0; i < count; ++i) {
+    STQuery query;
+    const double x = rng.UniformDouble(0, 0.8);
+    const double y = rng.UniformDouble(0, 0.8);
+    query.area = Rect2D(x, y, x + rng.UniformDouble(0.05, 0.4),
+                        y + rng.UniformDouble(0.05, 0.4));
+    const Time start = rng.UniformInt(0, domain - 1);
+    query.range =
+        TimeInterval(start, start + 1 + rng.UniformInt(0, domain / 2));
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+std::vector<std::vector<ObjectId>> FinalAnswers(
+    const LiveTier& tier, const std::vector<STQuery>& queries) {
+  std::vector<std::vector<ObjectId>> answers;
+  for (const STQuery& query : queries) {
+    std::vector<ObjectId> answer;
+    tier.IntervalQuery(query.area, query.range, &answer);
+    answers.push_back(std::move(answer));
+  }
+  return answers;
+}
+
+class LiveTierFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LiveTierFuzzTest, InterleavedUpdatesQueriesAndCrashes) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  RandomDatasetConfig dataset_config;
+  dataset_config.num_objects = static_cast<size_t>(rng.UniformInt(20, 45));
+  dataset_config.time_domain = rng.UniformInt(80, 160);
+  dataset_config.max_lifetime = rng.UniformInt(15, 40);
+  dataset_config.min_extent = 0.01;
+  dataset_config.max_extent = 0.06;
+  dataset_config.seed = Rng::DeriveSeed(seed, 1);
+  const std::vector<Trajectory> objects =
+      GenerateRandomDataset(dataset_config);
+  const std::vector<LiveObservation> stream = MakeObservationStream(objects);
+
+  LiveTierOptions options;
+  options.index.capacity = static_cast<size_t>(rng.UniformInt(4, 16));
+  options.index.duration =
+      rng.Bernoulli(0.3) ? rng.UniformInt(20, 50) : 0;
+  options.index.buffer =
+      rng.Bernoulli(0.5)
+          ? static_cast<size_t>(rng.UniformInt(60, 200))
+          : 0;
+
+  const std::vector<STQuery> queries =
+      RandomLiveQueries(rng, dataset_config.time_domain, 12);
+  const size_t commit_every = static_cast<size_t>(rng.UniformInt(4, 40));
+  const uint64_t crash_at = static_cast<uint64_t>(rng.UniformInt(1, 120));
+
+  // The never-crashed reference for this schedule (WAL on memory: the
+  // journal's backend must not change the answers either).
+  std::vector<std::vector<ObjectId>> reference;
+  {
+    Result<std::unique_ptr<LiveTier>> tier =
+        LiveTier::Open(options, std::make_unique<MemoryPageBackend>());
+    ASSERT_TRUE(tier.ok()) << "seed=" << seed;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_TRUE(tier.value()->Apply(stream[i]).ok()) << "seed=" << seed;
+      if ((i + 1) % commit_every == 0) {
+        ASSERT_TRUE(tier.value()->Commit().ok()) << "seed=" << seed;
+      }
+    }
+    ASSERT_TRUE(tier.value()->Finish().ok()) << "seed=" << seed;
+    reference = FinalAnswers(*tier.value(), queries);
+  }
+
+  for (const int querier_threads : {1, 2, 7}) {
+    const std::string path = ::testing::TempDir() + "/fuzz_live_" +
+                             std::to_string(seed) + "_" +
+                             std::to_string(querier_threads) + ".stpages";
+
+    Result<std::unique_ptr<FilePageBackend>> file =
+        FilePageBackend::Create(path);
+    ASSERT_TRUE(file.ok()) << "seed=" << seed;
+    FilePageBackend* raw_file = file.value().get();
+    FaultInjectingBackend::Faults faults;
+    faults.crash_at_write = crash_at;
+    auto fault = std::make_unique<FaultInjectingBackend>(
+        std::move(file).value(), faults);
+
+    Result<std::unique_ptr<LiveTier>> tier =
+        LiveTier::Open(options, std::move(fault));
+    ASSERT_TRUE(tier.ok()) << "seed=" << seed;
+
+    // Queriers record (query index, answer) pairs while the writer runs;
+    // each holds its own Rng (shared Rngs are a data race).
+    std::atomic<bool> done{false};
+    std::vector<std::vector<std::pair<size_t, std::vector<ObjectId>>>>
+        observed(static_cast<size_t>(querier_threads));
+    std::vector<std::thread> queriers;
+    for (int t = 0; t < querier_threads; ++t) {
+      queriers.emplace_back([&, t] {
+        Rng thread_rng(Rng::DeriveSeed(seed, 100 + static_cast<uint64_t>(t)));
+        // Bounded so heavy thread counts don't starve the writer (and so
+        // sanitizer runs stay fast); 200 overlapped answers per querier
+        // is plenty of interleaving.
+        while (!done.load(std::memory_order_acquire) &&
+               observed[static_cast<size_t>(t)].size() < 200) {
+          const size_t q = static_cast<size_t>(
+              thread_rng.UniformInt(0, static_cast<int64_t>(queries.size()) - 1));
+          std::vector<ObjectId> answer;
+          tier.value()->IntervalQuery(queries[q].area, queries[q].range,
+                                      &answer);
+          observed[static_cast<size_t>(t)].emplace_back(q, std::move(answer));
+        }
+      });
+    }
+
+    size_t acked = 0;
+    bool crashed = false;
+    for (size_t i = 0; i < stream.size() && !crashed; ++i) {
+      if (!tier.value()->Apply(stream[i]).ok()) {
+        crashed = true;
+        break;
+      }
+      if ((i + 1) % commit_every == 0) {
+        if (!tier.value()->Commit().ok()) {
+          crashed = true;
+          break;
+        }
+        acked = i + 1;
+      }
+    }
+    if (!crashed) {
+      crashed = !tier.value()->Finish().ok();
+      if (!crashed) acked = stream.size();
+    }
+    done.store(true, std::memory_order_release);
+    for (std::thread& thread : queriers) thread.join();
+
+    if (crashed) {
+      raw_file->Abandon();
+      tier.value().reset();
+      Result<std::unique_ptr<FilePageBackend>> reopened =
+          FilePageBackend::Open(path);
+      ASSERT_TRUE(reopened.ok()) << "seed=" << seed;
+      tier = LiveTier::Open(options, std::move(reopened).value());
+      ASSERT_TRUE(tier.ok())
+          << "seed=" << seed << " " << tier.status().ToString();
+      for (size_t i = acked; i < stream.size(); ++i) {
+        ASSERT_TRUE(tier.value()->Apply(stream[i]).ok()) << "seed=" << seed;
+      }
+      ASSERT_TRUE(tier.value()->Finish().ok()) << "seed=" << seed;
+    }
+
+    // Invariant 2: the finished (possibly recovered) run answers exactly
+    // like the never-crashed reference.
+    const std::vector<std::vector<ObjectId>> final_answers =
+        FinalAnswers(*tier.value(), queries);
+    EXPECT_EQ(final_answers, reference)
+        << "seed=" << seed << " threads=" << querier_threads
+        << " crashed=" << crashed;
+
+    // Invariant 1: every concurrent observation is a subset of the final
+    // answer for its query.
+    for (int t = 0; t < querier_threads; ++t) {
+      for (const auto& entry : observed[static_cast<size_t>(t)]) {
+        EXPECT_TRUE(std::includes(final_answers[entry.first].begin(),
+                                  final_answers[entry.first].end(),
+                                  entry.second.begin(), entry.second.end()))
+            << "seed=" << seed << " threads=" << querier_threads
+            << " querier=" << t << " q=" << entry.first;
+      }
+    }
+
+    std::remove(path.c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiveTierFuzzTest,
+                         ::testing::Range<uint64_t>(7000, 7004));
 
 }  // namespace
 }  // namespace stindex

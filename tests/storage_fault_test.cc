@@ -5,6 +5,7 @@
 // without touching the filesystem.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/fault_backend.h"
+#include "storage/file_backend.h"
 #include "storage/page_backend.h"
 #include "storage/page_codec.h"
 
@@ -205,6 +207,90 @@ TEST(FaultPoolTest, FlushAllWriteFailureSurfacesStatusAndRetries) {
   Result<std::unique_ptr<Page>> decoded = codec.Decode(buffer, 5);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(static_cast<const TestPage*>(decoded.value().get())->value(), 55u);
+}
+
+TEST(FaultBackendTest, CrashTriggerFiresAtNthMutationAndLatches) {
+  FaultInjectingBackend::Faults faults;
+  faults.crash_at_write = 3;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  uint8_t buffer[kPageSize];
+  TestCodec().Encode(TestPage(7), buffer);
+
+  // Write, Sync and Free share the mutation counter.
+  EXPECT_TRUE(backend->Write(5, buffer).ok());  // mutation 1
+  EXPECT_TRUE(backend->Sync().ok());            // mutation 2
+  EXPECT_FALSE(backend->crashed());
+  const Status crash = backend->Free(0);        // mutation 3: the crash
+  EXPECT_EQ(crash.code(), StatusCode::kIoError);
+  EXPECT_TRUE(Contains(crash.message(), "injected crash point (mutation 3)"))
+      << crash.ToString();
+  EXPECT_TRUE(backend->crashed());
+  EXPECT_EQ(backend->mutations(), 3u);
+
+  // The backend is dead: every later call fails, reads included, and the
+  // mutation counter stops advancing.
+  EXPECT_EQ(backend->Write(6, buffer).code(), StatusCode::kIoError);
+  EXPECT_EQ(backend->Sync().code(), StatusCode::kIoError);
+  EXPECT_EQ(backend->Free(1).code(), StatusCode::kIoError);
+  const Status read = backend->Read(0, buffer);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_TRUE(Contains(read.message(), "after injected crash"))
+      << read.ToString();
+  EXPECT_EQ(backend->mutations(), 3u);
+
+  // State from before the crash survives in the wrapped backend (it is
+  // what a recovery re-open would see); the doomed free never happened.
+  EXPECT_TRUE(backend->wrapped()->IsAllocated(5));
+  EXPECT_TRUE(backend->wrapped()->IsAllocated(0));
+}
+
+TEST(FaultBackendTest, CrashOnFirstMutationKillsEverything) {
+  FaultInjectingBackend::Faults faults;
+  faults.crash_at_write = 1;
+  std::unique_ptr<FaultInjectingBackend> backend = MakeFaulty(faults);
+  EXPECT_EQ(backend->Sync().code(), StatusCode::kIoError);
+  EXPECT_TRUE(backend->crashed());
+  uint8_t buffer[kPageSize];
+  EXPECT_EQ(backend->Read(0, buffer).code(), StatusCode::kIoError);
+}
+
+TEST(FaultBackendTest, AbandonedFileKeepsOnlySyncedState) {
+  const std::string path =
+      ::testing::TempDir() + "/fault_abandon.stpages";
+  Result<std::unique_ptr<FilePageBackend>> created =
+      FilePageBackend::Create(path);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<FilePageBackend> file = std::move(created).value();
+
+  uint8_t buffer[kPageSize];
+  TestCodec().Encode(TestPage(1), buffer);
+  ASSERT_TRUE(file->Write(0, buffer).ok());
+  ASSERT_TRUE(file->Sync().ok());  // page 0 and its bitmap are durable
+  TestCodec().Encode(TestPage(2), buffer);
+  ASSERT_TRUE(file->Write(1, buffer).ok());  // never synced
+
+  // Abandon closes the fd without the destructor's sync backstop — the
+  // file now holds exactly what a killed process left behind — and every
+  // later call must fail instead of quietly reviving the backend.
+  file->Abandon();
+  EXPECT_EQ(file->Write(2, buffer).code(), StatusCode::kIoError);
+  EXPECT_EQ(file->Sync().code(), StatusCode::kIoError);
+  EXPECT_EQ(file->Read(0, buffer).code(), StatusCode::kIoError);
+  file.reset();
+
+  // Reopen: the synced page is visible; the unsynced write is not
+  // allocated because its bitmap update died with the process.
+  Result<std::unique_ptr<FilePageBackend>> reopened =
+      FilePageBackend::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened.value()->IsAllocated(0));
+  EXPECT_FALSE(reopened.value()->IsAllocated(1));
+  ASSERT_TRUE(reopened.value()->Read(0, buffer).ok());
+  Result<std::unique_ptr<Page>> decoded = TestCodec().Decode(buffer, 0);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(static_cast<const TestPage*>(decoded.value().get())->value(), 1u);
+
+  std::remove(path.c_str());
 }
 
 TEST(FaultPoolTest, WriteFaultDoesNotCorruptOtherPages) {
