@@ -19,6 +19,12 @@
 //                     queries (historical tree + in-flight migration +
 //                     live buffers) concurrently. --backend=file puts the
 //                     WAL on a real page file under --db.
+//   --group-commit    coalesce concurrent WAL commits into one fsync
+//                     (mixed mode only; see LiveTierOptions::group_commit)
+//   --commit-interval=US  with --group-commit: microseconds the commit
+//                     leader waits for joiners before flushing (default 0)
+//   --checkpoint-every=N  checkpoint + truncate the journal once N flushed
+//                     WAL pages accumulate (mixed mode only; 0 = never)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -47,7 +53,24 @@ struct ServerFlags {
   size_t stream = 0;        // 0: scale default
   std::string prom_path;    // empty: no Prometheus dump
   double update_frac = 0.0;  // 0: pure-query replay (the classic mode)
+  bool group_commit = false;
+  int64_t commit_interval_us = 0;
+  size_t checkpoint_every = 0;  // flushed WAL pages between checkpoints
 };
+
+// Parses a non-negative integer flag value or dies with a usage error.
+int64_t ParseNonNegative(const char* flag, const std::string& value) {
+  char* end = nullptr;
+  const long long n = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || n < 0) {
+    std::fprintf(stderr,
+                 "stindex_server: %s expects a non-negative integer, "
+                 "got '%s'\n",
+                 flag, value.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(n);
+}
 
 // Splits the server-only flags off argv before ParseBenchArgs sees it
 // (unknown arguments are a hard error there).
@@ -66,6 +89,19 @@ ServerFlags ExtractServerFlags(int* argc, char** argv) {
       flags.prom_path = arg.substr(7);
     } else if (arg == "--prom" && i + 1 < *argc) {
       flags.prom_path = argv[++i];
+    } else if (arg == "--group-commit") {
+      flags.group_commit = true;
+    } else if (arg.rfind("--commit-interval=", 0) == 0 ||
+               (arg == "--commit-interval" && i + 1 < *argc)) {
+      const std::string us =
+          arg == "--commit-interval" ? argv[++i] : arg.substr(18);
+      flags.commit_interval_us = ParseNonNegative("--commit-interval", us);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0 ||
+               (arg == "--checkpoint-every" && i + 1 < *argc)) {
+      const std::string pages =
+          arg == "--checkpoint-every" ? argv[++i] : arg.substr(19);
+      flags.checkpoint_every =
+          static_cast<size_t>(ParseNonNegative("--checkpoint-every", pages));
     } else if (arg.rfind("--update-frac=", 0) == 0 ||
                (arg == "--update-frac" && i + 1 < *argc)) {
       const std::string frac =
@@ -161,6 +197,9 @@ void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
   LiveTierOptions options;
   options.index.capacity = 32;  // seal eagerly so migration runs mid-bench
   options.query_pool_pages = args.buffer_pages;
+  options.group_commit = flags.group_commit;
+  options.commit_interval_us = flags.commit_interval_us;
+  options.checkpoint_every_pages = flags.checkpoint_every;
   Result<std::unique_ptr<LiveTier>> opened =
       LiveTier::Open(options, std::move(wal));
   if (!opened.ok()) {
@@ -175,10 +214,16 @@ void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
   Report().SetParam("stream", static_cast<int64_t>(stream_size));
   Report().SetParam("backend", args.backend.empty() ? "store" : args.backend);
   Report().SetParam("update_frac", flags.update_frac);
+  Report().SetParam("group_commit",
+                    static_cast<int64_t>(flags.group_commit ? 1 : 0));
+  Report().SetParam("commit_interval_us", flags.commit_interval_us);
+  Report().SetParam("checkpoint_every",
+                    static_cast<int64_t>(flags.checkpoint_every));
 
   std::mutex update_mu;
   size_t update_cursor = 0;
   size_t updates_applied = 0;
+  size_t updates_dropped = 0;  // update slots with no work: exhausted stream
   bool update_failed = false;
 
   const size_t chunks = ParallelChunks(args.threads, stream_size);
@@ -200,25 +245,43 @@ void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
                                             flags.update_frac);
                     const auto start = std::chrono::steady_clock::now();
                     if (is_update) {
-                      std::lock_guard<std::mutex> lock(update_mu);
-                      if (update_cursor < updates.size() && !update_failed) {
-                        const Status status =
-                            tier->Apply(updates[update_cursor]);
-                        if (!status.ok()) {
-                          std::fprintf(stderr, "stindex_server: update: %s\n",
-                                       status.ToString().c_str());
-                          update_failed = true;
+                      bool applied = false;
+                      bool commit_due = false;
+                      {
+                        std::lock_guard<std::mutex> lock(update_mu);
+                        if (update_failed || update_cursor >= updates.size()) {
+                          // No-op slot (latched tier / exhausted stream):
+                          // nothing was applied, so nothing may land in the
+                          // update-latency histogram.
+                          ++updates_dropped;
                         } else {
-                          ++update_cursor;
-                          if (++updates_applied % kCommitEvery == 0 &&
-                              !tier->Commit().ok()) {
+                          const Status status =
+                              tier->Apply(updates[update_cursor]);
+                          if (!status.ok()) {
+                            std::fprintf(stderr,
+                                         "stindex_server: update: %s\n",
+                                         status.ToString().c_str());
                             update_failed = true;
+                          } else {
+                            ++update_cursor;
+                            applied = true;
+                            commit_due =
+                                ++updates_applied % kCommitEvery == 0;
                           }
                         }
                       }
-                      const std::chrono::duration<double, std::milli> ms =
-                          std::chrono::steady_clock::now() - start;
-                      update_latency[chunk].Record(ms.count());
+                      // Commit outside update_mu so concurrent committers
+                      // coalesce through the group-commit leader instead of
+                      // serializing on the apply lock.
+                      if (applied && commit_due && !tier->Commit().ok()) {
+                        std::lock_guard<std::mutex> lock(update_mu);
+                        update_failed = true;
+                      }
+                      if (applied) {
+                        const std::chrono::duration<double, std::milli> ms =
+                            std::chrono::steady_clock::now() - start;
+                        update_latency[chunk].Record(ms.count());
+                      }
                     } else {
                       const STQuery& query = queries[i];
                       std::vector<ObjectId> results;
@@ -276,7 +339,16 @@ void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
                 static_cast<size_t>(result_rows));
   PrintRow(row);
 
+  if (updates_dropped > 0) {
+    std::printf("  (%zu update slots dropped: stream exhausted)\n",
+                updates_dropped);
+  }
+
   Report().SetParam("updates_applied", static_cast<int64_t>(updates_applied));
+  Report().SetParam("updates_dropped",
+                    static_cast<int64_t>(updates_dropped));
+  Report().SetParam("wal_checkpoints",
+                    static_cast<int64_t>(tier->checkpoint_seq()));
   Report().SetParam("migrated_segments",
                     static_cast<int64_t>(tier->migrated_segments().size()));
   Report().SetParam("live_objects",

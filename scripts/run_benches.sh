@@ -104,12 +104,16 @@ fi
 
 # Mixed update/query smoke: one fifth of the request stream are live
 # movement updates journaled through the WAL onto a real page file while
-# the rest run freshness-bound tiered queries from 4 client threads. The
-# report must validate against schema v2 and prove actual journal writes
-# (backend.file.writes > 0).
+# the rest run freshness-bound tiered queries from 4 client threads.
+# Group commit coalesces the per-client commits and --checkpoint-every=1
+# forces at least one full checkpoint + truncation cycle mid-run. The
+# report must validate against schema v2, prove actual journal writes
+# (backend.file.writes > 0), prove the journal was truncated
+# (live.wal.truncated_pages > 0) and carry a sane updates_per_s sample.
 if [ -x "$SERVER" ]; then
   echo "== stindex_server mixed update/query smoke =="
   "$SERVER" --threads=4 --stream=400 --update-frac=0.2 \
+    --group-commit --commit-interval=200 --checkpoint-every=1 \
     --backend=file --db="$SMOKE_DIR" \
     --json="$OUT_DIR/stindex_server_mixed.json" \
     | tee "$OUT_DIR/stindex_server_mixed.txt"
@@ -123,17 +127,29 @@ params = report["params"]
 assert params["update_frac"] == 0.2, params
 assert params["updates_applied"] > 0, params
 assert params["wal_commits"] > 0, params
+assert params["group_commit"] == 1, params
+assert params["wal_checkpoints"] > 0, params
+assert "updates_dropped" in params, params
 counters = report["metrics"]["counters"]
 writes = counters.get("backend.file.writes", 0)
 assert writes > 0, f"expected WAL file writes, got {counters}"
 observes = counters.get("live.observes", 0)
 assert observes > 0, f"expected live observes, got {counters}"
+checkpoints = counters.get("live.wal.checkpoints", 0)
+assert checkpoints > 0, f"expected checkpoints, got {counters}"
+truncated = counters.get("live.wal.truncated_pages", 0)
+assert truncated > 0, f"expected truncated journal pages, got {counters}"
 series = {s["name"] for s in report["series"]}
 for required in ("qps", "updates_per_s", "latency_p50_ms",
                  "update_latency_p50_ms"):
     assert required in series, f"report missing series '{required}'"
-print(f"stindex_server mixed smoke OK: {params['updates_applied']} updates, "
-      f"{writes} WAL file writes, {params['wal_commits']} commits")
+ups = [p["y"] for s in report["series"] if s["name"] == "updates_per_s"
+       for p in s["points"]]
+assert ups and ups[0] > 0, f"expected positive updates_per_s, got {ups}"
+print(f"stindex_server mixed smoke OK: {params['updates_applied']} updates "
+      f"({params['updates_dropped']} dropped), {writes} WAL file writes, "
+      f"{params['wal_commits']} commits, {checkpoints} checkpoints, "
+      f"{truncated} truncated pages")
 EOF
 fi
 

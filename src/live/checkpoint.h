@@ -1,0 +1,67 @@
+#ifndef STINDEX_LIVE_CHECKPOINT_H_
+#define STINDEX_LIVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "live/wal.h"
+#include "storage/page_backend.h"
+#include "util/status.h"
+
+namespace stindex {
+
+// The commit record of a live-tier checkpoint, stored in the journal
+// backend's slots 0 and 1 (checkpoint N writes slot N % 2, so a torn
+// header write can never destroy the previous checkpoint — the other
+// slot still holds it, CRC-valid). A checkpoint consists of:
+//
+//   * one sealed kPprNode page per historical-tree node, in freshly
+//     acquired slots (shadow pages — the previous checkpoint's copies
+//     stay untouched until this one commits),
+//   * a chain of kCheckpointPage pages carrying the serialized metadata
+//     (tree meta + node slot map, migration pipeline, live index),
+//   * this header, whose durable write *is* the commit point.
+//
+// All of the above are synced before the header is written, so a valid
+// header always points at complete, durable state ("a checkpoint commits
+// only after tree pages are synced"). Everything a failed checkpoint
+// left behind is unreferenced debris that recovery frees.
+struct CheckpointHeader {
+  uint64_t checkpoint_seq = 0;  // 0 = no committed checkpoint
+  // Journal pages with seq >= this are the post-checkpoint tail replay
+  // starts from; everything earlier was truncated (or is stale debris).
+  uint64_t wal_start_seq = 1;
+  PageId meta_head = kInvalidPage;  // first page of the metadata chain
+  uint32_t meta_pages = 0;
+  uint64_t meta_bytes = 0;
+};
+
+// Reads slots 0 and 1 and returns the valid header with the highest
+// checkpoint_seq; a header with checkpoint_seq == 0 when neither slot
+// holds one (fresh journal, or no checkpoint ever committed). Unreadable
+// or torn slots are skipped, never an error.
+CheckpointHeader ReadLatestCheckpointHeader(const PageBackend& backend);
+
+// Writes `header` into its slot (checkpoint_seq % 2). Does not sync —
+// the caller syncs to make the commit durable.
+Status WriteCheckpointHeader(PageBackend* backend,
+                             const CheckpointHeader& header);
+
+// Writes `bytes` as a chain of kCheckpointPage pages in freshly acquired
+// slots, fills header->meta_* and appends the chain's slots to `slots`.
+// Does not sync.
+Status WriteCheckpointMeta(PageBackend* backend, WalSlotAllocator* allocator,
+                           uint64_t checkpoint_seq,
+                           const std::vector<uint8_t>& bytes,
+                           CheckpointHeader* header,
+                           std::vector<PageId>* slots);
+
+// Reads the metadata chain `header` points at; `slots` receives the
+// chain's slots (so recovery can mark them checkpoint-owned).
+Result<std::vector<uint8_t>> ReadCheckpointMeta(const PageBackend& backend,
+                                                const CheckpointHeader& header,
+                                                std::vector<PageId>* slots);
+
+}  // namespace stindex
+
+#endif  // STINDEX_LIVE_CHECKPOINT_H_

@@ -13,9 +13,9 @@ std::string ObjTime(ObjectId object, Time t) {
 
 LiveIndex::LiveIndex(LiveIndexOptions options) : options_(options) {}
 
-Status LiveIndex::Observe(ObjectId object, Time t, const Rect2D& rect,
-                          bool* applied) {
-  *applied = false;
+Status LiveIndex::CheckObserve(ObjectId object, Time t, const Rect2D& rect,
+                               bool* would_apply) const {
+  *would_apply = false;
   if (!rect.IsValid()) {
     return Status::InvalidArgument(ObjTime(object, t) + ": invalid rectangle");
   }
@@ -37,6 +37,14 @@ Status LiveIndex::Observe(ObjectId object, Time t, const Rect2D& rect,
         ObjTime(object, t) + ": non-consecutive instant (previous t=" +
         std::to_string(last->second) + ")");
   }
+  *would_apply = true;
+  return Status::OK();
+}
+
+Status LiveIndex::Observe(ObjectId object, Time t, const Rect2D& rect,
+                          bool* applied) {
+  Status status = CheckObserve(object, t, rect, applied);
+  if (!status.ok() || !*applied) return status;
   auto buffer = buffers_.find(object);
   if (buffer == buffers_.end()) {
     buffer = buffers_.emplace(object, Buffer(t, options_.split)).first;
@@ -46,12 +54,11 @@ Status LiveIndex::Observe(ObjectId object, Time t, const Rect2D& rect,
   last_instant_[object] = t;
   last_global_ = t;
   ++buffered_instants_;
-  *applied = true;
   return Status::OK();
 }
 
-Status LiveIndex::End(ObjectId object, Time t, bool* applied) {
-  *applied = false;
+Status LiveIndex::CheckEnd(ObjectId object, Time t, bool* would_apply) const {
+  *would_apply = false;
   const auto last = last_instant_.find(object);
   if (last == last_instant_.end()) {
     return Status::InvalidArgument(ObjTime(object, t) +
@@ -65,8 +72,14 @@ Status LiveIndex::End(ObjectId object, Time t, bool* applied) {
   if (retired_.count(object) != 0) {
     return Status::OK();  // already ended (re-ingested tail)
   }
+  *would_apply = true;
+  return Status::OK();
+}
+
+Status LiveIndex::End(ObjectId object, Time t, bool* applied) {
+  Status status = CheckEnd(object, t, applied);
+  if (!status.ok() || !*applied) return status;
   retired_.insert(object);
-  *applied = true;
   return Status::OK();
 }
 
@@ -84,6 +97,102 @@ Result<LiveIndex::SealedChunk> LiveIndex::Seal(ObjectId object) {
   buffered_instants_ -= chunk.rects.size();
   buffers_.erase(buffer);
   return chunk;
+}
+
+Result<LiveIndex::SealPreview> LiveIndex::PreviewSeal(ObjectId object) const {
+  const auto buffer = buffers_.find(object);
+  if (buffer == buffers_.end()) {
+    return Status::InvalidArgument("object " + std::to_string(object) +
+                                   ": seal without a buffered observation");
+  }
+  SealPreview preview;
+  preview.start = buffer->second.start;
+  // ApplySplits yields one segment per cut plus the tail.
+  preview.segments =
+      static_cast<uint32_t>(buffer->second.splitter.cuts().size() + 1);
+  return preview;
+}
+
+void LiveIndex::EncodeState(ByteSink* out) const {
+  std::vector<ObjectId> objects = BufferedObjects();
+  out->Write(static_cast<uint64_t>(objects.size()));
+  for (ObjectId object : objects) {
+    const Buffer& buffer = buffers_.at(object);
+    out->Write(object);
+    out->Write(buffer.start);
+    out->Write(static_cast<uint64_t>(buffer.rects.size()));
+    for (const Rect2D& rect : buffer.rects) out->Write(rect);
+  }
+  std::vector<std::pair<ObjectId, Time>> lasts(last_instant_.begin(),
+                                               last_instant_.end());
+  std::sort(lasts.begin(), lasts.end());
+  out->Write(static_cast<uint64_t>(lasts.size()));
+  for (const auto& [object, t] : lasts) {
+    out->Write(object);
+    out->Write(t);
+  }
+  std::vector<ObjectId> retired(retired_.begin(), retired_.end());
+  std::sort(retired.begin(), retired.end());
+  out->Write(static_cast<uint64_t>(retired.size()));
+  for (ObjectId object : retired) out->Write(object);
+  out->Write(last_global_);
+}
+
+Status LiveIndex::DecodeState(ByteSource* in) {
+  STINDEX_CHECK_MSG(buffers_.empty() && last_instant_.empty(),
+                    "checkpoint restore into a non-empty index");
+  uint64_t buffer_count = 0;
+  if (!in->Read(&buffer_count)) {
+    return Status::InvalidArgument("checkpoint: truncated live-index state");
+  }
+  for (uint64_t i = 0; i < buffer_count; ++i) {
+    ObjectId object = 0;
+    Time start = 0;
+    uint64_t rect_count = 0;
+    if (!in->Read(&object) || !in->Read(&start) || !in->Read(&rect_count)) {
+      return Status::InvalidArgument("checkpoint: truncated live buffer");
+    }
+    auto buffer = buffers_.emplace(object, Buffer(start, options_.split)).first;
+    buffer->second.rects.reserve(static_cast<size_t>(rect_count));
+    for (uint64_t j = 0; j < rect_count; ++j) {
+      Rect2D rect;
+      if (!in->Read(&rect)) {
+        return Status::InvalidArgument("checkpoint: truncated live buffer");
+      }
+      buffer->second.rects.push_back(rect);
+      // Re-feeding the splitter reproduces its cuts exactly — it is
+      // deterministic in the observed sequence.
+      buffer->second.splitter.Observe(rect);
+    }
+    buffered_instants_ += static_cast<size_t>(rect_count);
+  }
+  uint64_t last_count = 0;
+  if (!in->Read(&last_count)) {
+    return Status::InvalidArgument("checkpoint: truncated live-index state");
+  }
+  for (uint64_t i = 0; i < last_count; ++i) {
+    ObjectId object = 0;
+    Time t = 0;
+    if (!in->Read(&object) || !in->Read(&t)) {
+      return Status::InvalidArgument("checkpoint: truncated live-index state");
+    }
+    last_instant_[object] = t;
+  }
+  uint64_t retired_count = 0;
+  if (!in->Read(&retired_count)) {
+    return Status::InvalidArgument("checkpoint: truncated live-index state");
+  }
+  for (uint64_t i = 0; i < retired_count; ++i) {
+    ObjectId object = 0;
+    if (!in->Read(&object)) {
+      return Status::InvalidArgument("checkpoint: truncated live-index state");
+    }
+    retired_.insert(object);
+  }
+  if (!in->Read(&last_global_)) {
+    return Status::InvalidArgument("checkpoint: truncated live-index state");
+  }
+  return Status::OK();
 }
 
 bool LiveIndex::OverThreshold(ObjectId object) const {

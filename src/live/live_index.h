@@ -11,6 +11,7 @@
 #include "geometry/interval.h"
 #include "geometry/rect.h"
 #include "trajectory/trajectory.h"
+#include "util/bytes.h"
 #include "util/status.h"
 
 namespace stindex {
@@ -65,9 +66,36 @@ class LiveIndex {
   // The buffer is left in place — the caller seals it (policy above).
   Status End(ObjectId object, Time t, bool* applied);
 
+  // Validation-only halves of Observe/End: the exact status and
+  // would-apply answer the mutating call would produce, with no state
+  // change. LiveTier journals between Check and apply so an update is
+  // never visible unless its record reached the WAL ("visibility implies
+  // journaled").
+  Status CheckObserve(ObjectId object, Time t, const Rect2D& rect,
+                      bool* would_apply) const;
+  Status CheckEnd(ObjectId object, Time t, bool* would_apply) const;
+
   // Seals `object`'s buffer into a chunk and clears it. The object must
   // have a non-empty buffer.
   Result<SealedChunk> Seal(ObjectId object);
+
+  // What Seal would journal, without sealing: the chunk's first instant
+  // and the number of segments ApplySplits will produce (cuts + 1).
+  struct SealPreview {
+    Time start = 0;
+    uint32_t segments = 0;
+  };
+  Result<SealPreview> PreviewSeal(ObjectId object) const;
+
+  // --- checkpoint state -------------------------------------------------
+
+  // Serializes the full index state (deterministic: maps are emitted in
+  // sorted order). DecodeState restores it into a fresh index with the
+  // same options; splitters are rebuilt by re-feeding each buffer's
+  // rects, which reproduces their cut decisions exactly (the splitter is
+  // deterministic in its observed sequence).
+  void EncodeState(ByteSink* out) const;
+  Status DecodeState(ByteSource* in);
 
   // --- sealing policy inputs -------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "live/live_tier.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/check.h"
 #include "util/metrics.h"
@@ -14,6 +15,8 @@ struct TierMetrics {
   Counter* ends;
   Counter* dup_skips;
   Counter* queries;
+  Counter* checkpoints;
+  Counter* truncated_pages;
 };
 
 const TierMetrics& Metrics() {
@@ -22,7 +25,9 @@ const TierMetrics& Metrics() {
     return TierMetrics{r.GetCounter("live.observes"),
                        r.GetCounter("live.ends"),
                        r.GetCounter("live.dup_skips"),
-                       r.GetCounter("live.queries")};
+                       r.GetCounter("live.queries"),
+                       r.GetCounter("live.wal.checkpoints"),
+                       r.GetCounter("live.wal.truncated_pages")};
   }();
   return m;
 }
@@ -52,17 +57,90 @@ Result<std::unique_ptr<LiveTier>> LiveTier::Open(
 
 Status LiveTier::Recover() {
   TraceSpan span("live", "recover");
+  const CheckpointHeader header = ReadLatestCheckpointHeader(*wal_backend_);
+  WalReplayOptions replay;
+  if (header.checkpoint_seq > 0) {
+    std::vector<PageId> owned;
+    Status status = RestoreFromCheckpoint(header, &owned);
+    if (!status.ok()) return status;
+    checkpoint_seq_ = header.checkpoint_seq;
+    checkpoint_slots_ = owned;
+    replay.start_seq = header.wal_start_seq;
+    replay.owned.insert(owned.begin(), owned.end());
+  }
   Result<WalReplayStats> stats = ReplayWal(
-      *wal_backend_,
+      *wal_backend_, replay,
       [this](const WalRecord& record) { return ApplyReplayRecord(record); });
   if (!stats.ok()) return stats.status();
-  recovered_ = stats.value();
-  writer_ =
-      std::make_unique<WalWriter>(wal_backend_.get(), recovered_.next_page);
+  recovered_ = std::move(stats).value();
+  // Free the debris replay classified: torn tail pages, journal pages an
+  // interrupted truncation left behind, shadow pages of a checkpoint that
+  // never committed. They are unreferenced — reclaiming them here is what
+  // keeps crash loops from leaking slots.
+  for (PageId slot : recovered_.garbage) {
+    Status status = wal_backend_->Free(slot);
+    if (!status.ok()) return status;
+  }
+  slots_ = WalSlotAllocator(*wal_backend_);
+  writer_ = std::make_unique<WalWriter>(wal_backend_.get(), &slots_,
+                                        recovered_.next_seq, recovered_.tail);
   // Seals directly follow their trigger in the log, so only the very tail
   // can have lost them; re-derive those now, through the same policy the
   // uninterrupted run used.
   return SealRipe();
+}
+
+Status LiveTier::RestoreFromCheckpoint(const CheckpointHeader& header,
+                                       std::vector<PageId>* owned_slots) {
+  TraceSpan span("live", "restore_checkpoint");
+  span.Arg("checkpoint_seq", static_cast<int64_t>(header.checkpoint_seq));
+  std::vector<PageId> meta_slots;
+  Result<std::vector<uint8_t>> meta =
+      ReadCheckpointMeta(*wal_backend_, header, &meta_slots);
+  if (!meta.ok()) return meta.status();
+  ByteSource in(meta.value().data(), meta.value().size());
+
+  Status status = tree_->DecodeCheckpointMeta(&in);
+  if (!status.ok()) return status;
+
+  uint64_t node_count = 0;
+  if (!in.Read(&node_count)) {
+    return Status::InvalidArgument("checkpoint: truncated node slot map");
+  }
+  std::vector<PageId> node_slots(static_cast<size_t>(node_count));
+  for (PageId& slot : node_slots) {
+    if (!in.Read(&slot)) {
+      return Status::InvalidArgument("checkpoint: truncated node slot map");
+    }
+  }
+  uint8_t page[kPageSize];
+  for (size_t i = 0; i < node_slots.size(); ++i) {
+    const PageId slot = node_slots[i];
+    if (static_cast<size_t>(slot) >= wal_backend_->SlotCount() ||
+        !wal_backend_->IsAllocated(slot)) {
+      return Status::InvalidArgument(
+          "checkpoint: tree node " + std::to_string(i) +
+          " points at freed slot " + std::to_string(slot));
+    }
+    status = wal_backend_->Read(slot, page);
+    if (!status.ok()) return status;
+    status = tree_->InstallCheckpointNode(static_cast<PageId>(i), page);
+    if (!status.ok()) return status;
+  }
+
+  status = pipeline_.DecodeState(&in);
+  if (!status.ok()) return status;
+  status = index_.DecodeState(&in);
+  if (!status.ok()) return status;
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("checkpoint: trailing metadata bytes");
+  }
+
+  owned_slots->insert(owned_slots->end(), node_slots.begin(),
+                      node_slots.end());
+  owned_slots->insert(owned_slots->end(), meta_slots.begin(),
+                      meta_slots.end());
+  return Status::OK();
 }
 
 Status LiveTier::ApplyReplayRecord(const WalRecord& record) {
@@ -113,6 +191,11 @@ Status LiveTier::ApplyReplayRecord(const WalRecord& record) {
       pipeline_.Advance(index_.Watermark());
       return Status::OK();
     }
+    case WalRecord::Kind::kCheckpoint:
+      // The marker of a checkpoint that never committed (a committed one
+      // truncates its marker away). Its shadow pages are debris replay
+      // already routed to `garbage`; the record itself is a no-op.
+      return Status::OK();
   }
   return Status::InvalidArgument("wal replay: unknown record kind");
 }
@@ -130,20 +213,25 @@ Status LiveTier::CheckAlive() const {
 
 Status LiveTier::Latch(Status status) {
   failed_ = true;
+  // Joiners parked in a group commit must see the failure.
+  commit_cv_.notify_all();
   return status;
 }
 
 Status LiveTier::SealAndJournal(ObjectId object) {
-  Result<LiveIndex::SealedChunk> chunk = index_.Seal(object);
-  if (!chunk.ok()) return chunk.status();
-  // ApplySplits yields one segment per cut plus the tail.
-  const uint32_t segments =
-      static_cast<uint32_t>(chunk.value().cuts.size() + 1);
-  Status status = writer_->Append(
-      WalRecord::Seal(object, chunk.value().start, segments));
+  // Journal first, mutate second: once the seal record is appended the
+  // seal must happen (and deterministically will — PreviewSeal told us
+  // exactly what the record claims); if the append fails, the buffer is
+  // untouched and queries still answer exactly from it.
+  Result<LiveIndex::SealPreview> preview = index_.PreviewSeal(object);
+  if (!preview.ok()) return preview.status();
+  Status status = writer_->Append(WalRecord::Seal(
+      object, preview.value().start, preview.value().segments));
   if (!status.ok()) return Latch(status);
+  Result<LiveIndex::SealedChunk> chunk = index_.Seal(object);
+  STINDEX_CHECK(chunk.ok());
   const size_t produced = pipeline_.Enqueue(chunk.value());
-  STINDEX_CHECK(produced == segments);
+  STINDEX_CHECK(produced == preview.value().segments);
   return Status::OK();
 }
 
@@ -166,16 +254,22 @@ Status LiveTier::Observe(ObjectId object, Time t, const Rect2D& rect) {
   std::unique_lock lock(mu_);
   Status status = CheckAlive();
   if (!status.ok()) return status;
-  bool applied = false;
-  status = index_.Observe(object, t, rect, &applied);
+  // Validate, journal, then apply: if the append fails the index was
+  // never touched, so a latched tier cannot serve an update that never
+  // reached the log (visibility implies journaled).
+  bool would_apply = false;
+  status = index_.CheckObserve(object, t, rect, &would_apply);
   if (!status.ok()) return status;
-  if (!applied) {
+  if (!would_apply) {
     Metrics().dup_skips->Add(1);
     return Status::OK();
   }
-  Metrics().observes->Add(1);
   status = writer_->Append(WalRecord::Observe(object, t, rect));
   if (!status.ok()) return Latch(status);
+  bool applied = false;
+  status = index_.Observe(object, t, rect, &applied);
+  STINDEX_CHECK(status.ok() && applied);
+  Metrics().observes->Add(1);
   return SealRipe();
 }
 
@@ -183,16 +277,19 @@ Status LiveTier::End(ObjectId object, Time t) {
   std::unique_lock lock(mu_);
   Status status = CheckAlive();
   if (!status.ok()) return status;
-  bool applied = false;
-  status = index_.End(object, t, &applied);
+  bool would_apply = false;
+  status = index_.CheckEnd(object, t, &would_apply);
   if (!status.ok()) return status;
-  if (!applied) {
+  if (!would_apply) {
     Metrics().dup_skips->Add(1);
     return Status::OK();
   }
-  Metrics().ends->Add(1);
   status = writer_->Append(WalRecord::End(object, t));
   if (!status.ok()) return Latch(status);
+  bool applied = false;
+  status = index_.End(object, t, &applied);
+  STINDEX_CHECK(status.ok() && applied);
+  Metrics().ends->Add(1);
   return SealRipe();
 }
 
@@ -205,8 +302,139 @@ Status LiveTier::Commit() {
   std::unique_lock lock(mu_);
   Status status = CheckAlive();
   if (!status.ok()) return status;
-  status = writer_->Commit();
+  if (!options_.group_commit) {
+    status = writer_->Commit();
+    if (!status.ok()) return Latch(status);
+    durable_records_ = writer_->appended_records();
+    return MaybeCheckpointLocked();
+  }
+
+  // Group commit. Everything this caller appended is already in the
+  // writer, so it is covered once `durable_records_` reaches the current
+  // append count.
+  const uint64_t target = writer_->appended_records();
+  while (true) {
+    if (failed_) return CheckAlive();
+    if (durable_records_ >= target) return Status::OK();
+    if (!commit_leader_active_) break;
+    commit_cv_.wait(lock);  // a leader is flushing; join its batch
+  }
+  // Leader: optionally wait out the batching interval — the lock is
+  // released while waiting, so updates keep appending and later Commit()
+  // callers park as joiners; one fsync then covers them all.
+  commit_leader_active_ = true;
+  if (options_.commit_interval_us > 0) {
+    commit_cv_.wait_for(lock,
+                        std::chrono::microseconds(options_.commit_interval_us));
+  }
+  status = CheckAlive();  // another thread may have latched while unlocked
+  if (status.ok()) {
+    const uint64_t covered = writer_->appended_records();
+    status = writer_->Commit();
+    if (status.ok()) {
+      durable_records_ = covered;
+    } else {
+      Latch(status);
+    }
+  }
+  commit_leader_active_ = false;
+  commit_cv_.notify_all();
+  if (!status.ok()) return status;
+  return MaybeCheckpointLocked();
+}
+
+Status LiveTier::MaybeCheckpointLocked() {
+  if (options_.checkpoint_every_pages == 0 ||
+      writer_->tail_pages() < options_.checkpoint_every_pages) {
+    return Status::OK();
+  }
+  return CheckpointLocked();
+}
+
+Status LiveTier::Checkpoint() {
+  std::unique_lock lock(mu_);
+  Status status = CheckAlive();
+  if (!status.ok()) return status;
+  return CheckpointLocked();
+}
+
+void LiveTier::EncodeCheckpointState(const std::vector<PageId>& node_slots,
+                                     ByteSink* out) const {
+  tree_->EncodeCheckpointMeta(out);
+  out->Write(static_cast<uint64_t>(node_slots.size()));
+  for (PageId slot : node_slots) out->Write(slot);
+  pipeline_.EncodeState(out);
+  index_.EncodeState(out);
+}
+
+Status LiveTier::CheckpointLocked() {
+  TraceSpan span("live", "checkpoint");
+  const uint64_t seq = checkpoint_seq_ + 1;
+  span.Arg("checkpoint_seq", static_cast<int64_t>(seq));
+
+  // 1. Mark the cut in the log and flush, so the state captured below
+  //    corresponds exactly to the log prefix before `wal_start_seq`.
+  //    The marker only survives if this checkpoint fails to commit —
+  //    replay ignores it.
+  Status status = writer_->Append(WalRecord::Checkpoint(seq));
   if (!status.ok()) return Latch(status);
+  status = writer_->Flush();
+  if (!status.ok()) return Latch(status);
+  const uint64_t wal_start_seq = writer_->next_seq();
+
+  // 2. Shadow-write every historical-tree node into fresh slots through
+  //    the write-back BufferPool. The previous checkpoint's pages stay
+  //    untouched — a crash anywhere before step 5 leaves it intact.
+  const size_t nodes = tree_->NodeCount();
+  std::vector<PageId> node_slots(nodes);
+  for (PageId& slot : node_slots) slot = slots_.Acquire();
+  status = tree_->PersistNodesForCheckpoint(wal_backend_.get(), node_slots);
+  if (!status.ok()) return Latch(status);
+
+  // 3. Serialize tree meta + node map + pipeline + live index into the
+  //    metadata chain.
+  ByteSink meta;
+  EncodeCheckpointState(node_slots, &meta);
+  CheckpointHeader header;
+  header.checkpoint_seq = seq;
+  header.wal_start_seq = wal_start_seq;
+  std::vector<PageId> new_slots = node_slots;
+  status = WriteCheckpointMeta(wal_backend_.get(), &slots_, seq, meta.bytes(),
+                               &header, &new_slots);
+  if (!status.ok()) return Latch(status);
+
+  // 4. Everything the header will reference must be durable *before* the
+  //    header commits: tree pages flushed + synced first.
+  status = wal_backend_->Sync();
+  if (!status.ok()) return Latch(status);
+
+  // 5. The commit point: a durable header makes this checkpoint the one
+  //    recovery loads.
+  status = WriteCheckpointHeader(wal_backend_.get(), header);
+  if (!status.ok()) return Latch(status);
+  status = wal_backend_->Sync();
+  if (!status.ok()) return Latch(status);
+
+  // 6. Truncate: the journal prefix the checkpoint absorbed, and the
+  //    previous checkpoint's shadow pages. A crash mid-truncation is
+  //    safe — recovery frees whatever this loop did not.
+  size_t freed = 0;
+  status = writer_->TruncateBefore(wal_start_seq, &freed);
+  if (!status.ok()) return Latch(status);
+  for (PageId slot : checkpoint_slots_) {
+    status = wal_backend_->Free(slot);
+    if (!status.ok()) return Latch(status);
+    slots_.Release(slot);
+    ++freed;
+  }
+  Metrics().truncated_pages->Add(checkpoint_slots_.size());
+
+  checkpoint_seq_ = seq;
+  checkpoint_slots_ = std::move(new_slots);
+  // The sync at step 4/5 covered every appended record.
+  durable_records_ = writer_->appended_records();
+  Metrics().checkpoints->Add(1);
+  span.Arg("freed_pages", static_cast<int64_t>(freed));
   return Status::OK();
 }
 
@@ -221,6 +449,7 @@ Status LiveTier::Finish() {
   pipeline_.Drain();
   status = writer_->Commit();
   if (!status.ok()) return Latch(status);
+  durable_records_ = writer_->appended_records();
   finished_ = true;
   return Status::OK();
 }
@@ -264,6 +493,31 @@ size_t LiveTier::buffered_instants() const {
 size_t LiveTier::pending_events() const {
   std::shared_lock lock(mu_);
   return pipeline_.pending_events();
+}
+
+uint64_t LiveTier::wal_records() const {
+  std::shared_lock lock(mu_);
+  return writer_->appended_records();
+}
+
+uint64_t LiveTier::wal_pages() const {
+  std::shared_lock lock(mu_);
+  return writer_->pages_written();
+}
+
+uint64_t LiveTier::wal_commits() const {
+  std::shared_lock lock(mu_);
+  return writer_->commits();
+}
+
+uint64_t LiveTier::wal_tail_pages() const {
+  std::shared_lock lock(mu_);
+  return writer_->tail_pages();
+}
+
+uint64_t LiveTier::checkpoint_seq() const {
+  std::shared_lock lock(mu_);
+  return checkpoint_seq_;
 }
 
 std::vector<LiveObservation> MakeObservationStream(

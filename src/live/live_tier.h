@@ -1,10 +1,12 @@
 #ifndef STINDEX_LIVE_LIVE_TIER_H_
 #define STINDEX_LIVE_LIVE_TIER_H_
 
+#include <condition_variable>
 #include <memory>
 #include <shared_mutex>
 #include <vector>
 
+#include "live/checkpoint.h"
 #include "live/live_index.h"
 #include "live/migration.h"
 #include "live/wal.h"
@@ -21,6 +23,19 @@ struct LiveTierOptions {
   // Frames of the shared query pool over the historical tree (0 = the
   // PprConfig default).
   size_t query_pool_pages = 0;
+  // Automatic WAL checkpointing: once a successful Commit leaves at
+  // least this many flushed journal pages since the last checkpoint, the
+  // tier checkpoints and truncates them. 0 disables the automatic
+  // trigger (explicit Checkpoint() calls still work).
+  size_t checkpoint_every_pages = 0;
+  // Group commit: concurrent Commit() callers coalesce into one fsync —
+  // one caller becomes the leader, flushes everything appended so far
+  // and syncs once; the rest wait for the leader to cover their records.
+  bool group_commit = false;
+  // With group commit: how long the leader waits before flushing, so
+  // later callers can join the batch (0 = flush immediately). Updates
+  // keep appending while the leader waits — the lock is released.
+  int64_t commit_interval_us = 0;
 };
 
 // One movement update of the input stream; `MakeObservationStream` turns
@@ -42,18 +57,31 @@ struct LiveObservation {
 // records, live buffers — so an acknowledged update is immediately and
 // exactly visible.
 //
+// Updates journal *before* they apply: a record that never reached the
+// WAL is never visible to queries, so a latched tier cannot serve
+// phantom state (visibility implies journaled).
+//
 // Durability contract: an update is acknowledged once a later Commit()
-// returns OK. On crash, reopen the WAL backend and Open() again: redo
-// replay reconstructs the acknowledged prefix (seals are log-driven, so
-// the rebuilt tree is byte-identical), and re-ingesting the whole input
-// is safe — absorbed records are detected and skipped. Any WAL I/O error
+// returns OK. On crash, reopen the WAL backend and Open() again:
+// recovery loads the latest committed checkpoint (if any) and redo-
+// replays only the journal tail past it (seals are log-driven, so the
+// rebuilt tree is byte-identical), and re-ingesting the whole input is
+// safe — absorbed records are detected and skipped. Any WAL I/O error
 // latches the tier dead (kFailedPrecondition thereafter): the in-memory
 // state may be ahead of the log, so the only safe continuation is
 // recovery from the durable prefix.
 //
-// Thread safety: updates and Commit/Finish are serialized internally and
-// may run concurrently with any number of queries (readers-writer lock;
-// historical reads go through a sharded SharedBufferPool).
+// Checkpoints bound the journal: Checkpoint() (or the automatic
+// checkpoint_every_pages trigger) persists the historical tree's pages
+// through a write-back BufferPool plus the pipeline/index state into the
+// journal backend, syncs, commits a checkpoint header, and then frees
+// every journal page before the checkpoint — the file's page count
+// stays bounded across arbitrarily long streams.
+//
+// Thread safety: updates and Commit/Finish/Checkpoint are serialized
+// internally and may run concurrently with any number of queries
+// (readers-writer lock; historical reads go through a sharded
+// SharedBufferPool).
 class LiveTier {
  public:
   // `wal_backend` holds the journal: freshly Create()d for a new tier, or
@@ -67,8 +95,13 @@ class LiveTier {
   Status End(ObjectId object, Time t);
   Status Apply(const LiveObservation& update);
 
-  // Makes every update since the last Commit durable.
+  // Makes every update since the last Commit durable. Under group_commit
+  // concurrent callers coalesce into one fsync (see LiveTierOptions).
   Status Commit();
+
+  // Persists the full tier state into the journal backend and truncates
+  // every journal page it covers. Queries run concurrently; updates wait.
+  Status Checkpoint();
 
   // End of stream: seals every remaining buffer, drains the migration
   // pipeline into the tree and commits. The tier is frozen afterwards
@@ -98,18 +131,27 @@ class LiveTier {
   size_t live_objects() const;
   size_t buffered_instants() const;
   size_t pending_events() const;
-  uint64_t wal_records() const { return writer_->appended_records(); }
-  uint64_t wal_pages() const { return writer_->pages_written(); }
-  uint64_t wal_commits() const { return writer_->commits(); }
-  // Replay statistics from Open.
+  uint64_t wal_records() const;
+  uint64_t wal_pages() const;
+  uint64_t wal_commits() const;
+  // Journal pages flushed since the last checkpoint (the replay tail a
+  // crash right now would read).
+  uint64_t wal_tail_pages() const;
+  // Committed checkpoints over this tier's lifetime, including the one
+  // recovery loaded (its sequence number).
+  uint64_t checkpoint_seq() const;
+  // Replay statistics from Open (post-checkpoint tail only).
   const WalReplayStats& recovered() const { return recovered_; }
 
  private:
   LiveTier(LiveTierOptions options, std::unique_ptr<PageBackend> wal_backend);
 
-  // Replays the WAL and seals anything whose seal record was lost with
-  // the log's tail.
+  // Loads the latest committed checkpoint (if any), replays the journal
+  // tail past it, frees debris and seals anything whose seal record was
+  // lost with the log's tail.
   Status Recover();
+  Status RestoreFromCheckpoint(const CheckpointHeader& header,
+                               std::vector<PageId>* owned_slots);
   Status ApplyReplayRecord(const WalRecord& record);
 
   // Seals every ripe buffer (the deterministic order documented on
@@ -120,17 +162,37 @@ class LiveTier {
   Status SealRipe();
   Status SealAndJournal(ObjectId object);
 
+  // Serializes tree meta + node slot map + pipeline + index into one
+  // byte stream (the checkpoint metadata chain's content).
+  void EncodeCheckpointState(const std::vector<PageId>& node_slots,
+                             ByteSink* out) const;
+  // The checkpoint procedure; caller holds the exclusive lock.
+  Status CheckpointLocked();
+  // Runs CheckpointLocked when the automatic trigger is armed and due.
+  Status MaybeCheckpointLocked();
+
   Status CheckAlive() const;
   Status Latch(Status status);  // records a WAL failure; returns it
 
   LiveTierOptions options_;
   std::unique_ptr<PageBackend> wal_backend_;
+  WalSlotAllocator slots_;
   std::unique_ptr<WalWriter> writer_;  // set once Recover finishes replay
   LiveIndex index_;
   std::unique_ptr<PprTree> tree_;
   MigrationPipeline pipeline_;
   std::unique_ptr<SharedBufferPool> pool_;
   WalReplayStats recovered_;
+  // Sequence of the committed checkpoint (0 = none yet) and the slots it
+  // owns (tree node pages + metadata chain), freed when the next
+  // checkpoint commits.
+  uint64_t checkpoint_seq_ = 0;
+  std::vector<PageId> checkpoint_slots_;
+  // Group commit: records covered by the last successful fsync, and
+  // whether a leader is mid-flush. Joiners wait on commit_cv_.
+  uint64_t durable_records_ = 0;
+  bool commit_leader_active_ = false;
+  mutable std::condition_variable_any commit_cv_;
   bool failed_ = false;
   bool finished_ = false;
   mutable std::shared_mutex mu_;

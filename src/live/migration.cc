@@ -1,5 +1,8 @@
 #include "live/migration.h"
 
+#include <algorithm>
+
+#include "util/check.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -71,6 +74,75 @@ void MigrationPipeline::Drain() {
     events_.pop();
     Apply(event);
   }
+}
+
+void MigrationPipeline::EncodeState(ByteSink* out) const {
+  out->Write(static_cast<uint64_t>(segments_.size()));
+  for (const SegmentRecord& record : segments_) {
+    out->Write(record.object);
+    out->Write(record.box.rect);
+    out->Write(record.box.interval);
+  }
+  const auto write_sorted = [out](const std::unordered_set<PprDataId>& set) {
+    std::vector<PprDataId> ids(set.begin(), set.end());
+    std::sort(ids.begin(), ids.end());
+    out->Write(static_cast<uint64_t>(ids.size()));
+    for (PprDataId id : ids) out->Write(id);
+  };
+  write_sorted(insert_pending_);
+  write_sorted(delete_pending_);
+  out->Write(static_cast<uint64_t>(applied_events_));
+}
+
+Status MigrationPipeline::DecodeState(ByteSource* in) {
+  STINDEX_CHECK_MSG(segments_.empty() && events_.empty(),
+                    "checkpoint restore into a non-empty pipeline");
+  uint64_t segment_count = 0;
+  if (!in->Read(&segment_count)) {
+    return Status::InvalidArgument("checkpoint: truncated segment list");
+  }
+  segments_.reserve(static_cast<size_t>(segment_count));
+  for (uint64_t i = 0; i < segment_count; ++i) {
+    SegmentRecord record;
+    if (!in->Read(&record.object) || !in->Read(&record.box.rect) ||
+        !in->Read(&record.box.interval)) {
+      return Status::InvalidArgument("checkpoint: truncated segment list");
+    }
+    segments_.push_back(record);
+  }
+  const auto read_set = [&](std::unordered_set<PprDataId>* set,
+                            bool is_insert) -> Status {
+    uint64_t count = 0;
+    if (!in->Read(&count)) {
+      return Status::InvalidArgument("checkpoint: truncated pending set");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      PprDataId id = 0;
+      if (!in->Read(&id)) {
+        return Status::InvalidArgument("checkpoint: truncated pending set");
+      }
+      if (static_cast<size_t>(id) >= segments_.size()) {
+        return Status::InvalidArgument(
+            "checkpoint: pending id " + std::to_string(id) +
+            " beyond the segment list");
+      }
+      set->insert(id);
+      const STBox& box = segments_[static_cast<size_t>(id)].box;
+      events_.push(Event{is_insert ? box.interval.start : box.interval.end,
+                         is_insert, id});
+    }
+    return Status::OK();
+  };
+  Status status = read_set(&insert_pending_, /*is_insert=*/true);
+  if (!status.ok()) return status;
+  status = read_set(&delete_pending_, /*is_insert=*/false);
+  if (!status.ok()) return status;
+  uint64_t applied = 0;
+  if (!in->Read(&applied)) {
+    return Status::InvalidArgument("checkpoint: truncated pipeline state");
+  }
+  applied_events_ = static_cast<size_t>(applied);
+  return Status::OK();
 }
 
 void MigrationPipeline::CollectPending(const Rect2D& area,

@@ -9,6 +9,7 @@
 #include "core/segment.h"
 #include "live/live_index.h"
 #include "pprtree/ppr_tree.h"
+#include "util/bytes.h"
 #include "util/status.h"
 
 namespace stindex {
@@ -50,6 +51,17 @@ class MigrationPipeline {
 
   size_t applied_events() const { return applied_events_; }
   size_t pending_events() const { return events_.size(); }
+
+  // --- checkpoint state -------------------------------------------------
+
+  // Serializes segments + pending sets (sorted — deterministic bytes).
+  // The event queue is not serialized: it is exactly {insert event for
+  // every insert-pending id} ∪ {delete event for every delete-pending
+  // id} — Enqueue pushes an event and its pending id together, Apply
+  // pops them together — so DecodeState rebuilds it from the sets.
+  void EncodeState(ByteSink* out) const;
+  // Restores into a fresh pipeline whose tree was already restored.
+  Status DecodeState(ByteSource* in);
 
   // --- query support over in-flight records ----------------------------
 

@@ -1139,6 +1139,85 @@ Result<std::unique_ptr<PprTree>> PprTree::Load(const std::string& path) {
   return tree;
 }
 
+void PprTree::EncodeCheckpointMeta(ByteSink* out) const {
+  out->Write(static_cast<uint64_t>(size_));
+  out->Write(current_time_);
+  out->Write(static_cast<uint64_t>(roots_.size()));
+  for (const RootEra& era : roots_) {
+    out->Write(era.start);
+    out->Write(era.root);
+  }
+}
+
+Status PprTree::DecodeCheckpointMeta(ByteSource* in) {
+  STINDEX_CHECK_MSG(roots_.empty() && store_.AllocatedCount() == 0,
+                    "checkpoint restore into a non-empty tree");
+  uint64_t size = 0;
+  uint64_t root_count = 0;
+  if (!in->Read(&size) || !in->Read(&current_time_) || !in->Read(&root_count)) {
+    return Status::InvalidArgument("checkpoint: truncated PPR-tree meta");
+  }
+  size_ = static_cast<size_t>(size);
+  roots_.reserve(static_cast<size_t>(root_count));
+  for (uint64_t i = 0; i < root_count; ++i) {
+    RootEra era;
+    if (!in->Read(&era.start) || !in->Read(&era.root)) {
+      return Status::InvalidArgument("checkpoint: truncated root journal");
+    }
+    roots_.push_back(era);
+  }
+  return Status::OK();
+}
+
+Status PprTree::PersistNodesForCheckpoint(
+    PageBackend* backend, const std::vector<PageId>& slots) const {
+  STINDEX_CHECK_MSG(backend_ == nullptr,
+                    "checkpointing a tree that already owns a backend");
+  STINDEX_CHECK(slots.size() == store_.AllocatedCount());
+  const NodeCodec codec(config_.max_entries);
+  // Write-back pool sized like the query buffer: dirty evictions stream
+  // pages out while the tail is flushed explicitly — the same real write
+  // path AttachBackend persists through.
+  BufferPool writer(backend, &codec, config_.buffer_pages);
+  for (PageId id = 0; id < store_.AllocatedCount(); ++id) {
+    if (!store_.IsLive(id)) continue;
+    const Node* node = GetNode(id);
+    auto clone = std::make_unique<Node>(node->level(), node->created());
+    if (node->closed() != kTimeInfinity) clone->Close(node->closed());
+    clone->entries() = node->entries();
+    Status status = writer.Put(slots[id], std::move(clone));
+    if (!status.ok()) {
+      writer.DiscardAll();  // the shadow slots are garbage; do not flush
+      return status;
+    }
+  }
+  Status status = writer.FlushAll();
+  if (!status.ok()) writer.DiscardAll();
+  return status;
+}
+
+Status PprTree::InstallCheckpointNode(PageId id, const uint8_t* page) {
+  STINDEX_CHECK_MSG(backend_ == nullptr,
+                    "checkpoint restore into an attached tree");
+  STINDEX_CHECK(store_.AllocatedCount() == id);
+  const NodeCodec codec(config_.max_entries);
+  Result<std::unique_ptr<Page>> decoded = codec.Decode(page, id);
+  if (!decoded.ok()) return decoded.status();
+  auto node = std::unique_ptr<Node>(static_cast<Node*>(decoded.value().release()));
+  for (const Entry& entry : node->entries()) {
+    if (entry.IsAlive()) {
+      if (node->IsLeaf()) {
+        alive_location_[entry.data] = id;
+      } else {
+        parent_of_[entry.child] = id;
+      }
+    }
+  }
+  const PageId allocated = store_.Allocate(std::move(node));
+  STINDEX_CHECK(allocated == id);
+  return Status::OK();
+}
+
 std::unique_ptr<PprTree> BuildPprTree(
     const std::vector<SegmentRecord>& records, PprConfig config) {
   auto tree = std::make_unique<PprTree>(config);

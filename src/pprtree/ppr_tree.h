@@ -13,6 +13,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_backend.h"
 #include "storage/page_store.h"
+#include "util/bytes.h"
 #include "util/status.h"
 
 namespace stindex {
@@ -169,6 +170,33 @@ class PprTree {
   // identically and accepts further updates.
   Status Save(const std::string& path) const;
   static Result<std::unique_ptr<PprTree>> Load(const std::string& path);
+
+  // --- live-tier checkpoint hooks ---------------------------------------
+  // A live tree (before AttachBackend) round-trips through checkpoint
+  // metadata plus one sealed kPprNode page per node: node ids are
+  // contiguous 0..NodeCount()-1 (the tree never frees a node), the page
+  // encoding is position-independent, and the meta carries the root
+  // journal and counters.
+
+  // Nodes a checkpoint must persist: ids 0..NodeCount()-1.
+  size_t NodeCount() const { return store_.AllocatedCount(); }
+
+  // Serializes the non-node state (size, clock, root journal).
+  void EncodeCheckpointMeta(ByteSink* out) const;
+  // Restores it into a freshly constructed tree of the same config.
+  Status DecodeCheckpointMeta(ByteSource* in);
+
+  // Writes node i to backend slot `slots[i]` (slots.size() must be
+  // NodeCount()) through a write-back BufferPool — dirty evictions
+  // perform real page writes, the same path AttachBackend persists
+  // through. Does not sync.
+  Status PersistNodesForCheckpoint(PageBackend* backend,
+                                   const std::vector<PageId>& slots) const;
+
+  // Installs node `id` from a sealed kPprNode page image; ids must
+  // arrive 0, 1, 2, ... on a tree holding exactly `id` nodes. Rebuilds
+  // the alive-record and alive-parent maps.
+  Status InstallCheckpointNode(PageId id, const uint8_t* page);
 
  private:
   class Node;

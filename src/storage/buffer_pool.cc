@@ -256,6 +256,14 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+void BufferPool::DiscardAll() {
+  STINDEX_CHECK_MSG(pinned_count_ == 0,
+                    "BufferPool::DiscardAll with pinned pages");
+  dirty_count_ = 0;
+  lru_.clear();
+  frames_.clear();
+}
+
 void BufferPool::ResetCache() {
   STINDEX_CHECK_MSG(pinned_count_ == 0,
                     "BufferPool::ResetCache with pinned pages");

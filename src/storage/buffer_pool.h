@@ -163,6 +163,12 @@ class BufferPool : public PageCache {
   // pinned and no dirty frames.
   void ResetCache();
 
+  // Drops every frame *including dirty ones* without writing them back.
+  // For abandoning a failed shadow-write pass (a checkpoint that hit an
+  // I/O error): the target slots are garbage anyway, and flushing on
+  // destruction would turn the already-reported error into a crash.
+  void DiscardAll();
+
   // Zeroes the per-query counters (lifetime totals keep accumulating).
   void ResetStats() { stats_.Reset(); }
 

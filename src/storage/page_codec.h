@@ -24,6 +24,8 @@ enum class PageKind : uint16_t {
   kPprNode = 3,     // serialized PprTree::Node
   kTest = 4,        // reserved for unit tests
   kWalPage = 5,     // live-tier write-ahead-log page (live/wal.h)
+  kCheckpointHeader = 6,  // live-tier checkpoint commit record (live/checkpoint.h)
+  kCheckpointPage = 7,    // live-tier checkpoint metadata chain page
 };
 
 // Every on-disk page carries an 8-byte envelope:

@@ -1,0 +1,70 @@
+#ifndef STINDEX_UTIL_BYTES_H_
+#define STINDEX_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stindex {
+
+// A growable little-endian byte stream for variable-length state
+// serialization (the live tier's checkpoint metadata). PageWriter /
+// PageReader cover the fixed-size single-page case; ByteSink / ByteSource
+// cover state whose size is unknown up front and which is later chunked
+// across pages by the caller.
+class ByteSink {
+ public:
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteSink::Write requires a trivially copyable type");
+    WriteBytes(&value, sizeof(T));
+  }
+
+  void WriteBytes(const void* data, size_t size) {
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + size);
+    std::memcpy(bytes_.data() + offset, data, size);
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Reader over a borrowed byte range; every Read reports truncation
+// instead of walking off the end.
+class ByteSource {
+ public:
+  ByteSource(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteSource::Read requires a trivially copyable type");
+    return ReadBytes(out, sizeof(T));
+  }
+
+  bool ReadBytes(void* out, size_t size) {
+    if (size_ - offset_ < size) return false;
+    std::memcpy(out, data_ + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - offset_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_UTIL_BYTES_H_

@@ -27,6 +27,7 @@
 #include "live/live_tier.h"
 #include "storage/fault_backend.h"
 #include "storage/file_backend.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace stindex {
@@ -108,10 +109,12 @@ RunResult Snapshot(const LiveTier& tier, const std::vector<STQuery>& queries) {
 
 // The never-crashed run; `mutations` (when non-null) receives the number
 // of mutating backend calls the whole run performs — the sweep space.
-RunResult ReferenceRun(const std::string& path,
+// `checkpoints` (when non-null) receives the run's final checkpoint
+// sequence, to prove a checkpointed sweep actually cycled.
+RunResult ReferenceRun(const LiveTierOptions& options, const std::string& path,
                        const std::vector<LiveObservation>& stream,
-                       const std::vector<STQuery>& queries,
-                       uint64_t* mutations) {
+                       const std::vector<STQuery>& queries, uint64_t* mutations,
+                       uint64_t* checkpoints = nullptr) {
   RunResult result;
   Result<std::unique_ptr<FilePageBackend>> file = FilePageBackend::Create(path);
   EXPECT_TRUE(file.ok()) << file.status().ToString();
@@ -119,7 +122,7 @@ RunResult ReferenceRun(const std::string& path,
       std::move(file).value(), FaultInjectingBackend::Faults{});
   FaultInjectingBackend* counter = fault.get();
   Result<std::unique_ptr<LiveTier>> tier =
-      LiveTier::Open(TierOptions(), std::move(fault));
+      LiveTier::Open(options, std::move(fault));
   EXPECT_TRUE(tier.ok()) << tier.status().ToString();
   for (size_t i = 0; i < stream.size(); ++i) {
     EXPECT_TRUE(tier.value()->Apply(stream[i]).ok());
@@ -127,6 +130,7 @@ RunResult ReferenceRun(const std::string& path,
       EXPECT_TRUE(tier.value()->Commit().ok());
     }
   }
+  if (checkpoints != nullptr) *checkpoints = tier.value()->checkpoint_seq();
   EXPECT_TRUE(tier.value()->Finish().ok());
   if (mutations != nullptr) *mutations = counter->mutations();
   return Snapshot(*tier.value(), queries);
@@ -140,7 +144,7 @@ TEST(CrashRecoveryTest, EveryWriteSiteRecoversToTheReferenceRun) {
   const std::string ref_path = ::testing::TempDir() + "/crash_ref.stpages";
   uint64_t mutations = 0;
   const RunResult reference =
-      ReferenceRun(ref_path, stream, queries, &mutations);
+      ReferenceRun(TierOptions(), ref_path, stream, queries, &mutations);
   ASSERT_GT(mutations, 50u) << "sweep space suspiciously small";
   ASSERT_FALSE(reference.segments.empty());
 
@@ -241,7 +245,7 @@ TEST(CrashRecoveryTest, RecoveredJournalSurvivesAnotherGeneration) {
 
   const std::string ref_path = ::testing::TempDir() + "/crash_gen_ref.stpages";
   const RunResult reference =
-      ReferenceRun(ref_path, stream, queries, nullptr);
+      ReferenceRun(TierOptions(), ref_path, stream, queries, nullptr);
 
   const std::string path = ::testing::TempDir() + "/crash_gen.stpages";
   const size_t third = stream.size() / 3;
@@ -296,6 +300,183 @@ TEST(CrashRecoveryTest, RecoveredJournalSurvivesAnotherGeneration) {
     EXPECT_EQ(after.answers, reference.answers);
     EXPECT_TRUE(SameSegments(after.segments, reference.segments));
   }
+
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+}
+
+// The checkpointed sweep: with automatic checkpointing and group commit
+// armed, the mutation space now includes every write of the checkpoint
+// procedure — shadow node pages, the metadata chain, both syncs around
+// the header, the header itself, and every Free of truncation. A crash
+// at ANY of those sites (mid-checkpoint, between tree flush and header
+// commit, mid-truncation) must recover to the uninterrupted reference.
+TEST(CrashRecoveryTest, CheckpointedCrashSweepRecoversAtEveryMutationSite) {
+  RandomDatasetConfig data;
+  data.num_objects = 12;  // small on purpose: the sweep is O(mutations^2)
+  data.time_domain = 60;
+  data.max_lifetime = 24;
+  data.min_extent = 0.01;
+  data.max_extent = 0.05;
+  data.seed = 4321;
+  const std::vector<Trajectory> objects = GenerateRandomDataset(data);
+  const std::vector<LiveObservation> stream = MakeObservationStream(objects);
+  const std::vector<STQuery> queries = MakeQueries();
+
+  LiveTierOptions options = TierOptions();
+  options.checkpoint_every_pages = 1;  // checkpoint at (nearly) every commit
+  options.group_commit = true;
+  options.commit_interval_us = 0;
+
+  const std::string ref_path = ::testing::TempDir() + "/ckpt_ref.stpages";
+  uint64_t mutations = 0;
+  uint64_t checkpoints = 0;
+  const RunResult reference = ReferenceRun(options, ref_path, stream, queries,
+                                           &mutations, &checkpoints);
+  ASSERT_GE(checkpoints, 2u) << "sweep never cycles a checkpoint";
+  ASSERT_GT(mutations, 100u) << "sweep space suspiciously small";
+  ASSERT_FALSE(reference.segments.empty());
+
+  const std::string path = ::testing::TempDir() + "/ckpt_sweep.stpages";
+  for (uint64_t crash_at = 1; crash_at <= mutations; ++crash_at) {
+    SCOPED_TRACE("crash_at_write=" + std::to_string(crash_at));
+
+    Result<std::unique_ptr<FilePageBackend>> file =
+        FilePageBackend::Create(path);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    FilePageBackend* raw_file = file.value().get();
+    FaultInjectingBackend::Faults faults;
+    faults.crash_at_write = crash_at;
+    auto fault = std::make_unique<FaultInjectingBackend>(
+        std::move(file).value(), faults);
+    FaultInjectingBackend* raw_fault = fault.get();
+
+    Result<std::unique_ptr<LiveTier>> doomed =
+        LiveTier::Open(options, std::move(fault));
+    ASSERT_TRUE(doomed.ok()) << doomed.status().ToString();
+
+    size_t acked = 0;
+    bool crashed = false;
+    for (size_t i = 0; i < stream.size() && !crashed; ++i) {
+      if (!doomed.value()->Apply(stream[i]).ok()) {
+        crashed = true;
+        break;
+      }
+      if ((i + 1) % kCommitEvery == 0) {
+        if (!doomed.value()->Commit().ok()) {
+          crashed = true;
+          break;
+        }
+        acked = i + 1;
+      }
+    }
+    if (!crashed) {
+      ASSERT_FALSE(doomed.value()->Finish().ok())
+          << "crash point " << crash_at << " of " << mutations
+          << " never fired";
+    }
+    ASSERT_TRUE(raw_fault->crashed());
+    raw_file->Abandon();
+    doomed.value().reset();
+
+    Result<std::unique_ptr<FilePageBackend>> reopened =
+        FilePageBackend::Open(path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    Result<std::unique_ptr<LiveTier>> recovered =
+        LiveTier::Open(options, std::move(reopened).value());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+    for (size_t i = acked; i < stream.size(); ++i) {
+      ASSERT_TRUE(recovered.value()->Apply(stream[i]).ok());
+      if ((i + 1) % kCommitEvery == 0) {
+        ASSERT_TRUE(recovered.value()->Commit().ok());
+      }
+    }
+    ASSERT_TRUE(recovered.value()->Finish().ok());
+
+    const RunResult after = Snapshot(*recovered.value(), queries);
+    ASSERT_EQ(after.answers, reference.answers);
+    ASSERT_TRUE(SameSegments(after.segments, reference.segments));
+    ASSERT_EQ(after.tree_pages, reference.tree_pages);
+    ASSERT_EQ(after.tree_roots, reference.tree_roots);
+  }
+
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+}
+
+// Checkpoints must bound the journal: across generations of
+// reopen-ingest-close cycles, recovery replays only the tail past the
+// last committed checkpoint — O(checkpoint interval), never O(history) —
+// and truncation actually frees pages. Answers stay byte-identical to an
+// uninterrupted run throughout.
+TEST(CrashRecoveryTest, JournalStaysBoundedAcrossCheckpointCycles) {
+  const std::vector<Trajectory> objects = MakeObjects();
+  const std::vector<LiveObservation> stream = MakeObservationStream(objects);
+  const std::vector<STQuery> queries = MakeQueries();
+
+  LiveTierOptions options = TierOptions();
+  options.checkpoint_every_pages = 2;
+
+  const std::string ref_path = ::testing::TempDir() + "/bound_ref.stpages";
+  const RunResult reference =
+      ReferenceRun(TierOptions(), ref_path, stream, queries, nullptr);
+
+  Counter* truncated =
+      MetricRegistry::Global().GetCounter("live.wal.truncated_pages");
+  const uint64_t truncated_before = truncated->Value();
+
+  const std::string path = ::testing::TempDir() + "/bound_gens.stpages";
+  // Replay on reopen may never exceed the checkpoint trigger plus the
+  // pages of one commit interval flushed after the last checkpoint.
+  const uint64_t tail_bound = options.checkpoint_every_pages + 2;
+  constexpr size_t kGenerations = 4;
+  uint64_t last_checkpoint_seq = 0;
+  uint64_t pages_flushed_total = 0;
+
+  for (size_t gen = 0; gen < kGenerations; ++gen) {
+    SCOPED_TRACE("generation=" + std::to_string(gen));
+    Result<std::unique_ptr<FilePageBackend>> file =
+        gen == 0 ? FilePageBackend::Create(path) : FilePageBackend::Open(path);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    Result<std::unique_ptr<LiveTier>> tier =
+        LiveTier::Open(options, std::move(file).value());
+    ASSERT_TRUE(tier.ok()) << tier.status().ToString();
+
+    // Bounded recovery: the replayed tail never grows with history.
+    EXPECT_LE(tier.value()->recovered().pages, tail_bound);
+    EXPECT_GE(tier.value()->checkpoint_seq(), last_checkpoint_seq);
+
+    const size_t begin = gen * stream.size() / kGenerations;
+    const size_t end = (gen + 1) * stream.size() / kGenerations;
+    for (size_t i = begin; i < end; ++i) {
+      ASSERT_TRUE(tier.value()->Apply(stream[i]).ok());
+      if ((i + 1) % kCommitEvery == 0) {
+        ASSERT_TRUE(tier.value()->Commit().ok());
+      }
+    }
+    if (gen + 1 < kGenerations) {
+      ASSERT_TRUE(tier.value()->Commit().ok());
+      pages_flushed_total += tier.value()->wal_pages();
+      last_checkpoint_seq = tier.value()->checkpoint_seq();
+      EXPECT_GT(last_checkpoint_seq, 0u);
+      continue;  // clean close; the next generation reopens
+    }
+
+    // Final generation: prove the cycle kept going, then finish and
+    // compare against the uninterrupted reference.
+    pages_flushed_total += tier.value()->wal_pages();
+    EXPECT_GT(tier.value()->checkpoint_seq(), last_checkpoint_seq);
+    ASSERT_TRUE(tier.value()->Finish().ok());
+    const RunResult after = Snapshot(*tier.value(), queries);
+    EXPECT_EQ(after.answers, reference.answers);
+    EXPECT_TRUE(SameSegments(after.segments, reference.segments));
+  }
+
+  // The bound is non-trivial: the run flushed far more journal pages than
+  // any reopen ever replayed, and truncation reclaimed pages.
+  EXPECT_GT(pages_flushed_total, tail_bound * kGenerations);
+  EXPECT_GT(truncated->Value(), truncated_before);
 
   std::remove(ref_path.c_str());
   std::remove(path.c_str());

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/query_gen.h"
@@ -16,6 +19,7 @@
 #include "live/live_index.h"
 #include "live/live_tier.h"
 #include "live/wal.h"
+#include "storage/fault_backend.h"
 #include "storage/file_backend.h"
 #include "storage/page_backend.h"
 #include "storage/page_codec.h"
@@ -48,10 +52,13 @@ std::vector<WalRecord> SampleRecords(size_t count) {
 }
 
 Result<std::vector<WalRecord>> Replay(const PageBackend& backend,
-                                      WalReplayStats* stats) {
+                                      WalReplayStats* stats,
+                                      uint64_t start_seq = 1) {
   std::vector<WalRecord> records;
+  WalReplayOptions options;
+  options.start_seq = start_seq;
   Result<WalReplayStats> result =
-      ReplayWal(backend, [&records](const WalRecord& record) {
+      ReplayWal(backend, options, [&records](const WalRecord& record) {
         records.push_back(record);
         return Status::OK();
       });
@@ -62,7 +69,8 @@ Result<std::vector<WalRecord>> Replay(const PageBackend& backend,
 
 TEST(WalTest, RoundTripAcrossPages) {
   MemoryPageBackend backend;
-  WalWriter writer(&backend, 0);
+  WalSlotAllocator slots;
+  WalWriter writer(&backend, &slots, 1);
   const std::vector<WalRecord> records = SampleRecords(300);
   for (const WalRecord& record : records) {
     ASSERT_TRUE(writer.Append(record).ok());
@@ -76,12 +84,14 @@ TEST(WalTest, RoundTripAcrossPages) {
   EXPECT_EQ(replayed.value(), records);
   EXPECT_FALSE(stats.torn_tail);
   EXPECT_EQ(stats.pages, writer.pages_written());
-  EXPECT_EQ(stats.next_page, writer.next_page());
+  EXPECT_EQ(stats.next_seq, writer.next_seq());
+  EXPECT_EQ(stats.tail.size(), writer.tail_pages());
 }
 
 TEST(WalTest, EmptyCommitIsNoOp) {
   MemoryPageBackend backend;
-  WalWriter writer(&backend, 0);
+  WalSlotAllocator slots;
+  WalWriter writer(&backend, &slots, 1);
   ASSERT_TRUE(writer.Commit().ok());
   EXPECT_EQ(writer.pages_written(), 0u);
   EXPECT_EQ(writer.commits(), 0u);
@@ -89,7 +99,8 @@ TEST(WalTest, EmptyCommitIsNoOp) {
 
 TEST(WalTest, TornTailIsCleanEndOfLog) {
   MemoryPageBackend backend;
-  WalWriter writer(&backend, 0);
+  WalSlotAllocator slots;
+  WalWriter writer(&backend, &slots, 1);
   const std::vector<WalRecord> records = SampleRecords(200);
   for (const WalRecord& record : records) {
     ASSERT_TRUE(writer.Append(record).ok());
@@ -100,17 +111,24 @@ TEST(WalTest, TornTailIsCleanEndOfLog) {
   // checksum, as a crash mid-append leaves behind.
   uint8_t garbage[kPageSize];
   std::memset(garbage, 0xAB, sizeof(garbage));
-  ASSERT_TRUE(backend.Write(writer.next_page(), garbage).ok());
+  const PageId torn_slot = static_cast<PageId>(backend.SlotCount());
+  ASSERT_TRUE(backend.Write(torn_slot, garbage).ok());
 
   WalReplayStats stats;
   Result<std::vector<WalRecord>> replayed = Replay(backend, &stats);
   ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
   EXPECT_EQ(replayed.value(), records);
   EXPECT_TRUE(stats.torn_tail);
-  EXPECT_EQ(stats.next_page, writer.next_page());
+  EXPECT_EQ(stats.next_seq, writer.next_seq());
+  EXPECT_EQ(stats.garbage, std::vector<PageId>{torn_slot});
 
-  // A continuing writer overwrites the garbage; the log is whole again.
-  WalWriter resumed(&backend, stats.next_page);
+  // Recovery frees the debris; a continuing writer reuses the slot and
+  // the log is whole again.
+  for (PageId slot : stats.garbage) {
+    ASSERT_TRUE(backend.Free(slot).ok());
+  }
+  WalSlotAllocator rebuilt(backend);
+  WalWriter resumed(&backend, &rebuilt, stats.next_seq, stats.tail);
   ASSERT_TRUE(resumed.Append(WalRecord::End(99, 500)).ok());
   ASSERT_TRUE(resumed.Commit().ok());
   WalReplayStats healed;
@@ -123,21 +141,87 @@ TEST(WalTest, TornTailIsCleanEndOfLog) {
 
 TEST(WalTest, InteriorCorruptionIsAnError) {
   MemoryPageBackend backend;
-  WalWriter writer(&backend, 0);
+  WalSlotAllocator slots;
+  WalWriter writer(&backend, &slots, 1);
   for (const WalRecord& record : SampleRecords(600)) {
     ASSERT_TRUE(writer.Append(record).ok());
   }
   ASSERT_TRUE(writer.Commit().ok());
   ASSERT_GE(writer.pages_written(), 3u);
 
+  // Overwriting an interior page with garbage erases its sequence: the
+  // run start_seq, start_seq+1, ... has a hole, which replay must refuse
+  // to paper over.
   uint8_t garbage[kPageSize];
   std::memset(garbage, 0xCD, sizeof(garbage));
-  ASSERT_TRUE(backend.Write(1, garbage).ok());
+  ASSERT_TRUE(backend.Write(kWalFirstDataSlot + 1, garbage).ok());
 
   WalReplayStats stats;
   Result<std::vector<WalRecord>> replayed = Replay(backend, &stats);
   ASSERT_FALSE(replayed.ok());
   EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WalTest, ReplayRejectsInteriorGap) {
+  MemoryPageBackend backend;
+  WalSlotAllocator slots;
+  WalWriter writer(&backend, &slots, 1);
+  for (const WalRecord& record : SampleRecords(600)) {
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  ASSERT_TRUE(writer.Commit().ok());
+  ASSERT_GE(writer.pages_written(), 3u);
+
+  // A freed interior page (e.g. a botched truncation of the wrong range)
+  // must be a loud error, not a silently shortened log.
+  ASSERT_TRUE(backend.Free(kWalFirstDataSlot + 1).ok());
+  WalReplayStats stats;
+  Result<std::vector<WalRecord>> replayed = Replay(backend, &stats);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(replayed.status().message().find("lost a committed page"),
+            std::string::npos)
+      << replayed.status().ToString();
+}
+
+TEST(WalTest, TruncateBeforeFreesAbsorbedPrefixAndRecyclesSlots) {
+  MemoryPageBackend backend;
+  WalSlotAllocator slots;
+  WalWriter writer(&backend, &slots, 1);
+  const std::vector<WalRecord> records = SampleRecords(500);
+  for (const WalRecord& record : records) {
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  ASSERT_TRUE(writer.Commit().ok());
+  ASSERT_GE(writer.tail_pages(), 3u);
+  const size_t high_water = backend.SlotCount();
+
+  // Truncate everything but the last flushed page, as a checkpoint whose
+  // wal_start_seq falls there would.
+  const uint64_t cut = writer.next_seq() - 1;
+  size_t freed = 0;
+  ASSERT_TRUE(writer.TruncateBefore(cut, &freed).ok());
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(writer.tail_pages(), 1u);
+  EXPECT_EQ(backend.LivePageCount(), 1u);
+
+  // Replay from the cut sees exactly the surviving page's records.
+  WalReplayStats stats;
+  Result<std::vector<WalRecord>> tail = Replay(backend, &stats, cut);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_EQ(stats.pages, 1u);
+  EXPECT_EQ(stats.next_seq, writer.next_seq());
+  ASSERT_LE(tail.value().size(), records.size());
+  EXPECT_TRUE(std::equal(tail.value().begin(), tail.value().end(),
+                         records.end() - static_cast<long>(tail.value().size())));
+
+  // Freed slots are recycled lowest-first: continuing to append does not
+  // grow the file past its old high-water mark.
+  for (const WalRecord& record : SampleRecords(400)) {
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_LE(backend.SlotCount(), high_water);
 }
 
 TEST(LiveIndexTest, EnforcesStreamInvariants) {
@@ -419,7 +503,8 @@ TEST(LiveTierTest, CleanReopenContinuesAndReingestIsIdempotent) {
 TEST(LiveTierTest, RejectsSealRecordThatDoesNotMatchReplay) {
   auto backend = std::make_unique<MemoryPageBackend>();
   {
-    WalWriter writer(backend.get(), 0);
+    WalSlotAllocator slots;
+    WalWriter writer(backend.get(), &slots, 1);
     ASSERT_TRUE(writer.Append(WalRecord::Observe(7, 0, UnitRect(0.1, 0.2))).ok());
     ASSERT_TRUE(writer.Append(WalRecord::Observe(7, 1, UnitRect(0.1, 0.2))).ok());
     // Claims 9 segments; replaying the two observations yields 1.
@@ -430,6 +515,170 @@ TEST(LiveTierTest, RejectsSealRecordThatDoesNotMatchReplay) {
       LiveTier::Open(LiveTierOptions{}, std::move(backend));
   ASSERT_FALSE(tier.ok());
   EXPECT_EQ(tier.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LiveTierTest, UnjournaledUpdateIsInvisibleAfterWalFailure) {
+  // The first WAL page write fails. Updates journal *before* they apply,
+  // so the observation whose append hit the failure must never become
+  // visible — a latched tier serves exactly the journaled prefix.
+  FaultInjectingBackend::Faults faults;
+  faults.fail_write_at = 1;
+  auto fault = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryPageBackend>(), faults);
+  LiveTierOptions options;
+  options.index.capacity = 0;  // no sealing: every instant stays buffered
+  options.index.duration = 0;
+  options.index.buffer = 0;
+  Result<std::unique_ptr<LiveTier>> tier =
+      LiveTier::Open(options, std::move(fault));
+  ASSERT_TRUE(tier.ok()) << tier.status().ToString();
+
+  // Observations buffer into the open WAL page; the append that overflows
+  // it triggers the (failing) page write.
+  Time failed_at = -1;
+  for (Time t = 0; t < 1000; ++t) {
+    Status status = tier.value()->Observe(1, t, UnitRect(0.1, 0.2));
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kIoError) << status.ToString();
+      failed_at = t;
+      break;
+    }
+  }
+  ASSERT_GE(failed_at, 1) << "write fault never fired";
+
+  // The failed instant is invisible...
+  std::vector<ObjectId> got;
+  tier.value()->SnapshotQuery(UnitRect(0.0, 1.0), failed_at, &got);
+  EXPECT_TRUE(got.empty()) << "tier serves a never-journaled update";
+  // ... while the journaled prefix still answers exactly.
+  tier.value()->SnapshotQuery(UnitRect(0.0, 1.0), failed_at - 1, &got);
+  EXPECT_EQ(got, std::vector<ObjectId>{1});
+  EXPECT_EQ(tier.value()->buffered_instants(),
+            static_cast<size_t>(failed_at));
+
+  // And the tier is latched: no further updates, no commits.
+  EXPECT_EQ(tier.value()->Observe(1, failed_at, UnitRect(0.1, 0.2)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(tier.value()->Commit().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LiveTierTest, CheckpointTruncatesJournalAndReopensFromIt) {
+  const std::vector<Trajectory> objects = SmallDataset(23);
+  const std::vector<LiveObservation> stream = MakeObservationStream(objects);
+  const std::vector<STQuery> queries = SmallQueries(29);
+  const std::string path = ::testing::TempDir() + "/live_ckpt.stpages";
+
+  // Reference: the same stream through an in-memory tier, no checkpoints.
+  Result<std::unique_ptr<LiveTier>> reference = LiveTier::Open(
+      SmallTierOptions(), std::make_unique<MemoryPageBackend>());
+  ASSERT_TRUE(reference.ok());
+  for (const LiveObservation& update : stream) {
+    ASSERT_TRUE(reference.value()->Apply(update).ok());
+  }
+  ASSERT_TRUE(reference.value()->Finish().ok());
+
+  const size_t half = stream.size() / 2;
+  {
+    Result<std::unique_ptr<FilePageBackend>> wal = FilePageBackend::Create(path);
+    ASSERT_TRUE(wal.ok());
+    Result<std::unique_ptr<LiveTier>> tier =
+        LiveTier::Open(SmallTierOptions(), std::move(wal).value());
+    ASSERT_TRUE(tier.ok());
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(tier.value()->Apply(stream[i]).ok());
+    }
+    ASSERT_TRUE(tier.value()->Commit().ok());
+    ASSERT_GT(tier.value()->wal_tail_pages(), 0u);
+    ASSERT_TRUE(tier.value()->Checkpoint().ok());
+    // The checkpoint absorbed the whole journal prefix.
+    EXPECT_EQ(tier.value()->wal_tail_pages(), 0u);
+    EXPECT_EQ(tier.value()->checkpoint_seq(), 1u);
+  }
+
+  Result<std::unique_ptr<FilePageBackend>> wal = FilePageBackend::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  Result<std::unique_ptr<LiveTier>> tier =
+      LiveTier::Open(SmallTierOptions(), std::move(wal).value());
+  ASSERT_TRUE(tier.ok()) << tier.status().ToString();
+  // Recovery loaded the checkpoint, not the log: nothing to replay.
+  EXPECT_EQ(tier.value()->recovered().records, 0u);
+  EXPECT_EQ(tier.value()->checkpoint_seq(), 1u);
+
+  // Re-ingest the whole stream (absorbed half skipped) and finish: the
+  // answers must match the uninterrupted reference exactly.
+  for (const LiveObservation& update : stream) {
+    ASSERT_TRUE(tier.value()->Apply(update).ok());
+  }
+  ASSERT_TRUE(tier.value()->Finish().ok());
+  ASSERT_EQ(tier.value()->migrated_segments().size(),
+            reference.value()->migrated_segments().size());
+  for (const STQuery& query : queries) {
+    std::vector<ObjectId> got;
+    std::vector<ObjectId> want;
+    tier.value()->IntervalQuery(query.area, query.range, &got);
+    reference.value()->IntervalQuery(query.area, query.range, &want);
+    EXPECT_EQ(got, want);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LiveTierTest, GroupCommitCoalescesConcurrentCommitters) {
+  LiveTierOptions options = SmallTierOptions();
+  options.group_commit = true;
+  options.commit_interval_us = 2000;
+  Result<std::unique_ptr<LiveTier>> tier =
+      LiveTier::Open(options, std::make_unique<MemoryPageBackend>());
+  ASSERT_TRUE(tier.ok());
+
+  // Phase 1 — deterministic coalescing: all appends happen first, then
+  // many threads Commit() the same log position. Whoever leads covers
+  // everyone; the rest find their records already durable. Exactly one
+  // fsync, however the threads interleave.
+  for (Time t = 0; t < 5; ++t) {
+    ASSERT_TRUE(tier.value()->Observe(1, t, UnitRect(0.1, 0.2)).ok());
+  }
+  {
+    std::vector<std::thread> committers;
+    std::atomic<int> failures{0};
+    for (int w = 0; w < 8; ++w) {
+      committers.emplace_back([&] {
+        if (!tier.value()->Commit().ok()) ++failures;
+      });
+    }
+    for (std::thread& worker : committers) worker.join();
+    EXPECT_EQ(failures.load(), 0);
+  }
+  EXPECT_EQ(tier.value()->wal_commits(), 1u);
+
+  // Phase 2 — writers interleaving appends and commits: every Commit()
+  // that returns OK covers the caller's own appends regardless of which
+  // thread led the batch. Cross-thread observations may race the shared
+  // clock (kInvalidArgument) — that is stream validation, not durability,
+  // and is tolerated here.
+  constexpr int kThreads = 4;
+  constexpr Time kTicks = 40;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      const ObjectId object = static_cast<ObjectId>(100 + w);
+      for (Time t = 5; t < kTicks; ++t) {
+        Status status = tier.value()->Observe(
+            object, t, UnitRect(0.1 + 0.01 * w, 0.2 + 0.01 * w));
+        if (!status.ok() && status.code() != StatusCode::kInvalidArgument) {
+          ++failures;
+          return;
+        }
+        if (t % 5 == 4 && !tier.value()->Commit().ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(tier.value()->wal_commits(), 0u);
 }
 
 }  // namespace

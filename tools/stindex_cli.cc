@@ -76,7 +76,9 @@ class Flags {
   }
 
   // Presence flags that take no value.
-  static bool IsBoolean(const std::string& key) { return key == "explain"; }
+  static bool IsBoolean(const std::string& key) {
+    return key == "explain" || key == "group-commit";
+  }
 
   bool GetBool(const std::string& key) { return Get(key, "") == "1"; }
 
@@ -546,10 +548,18 @@ int CmdIngest(Flags& flags) {
   options.index.capacity = static_cast<size_t>(flags.GetInt("capacity", 64));
   options.index.duration = flags.GetInt("duration", 0);
   options.index.buffer = static_cast<size_t>(flags.GetInt("buffer", 0));
+  options.checkpoint_every_pages =
+      static_cast<size_t>(flags.GetInt("checkpoint-every", 0));
+  options.group_commit = flags.GetBool("group-commit");
+  options.commit_interval_us = flags.GetInt("commit-interval", 0);
   const int64_t commit_every = flags.GetInt("commit-every", 64);
   flags.RejectUnknown();
   if (commit_every <= 0) {
     std::fprintf(stderr, "--commit-every must be positive\n");
+    return 2;
+  }
+  if (options.commit_interval_us < 0) {
+    std::fprintf(stderr, "--commit-interval must be non-negative\n");
     return 2;
   }
 
@@ -589,14 +599,15 @@ int CmdIngest(Flags& flags) {
       registry.GetCounter("live.dup_skips")->Value() - dup_base;
   std::printf("ingested %zu objects (%zu updates, %llu already absorbed): "
               "%zu segments migrated, %zu tree pages, %llu WAL records in "
-              "%llu pages, %llu commits\n",
+              "%llu pages, %llu commits, %llu checkpoints\n",
               objects.size(), stream.size(),
               static_cast<unsigned long long>(dup_skips),
               tier.value()->migrated_segments().size(),
               tier.value()->historical().PageCount(),
               static_cast<unsigned long long>(tier.value()->wal_records()),
               static_cast<unsigned long long>(tier.value()->wal_pages()),
-              static_cast<unsigned long long>(tier.value()->wal_commits()));
+              static_cast<unsigned long long>(tier.value()->wal_commits()),
+              static_cast<unsigned long long>(tier.value()->checkpoint_seq()));
   return 0;
 }
 
@@ -658,10 +669,15 @@ int Usage() {
       "            [--backend store|memory|file] [--db DIR] [--explain]\n"
       "            [--objects FILE] [--trace FILE] [--buffer-pages N]\n"
       "  ingest    --in FILE --db DIR [--capacity N] [--duration T]\n"
-      "            [--buffer N] [--commit-every N]\n"
+      "            [--buffer N] [--commit-every N] [--checkpoint-every P]\n"
+      "            [--group-commit] [--commit-interval US]\n"
       "            stream objects through the crash-safe live tier,\n"
       "            journaling to DIR/live_wal.stpages; re-running after a\n"
-      "            crash recovers and skips absorbed updates\n"
+      "            crash recovers and skips absorbed updates.\n"
+      "            --checkpoint-every P truncates the journal once P\n"
+      "            flushed WAL pages accumulate; --group-commit coalesces\n"
+      "            concurrent commits, waiting --commit-interval US for\n"
+      "            joiners\n"
       "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n"
       "            [--threads N]\n"
       "Query flags:\n"
