@@ -14,7 +14,7 @@ namespace stindex {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(const BenchArgs& args) {
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes[2];
   Report().SetParam("objects", static_cast<int64_t>(n));
@@ -32,6 +32,10 @@ void Run() {
   const std::unique_ptr<RStarTree> hilbert =
       RStarTree::BulkLoad(boxes, PackingMethod::kHilbert);
   const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
+  AttachBenchBackend(incremental.get(), args, "rstar");
+  AttachBenchBackend(str.get(), args, "rstar_str");
+  AttachBenchBackend(hilbert.get(), args, "rstar_hilb");
+  AttachBenchBackend(ppr.get(), args, "ppr");
 
   PrintHeader("Packing ablation: avg disk accesses and pages",
               "structure   | small_range | mixed_snap | pages");
@@ -46,8 +50,14 @@ void Run() {
   for (const Row& row : {Row{"rstar", incremental.get()},
                          Row{"rstar+str", str.get()},
                          Row{"rstar+hilb", hilbert.get()}}) {
-    const double range_io = AverageRStarIo(*row.tree, ranges, 1000);
-    const double snap_io = AverageRStarIo(*row.tree, snaps, 1000);
+    const double range_io =
+        AverageRStarIo(*row.tree, ranges, 1000, args.threads,
+                       /*aggregate=*/nullptr, /*refiner=*/nullptr,
+                       /*profile=*/nullptr, args.buffer_pages);
+    const double snap_io =
+        AverageRStarIo(*row.tree, snaps, 1000, args.threads,
+                       /*aggregate=*/nullptr, /*refiner=*/nullptr,
+                       /*profile=*/nullptr, args.buffer_pages);
     char line[160];
     std::snprintf(line, sizeof(line), "%-11s | %11.2f | %10.2f | %5zu",
                   row.name, range_io, snap_io, row.tree->PageCount());
@@ -57,8 +67,14 @@ void Run() {
     Report().AddSample("pages", row.name,
                        static_cast<double>(row.tree->PageCount()));
   }
-  const double ppr_range_io = AveragePprIo(*ppr, ranges);
-  const double ppr_snap_io = AveragePprIo(*ppr, snaps);
+  const double ppr_range_io =
+      AveragePprIo(*ppr, ranges, args.threads, /*aggregate=*/nullptr,
+                   /*refiner=*/nullptr, /*profile=*/nullptr,
+                   args.buffer_pages);
+  const double ppr_snap_io =
+      AveragePprIo(*ppr, snaps, args.threads, /*aggregate=*/nullptr,
+                   /*refiner=*/nullptr, /*profile=*/nullptr,
+                   args.buffer_pages);
   char line[160];
   std::snprintf(line, sizeof(line), "%-11s | %11.2f | %10.2f | %5zu", "ppr",
                 ppr_range_io, ppr_snap_io, ppr->PageCount());
@@ -76,9 +92,9 @@ void Run() {
 }  // namespace stindex
 
 int main(int argc, char** argv) {
-  const stindex::bench::BenchArgs args =
-      stindex::bench::ParseBenchArgs(argc, argv, "bench_ablation_packing");
-  stindex::bench::Run();
+  const stindex::bench::BenchArgs args = stindex::bench::ParseBenchArgs(
+      argc, argv, "bench_ablation_packing", /*accept_backend=*/true);
+  stindex::bench::Run(args);
   stindex::bench::FinishReport(args);
   return 0;
 }

@@ -59,19 +59,22 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
       std::fprintf(stderr, "%s: unknown argument '%s' (--threads=N, "
                    "--json=PATH, --trace=PATH, --buffer-pages=N%s)\n",
                    bench_name.c_str(), arg.c_str(),
-                   accept_backend ? ", --backend=memory|file, --db=DIR" : "");
+                   accept_backend ? ", --backend=memory|file|mmap, --db=DIR"
+                                  : "");
       std::exit(2);
     }
   }
   if (!args.backend.empty() && args.backend != "memory" &&
-      args.backend != "file") {
-    std::fprintf(stderr, "%s: --backend must be 'memory' or 'file', got '%s'\n",
+      args.backend != "file" && args.backend != "mmap") {
+    std::fprintf(stderr,
+                 "%s: --backend must be 'memory', 'file' or 'mmap', got '%s'\n",
                  bench_name.c_str(), args.backend.c_str());
     std::exit(2);
   }
-  if (args.backend == "file" && args.db_path.empty()) {
-    std::fprintf(stderr, "%s: --backend=file requires --db=DIR\n",
-                 bench_name.c_str());
+  if ((args.backend == "file" || args.backend == "mmap") &&
+      args.db_path.empty()) {
+    std::fprintf(stderr, "%s: --backend=%s requires --db=DIR\n",
+                 bench_name.c_str(), args.backend.c_str());
     std::exit(2);
   }
   const Result<int> threads = ResolveThreadCount(threads_flag);

@@ -52,11 +52,13 @@ namespace bench {
 //                                10-page protocol)
 // Harnesses that can run against a real storage backend (fig15/17/18)
 // additionally accept:
-//   --backend=memory|file        persist indexes through a PageBackend and
+//   --backend=memory|file|mmap   persist indexes through a PageBackend and
 //                                query through it (default: the in-memory
-//                                store, no serialization)
-//   --db=DIR                     directory for the page files (required
-//                                for --backend=file)
+//                                store, no serialization). "mmap" packs
+//                                each tree into a read-only snapshot file
+//                                and serves it zero-copy.
+//   --db=DIR                     directory for the page/snapshot files
+//                                (required for --backend=file|mmap)
 // Unknown arguments and invalid thread counts print a message and
 // exit(2); thread resolution shares util/threads.h with stindex_cli.
 struct BenchArgs {
@@ -64,8 +66,8 @@ struct BenchArgs {
   int threads = 1;
   std::string json_path;   // empty: no report file
   std::string trace_path;  // empty: no Chrome trace capture
-  std::string backend;     // "", "memory" or "file"
-  std::string db_path;     // --backend=file: directory for page files
+  std::string backend;     // "", "memory", "file" or "mmap"
+  std::string db_path;     // --backend=file|mmap: directory for page files
   size_t buffer_pages = 0;  // total pool pages across all threads; 0 =
                             // the tree's configured default
 };

@@ -25,6 +25,12 @@
 //                     leader waits for joiners before flushing (default 0)
 //   --checkpoint-every=N  checkpoint + truncate the journal once N flushed
 //                     WAL pages accumulate (mixed mode only; 0 = never)
+//   --pack-at=N       after N applied updates, pack the historical tree
+//                     into a read-only mmap snapshot under --db and keep
+//                     serving it zero-copy as a frozen layer while a
+//                     fresh active tree takes over migration (mixed mode
+//                     only; 0 = never; requires --db). The WAL tier stays
+//                     on its page-file backend throughout.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +62,7 @@ struct ServerFlags {
   bool group_commit = false;
   int64_t commit_interval_us = 0;
   size_t checkpoint_every = 0;  // flushed WAL pages between checkpoints
+  size_t pack_at = 0;  // applied updates before packing the historical tree
 };
 
 // Parses a non-negative integer flag value or dies with a usage error.
@@ -102,6 +109,11 @@ ServerFlags ExtractServerFlags(int* argc, char** argv) {
           arg == "--checkpoint-every" ? argv[++i] : arg.substr(19);
       flags.checkpoint_every =
           static_cast<size_t>(ParseNonNegative("--checkpoint-every", pages));
+    } else if (arg.rfind("--pack-at=", 0) == 0 ||
+               (arg == "--pack-at" && i + 1 < *argc)) {
+      const std::string count = arg == "--pack-at" ? argv[++i] : arg.substr(10);
+      flags.pack_at =
+          static_cast<size_t>(ParseNonNegative("--pack-at", count));
     } else if (arg.rfind("--update-frac=", 0) == 0 ||
                (arg == "--update-frac" && i + 1 < *argc)) {
       const std::string frac =
@@ -165,6 +177,10 @@ std::vector<STQuery> MakeRequestStream(const BenchScale& scale, size_t total) {
 // `kCommitEvery` applied updates acknowledges the batch through the WAL.
 void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
   constexpr size_t kCommitEvery = 32;
+  if (flags.pack_at > 0 && args.db_path.empty()) {
+    std::fprintf(stderr, "stindex_server: --pack-at requires --db=DIR\n");
+    std::exit(2);
+  }
   const BenchScale scale = GetScale();
   const size_t n = scale.dataset_sizes.front();
   const size_t stream_size =
@@ -219,12 +235,14 @@ void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
   Report().SetParam("commit_interval_us", flags.commit_interval_us);
   Report().SetParam("checkpoint_every",
                     static_cast<int64_t>(flags.checkpoint_every));
+  Report().SetParam("pack_at", static_cast<int64_t>(flags.pack_at));
 
   std::mutex update_mu;
   size_t update_cursor = 0;
   size_t updates_applied = 0;
   size_t updates_dropped = 0;  // update slots with no work: exhausted stream
   bool update_failed = false;
+  bool pack_done = false;
 
   const size_t chunks = ParallelChunks(args.threads, stream_size);
   std::vector<Histogram> query_latency(chunks);
@@ -267,6 +285,23 @@ void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
                             applied = true;
                             commit_due =
                                 ++updates_applied % kCommitEvery == 0;
+                            if (flags.pack_at > 0 && !pack_done &&
+                                updates_applied >= flags.pack_at) {
+                              // Freeze the historical tree into a zero-copy
+                              // snapshot layer mid-stream; queries keep
+                              // running concurrently (PackHistorical takes
+                              // the tier's writer lock itself).
+                              pack_done = true;
+                              const Status packed = tier->PackHistorical(
+                                  args.db_path +
+                                  "/stindex_server_hist.stsnap");
+                              if (!packed.ok()) {
+                                std::fprintf(stderr,
+                                             "stindex_server: pack: %s\n",
+                                             packed.ToString().c_str());
+                                update_failed = true;
+                              }
+                            }
                           }
                         }
                       }
@@ -354,6 +389,8 @@ void RunMixed(const BenchArgs& args, const ServerFlags& flags) {
   Report().SetParam("live_objects",
                     static_cast<int64_t>(tier->live_objects()));
   Report().SetParam("wal_commits", static_cast<int64_t>(tier->wal_commits()));
+  Report().SetParam("frozen_layers",
+                    static_cast<int64_t>(tier->frozen_layers()));
   Report().AddSample("qps", "overall", qps);
   Report().AddSample("updates_per_s", "overall", ups);
   Report().AddSample("latency_p50_ms", "overall", latency.p50);

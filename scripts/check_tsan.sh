@@ -11,8 +11,9 @@ set -euo pipefail
 BUILD_DIR="${1:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 TESTS=(thread_pool_test parallel_pipeline_test concurrency_test
-       backend_differential_test trace_test shared_buffer_pool_test
-       fuzz_differential_test crash_recovery_test live_tier_test)
+       backend_differential_test snapshot_backend_test trace_test
+       shared_buffer_pool_test fuzz_differential_test crash_recovery_test
+       live_tier_test)
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
   -DSTINDEX_SANITIZE=thread \

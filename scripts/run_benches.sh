@@ -182,3 +182,66 @@ EOF
 else
   echo "warning: $CLI not built, skipping file-backend smoke" >&2
 fi
+
+# Zero-copy snapshot smoke: ingest a stream into a live-tier WAL, pack it
+# into a read-only snapshot (stindex_cli pack), then serve queries with
+# --backend=mmap. Warm queries must come entirely from the mapping — the
+# CLI stats dump proves zero file-backend reads and nonzero borrowed
+# pages — and the fig17 mmap report must still validate against schema
+# v2 with the same invariant.
+FIG17="$BUILD_DIR/bench/bench_fig17_range_io"
+if [ -x "$CLI" ]; then
+  echo "== stindex_cli pack + --backend mmap smoke =="
+  MMAP_DIR="$SMOKE_DIR/mmap"
+  mkdir -p "$MMAP_DIR"
+  "$CLI" ingest --in "$SMOKE_DIR/objects.csv" --db "$MMAP_DIR"
+  "$CLI" pack --db "$MMAP_DIR" --out "$MMAP_DIR/historical.stsnap"
+  [ -s "$MMAP_DIR/historical.stsnap" ] || {
+    echo "error: pack produced no snapshot" >&2; exit 1; }
+  "$CLI" query --segments "$SMOKE_DIR/segments.csv" \
+    --queries "$SMOKE_DIR/queries.csv" --index ppr \
+    --backend mmap --db "$MMAP_DIR" --stats "$MMAP_DIR/metrics.json"
+  python3 - "$MMAP_DIR/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], "r", encoding="utf-8") as f:
+    counters = json.load(f)["counters"]
+file_reads = counters.get("backend.file.reads", 0)
+borrows = counters.get("backend.mmap.borrows", 0)
+fallback_reads = counters.get("backend.mmap.reads", 0)
+packed = counters.get("backend.mmap.packed_pages", 0)
+assert file_reads == 0, f"expected zero file reads under mmap, got {counters}"
+assert packed > 0, f"expected packed snapshot pages, got {counters}"
+assert borrows + fallback_reads > 0, \
+    f"expected snapshot pages served, got {counters}"
+print(f"mmap backend smoke OK: {packed} packed pages, {borrows} borrows, "
+      f"{fallback_reads} fallback reads, 0 file reads")
+EOF
+else
+  echo "warning: $CLI not built, skipping mmap smoke" >&2
+fi
+
+if [ -x "$FIG17" ]; then
+  echo "== bench_fig17_range_io --backend=mmap smoke =="
+  mkdir -p "$SMOKE_DIR/mmap_fig17"
+  "$FIG17" --backend=mmap --db="$SMOKE_DIR/mmap_fig17" \
+    --json="$OUT_DIR/bench_fig17_range_io_mmap.json" \
+    | tee "$OUT_DIR/bench_fig17_range_io_mmap.txt"
+  python3 "$(dirname "$0")/validate_report.py" \
+    "$OUT_DIR/bench_fig17_range_io_mmap.json"
+  python3 - "$OUT_DIR/bench_fig17_range_io_mmap.json" <<'EOF'
+import json, sys
+with open(sys.argv[1], "r", encoding="utf-8") as f:
+    report = json.load(f)
+assert report["params"]["backend"] == "mmap", report["params"]
+counters = report["metrics"]["counters"]
+file_reads = counters.get("backend.file.reads", 0)
+assert file_reads == 0, f"expected zero file reads under mmap, got {counters}"
+served = counters.get("backend.mmap.borrows", 0) + \
+    counters.get("backend.mmap.reads", 0)
+assert served > 0, f"expected snapshot pages served, got {counters}"
+print(f"fig17 mmap smoke OK: report valid, {served} snapshot pages served, "
+      f"0 file reads")
+EOF
+else
+  echo "warning: $FIG17 not built, skipping fig17 mmap smoke" >&2
+fi

@@ -17,6 +17,7 @@ struct TierMetrics {
   Counter* queries;
   Counter* checkpoints;
   Counter* truncated_pages;
+  Counter* packs;
 };
 
 const TierMetrics& Metrics() {
@@ -27,7 +28,8 @@ const TierMetrics& Metrics() {
                        r.GetCounter("live.dup_skips"),
                        r.GetCounter("live.queries"),
                        r.GetCounter("live.wal.checkpoints"),
-                       r.GetCounter("live.wal.truncated_pages")};
+                       r.GetCounter("live.wal.truncated_pages"),
+                       r.GetCounter("live.packs")};
   }();
   return m;
 }
@@ -100,33 +102,64 @@ Status LiveTier::RestoreFromCheckpoint(const CheckpointHeader& header,
   if (!meta.ok()) return meta.status();
   ByteSource in(meta.value().data(), meta.value().size());
 
-  Status status = tree_->DecodeCheckpointMeta(&in);
-  if (!status.ok()) return status;
-
-  uint64_t node_count = 0;
-  if (!in.Read(&node_count)) {
-    return Status::InvalidArgument("checkpoint: truncated node slot map");
+  // The layered tree state: frozen packed layers (oldest first), then
+  // the active tree. Restored layers serve from their in-memory stores —
+  // a pack's mmap serving is an optimization the snapshot file carries,
+  // not checkpoint state; answers are identical either way.
+  uint64_t layer_count = 0;
+  if (!in.Read(&layer_count) || layer_count == 0) {
+    return Status::InvalidArgument("checkpoint: bad tree layer count");
   }
-  std::vector<PageId> node_slots(static_cast<size_t>(node_count));
-  for (PageId& slot : node_slots) {
-    if (!in.Read(&slot)) {
+  std::vector<std::unique_ptr<PprTree>> layers;
+  std::vector<PageId> node_slots;
+  uint8_t page[kPageSize];
+  Status status;
+  for (uint64_t l = 0; l < layer_count; ++l) {
+    auto tree = std::make_unique<PprTree>(options_.ppr);
+    status = tree->DecodeCheckpointMeta(&in);
+    if (!status.ok()) return status;
+
+    uint64_t node_count = 0;
+    if (!in.Read(&node_count)) {
       return Status::InvalidArgument("checkpoint: truncated node slot map");
     }
-  }
-  uint8_t page[kPageSize];
-  for (size_t i = 0; i < node_slots.size(); ++i) {
-    const PageId slot = node_slots[i];
-    if (static_cast<size_t>(slot) >= wal_backend_->SlotCount() ||
-        !wal_backend_->IsAllocated(slot)) {
-      return Status::InvalidArgument(
-          "checkpoint: tree node " + std::to_string(i) +
-          " points at freed slot " + std::to_string(slot));
+    std::vector<PageId> layer_slots(static_cast<size_t>(node_count));
+    for (PageId& slot : layer_slots) {
+      if (!in.Read(&slot)) {
+        return Status::InvalidArgument("checkpoint: truncated node slot map");
+      }
     }
-    status = wal_backend_->Read(slot, page);
-    if (!status.ok()) return status;
-    status = tree_->InstallCheckpointNode(static_cast<PageId>(i), page);
-    if (!status.ok()) return status;
+    for (size_t i = 0; i < layer_slots.size(); ++i) {
+      const PageId slot = layer_slots[i];
+      if (static_cast<size_t>(slot) >= wal_backend_->SlotCount() ||
+          !wal_backend_->IsAllocated(slot)) {
+        return Status::InvalidArgument(
+            "checkpoint: tree node " + std::to_string(i) +
+            " points at freed slot " + std::to_string(slot));
+      }
+      status = wal_backend_->Read(slot, page);
+      if (!status.ok()) return status;
+      status = tree->InstallCheckpointNode(static_cast<PageId>(i), page);
+      if (!status.ok()) return status;
+    }
+    node_slots.insert(node_slots.end(), layer_slots.begin(),
+                      layer_slots.end());
+    layers.push_back(std::move(tree));
   }
+
+  // Install the restored layering before the pipeline decodes: it must
+  // aim at the active tree.
+  frozen_.clear();
+  for (size_t l = 0; l + 1 < layers.size(); ++l) {
+    FrozenLayer layer;
+    layer.tree = std::move(layers[l]);
+    layer.pool = layer.tree->NewSharedQueryPool(options_.query_pool_pages);
+    frozen_.push_back(std::move(layer));
+  }
+  pool_.reset();
+  tree_ = std::move(layers.back());
+  pipeline_.SetTree(tree_.get());
+  pool_ = tree_->NewSharedQueryPool(options_.query_pool_pages);
 
   status = pipeline_.DecodeState(&in);
   if (!status.ok()) return status;
@@ -358,11 +391,17 @@ Status LiveTier::Checkpoint() {
   return CheckpointLocked();
 }
 
-void LiveTier::EncodeCheckpointState(const std::vector<PageId>& node_slots,
-                                     ByteSink* out) const {
-  tree_->EncodeCheckpointMeta(out);
-  out->Write(static_cast<uint64_t>(node_slots.size()));
-  for (PageId slot : node_slots) out->Write(slot);
+void LiveTier::EncodeCheckpointState(
+    const std::vector<std::vector<PageId>>& layer_slots, ByteSink* out) const {
+  STINDEX_CHECK(layer_slots.size() == frozen_.size() + 1);
+  out->Write(static_cast<uint64_t>(layer_slots.size()));
+  for (size_t l = 0; l < layer_slots.size(); ++l) {
+    const PprTree& tree =
+        l < frozen_.size() ? *frozen_[l].tree : *tree_;
+    tree.EncodeCheckpointMeta(out);
+    out->Write(static_cast<uint64_t>(layer_slots[l].size()));
+    for (PageId slot : layer_slots[l]) out->Write(slot);
+  }
   pipeline_.EncodeState(out);
   index_.EncodeState(out);
 }
@@ -382,19 +421,32 @@ Status LiveTier::CheckpointLocked() {
   if (!status.ok()) return Latch(status);
   const uint64_t wal_start_seq = writer_->next_seq();
 
-  // 2. Shadow-write every historical-tree node into fresh slots through
-  //    the write-back BufferPool. The previous checkpoint's pages stay
+  // 2. Shadow-write every historical-tree node — of every layer, oldest
+  //    frozen first then the active tree — into fresh slots through the
+  //    write-back BufferPool. The previous checkpoint's pages stay
   //    untouched — a crash anywhere before step 5 leaves it intact.
-  const size_t nodes = tree_->NodeCount();
-  std::vector<PageId> node_slots(nodes);
-  for (PageId& slot : node_slots) slot = slots_.Acquire();
-  status = tree_->PersistNodesForCheckpoint(wal_backend_.get(), node_slots);
-  if (!status.ok()) return Latch(status);
+  //    Frozen packed layers keep their nodes in memory with contiguous
+  //    ids, so they persist through the same path the active tree does.
+  std::vector<const PprTree*> layers;
+  layers.reserve(frozen_.size() + 1);
+  for (const FrozenLayer& layer : frozen_) layers.push_back(layer.tree.get());
+  layers.push_back(tree_.get());
+  std::vector<std::vector<PageId>> layer_slots(layers.size());
+  std::vector<PageId> node_slots;
+  for (size_t l = 0; l < layers.size(); ++l) {
+    layer_slots[l].resize(layers[l]->NodeCount());
+    for (PageId& slot : layer_slots[l]) slot = slots_.Acquire();
+    status =
+        layers[l]->PersistNodesForCheckpoint(wal_backend_.get(), layer_slots[l]);
+    if (!status.ok()) return Latch(status);
+    node_slots.insert(node_slots.end(), layer_slots[l].begin(),
+                      layer_slots[l].end());
+  }
 
-  // 3. Serialize tree meta + node map + pipeline + live index into the
+  // 3. Serialize the layered tree state + pipeline + live index into the
   //    metadata chain.
   ByteSink meta;
-  EncodeCheckpointState(node_slots, &meta);
+  EncodeCheckpointState(layer_slots, &meta);
   CheckpointHeader header;
   header.checkpoint_seq = seq;
   header.wal_start_seq = wal_start_seq;
@@ -438,6 +490,38 @@ Status LiveTier::CheckpointLocked() {
   return Status::OK();
 }
 
+Status LiveTier::PackHistorical(const std::string& path,
+                                const SnapshotFile::Options& options) {
+  std::unique_lock lock(mu_);
+  // A latched tier must not mutate; a finished one may pack (read path
+  // optimization only).
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "live tier hit a WAL I/O failure — reopen the journal to recover");
+  }
+  TraceSpan span("live", "pack_historical");
+  span.Arg("pages", static_cast<int64_t>(tree_->NodeCount()));
+  // The shared pool's frames reference pre-pack page ids; drop it before
+  // the pack remaps the store and rebuild it below.
+  pool_.reset();
+  Status status = tree_->PackSnapshot(path, options);
+  if (!status.ok()) {
+    // The tree stayed consistent (PackSnapshot rewrites the in-memory
+    // graph before any I/O); keep serving from the store.
+    pool_ = tree_->NewSharedQueryPool(options_.query_pool_pages);
+    return status;
+  }
+  FrozenLayer layer;
+  layer.tree = std::move(tree_);
+  layer.pool = layer.tree->NewSharedQueryPool(options_.query_pool_pages);
+  frozen_.push_back(std::move(layer));
+  tree_ = std::make_unique<PprTree>(options_.ppr);
+  pipeline_.RetargetAfterPack(tree_.get());
+  pool_ = tree_->NewSharedQueryPool(options_.query_pool_pages);
+  Metrics().packs->Add(1);
+  return Status::OK();
+}
+
 Status LiveTier::Finish() {
   std::unique_lock lock(mu_);
   Status status = CheckAlive();
@@ -460,8 +544,19 @@ void LiveTier::IntervalQuery(const Rect2D& area, const TimeInterval& range,
   Metrics().queries->Add(1);
   out->clear();
   std::vector<PprDataId> raw;
+  // Every layer holds a disjoint slice of the migrated records: frozen
+  // packed layers (served zero-copy from their snapshots) plus the
+  // active tree. PprTree::IntervalQuery clears its output vector, so
+  // each layer answers into a scratch that is appended to the union.
+  std::vector<PprDataId> layer_hits;
+  for (const FrozenLayer& layer : frozen_) {
+    SharedBufferPool::Session frozen_session(layer.pool.get());
+    layer.tree->IntervalQuery(area, range, &frozen_session, &layer_hits);
+    raw.insert(raw.end(), layer_hits.begin(), layer_hits.end());
+  }
   SharedBufferPool::Session session(pool_.get());
-  tree_->IntervalQuery(area, range, &session, &raw);
+  tree_->IntervalQuery(area, range, &session, &layer_hits);
+  raw.insert(raw.end(), layer_hits.begin(), layer_hits.end());
   for (PprDataId id : raw) {
     // A record whose delete is still queued looks alive-to-infinity
     // inside the tree; re-check against the true segment interval.
@@ -478,6 +573,11 @@ void LiveTier::IntervalQuery(const Rect2D& area, const TimeInterval& range,
 void LiveTier::SnapshotQuery(const Rect2D& area, Time t,
                              std::vector<ObjectId>* out) const {
   IntervalQuery(area, TimeInterval(t, t + 1), out);
+}
+
+size_t LiveTier::frozen_layers() const {
+  std::shared_lock lock(mu_);
+  return frozen_.size();
 }
 
 size_t LiveTier::live_objects() const {

@@ -108,6 +108,19 @@ class LiveTier {
   // (further updates are kFailedPrecondition; queries keep working).
   Status Finish();
 
+  // Packs the current historical tree into a read-only mmap snapshot at
+  // `path` and freezes it as a layer served zero-copy; a fresh active
+  // tree takes over migration (deletes of records already in the frozen
+  // layer are clipped at query time forever — see
+  // MigrationPipeline::RetargetAfterPack). Queries consult every frozen
+  // layer plus the active tree, so answers are unchanged. The pack is
+  // not WAL-journaled: a crash before the next checkpoint recovers to
+  // the pre-pack single-tree layering with identical answers; the next
+  // checkpoint persists the layering. Allowed after Finish() (the tier
+  // stays finished); refused once the tier is latched.
+  Status PackHistorical(const std::string& path,
+                        const SnapshotFile::Options& options = {});
+
   // --- queries (exact over acknowledged and in-flight updates) ---------
 
   void SnapshotQuery(const Rect2D& area, Time t,
@@ -119,10 +132,12 @@ class LiveTier {
 
   // --- introspection ----------------------------------------------------
 
-  // The persistent tree. Only stable while no update runs concurrently;
-  // the differential tests compare it against a batch-built tree after
-  // Finish().
+  // The *active* persistent tree (frozen packed layers excluded). Only
+  // stable while no update runs concurrently; the differential tests
+  // compare it against a batch-built tree after Finish().
   const PprTree& historical() const { return *tree_; }
+  // Frozen packed layers currently serving queries.
+  size_t frozen_layers() const;
   // Segments migrated so far, in migration order (PprDataId = index).
   const std::vector<SegmentRecord>& migrated_segments() const {
     return pipeline_.segments();
@@ -162,10 +177,12 @@ class LiveTier {
   Status SealRipe();
   Status SealAndJournal(ObjectId object);
 
-  // Serializes tree meta + node slot map + pipeline + index into one
-  // byte stream (the checkpoint metadata chain's content).
-  void EncodeCheckpointState(const std::vector<PageId>& node_slots,
-                             ByteSink* out) const;
+  // Serializes the layered tree state (per layer, oldest frozen first
+  // then the active tree: meta + node slot map) + pipeline + index into
+  // one byte stream (the checkpoint metadata chain's content).
+  void EncodeCheckpointState(
+      const std::vector<std::vector<PageId>>& layer_slots,
+      ByteSink* out) const;
   // The checkpoint procedure; caller holds the exclusive lock.
   Status CheckpointLocked();
   // Runs CheckpointLocked when the automatic trigger is armed and due.
@@ -174,12 +191,23 @@ class LiveTier {
   Status CheckAlive() const;
   Status Latch(Status status);  // records a WAL failure; returns it
 
+  // One packed historical layer: a frozen tree serving from its snapshot
+  // backend (or, after a recovery, from its in-memory store — the pack
+  // optimization is lost on recovery, the answers are not), plus the
+  // shared pool queries read it through. Pool declared after the tree so
+  // it dies first.
+  struct FrozenLayer {
+    std::unique_ptr<PprTree> tree;
+    std::unique_ptr<SharedBufferPool> pool;
+  };
+
   LiveTierOptions options_;
   std::unique_ptr<PageBackend> wal_backend_;
   WalSlotAllocator slots_;
   std::unique_ptr<WalWriter> writer_;  // set once Recover finishes replay
   LiveIndex index_;
-  std::unique_ptr<PprTree> tree_;
+  std::vector<FrozenLayer> frozen_;  // oldest first
+  std::unique_ptr<PprTree> tree_;    // the active tree
   MigrationPipeline pipeline_;
   std::unique_ptr<SharedBufferPool> pool_;
   WalReplayStats recovered_;

@@ -76,6 +76,28 @@ void MigrationPipeline::Drain() {
   }
 }
 
+void MigrationPipeline::RetargetAfterPack(PprTree* tree) {
+  // An id in delete_pending_ but not insert_pending_ had its insert
+  // applied to the now-frozen layer; its delete is unappliable from here
+  // on. Afterwards delete_pending_ == insert_pending_, so the queue is
+  // exactly the fully-pending ids' events — rebuild it the same way
+  // DecodeState does, now aimed at the fresh active tree.
+  for (PprDataId id : delete_pending_) {
+    if (insert_pending_.count(id) == 0) frozen_deletes_.insert(id);
+  }
+  for (PprDataId id : frozen_deletes_) delete_pending_.erase(id);
+  events_ = std::priority_queue<Event, std::vector<Event>, EventAfter>();
+  for (PprDataId id : insert_pending_) {
+    const STBox& box = segments_[static_cast<size_t>(id)].box;
+    events_.push(Event{box.interval.start, /*is_insert=*/true, id});
+  }
+  for (PprDataId id : delete_pending_) {
+    const STBox& box = segments_[static_cast<size_t>(id)].box;
+    events_.push(Event{box.interval.end, /*is_insert=*/false, id});
+  }
+  tree_ = tree;
+}
+
 void MigrationPipeline::EncodeState(ByteSink* out) const {
   out->Write(static_cast<uint64_t>(segments_.size()));
   for (const SegmentRecord& record : segments_) {
@@ -91,6 +113,7 @@ void MigrationPipeline::EncodeState(ByteSink* out) const {
   };
   write_sorted(insert_pending_);
   write_sorted(delete_pending_);
+  write_sorted(frozen_deletes_);
   out->Write(static_cast<uint64_t>(applied_events_));
 }
 
@@ -137,6 +160,24 @@ Status MigrationPipeline::DecodeState(ByteSource* in) {
   if (!status.ok()) return status;
   status = read_set(&delete_pending_, /*is_insert=*/false);
   if (!status.ok()) return status;
+  // Frozen deletes rebuild the set only — their events are unappliable by
+  // construction, so none are queued.
+  uint64_t frozen_count = 0;
+  if (!in->Read(&frozen_count)) {
+    return Status::InvalidArgument("checkpoint: truncated frozen-delete set");
+  }
+  for (uint64_t i = 0; i < frozen_count; ++i) {
+    PprDataId id = 0;
+    if (!in->Read(&id)) {
+      return Status::InvalidArgument("checkpoint: truncated frozen-delete set");
+    }
+    if (static_cast<size_t>(id) >= segments_.size()) {
+      return Status::InvalidArgument("checkpoint: frozen-delete id " +
+                                     std::to_string(id) +
+                                     " beyond the segment list");
+    }
+    frozen_deletes_.insert(id);
+  }
   uint64_t applied = 0;
   if (!in->Read(&applied)) {
     return Status::InvalidArgument("checkpoint: truncated pipeline state");
@@ -158,7 +199,9 @@ void MigrationPipeline::CollectPending(const Rect2D& area,
 
 bool MigrationPipeline::ClipToInterval(PprDataId id,
                                        const TimeInterval& range) const {
-  if (delete_pending_.count(id) == 0) return true;
+  if (delete_pending_.count(id) == 0 && frozen_deletes_.count(id) == 0) {
+    return true;
+  }
   return segments_[static_cast<size_t>(id)].box.interval.Intersects(range);
 }
 

@@ -46,6 +46,22 @@ class MigrationPipeline {
   // could produce events before ones already applied.
   void Drain();
 
+  // --- packing the historical tree --------------------------------------
+
+  // Rewires the pipeline after its tree was packed into a frozen layer:
+  // ids whose insert was already applied can never see their delete
+  // applied (the layer is read-only), so those deletes move to the
+  // frozen set — ClipToInterval keeps clipping them against the true
+  // segment interval forever. The event queue is rebuilt to hold exactly
+  // the events of the still-fully-pending ids, which now target `tree`
+  // (the fresh active tree, empty at time 0; events pop in globally
+  // non-decreasing time order, so the new tree's clock is respected).
+  void RetargetAfterPack(PprTree* tree);
+
+  // Recovery hook: points the pipeline at `tree` without touching state
+  // (the restored layering re-creates trees before DecodeState runs).
+  void SetTree(PprTree* tree) { tree_ = tree; }
+
   // Every migrated segment, in migration order: segment i has PprDataId i.
   const std::vector<SegmentRecord>& segments() const { return segments_; }
 
@@ -102,6 +118,9 @@ class MigrationPipeline {
   std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
   std::unordered_set<PprDataId> insert_pending_;
   std::unordered_set<PprDataId> delete_pending_;
+  // Ids whose insert lives in a frozen packed layer and whose delete can
+  // therefore never be applied; their tree hits are clipped forever.
+  std::unordered_set<PprDataId> frozen_deletes_;
   size_t applied_events_ = 0;
 };
 

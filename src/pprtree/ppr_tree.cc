@@ -240,6 +240,69 @@ Status PprTree::AttachBackend(std::unique_ptr<PageBackend> backend) {
   return Status::OK();
 }
 
+Status PprTree::PackSnapshot(const std::string& path,
+                             const SnapshotFile::Options& options) {
+  STINDEX_CHECK_MSG(backend_ == nullptr, "backend already attached");
+  TraceSpan span("ppr", "pack_snapshot");
+  span.Arg("pages", static_cast<int64_t>(store_.PageCount()));
+  const size_t count = store_.AllocatedCount();
+  // The PPR-tree never frees nodes, so ids are dense already; the packed
+  // order sorts them bottom-up (level, then id) so every level occupies
+  // one contiguous extent of the snapshot.
+  std::vector<PageId> order(count);
+  for (PageId id = 0; id < count; ++id) order[id] = id;
+  std::stable_sort(order.begin(), order.end(), [this](PageId a, PageId b) {
+    return GetNode(a)->level() < GetNode(b)->level();
+  });
+  std::vector<PageId> remap(count, kInvalidPage);
+  for (size_t slot = 0; slot < order.size(); ++slot) {
+    remap[order[slot]] = static_cast<PageId>(slot);
+  }
+  // Rewrite the whole in-memory graph through the bijection first, so the
+  // tree stays consistent (and still queryable from the store) even if
+  // writing the snapshot fails below.
+  for (PageId id = 0; id < count; ++id) {
+    Node* node = GetNode(id);
+    if (node->IsLeaf()) continue;
+    for (Entry& entry : node->entries()) {
+      if (entry.child != kInvalidPage) entry.child = remap[entry.child];
+    }
+  }
+  for (RootEra& era : roots_) {
+    if (era.root != kInvalidPage) era.root = remap[era.root];
+  }
+  for (auto& [data, leaf] : alive_location_) leaf = remap[leaf];
+  std::unordered_map<PageId, PageId> parents;
+  parents.reserve(parent_of_.size());
+  for (const auto& [child, parent] : parent_of_) {
+    parents[remap[child]] = remap[parent];
+  }
+  parent_of_ = std::move(parents);
+  store_.Reindex(remap);
+
+  Result<std::unique_ptr<SnapshotWriter>> writer = SnapshotWriter::Create(path);
+  if (!writer.ok()) return writer.status();
+  const NodeCodec codec(config_.max_entries);
+  uint8_t page[kPageSize];
+  for (PageId slot = 0; slot < count; ++slot) {
+    const Node* node = GetNode(slot);
+    codec.Encode(*node, page);
+    Status status =
+        writer.value()->Append(static_cast<uint32_t>(node->level()), page);
+    if (!status.ok()) return status;
+  }
+  Status status = writer.value()->Finish();
+  if (!status.ok()) return status;
+  Result<std::unique_ptr<MmapSnapshotBackend>> backend =
+      MmapSnapshotBackend::Open(path, options);
+  if (!backend.ok()) return backend.status();
+  backend_ = std::move(backend).value();
+  codec_ = std::make_unique<NodeCodec>(config_.max_entries);
+  buffer_ = std::make_unique<BufferPool>(backend_.get(), codec_.get(),
+                                         config_.buffer_pages, "ppr");
+  return Status::OK();
+}
+
 size_t PprTree::NumRoots() const { return roots_.size(); }
 
 PageId PprTree::CurrentRoot() const {
@@ -1171,8 +1234,9 @@ Status PprTree::DecodeCheckpointMeta(ByteSource* in) {
 
 Status PprTree::PersistNodesForCheckpoint(
     PageBackend* backend, const std::vector<PageId>& slots) const {
-  STINDEX_CHECK_MSG(backend_ == nullptr,
-                    "checkpointing a tree that already owns a backend");
+  // Works for live trees and for frozen packed layers alike: the store
+  // keeps every node in memory even after PackSnapshot attaches a
+  // read-only backend, and ids stay contiguous 0..NodeCount()-1.
   STINDEX_CHECK(slots.size() == store_.AllocatedCount());
   const NodeCodec codec(config_.max_entries);
   // Write-back pool sized like the query buffer: dirty evictions stream

@@ -13,6 +13,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_backend.h"
 #include "storage/page_store.h"
+#include "storage/snapshot_file.h"
 #include "util/bytes.h"
 #include "util/status.h"
 
@@ -122,7 +123,18 @@ class PprTree {
   // identical to the in-memory tree's.
   Status AttachBackend(std::unique_ptr<PageBackend> backend);
 
-  // Nullptr until AttachBackend succeeds.
+  // Packs the structure into a read-only snapshot file at `path` and
+  // serves all subsequent queries from its mmap'd pages (zero-copy;
+  // pread fallback per `options`). Node ids are remapped to a dense
+  // bottom-up layout — all leaves first, then each directory level in
+  // one contiguous extent. The remap is a bijection of the page-id
+  // access sequence, so per-query LRU miss counts are byte-identical to
+  // the unpacked tree's. The tree is frozen afterwards, like
+  // AttachBackend.
+  Status PackSnapshot(const std::string& path,
+                      const SnapshotFile::Options& options = {});
+
+  // Nullptr until AttachBackend/PackSnapshot succeeds.
   const PageBackend* backend() const { return backend_.get(); }
 
   // COUNT(*) of a snapshot query, without materializing ids — the

@@ -180,6 +180,61 @@ Status RStarTree::AttachBackend(std::unique_ptr<PageBackend> backend) {
   return Status::OK();
 }
 
+Status RStarTree::PackSnapshot(const std::string& path,
+                               const SnapshotFile::Options& options) {
+  STINDEX_CHECK_MSG(backend_ == nullptr, "backend already attached");
+  TraceSpan span("rstar", "pack_snapshot");
+  span.Arg("pages", static_cast<int64_t>(store_.PageCount()));
+  // Deletes can leave freed holes in the id space; packing keeps only the
+  // live nodes, sorted bottom-up (level, then id) so every level occupies
+  // one contiguous extent of the snapshot.
+  std::vector<PageId> order;
+  order.reserve(store_.PageCount());
+  for (PageId id = 0; id < store_.AllocatedCount(); ++id) {
+    if (store_.IsLive(id)) order.push_back(id);
+  }
+  std::stable_sort(order.begin(), order.end(), [this](PageId a, PageId b) {
+    return GetNode(a)->level() < GetNode(b)->level();
+  });
+  std::vector<PageId> remap(store_.AllocatedCount(), kInvalidPage);
+  for (size_t slot = 0; slot < order.size(); ++slot) {
+    remap[order[slot]] = static_cast<PageId>(slot);
+  }
+  // Rewrite the whole in-memory graph through the bijection first, so the
+  // tree stays consistent (and still queryable from the store) even if
+  // writing the snapshot fails below.
+  for (PageId old_id : order) {
+    Node* node = GetNode(old_id);
+    if (node->IsLeaf()) continue;
+    for (Node::Entry& entry : node->entries()) entry.child = remap[entry.child];
+  }
+  if (root_ != kInvalidPage) root_ = remap[root_];
+  store_.Reindex(remap);
+
+  const size_t count = order.size();
+  Result<std::unique_ptr<SnapshotWriter>> writer = SnapshotWriter::Create(path);
+  if (!writer.ok()) return writer.status();
+  const NodeCodec codec(config_.max_entries);
+  uint8_t page[kPageSize];
+  for (PageId slot = 0; slot < count; ++slot) {
+    const Node* node = GetNode(slot);
+    codec.Encode(*node, page);
+    Status status =
+        writer.value()->Append(static_cast<uint32_t>(node->level()), page);
+    if (!status.ok()) return status;
+  }
+  Status status = writer.value()->Finish();
+  if (!status.ok()) return status;
+  Result<std::unique_ptr<MmapSnapshotBackend>> backend =
+      MmapSnapshotBackend::Open(path, options);
+  if (!backend.ok()) return backend.status();
+  backend_ = std::move(backend).value();
+  codec_ = std::make_unique<NodeCodec>(config_.max_entries);
+  buffer_ = std::make_unique<BufferPool>(backend_.get(), codec_.get(),
+                                         config_.buffer_pages, "rstar");
+  return Status::OK();
+}
+
 size_t RStarTree::Height() const {
   if (root_ == kInvalidPage) return 0;
   return static_cast<size_t>(GetNode(root_)->level()) + 1;

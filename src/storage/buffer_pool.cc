@@ -140,14 +140,21 @@ BufferPool::Frame BufferPool::LoadFrame(PageId id) {
     frame.page = store_->Get(id);
     return frame;
   }
+  // Zero-copy path: an immutable backend (the mmap snapshot) lends its
+  // pages, so decode straight from the mapping instead of bouncing the
+  // bytes through a stack buffer.
+  const uint8_t* borrowed = backend_->BorrowPage(id);
   uint8_t buffer[kPageSize];
-  Status status = backend_->Read(id, buffer);
-  if (!status.ok()) {
-    const std::string msg = "BufferPool: read of page " + std::to_string(id) +
-                            " failed: " + status.ToString();
-    STINDEX_CHECK_MSG(false, msg.c_str());
+  if (borrowed == nullptr) {
+    Status status = backend_->Read(id, buffer);
+    if (!status.ok()) {
+      const std::string msg = "BufferPool: read of page " + std::to_string(id) +
+                              " failed: " + status.ToString();
+      STINDEX_CHECK_MSG(false, msg.c_str());
+    }
   }
-  Result<std::unique_ptr<Page>> decoded = codec_->Decode(buffer, id);
+  Result<std::unique_ptr<Page>> decoded =
+      codec_->Decode(borrowed != nullptr ? borrowed : buffer, id);
   if (!decoded.ok()) {
     const std::string msg = "BufferPool: decode of page " +
                             std::to_string(id) +

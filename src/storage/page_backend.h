@@ -55,6 +55,16 @@ class PageBackend {
 
   // Short backend name for diagnostics ("memory", "file", "fault(...)").
   virtual std::string Name() const = 0;
+
+  // Zero-copy read: a pointer to page `id`'s page_size() bytes, valid for
+  // the backend's lifetime, or nullptr if this backend cannot lend stable
+  // storage (the default). Borrowed pages are verified at open time, so
+  // callers may decode straight from the span without re-reading. Only
+  // immutable backends (the mmap snapshot) return non-null.
+  virtual const uint8_t* BorrowPage(PageId id) const {
+    (void)id;
+    return nullptr;
+  }
 };
 
 // Heap-backed PageBackend: pages live in malloc'd buffers. The byte-exact

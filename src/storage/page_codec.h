@@ -26,6 +26,8 @@ enum class PageKind : uint16_t {
   kWalPage = 5,     // live-tier write-ahead-log page (live/wal.h)
   kCheckpointHeader = 6,  // live-tier checkpoint commit record (live/checkpoint.h)
   kCheckpointPage = 7,    // live-tier checkpoint metadata chain page
+  kSnapshotSuperblock = 8,  // read-only snapshot superblock (storage/snapshot_file.h)
+  kSnapshotManifest = 9,    // snapshot per-page checksum manifest page
 };
 
 // Every on-disk page carries an 8-byte envelope:

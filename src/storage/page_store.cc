@@ -50,6 +50,20 @@ const Page* PageStore::Get(PageId id) const {
   return page;
 }
 
+void PageStore::Reindex(const std::vector<PageId>& remap) {
+  STINDEX_CHECK(remap.size() == pages_.size());
+  std::vector<std::unique_ptr<Page>> packed(live_count_);
+  for (PageId old_id = 0; old_id < pages_.size(); ++old_id) {
+    if (pages_[old_id] == nullptr) continue;
+    const PageId new_id = remap[old_id];
+    STINDEX_CHECK_MSG(new_id < packed.size(), "Reindex: target out of range");
+    STINDEX_CHECK_MSG(packed[new_id] == nullptr, "Reindex: target collision");
+    packed[new_id] = std::move(pages_[old_id]);
+  }
+  pages_ = std::move(packed);
+  free_slots_.clear();
+}
+
 void PageStore::Free(PageId id) {
   STINDEX_CHECK(id < pages_.size());
   STINDEX_CHECK_MSG(pages_[id] != nullptr, "double free of page");

@@ -47,6 +47,13 @@ class PageStore {
   // Releases the page; its slot becomes available for reuse.
   void Free(PageId id);
 
+  // Rewrites the id space through a bijection: live page `old_id` moves to
+  // `remap[old_id]`. The remap must cover every live page exactly once with
+  // targets forming the dense range [0, PageCount()); freed slots vanish
+  // (the store compacts, free list cleared). Used when packing a frozen
+  // tree into a snapshot whose slots are dense by construction.
+  void Reindex(const std::vector<PageId>& remap);
+
   // Number of live pages — the index's disk footprint in pages.
   size_t PageCount() const { return live_count_; }
 

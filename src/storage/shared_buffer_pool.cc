@@ -154,15 +154,21 @@ Result<const Page*> SharedBufferPool::Pin(PageId id, bool* missed) {
   if (store_ != nullptr) {
     frame.page = store_->Get(id);
   } else {
+    // Zero-copy path: an immutable backend (the mmap snapshot) lends its
+    // pages — decode straight from the mapping, no bounce buffer.
+    const uint8_t* borrowed = backend_->BorrowPage(id);
     uint8_t buffer[kPageSize];
-    Status status = backend_->Read(id, buffer);
-    if (!status.ok()) {
-      const std::string msg = "SharedBufferPool: read of page " +
-                              std::to_string(id) +
-                              " failed: " + status.ToString();
-      STINDEX_CHECK_MSG(false, msg.c_str());
+    if (borrowed == nullptr) {
+      Status status = backend_->Read(id, buffer);
+      if (!status.ok()) {
+        const std::string msg = "SharedBufferPool: read of page " +
+                                std::to_string(id) +
+                                " failed: " + status.ToString();
+        STINDEX_CHECK_MSG(false, msg.c_str());
+      }
     }
-    Result<std::unique_ptr<Page>> decoded = codec_->Decode(buffer, id);
+    Result<std::unique_ptr<Page>> decoded =
+        codec_->Decode(borrowed != nullptr ? borrowed : buffer, id);
     if (!decoded.ok()) {
       const std::string msg = "SharedBufferPool: decode of page " +
                               std::to_string(id) +

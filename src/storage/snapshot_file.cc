@@ -1,0 +1,461 @@
+#include "storage/snapshot_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/page_codec.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace stindex {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Full-buffer pread/pwrite, same contract as the file backend: loop over
+// short counts, report a short read at EOF as truncation.
+Status PReadFull(int fd, uint8_t* buf, size_t size, off_t offset,
+                 const std::string& what) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pread(fd, buf + done, size - done,
+                              offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno(what));
+    }
+    if (n == 0) {
+      return Status::IoError(what + ": short read (" + std::to_string(done) +
+                             " of " + std::to_string(size) +
+                             " bytes; truncated file?)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, const uint8_t* buf, size_t size, off_t offset,
+                  const std::string& what) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd, buf + done, size - done,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno(what));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+struct MmapMetrics {
+  Counter* reads;
+  Counter* bytes_read;
+  Counter* borrows;
+  Counter* fallback_opens;
+  Counter* packed_pages;
+};
+
+const MmapMetrics& Metrics() {
+  static const MmapMetrics m = [] {
+    MetricRegistry& r = MetricRegistry::Global();
+    return MmapMetrics{r.GetCounter("backend.mmap.reads"),
+                       r.GetCounter("backend.mmap.bytes_read"),
+                       r.GetCounter("backend.mmap.borrows"),
+                       r.GetCounter("backend.mmap.fallback_opens"),
+                       r.GetCounter("backend.mmap.packed_pages")};
+  }();
+  return m;
+}
+
+// CRC entries per manifest page.
+constexpr size_t kManifestEntriesPerPage = kPagePayloadBytes / sizeof(uint32_t);
+
+size_t ManifestPagesFor(size_t node_count) {
+  return (node_count + kManifestEntriesPerPage - 1) / kManifestEntriesPerPage;
+}
+
+off_t SlotOffset(size_t id) {
+  return static_cast<off_t>((1 + id) * kPageSize);
+}
+
+uint32_t ManifestDigest(const std::vector<uint32_t>& checksums) {
+  if (checksums.empty()) return 0;
+  return Crc32(reinterpret_cast<const uint8_t*>(checksums.data()),
+               checksums.size() * sizeof(uint32_t));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+
+SnapshotWriter::SnapshotWriter(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {}
+
+Result<std::unique_ptr<SnapshotWriter>> SnapshotWriter::Create(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(Errno("open(" + path + ")"));
+  }
+  // Reserve page 0: until Finish() seals a valid superblock over it, the
+  // zeroed page fails Open's magic check and the half-packed file is inert.
+  uint8_t zero[kPageSize];
+  std::memset(zero, 0, sizeof(zero));
+  Status status = PWriteFull(fd, zero, kPageSize, 0,
+                             "write superblock reservation of " + path);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<SnapshotWriter>(new SnapshotWriter(path, fd));
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SnapshotWriter::Append(uint32_t level, const uint8_t* page) {
+  STINDEX_CHECK_MSG(!finished_, "Append after Finish");
+  // Bottom-up order: levels start at 0 and never step down or skip.
+  if (extents_.empty()) {
+    STINDEX_CHECK_MSG(level == 0, "snapshot pages must start at level 0");
+    extents_.push_back(SnapshotLevelExtent{0, 0});
+  } else if (level == extents_.size()) {
+    extents_.push_back(SnapshotLevelExtent{
+        static_cast<uint32_t>(checksums_.size()), 0});
+  } else {
+    STINDEX_CHECK_MSG(level + 1 == extents_.size(),
+                      "snapshot pages must be appended bottom-up");
+  }
+  const size_t slot = checksums_.size();
+  Status status = PWriteFull(fd_, page, kPageSize, SlotOffset(slot),
+                             "write node page " + std::to_string(slot) +
+                                 " of " + path_);
+  if (!status.ok()) return status;
+  checksums_.push_back(Crc32(page, kPageSize));
+  ++extents_.back().count;
+  return Status::OK();
+}
+
+Status SnapshotWriter::Finish() {
+  STINDEX_CHECK_MSG(!finished_, "double Finish");
+  TraceSpan span("storage", "snapshot_finish");
+  span.Arg("pages", static_cast<int64_t>(checksums_.size()));
+  const size_t manifest_pages = ManifestPagesFor(checksums_.size());
+  uint8_t page[kPageSize];
+  for (size_t m = 0; m < manifest_pages; ++m) {
+    PageWriter writer = PayloadWriter(page);
+    const size_t begin = m * kManifestEntriesPerPage;
+    const size_t end =
+        std::min(begin + kManifestEntriesPerPage, checksums_.size());
+    for (size_t i = begin; i < end; ++i) writer.Write(checksums_[i]);
+    SealPage(page, PageKind::kSnapshotManifest);
+    Status status = PWriteFull(
+        fd_, page, kPageSize, SlotOffset(checksums_.size() + m),
+        "write manifest page " + std::to_string(m) + " of " + path_);
+    if (!status.ok()) return status;
+  }
+
+  PageWriter writer = PayloadWriter(page);
+  writer.Write(kSnapshotMagic);
+  writer.Write(kSnapshotFormatVersion);
+  writer.Write(static_cast<uint32_t>(kPageSize));
+  writer.Write(static_cast<uint64_t>(checksums_.size()));
+  writer.Write(static_cast<uint32_t>(extents_.size()));
+  writer.Write(static_cast<uint32_t>(manifest_pages));
+  writer.Write(ManifestDigest(checksums_));
+  for (const SnapshotLevelExtent& extent : extents_) {
+    writer.Write(extent.first_slot);
+    writer.Write(extent.count);
+  }
+  SealPage(page, PageKind::kSnapshotSuperblock);
+  // Data + manifest must be durable before the superblock makes the file
+  // openable; the superblock is the commit point.
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync(" + path_ + ")"));
+  Status status =
+      PWriteFull(fd_, page, kPageSize, 0, "write superblock of " + path_);
+  if (!status.ok()) return status;
+  if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync(" + path_ + ")"));
+  ::close(fd_);
+  fd_ = -1;
+  finished_ = true;
+  Metrics().packed_pages->Add(checksums_.size());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotFile
+
+SnapshotFile::SnapshotFile(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {}
+
+SnapshotFile::~SnapshotFile() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(map_), map_bytes_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SnapshotFile>> SnapshotFile::Open(
+    const std::string& path) {
+  return Open(path, Options());
+}
+
+Result<std::unique_ptr<SnapshotFile>> SnapshotFile::Open(
+    const std::string& path, const Options& options) {
+  TraceSpan span("storage", "snapshot_open");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(Errno("open(" + path + ")"));
+  }
+  std::unique_ptr<SnapshotFile> file(new SnapshotFile(path, fd));
+
+  uint8_t header[kPageSize];
+  Status status =
+      PReadFull(fd, header, kPageSize, 0, "read superblock of " + path);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kIoError &&
+        status.message().find("short read") != std::string::npos) {
+      return Status::InvalidArgument(path + ": truncated snapshot (" +
+                                     status.message() + ")");
+    }
+    return status;
+  }
+  // Magic before checksum: "this is not a snapshot at all" beats "this
+  // snapshot is corrupt".
+  uint64_t magic = 0;
+  std::memcpy(&magic, header + kPageEnvelopeBytes, sizeof(magic));
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument(path +
+                                   ": not a stindex snapshot (bad magic)");
+  }
+  Result<PageReader> payload =
+      OpenPagePayload(header, PageKind::kSnapshotSuperblock, /*id=*/0);
+  if (!payload.ok()) {
+    return Status::InvalidArgument(path + ": corrupt superblock (" +
+                                   payload.status().message() + ")");
+  }
+  PageReader reader = payload.value();
+  uint32_t format_version = 0;
+  uint32_t page_size = 0;
+  uint64_t node_count = 0;
+  uint32_t level_count = 0;
+  uint32_t manifest_pages = 0;
+  uint32_t manifest_digest = 0;
+  bool parsed = reader.Read(&magic) && reader.Read(&format_version) &&
+                reader.Read(&page_size) && reader.Read(&node_count) &&
+                reader.Read(&level_count) && reader.Read(&manifest_pages) &&
+                reader.Read(&manifest_digest);
+  if (!parsed) {
+    return Status::InvalidArgument(path +
+                                   ": corrupt superblock (short payload)");
+  }
+  if (format_version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported snapshot version " +
+        std::to_string(format_version) + " (supported: " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  if (page_size != kPageSize) {
+    return Status::InvalidArgument(
+        path + ": page size " + std::to_string(page_size) +
+        " does not match compiled kPageSize " + std::to_string(kPageSize));
+  }
+  if (manifest_pages != ManifestPagesFor(static_cast<size_t>(node_count))) {
+    return Status::InvalidArgument(path + ": corrupt superblock (" +
+                                   std::to_string(manifest_pages) +
+                                   " manifest pages for " +
+                                   std::to_string(node_count) + " nodes)");
+  }
+  // The extents must tile [0, node_count) bottom-up with no gaps.
+  std::vector<SnapshotLevelExtent> extents(level_count);
+  uint64_t covered = 0;
+  for (SnapshotLevelExtent& extent : extents) {
+    if (!reader.Read(&extent.first_slot) || !reader.Read(&extent.count)) {
+      return Status::InvalidArgument(path +
+                                     ": corrupt superblock (short extents)");
+    }
+    if (extent.first_slot != covered || extent.count == 0) {
+      return Status::InvalidArgument(
+          path + ": corrupt superblock (level extents do not tile slot " +
+          std::to_string(covered) + ")");
+    }
+    covered += extent.count;
+  }
+  if (covered != node_count) {
+    return Status::InvalidArgument(
+        path + ": corrupt superblock (extents cover " +
+        std::to_string(covered) + " of " + std::to_string(node_count) +
+        " nodes)");
+  }
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IoError(Errno("fstat(" + path + ")"));
+  }
+  const off_t expected =
+      static_cast<off_t>((1 + node_count + manifest_pages) * kPageSize);
+  if (st.st_size < expected) {
+    return Status::InvalidArgument(
+        path + ": truncated snapshot (" + std::to_string(st.st_size) +
+        " bytes, superblock implies " + std::to_string(expected) + ")");
+  }
+
+  file->node_count_ = static_cast<size_t>(node_count);
+  file->extents_ = std::move(extents);
+
+  const bool force_pread =
+      options.force_pread ||
+      std::getenv("STINDEX_SNAPSHOT_NO_MMAP") != nullptr;
+  if (!force_pread) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(expected), PROT_READ,
+                       MAP_SHARED, fd, 0);
+    if (map != MAP_FAILED) {
+      file->map_ = static_cast<const uint8_t*>(map);
+      file->map_bytes_ = static_cast<size_t>(expected);
+    }
+  }
+  if (file->map_ == nullptr) Metrics().fallback_opens->Add(1);
+
+  // Verify the manifest digest, then every data page against its manifest
+  // entry — after this pass the zero-copy path serves pages unrechecked.
+  std::vector<uint32_t> checksums;
+  checksums.reserve(file->node_count_);
+  uint8_t buffer[kPageSize];
+  for (size_t m = 0; m < manifest_pages; ++m) {
+    const size_t page_index = 1 + file->node_count_ + m;
+    const uint8_t* page = file->map_ != nullptr
+                              ? file->map_ + page_index * kPageSize
+                              : buffer;
+    if (file->map_ == nullptr) {
+      status = PReadFull(fd, buffer, kPageSize,
+                         static_cast<off_t>(page_index * kPageSize),
+                         "read manifest page " + std::to_string(m) + " of " +
+                             path);
+      if (!status.ok()) return status;
+    }
+    Result<PageReader> manifest = OpenPagePayload(
+        page, PageKind::kSnapshotManifest, static_cast<PageId>(page_index));
+    if (!manifest.ok()) {
+      return Status::InvalidArgument(path + ": corrupt manifest page " +
+                                     std::to_string(m) + " (" +
+                                     manifest.status().message() + ")");
+    }
+    PageReader entries = manifest.value();
+    const size_t begin = m * kManifestEntriesPerPage;
+    const size_t end =
+        std::min(begin + kManifestEntriesPerPage, file->node_count_);
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t crc = 0;
+      if (!entries.Read(&crc)) {
+        return Status::InvalidArgument(path + ": corrupt manifest page " +
+                                       std::to_string(m) + " (short payload)");
+      }
+      checksums.push_back(crc);
+    }
+  }
+  if (ManifestDigest(checksums) != manifest_digest) {
+    return Status::InvalidArgument(
+        path + ": manifest digest mismatch (superblock and manifest disagree)");
+  }
+  for (size_t id = 0; id < file->node_count_; ++id) {
+    const uint8_t* page =
+        file->map_ != nullptr ? file->map_ + (1 + id) * kPageSize : buffer;
+    if (file->map_ == nullptr) {
+      status = PReadFull(fd, buffer, kPageSize, SlotOffset(id),
+                         "read node page " + std::to_string(id) + " of " +
+                             path);
+      if (!status.ok()) return status;
+    }
+    if (Crc32(page, kPageSize) != checksums[id]) {
+      return Status::InvalidArgument(path + ": checksum mismatch on page " +
+                                     std::to_string(id));
+    }
+  }
+  span.Arg("pages", static_cast<int64_t>(file->node_count_));
+  return file;
+}
+
+Status SnapshotFile::Read(PageId id, uint8_t* out) const {
+  if (static_cast<size_t>(id) >= node_count_) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   ": read of unallocated snapshot page");
+  }
+  if (map_ != nullptr) {
+    std::memcpy(out, map_ + (1 + static_cast<size_t>(id)) * kPageSize,
+                kPageSize);
+    return Status::OK();
+  }
+  TraceSpan span("storage", "pread");
+  span.Arg("page", static_cast<int64_t>(id));
+  return PReadFull(fd_, out, kPageSize, SlotOffset(id),
+                   "read page " + std::to_string(id) + " of " + path_);
+}
+
+const uint8_t* SnapshotFile::Borrow(PageId id) const {
+  if (map_ == nullptr || static_cast<size_t>(id) >= node_count_) {
+    return nullptr;
+  }
+  return map_ + (1 + static_cast<size_t>(id)) * kPageSize;
+}
+
+// ---------------------------------------------------------------------------
+// MmapSnapshotBackend
+
+MmapSnapshotBackend::MmapSnapshotBackend(std::unique_ptr<SnapshotFile> file)
+    : file_(std::move(file)) {
+  STINDEX_CHECK(file_ != nullptr);
+}
+
+Result<std::unique_ptr<MmapSnapshotBackend>> MmapSnapshotBackend::Open(
+    const std::string& path) {
+  return Open(path, SnapshotFile::Options());
+}
+
+Result<std::unique_ptr<MmapSnapshotBackend>> MmapSnapshotBackend::Open(
+    const std::string& path, const SnapshotFile::Options& options) {
+  Result<std::unique_ptr<SnapshotFile>> file = SnapshotFile::Open(path, options);
+  if (!file.ok()) return file.status();
+  return std::make_unique<MmapSnapshotBackend>(std::move(file).value());
+}
+
+Status MmapSnapshotBackend::Read(PageId id, uint8_t* out) const {
+  Status status = file_->Read(id, out);
+  if (status.ok()) {
+    Metrics().reads->Add(1);
+    Metrics().bytes_read->Add(kPageSize);
+  }
+  return status;
+}
+
+const uint8_t* MmapSnapshotBackend::BorrowPage(PageId id) const {
+  const uint8_t* page = file_->Borrow(id);
+  if (page != nullptr) Metrics().borrows->Add(1);
+  return page;
+}
+
+Status MmapSnapshotBackend::Write(PageId id, const uint8_t* data) {
+  (void)data;
+  return Status::FailedPrecondition("snapshot backend is read-only (write of page " +
+                                    std::to_string(id) + ")");
+}
+
+Status MmapSnapshotBackend::Free(PageId id) {
+  return Status::FailedPrecondition("snapshot backend is read-only (free of page " +
+                                    std::to_string(id) + ")");
+}
+
+}  // namespace stindex

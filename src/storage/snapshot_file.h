@@ -1,0 +1,161 @@
+#ifndef STINDEX_STORAGE_SNAPSHOT_FILE_H_
+#define STINDEX_STORAGE_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page_backend.h"
+#include "util/status.h"
+
+namespace stindex {
+
+// Magic bytes at the start of the superblock payload.
+inline constexpr uint64_t kSnapshotMagic = 0x53544e445853501cull;  // "STNDXSP"
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+// One level of the packed tree: node slots [first_slot, first_slot+count).
+struct SnapshotLevelExtent {
+  uint32_t first_slot = 0;
+  uint32_t count = 0;
+};
+
+// Read-only, page-aligned snapshot of a frozen index.
+//
+// File layout (all pages are kPageSize bytes):
+//   page 0                superblock (sealed, PageKind::kSnapshotSuperblock):
+//                           magic, format version, page size, node count,
+//                           level count, manifest page count, manifest
+//                           digest, per-level slot extents
+//   pages 1 .. node_count data page for node slot `id` at file page 1+id —
+//                           sealed tree-node pages, written bottom-up
+//                           (all level-0 leaves first, then level 1, ...)
+//   trailing pages        checksum manifest (sealed, kSnapshotManifest):
+//                           one uint32 CRC-32 of the full kPageSize bytes
+//                           of each data page, in slot order
+//
+// Node slots are dense by construction (the packer remaps ids), so the
+// byte offset of slot `id` is (1 + id) * kPageSize — independent of the
+// manifest, which trails the data so the writer can stream nodes without
+// knowing their count up front. The superblock's manifest digest (CRC-32
+// over the concatenated per-page checksums) ties the manifest to the
+// superblock; every data page is verified against its manifest entry at
+// open time, so the zero-copy path never re-validates on reads.
+class SnapshotWriter {
+ public:
+  // Creates a new snapshot file at `path` (truncating any existing file).
+  // Page 0 stays reserved until Finish() seals the superblock, so a crash
+  // mid-pack leaves a file that never opens.
+  static Result<std::unique_ptr<SnapshotWriter>> Create(
+      const std::string& path);
+
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  // Appends the next node page (kPageSize bytes, already sealed by the
+  // tree's codec) into the next dense slot. Pages must arrive bottom-up:
+  // `level` starts at 0 and may only stay or step up by one.
+  Status Append(uint32_t level, const uint8_t* page);
+
+  // Number of pages appended so far — the slot id the next Append gets.
+  size_t appended() const { return checksums_.size(); }
+
+  // Writes the manifest and superblock, fsyncs and closes. No further
+  // appends; the file is now immutable.
+  Status Finish();
+
+ private:
+  SnapshotWriter(std::string path, int fd);
+
+  std::string path_;
+  int fd_;
+  std::vector<uint32_t> checksums_;          // per data page, slot order
+  std::vector<SnapshotLevelExtent> extents_;  // per level, bottom-up
+  bool finished_ = false;
+};
+
+// An open snapshot: the whole file mapped PROT_READ (or a pread fallback
+// when mapping is unavailable — forced by `Options::force_pread` or the
+// STINDEX_SNAPSHOT_NO_MMAP environment variable, automatic if mmap
+// fails). Open() validates the superblock, the manifest digest and every
+// data page's checksum, so corruption fails at open time with a Status
+// naming the offending page id.
+class SnapshotFile {
+ public:
+  struct Options {
+    // Skip mmap and serve every read through pread (for testing the
+    // fallback and for platforms without usable mappings).
+    bool force_pread = false;
+  };
+
+  static Result<std::unique_ptr<SnapshotFile>> Open(const std::string& path,
+                                                    const Options& options);
+  static Result<std::unique_ptr<SnapshotFile>> Open(const std::string& path);
+
+  ~SnapshotFile();
+
+  SnapshotFile(const SnapshotFile&) = delete;
+  SnapshotFile& operator=(const SnapshotFile&) = delete;
+
+  // Copies node slot `id` into `out` (kPageSize bytes).
+  Status Read(PageId id, uint8_t* out) const;
+
+  // Borrowed span of node slot `id`, stable for the file's lifetime, or
+  // nullptr in pread-fallback mode (callers then copy via Read).
+  const uint8_t* Borrow(PageId id) const;
+
+  size_t node_count() const { return node_count_; }
+  const std::vector<SnapshotLevelExtent>& extents() const { return extents_; }
+  bool mapped() const { return map_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SnapshotFile(std::string path, int fd);
+
+  std::string path_;
+  int fd_;
+  const uint8_t* map_ = nullptr;  // nullptr in pread-fallback mode
+  size_t map_bytes_ = 0;
+  size_t node_count_ = 0;
+  std::vector<SnapshotLevelExtent> extents_;
+};
+
+// PageBackend over a SnapshotFile: node slot `id` is page `id`. Read-only
+// — Write/Free are FailedPrecondition. BorrowPage hands out the mapped
+// span (nullptr in fallback mode), which the buffer pools decode from
+// directly instead of bouncing through a copy.
+class MmapSnapshotBackend : public PageBackend {
+ public:
+  // Opens the snapshot at `path`.
+  static Result<std::unique_ptr<MmapSnapshotBackend>> Open(
+      const std::string& path, const SnapshotFile::Options& options);
+  static Result<std::unique_ptr<MmapSnapshotBackend>> Open(
+      const std::string& path);
+
+  explicit MmapSnapshotBackend(std::unique_ptr<SnapshotFile> file);
+
+  size_t page_size() const override { return kPageSize; }
+  Status Read(PageId id, uint8_t* out) const override;
+  Status Write(PageId id, const uint8_t* data) override;
+  Status Free(PageId id) override;
+  bool IsAllocated(PageId id) const override {
+    return static_cast<size_t>(id) < file_->node_count();
+  }
+  size_t SlotCount() const override { return file_->node_count(); }
+  size_t LivePageCount() const override { return file_->node_count(); }
+  Status Sync() override { return Status::OK(); }
+  std::string Name() const override { return "mmap"; }
+  const uint8_t* BorrowPage(PageId id) const override;
+
+  const SnapshotFile& file() const { return *file_; }
+
+ private:
+  std::unique_ptr<SnapshotFile> file_;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_STORAGE_SNAPSHOT_FILE_H_

@@ -181,7 +181,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
 // Live-tier fuzzing: randomized interleaved update/query/crash schedules.
 //
 // Each seed draws a random dataset, random tier knobs (capacity /
-// duration / buffer), random queries, a random crash point, and a
+// duration / buffer), random queries, a random crash point, a random
+// mid-stream pack point (the historical tree freezes into a read-only
+// mmap snapshot layer while a fresh tree takes over migration), and a
 // random commit cadence, then runs the schedule once per querier-thread
 // count in {1, 2, 7}: a writer streams updates (crashing partway if the
 // trigger fires) while querier threads hammer IntervalQuery
@@ -193,7 +195,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferentialTest,
 //      segments cover them, and the migrated segment list only grows.
 //   2. After crash recovery (reopen, WAL replay, re-ingest of the
 //      unacknowledged tail) and Finish, every answer is byte-identical
-//      to a never-crashed reference run of the same schedule.
+//      to a never-crashed, never-packed reference run of the same
+//      schedule — packing is invisible to queries, and a crash after an
+//      unjournaled pack recovers to the pre-pack layering with the same
+//      answers.
 // ---------------------------------------------------------------------------
 
 std::vector<STQuery> RandomLiveQueries(Rng& rng, Time domain, int count) {
@@ -253,6 +258,13 @@ TEST_P(LiveTierFuzzTest, InterleavedUpdatesQueriesAndCrashes) {
       RandomLiveQueries(rng, dataset_config.time_domain, 12);
   const size_t commit_every = static_cast<size_t>(rng.UniformInt(4, 40));
   const uint64_t crash_at = static_cast<uint64_t>(rng.UniformInt(1, 120));
+  // Pack the historical tree partway through the update stream (0 in a
+  // third of the schedules: no pack).
+  const size_t pack_at =
+      rng.Bernoulli(0.33)
+          ? 0
+          : static_cast<size_t>(
+                rng.UniformInt(1, static_cast<int64_t>(stream.size())));
 
   // The never-crashed reference for this schedule (WAL on memory: the
   // journal's backend must not change the answers either).
@@ -313,6 +325,9 @@ TEST_P(LiveTierFuzzTest, InterleavedUpdatesQueriesAndCrashes) {
       });
     }
 
+    const std::string snap_path = ::testing::TempDir() + "/fuzz_snap_" +
+                                  std::to_string(seed) + "_" +
+                                  std::to_string(querier_threads) + ".stsnap";
     size_t acked = 0;
     bool crashed = false;
     for (size_t i = 0; i < stream.size() && !crashed; ++i) {
@@ -326,6 +341,13 @@ TEST_P(LiveTierFuzzTest, InterleavedUpdatesQueriesAndCrashes) {
           break;
         }
         acked = i + 1;
+      }
+      if (pack_at != 0 && i + 1 == pack_at) {
+        // The snapshot file is outside the fault-injected WAL, so the
+        // pack itself must succeed; queriers keep hammering the tier
+        // while the historical tree freezes into a zero-copy layer.
+        ASSERT_TRUE(tier.value()->PackHistorical(snap_path).ok())
+            << "seed=" << seed;
       }
     }
     if (!crashed) {
@@ -371,6 +393,7 @@ TEST_P(LiveTierFuzzTest, InterleavedUpdatesQueriesAndCrashes) {
     }
 
     std::remove(path.c_str());
+    std::remove(snap_path.c_str());
   }
 }
 

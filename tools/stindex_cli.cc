@@ -188,22 +188,25 @@ std::vector<SegmentRecord> LoadSegments(const std::string& path) {
   return std::move(result).value();
 }
 
-// Backend selection for `query`: --backend store|memory|file plus --db
-// DIR for the file backend. "store" is the legacy in-memory PageStore
-// (no serialization); the other two persist the index through a
-// PageBackend so buffer misses are actual page reads. Returns the
-// validated backend name.
+// Backend selection for `query`: --backend store|memory|file|mmap plus
+// --db DIR for the file-backed ones. "store" is the legacy in-memory
+// PageStore (no serialization); "memory" and "file" persist the index
+// through a PageBackend so buffer misses are actual page reads; "mmap"
+// packs the tree into a read-only snapshot file under --db and serves it
+// zero-copy. Returns the validated backend name.
 std::string GetBackendFlags(Flags& flags, std::string* db_path) {
   const std::string backend = flags.Get("backend", "store");
   *db_path = flags.Get("db", "");
-  if (backend != "store" && backend != "memory" && backend != "file") {
-    std::fprintf(stderr,
-                 "--backend must be 'store', 'memory' or 'file', got '%s'\n",
-                 backend.c_str());
+  if (backend != "store" && backend != "memory" && backend != "file" &&
+      backend != "mmap") {
+    std::fprintf(
+        stderr,
+        "--backend must be 'store', 'memory', 'file' or 'mmap', got '%s'\n",
+        backend.c_str());
     std::exit(2);
   }
-  if (backend == "file" && db_path->empty()) {
-    std::fprintf(stderr, "--backend file requires --db DIR\n");
+  if ((backend == "file" || backend == "mmap") && db_path->empty()) {
+    std::fprintf(stderr, "--backend %s requires --db DIR\n", backend.c_str());
     std::exit(2);
   }
   return backend;
@@ -444,7 +447,11 @@ int CmdQuery(Flags& flags) {
   uint64_t hits_total = 0;
   if (index == "ppr") {
     const std::unique_ptr<PprTree> ppr = BuildPprTree(records);
-    if (backend != "store") {
+    if (backend == "mmap") {
+      const Status status =
+          ppr->PackSnapshot(db_path + "/query_ppr.stsnap");
+      if (!status.ok()) Die(status);
+    } else if (backend != "store") {
       const Status status =
           ppr->AttachBackend(MakeCliBackend(backend, db_path, "query_ppr"));
       if (!status.ok()) Die(status);
@@ -485,7 +492,11 @@ int CmdQuery(Flags& flags) {
     for (size_t i = 0; i < boxes.size(); ++i) {
       tree.Insert(boxes[i], static_cast<DataId>(i));
     }
-    if (backend != "store") {
+    if (backend == "mmap") {
+      const Status status =
+          tree.PackSnapshot(db_path + "/query_rstar.stsnap");
+      if (!status.ok()) Die(status);
+    } else if (backend != "store") {
       const Status status =
           tree.AttachBackend(MakeCliBackend(backend, db_path, "query_rstar"));
       if (!status.ok()) Die(status);
@@ -611,6 +622,42 @@ int CmdIngest(Flags& flags) {
   return 0;
 }
 
+// Converts an ingested --db (the live tier's WAL journal) into a packed
+// read-only mmap snapshot: recovers the tier from DIR/live_wal.stpages,
+// finishes the stream (seals every buffer, drains migration), then packs
+// the historical tree into --out. The WAL itself is untouched — the
+// snapshot is a derived artifact a query server can mmap and serve
+// zero-copy.
+int CmdPack(Flags& flags) {
+  const std::string db = flags.Require("db");
+  const std::string out = flags.Get("out", db + "/historical.stsnap");
+  flags.RejectUnknown();
+
+  const std::string wal_path = db + "/live_wal.stpages";
+  Result<std::unique_ptr<FilePageBackend>> wal =
+      FilePageBackend::Open(wal_path);
+  if (!wal.ok()) Die(wal.status());
+  Result<std::unique_ptr<LiveTier>> tier =
+      LiveTier::Open(LiveTierOptions{}, std::move(wal).value());
+  if (!tier.ok()) Die(tier.status());
+
+  const Status finished = tier.value()->Finish();
+  if (!finished.ok()) Die(finished);
+  MetricRegistry& registry = MetricRegistry::Global();
+  const uint64_t packed_base =
+      registry.GetCounter("backend.mmap.packed_pages")->Value();
+  const Status packed = tier.value()->PackHistorical(out);
+  if (!packed.ok()) Die(packed);
+  const uint64_t packed_pages =
+      registry.GetCounter("backend.mmap.packed_pages")->Value() - packed_base;
+  std::printf("packed %llu node pages (%zu migrated segments) from %s "
+              "into %s\n",
+              static_cast<unsigned long long>(packed_pages),
+              tier.value()->migrated_segments().size(), wal_path.c_str(),
+              out.c_str());
+  return 0;
+}
+
 int CmdAdvise(Flags& flags) {
   const std::string in = flags.Require("in");
   QuerySetConfig query_config = NamedQuerySet(flags.Get("set", "small"));
@@ -666,8 +713,10 @@ int Usage() {
       "  queries   --set NAME --out FILE [--count N] [--time-domain T]\n"
       "  stats     --segments FILE [--index ppr|rstar|hr]\n"
       "  query     --segments FILE --queries FILE [--index ppr|rstar|hr]\n"
-      "            [--backend store|memory|file] [--db DIR] [--explain]\n"
+      "            [--backend store|memory|file|mmap] [--db DIR] [--explain]\n"
       "            [--objects FILE] [--trace FILE] [--buffer-pages N]\n"
+      "            --backend mmap packs the tree into DIR/query_*.stsnap\n"
+      "            and serves it zero-copy through the mmap backend\n"
       "  ingest    --in FILE --db DIR [--capacity N] [--duration T]\n"
       "            [--buffer N] [--commit-every N] [--checkpoint-every P]\n"
       "            [--group-commit] [--commit-interval US]\n"
@@ -678,6 +727,10 @@ int Usage() {
       "            flushed WAL pages accumulate; --group-commit coalesces\n"
       "            concurrent commits, waiting --commit-interval US for\n"
       "            joiners\n"
+      "  pack      --db DIR [--out FILE]\n"
+      "            recover the live tier from DIR/live_wal.stpages, finish\n"
+      "            the stream and pack the historical tree into a read-only\n"
+      "            mmap snapshot (default DIR/historical.stsnap)\n"
       "  advise    --in FILE [--set NAME] [--mode analytical|sampling]\n"
       "            [--threads N]\n"
       "Query flags:\n"
@@ -727,6 +780,8 @@ int Main(int argc, char** argv) {
     rc = CmdQuery(flags);
   } else if (command == "ingest") {
     rc = CmdIngest(flags);
+  } else if (command == "pack") {
+    rc = CmdPack(flags);
   } else if (command == "advise") {
     rc = CmdAdvise(flags);
   } else {
