@@ -153,6 +153,67 @@ print(f"stindex_server mixed smoke OK: {params['updates_applied']} updates "
 EOF
 fi
 
+# Soak smoke: run the wall-clock-bounded mixed workload for ~10s with the
+# telemetry plane on an ephemeral port, scrape it live (>=3 scrapes with
+# monotone counters, windowed p95, healthz green), then check the soak
+# report validates and the slow-query JSONL (threshold 0 => every query
+# captures) parses line by line.
+if [ -x "$SERVER" ]; then
+  echo "== stindex_server soak + live scrape smoke =="
+  SOAK_DIR="$SMOKE_DIR/soak"
+  mkdir -p "$SOAK_DIR"
+  "$SERVER" --soak --duration-s=10 --threads=4 --buffer-pages=32 \
+    --metrics-port=0 --port-file="$SOAK_DIR/port" \
+    --slow-query-ms=0 --slow-log="$SOAK_DIR/slow.jsonl" \
+    --backend=file --db="$SOAK_DIR" \
+    --json="$OUT_DIR/stindex_server_soak.json" \
+    > "$OUT_DIR/stindex_server_soak.txt" 2>&1 &
+  SOAK_PID=$!
+  for _ in $(seq 1 50); do
+    [ -s "$SOAK_DIR/port" ] && break
+    kill -0 "$SOAK_PID" 2>/dev/null || break
+    sleep 0.2
+  done
+  if [ ! -s "$SOAK_DIR/port" ]; then
+    echo "error: soak server never published its port" >&2
+    wait "$SOAK_PID" || true
+    cat "$OUT_DIR/stindex_server_soak.txt" >&2
+    exit 1
+  fi
+  if ! python3 "$(dirname "$0")/scrape_soak.py" "$(cat "$SOAK_DIR/port")" \
+      --scrapes 3 --interval 1; then
+    kill "$SOAK_PID" 2>/dev/null || true
+    wait "$SOAK_PID" || true
+    cat "$OUT_DIR/stindex_server_soak.txt" >&2
+    exit 1
+  fi
+  wait "$SOAK_PID"
+  cat "$OUT_DIR/stindex_server_soak.txt"
+  python3 "$(dirname "$0")/validate_report.py" \
+    "$OUT_DIR/stindex_server_soak.json"
+  python3 - "$OUT_DIR/stindex_server_soak.json" "$SOAK_DIR/slow.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1], "r", encoding="utf-8") as f:
+    report = json.load(f)
+params = report["params"]
+assert params["soak_queries"] > 0, params
+assert params["scrapes"] >= 3, params
+assert params["slow_queries"] > 0, params
+series = {s["name"] for s in report["series"]}
+for required in ("qps", "latency_p50_ms", "latency_p95_ms",
+                 "latency_p99_ms"):
+    assert required in series, f"report missing series '{required}'"
+with open(sys.argv[2], "r", encoding="utf-8") as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert lines, "slow-query JSONL is empty at threshold 0"
+for entry in lines:
+    assert "latency_ms" in entry and "results" in entry, entry
+print(f"soak smoke OK: {params['soak_queries']} queries, "
+      f"{params['soak_updates']} updates, {params['scrapes']} scrapes, "
+      f"{len(lines)} slow-log entries")
+EOF
+fi
+
 # File-backend smoke: run the CLI pipeline against a real page file in a
 # scratch directory and check the metrics dump proves actual disk reads
 # (backend.file.reads > 0) rather than the simulated store.

@@ -1,0 +1,93 @@
+#ifndef STINDEX_CORE_SLOW_QUERY_LOG_H_
+#define STINDEX_CORE_SLOW_QUERY_LOG_H_
+
+// A bounded in-memory ring of the most recent queries that exceeded a
+// latency threshold, each captured with its full EXPLAIN profile
+// (core/query_profile.h) and query window. The telemetry plane's answer
+// to "what was that p99 spike actually doing": /statusz renders the ring
+// as JSON, and an optional JSONL sink appends one machine-parseable line
+// per slow query for offline analysis.
+//
+// MaybeRecord is called on the query path, so the fast path (latency
+// under threshold) is a single comparison with no lock. Slow captures
+// take a mutex; they are by definition rare. When the ring is full the
+// oldest entry is dropped (evicted() counts how many) — a soak that goes
+// bad keeps the newest evidence, not the oldest.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/query_profile.h"
+#include "geometry/interval.h"
+#include "geometry/rect.h"
+#include "util/json_writer.h"
+
+namespace stindex {
+
+// One captured slow query.
+struct SlowQueryEntry {
+  // Monotone capture sequence number (1-based, never reused), so JSONL
+  // consumers can detect ring eviction gaps.
+  uint64_t sequence = 0;
+  double latency_ms = 0.0;
+  // Timestamp-range queries carry `range`; snapshot queries set
+  // is_snapshot and store the instant in range.start.
+  bool is_snapshot = false;
+  Rect2D area;
+  TimeInterval range;
+  uint64_t results = 0;
+  QueryProfile profile;
+};
+
+class SlowQueryLog {
+ public:
+  // Queries at or above `threshold_ms` are captured; the ring retains the
+  // newest `capacity` of them.
+  explicit SlowQueryLog(double threshold_ms, size_t capacity = 64);
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // Additionally appends every captured entry as one JSON line to `path`
+  // (created/truncated here). Returns false (and logs nothing) if the
+  // file cannot be opened. Call before the first MaybeRecord.
+  bool OpenJsonlSink(const std::string& path);
+
+  // Captures the query if latency_ms >= threshold. The profile is copied;
+  // the caller keeps ownership. Returns true when captured.
+  bool MaybeRecord(double latency_ms, bool is_snapshot, const Rect2D& area,
+                   const TimeInterval& range, uint64_t results,
+                   const QueryProfile& profile);
+
+  double threshold_ms() const { return threshold_ms_; }
+  size_t capacity() const { return capacity_; }
+  uint64_t captured() const;  // lifetime captures (>= ring size)
+  uint64_t evicted() const;   // captures dropped to make room
+
+  // Oldest-first copy of the ring.
+  std::vector<SlowQueryEntry> Entries() const;
+
+  // Appends the log's state as the value of an already-written JSON key:
+  // {threshold_ms, captured, evicted, entries: [...]} with each entry's
+  // window, latency and profile counts. Used by /statusz.
+  void RenderStatusz(JsonWriter* json) const;
+
+ private:
+  void AppendJsonlLocked(const SlowQueryEntry& entry);
+
+  const double threshold_ms_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;  // oldest first
+  uint64_t captured_ = 0;
+  uint64_t evicted_ = 0;
+  std::FILE* sink_ = nullptr;
+};
+
+}  // namespace stindex
+
+#endif  // STINDEX_CORE_SLOW_QUERY_LOG_H_

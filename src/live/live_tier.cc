@@ -43,7 +43,8 @@ LiveTier::LiveTier(LiveTierOptions options,
       index_(options.index),
       tree_(std::make_unique<PprTree>(options.ppr)),
       pipeline_(tree_.get()),
-      pool_(tree_->NewSharedQueryPool(options.query_pool_pages)) {}
+      pool_(tree_->NewSharedQueryPool(options.query_pool_pages)),
+      last_checkpoint_at_(std::chrono::steady_clock::now()) {}
 
 Result<std::unique_ptr<LiveTier>> LiveTier::Open(
     LiveTierOptions options, std::unique_ptr<PageBackend> wal_backend) {
@@ -483,6 +484,7 @@ Status LiveTier::CheckpointLocked() {
 
   checkpoint_seq_ = seq;
   checkpoint_slots_ = std::move(new_slots);
+  last_checkpoint_at_ = std::chrono::steady_clock::now();
   // The sync at step 4/5 covered every appended record.
   durable_records_ = writer_->appended_records();
   Metrics().checkpoints->Add(1);
@@ -539,7 +541,8 @@ Status LiveTier::Finish() {
 }
 
 void LiveTier::IntervalQuery(const Rect2D& area, const TimeInterval& range,
-                             std::vector<ObjectId>* out) const {
+                             std::vector<ObjectId>* out,
+                             QueryProfile* profile) const {
   std::shared_lock lock(mu_);
   Metrics().queries->Add(1);
   out->clear();
@@ -551,11 +554,12 @@ void LiveTier::IntervalQuery(const Rect2D& area, const TimeInterval& range,
   std::vector<PprDataId> layer_hits;
   for (const FrozenLayer& layer : frozen_) {
     SharedBufferPool::Session frozen_session(layer.pool.get());
-    layer.tree->IntervalQuery(area, range, &frozen_session, &layer_hits);
+    layer.tree->IntervalQuery(area, range, &frozen_session, &layer_hits,
+                              profile);
     raw.insert(raw.end(), layer_hits.begin(), layer_hits.end());
   }
   SharedBufferPool::Session session(pool_.get());
-  tree_->IntervalQuery(area, range, &session, &layer_hits);
+  tree_->IntervalQuery(area, range, &session, &layer_hits, profile);
   raw.insert(raw.end(), layer_hits.begin(), layer_hits.end());
   for (PprDataId id : raw) {
     // A record whose delete is still queued looks alive-to-infinity
@@ -571,8 +575,9 @@ void LiveTier::IntervalQuery(const Rect2D& area, const TimeInterval& range,
 }
 
 void LiveTier::SnapshotQuery(const Rect2D& area, Time t,
-                             std::vector<ObjectId>* out) const {
-  IntervalQuery(area, TimeInterval(t, t + 1), out);
+                             std::vector<ObjectId>* out,
+                             QueryProfile* profile) const {
+  IntervalQuery(area, TimeInterval(t, t + 1), out, profile);
 }
 
 size_t LiveTier::frozen_layers() const {
@@ -618,6 +623,71 @@ uint64_t LiveTier::wal_tail_pages() const {
 uint64_t LiveTier::checkpoint_seq() const {
   std::shared_lock lock(mu_);
   return checkpoint_seq_;
+}
+
+bool LiveTier::latched() const {
+  std::shared_lock lock(mu_);
+  return failed_;
+}
+
+LiveTier::Telemetry LiveTier::GetTelemetry() const {
+  std::shared_lock lock(mu_);
+  Telemetry telemetry;
+  telemetry.latched = failed_;
+  telemetry.finished = finished_;
+  telemetry.wal_records = writer_->appended_records();
+  telemetry.wal_pages = writer_->pages_written();
+  telemetry.wal_tail_pages = writer_->tail_pages();
+  telemetry.wal_commits = writer_->commits();
+  telemetry.checkpoint_seq = checkpoint_seq_;
+  telemetry.seconds_since_checkpoint =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    last_checkpoint_at_)
+          .count();
+  telemetry.live_objects = index_.live_objects();
+  telemetry.buffered_instants = index_.buffered_instants();
+  telemetry.pending_events = pipeline_.pending_events();
+  telemetry.frozen_layers = frozen_.size();
+  telemetry.watermark = index_.Watermark();
+  telemetry.last_time = index_.last_time();
+  for (const auto& occupancy : pool_->ShardOccupancies()) {
+    telemetry.pool_shards.push_back(occupancy);
+  }
+  for (const FrozenLayer& layer : frozen_) {
+    for (const auto& occupancy : layer.pool->ShardOccupancies()) {
+      telemetry.pool_shards.push_back(occupancy);
+    }
+  }
+  return telemetry;
+}
+
+void LiveTier::PublishGauges() const {
+  std::shared_lock lock(mu_);
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetGauge("live.objects")
+      ->Set(static_cast<int64_t>(index_.live_objects()));
+  registry.GetGauge("live.buffered_instants")
+      ->Set(static_cast<int64_t>(index_.buffered_instants()));
+  registry.GetGauge("live.pending_events")
+      ->Set(static_cast<int64_t>(pipeline_.pending_events()));
+  registry.GetGauge("live.frozen_layers")
+      ->Set(static_cast<int64_t>(frozen_.size()));
+  registry.GetGauge("live.wal.records")
+      ->Set(static_cast<int64_t>(writer_->appended_records()));
+  registry.GetGauge("live.wal.pages")
+      ->Set(static_cast<int64_t>(writer_->pages_written()));
+  registry.GetGauge("live.wal.tail_pages")
+      ->Set(static_cast<int64_t>(writer_->tail_pages()));
+  registry.GetGauge("live.wal.commits")
+      ->Set(static_cast<int64_t>(writer_->commits()));
+  registry.GetGauge("live.wal.checkpoint_seq")
+      ->Set(static_cast<int64_t>(checkpoint_seq_));
+  // How far the migration watermark trails the newest observed instant —
+  // stream ticks, not wall time, so the gauge is deterministic.
+  registry.GetGauge("live.watermark_lag")
+      ->Set(static_cast<int64_t>(index_.last_time() - index_.Watermark()));
+  pool_->PublishStats();
+  for (const FrozenLayer& layer : frozen_) layer.pool->PublishStats();
 }
 
 std::vector<LiveObservation> MakeObservationStream(

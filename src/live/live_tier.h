@@ -1,6 +1,7 @@
 #ifndef STINDEX_LIVE_LIVE_TIER_H_
 #define STINDEX_LIVE_LIVE_TIER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <shared_mutex>
@@ -123,12 +124,15 @@ class LiveTier {
 
   // --- queries (exact over acknowledged and in-flight updates) ---------
 
-  void SnapshotQuery(const Rect2D& area, Time t,
-                     std::vector<ObjectId>* out) const;
+  // `profile` (optional) accumulates EXPLAIN counts across every layer
+  // the query consulted — the slow-query log's capture payload.
+  void SnapshotQuery(const Rect2D& area, Time t, std::vector<ObjectId>* out,
+                     QueryProfile* profile = nullptr) const;
   // Objects occupying `area` at any instant of [range.start, range.end);
   // sorted, de-duplicated.
   void IntervalQuery(const Rect2D& area, const TimeInterval& range,
-                     std::vector<ObjectId>* out) const;
+                     std::vector<ObjectId>* out,
+                     QueryProfile* profile = nullptr) const;
 
   // --- introspection ----------------------------------------------------
 
@@ -157,6 +161,41 @@ class LiveTier {
   uint64_t checkpoint_seq() const;
   // Replay statistics from Open (post-checkpoint tail only).
   const WalReplayStats& recovered() const { return recovered_; }
+  // True once a WAL I/O failure latched the tier dead (every further
+  // mutation returns kFailedPrecondition). The /healthz signal.
+  bool latched() const;
+
+  // One consistent reading of everything /statusz reports about the
+  // tier, taken under the shared lock.
+  struct Telemetry {
+    bool latched = false;
+    bool finished = false;
+    uint64_t wal_records = 0;
+    uint64_t wal_pages = 0;
+    uint64_t wal_tail_pages = 0;
+    uint64_t wal_commits = 0;
+    uint64_t checkpoint_seq = 0;
+    double seconds_since_checkpoint = 0.0;  // since Open when none yet
+    size_t live_objects = 0;
+    size_t buffered_instants = 0;
+    size_t pending_events = 0;  // migration queue depth
+    size_t frozen_layers = 0;
+    // Migration watermark and the newest observed instant: their gap is
+    // how far the live buffers trail the stream head.
+    Time watermark = 0;
+    Time last_time = 0;
+    // Query-pool occupancy: the active tree's shared pool first, then
+    // one entry per frozen layer's pool, flattened shard by shard.
+    std::vector<SharedBufferPool::ShardOccupancy> pool_shards;
+  };
+  Telemetry GetTelemetry() const;
+
+  // Publishes the tier's deterministic state gauges (live.objects,
+  // live.pending_events, live.frozen_layers, live.wal.*, watermark lag)
+  // to the global registry and flushes the shared pools' counter deltas.
+  // Deterministic inputs only — no wall-clock or occupancy readings — so
+  // bench reports that dump the registry stay byte-identical.
+  void PublishGauges() const;
 
  private:
   LiveTier(LiveTierOptions options, std::unique_ptr<PageBackend> wal_backend);
@@ -221,6 +260,9 @@ class LiveTier {
   uint64_t durable_records_ = 0;
   bool commit_leader_active_ = false;
   mutable std::condition_variable_any commit_cv_;
+  // When the last checkpoint committed (Open time until the first one) —
+  // the /statusz checkpoint-age reading.
+  std::chrono::steady_clock::time_point last_checkpoint_at_;
   bool failed_ = false;
   bool finished_ = false;
   mutable std::shared_mutex mu_;

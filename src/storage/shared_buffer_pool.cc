@@ -195,6 +195,25 @@ void SharedBufferPool::Unpin(PageId id) {
   STINDEX_CHECK_MSG(it != shard.frames.end(), "Unpin of a non-resident page");
   STINDEX_CHECK_MSG(it->second.pins > 0, "Unpin of an unpinned page");
   if (--it->second.pins == 0) --shard.pinned;
+  TrimOverflowLocked(shard);
+}
+
+void SharedBufferPool::TrimOverflowLocked(Shard& shard) {
+  while (shard.frames.size() > shard.capacity) {
+    PageId victim = kInvalidPage;
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      const Frame& frame = shard.frames.at(*it);
+      if (frame.pins == 0 && !frame.dirty) {
+        victim = *it;
+        break;
+      }
+    }
+    if (victim == kInvalidPage) return;
+    Frame& frame = shard.frames.at(victim);
+    shard.lru.erase(frame.lru);
+    shard.frames.erase(victim);
+    ++shard.evictions;
+  }
 }
 
 Status SharedBufferPool::Put(PageId id, std::unique_ptr<Page> page) {
@@ -304,6 +323,22 @@ size_t SharedBufferPool::DirtyPages() const {
     total += shard->dirty;
   }
   return total;
+}
+
+std::vector<SharedBufferPool::ShardOccupancy>
+SharedBufferPool::ShardOccupancies() const {
+  std::vector<ShardOccupancy> out;
+  out.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    ShardOccupancy occupancy;
+    occupancy.capacity = shard->capacity;
+    occupancy.cached = shard->frames.size();
+    occupancy.pinned = shard->pinned;
+    occupancy.dirty = shard->dirty;
+    out.push_back(occupancy);
+  }
+  return out;
 }
 
 void SharedBufferPool::PublishStats() {

@@ -118,6 +118,17 @@ class SharedBufferPool {
   size_t DirtyPages() const;
   bool backend_mode() const { return backend_ != nullptr; }
 
+  // Point-in-time occupancy of one shard (telemetry: the /statusz pool
+  // section). Pinned/dirty count frames, all <= cached <= capacity
+  // (cached may transiently exceed capacity under pin_overflow).
+  struct ShardOccupancy {
+    size_t capacity = 0;
+    size_t cached = 0;
+    size_t pinned = 0;
+    size_t dirty = 0;
+  };
+  std::vector<ShardOccupancy> ShardOccupancies() const;
+
  private:
   struct Frame {
     const Page* page = nullptr;
@@ -146,6 +157,11 @@ class SharedBufferPool {
   // Caller holds the shard mutex.
   Status MakeRoom(Shard& shard);
   Status WriteBack(PageId id, Frame& frame, Shard& shard);
+  // Drops clean unpinned frames until the shard is back under its slice
+  // after transient pin_overflow growth. Dirty overage is left for the
+  // next MakeRoom/FlushAll — Unpin has no way to report a write-back
+  // failure. Caller holds the shard mutex.
+  void TrimOverflowLocked(Shard& shard);
 
   const PageStore* store_ = nullptr;
   PageBackend* backend_ = nullptr;

@@ -59,6 +59,36 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  STINDEX_CHECK(count_ >= earlier.count_);
+  Histogram delta;
+  size_t first_nonzero = kBucketCount;
+  size_t last_nonzero = kBucketCount;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    STINDEX_CHECK(buckets_[i] >= earlier.buckets_[i]);
+    delta.buckets_[i] = buckets_[i] - earlier.buckets_[i];
+    if (delta.buckets_[i] > 0) {
+      if (first_nonzero == kBucketCount) first_nonzero = i;
+      last_nonzero = i;
+    }
+  }
+  delta.count_ = count_ - earlier.count_;
+  delta.sum_ = sum_ - earlier.sum_;
+  if (delta.count_ > 0) {
+    // Bucket-accurate extremes: the exact window min/max are gone, but
+    // every percentile is only bucket-accurate anyway. Clamp to the
+    // cumulative extremes so single-bucket windows stay sane.
+    double lo = first_nonzero == 0 ? 0.0 : BucketUpperBound(first_nonzero - 1);
+    double hi = BucketUpperBound(last_nonzero);
+    if (lo < min_) lo = min_;
+    if (hi > max_) hi = max_;
+    if (lo > hi) lo = hi;
+    delta.min_ = lo;
+    delta.max_ = hi;
+  }
+  return delta;
+}
+
 double Histogram::ValueAtPercentile(double p) const {
   if (count_ == 0) return 0.0;
   STINDEX_CHECK(p >= 0.0 && p <= 100.0);
@@ -159,6 +189,21 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   return snapshot;
 }
 
+MetricsCapture MetricRegistry::CaptureRaw() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsCapture capture;
+  capture.at = std::chrono::steady_clock::now();
+  capture.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    capture.counters.emplace_back(name, counter->Value());
+  }
+  capture.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    capture.histograms.emplace_back(name, histogram->Value());
+  }
+  return capture;
+}
+
 void MetricRegistry::ResetForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
@@ -170,6 +215,73 @@ void MergeShards(const std::vector<Histogram>& shards,
                  HistogramMetric* target) {
   STINDEX_CHECK(target != nullptr);
   for (const Histogram& shard : shards) target->MergeFrom(shard);
+}
+
+MetricsWindow::MetricsWindow(size_t epochs, MetricRegistry* registry)
+    : registry_(registry), capacity_(epochs == 0 ? 1 : epochs) {
+  STINDEX_CHECK(registry_ != nullptr);
+}
+
+void MetricsWindow::Advance() {
+  MetricsCapture capture = registry_->CaptureRaw();
+  std::lock_guard<std::mutex> lock(mu_);
+  captures_.push_back(std::move(capture));
+  if (captures_.size() > capacity_ + 1) {
+    captures_.erase(captures_.begin());
+  }
+}
+
+WindowedMetricsSnapshot MetricsWindow::WindowSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowedMetricsSnapshot out;
+  if (captures_.size() < 2) return out;
+  const MetricsCapture& oldest = captures_.front();
+  const MetricsCapture& newest = captures_.back();
+  out.epochs = captures_.size() - 1;
+  out.seconds =
+      std::chrono::duration<double>(newest.at - oldest.at).count();
+  const double seconds = out.seconds > 0.0 ? out.seconds : 1.0;
+
+  // Both captures are sorted by name; metrics only ever get added, so a
+  // name in `oldest` is always present in `newest`. Walk them together,
+  // diffing against zero (counters) / empty (histograms) for metrics
+  // born after the window opened.
+  size_t old_index = 0;
+  out.counter_rates.reserve(newest.counters.size());
+  for (const auto& [name, value] : newest.counters) {
+    uint64_t base = 0;
+    while (old_index < oldest.counters.size() &&
+           oldest.counters[old_index].first < name) {
+      ++old_index;
+    }
+    if (old_index < oldest.counters.size() &&
+        oldest.counters[old_index].first == name) {
+      base = oldest.counters[old_index].second;
+    }
+    // ResetForTest can run mid-window; treat a backwards counter as
+    // freshly born rather than producing a negative rate.
+    const uint64_t delta = value >= base ? value - base : value;
+    out.counter_rates.emplace_back(name,
+                                   static_cast<double>(delta) / seconds);
+  }
+  old_index = 0;
+  static const Histogram kEmpty;
+  out.histograms.reserve(newest.histograms.size());
+  for (const auto& [name, histogram] : newest.histograms) {
+    const Histogram* base = &kEmpty;
+    while (old_index < oldest.histograms.size() &&
+           oldest.histograms[old_index].first < name) {
+      ++old_index;
+    }
+    if (old_index < oldest.histograms.size() &&
+        oldest.histograms[old_index].first == name &&
+        histogram.Count() >= oldest.histograms[old_index].second.Count()) {
+      base = &oldest.histograms[old_index].second;
+    }
+    out.histograms.emplace_back(name,
+                                histogram.DeltaSince(*base).Snapshot());
+  }
+  return out;
 }
 
 ScopedTimer::ScopedTimer(const std::string& histogram_name)

@@ -98,6 +98,15 @@ class Histogram {
   void Merge(const Histogram& other);
   void Reset() { *this = Histogram(); }
 
+  // The readings recorded into this histogram since `earlier` was a copy
+  // of it (bucket-wise subtraction; `earlier` must be an older capture of
+  // the SAME histogram, checked via monotone counts). The delta's min and
+  // max are bucket-accurate — recovered from the first and last non-empty
+  // delta bucket, clamped to the cumulative extremes — matching the
+  // one-bucket accuracy of every percentile. This is what turns periodic
+  // cumulative captures into sliding-window percentiles (MetricsWindow).
+  Histogram DeltaSince(const Histogram& earlier) const;
+
   uint64_t Count() const { return count_; }
   double Sum() const { return sum_; }
   // Upper bound of bucket i (the value BucketIndex maps to i or below).
@@ -146,6 +155,17 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
+// A raw registry capture: counter values plus full bucket-level
+// histogram copies (not percentile summaries), in sorted name order.
+// This is the epoch payload of MetricsWindow — diffing two captures of a
+// monotone registry yields exact windowed counts and bucket-exact
+// windowed percentiles.
+struct MetricsCapture {
+  std::chrono::steady_clock::time_point at;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+};
+
 // Name -> metric map. Get* registers on first use and returns a pointer
 // that stays valid for the process lifetime (ResetForTest zeroes values,
 // it never removes metrics). Thread-safe.
@@ -158,6 +178,7 @@ class MetricRegistry {
   HistogramMetric* GetHistogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
+  MetricsCapture CaptureRaw() const;
   // Zeroes every registered metric (pointers stay valid).
   void ResetForTest();
 
@@ -172,6 +193,56 @@ class MetricRegistry {
 // the deterministic reduction every parallel phase must use.
 void MergeShards(const std::vector<Histogram>& shards,
                  HistogramMetric* target);
+
+// What a MetricsWindow covers right now: per-counter increase rates and
+// bucket-exact sliding-window histograms over the captured interval.
+struct WindowedMetricsSnapshot {
+  // Wall seconds between the oldest and newest retained epoch (0 until
+  // at least two epochs exist — a window needs two boundaries).
+  double seconds = 0.0;
+  // Epoch intervals the window currently spans.
+  size_t epochs = 0;
+  // Counter increase per second over the window, sorted by name.
+  // Counters born mid-window diff against zero.
+  std::vector<std::pair<std::string, double>> counter_rates;
+  // Readings recorded during the window only, sorted by name.
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+// A sliding window over the cumulative registry. Advance() captures the
+// registry's raw state (counter values, bucket-level histograms) as the
+// newest epoch of a fixed ring; WindowSnapshot() diffs the newest
+// capture against the oldest retained one, yielding rolling rates and
+// window-local p50/p95/p99 alongside — never instead of — the cumulative
+// series.
+//
+// Determinism story: the window only READS cumulative state on a
+// publisher thread's cadence; the Record() paths are untouched and no
+// window exists outside the server/soak paths, so instrumented bench
+// runs stay byte-identical whether or not this class is ever linked in.
+class MetricsWindow {
+ public:
+  // The window spans up to `epochs` advance intervals (>= 1): the ring
+  // retains epochs+1 boundary captures. With the exposition server's
+  // default 2 s cadence, 15 epochs give a rolling 30 s window.
+  explicit MetricsWindow(size_t epochs = 15,
+                         MetricRegistry* registry = &MetricRegistry::Global());
+
+  // Captures the registry now as the newest epoch boundary, dropping the
+  // oldest once the ring is full. Thread-safe; called by the exposition
+  // server's publisher loop (or a soak driver) every interval.
+  void Advance();
+
+  WindowedMetricsSnapshot WindowSnapshot() const;
+
+  size_t max_epochs() const { return capacity_; }
+
+ private:
+  MetricRegistry* registry_;
+  size_t capacity_;  // epoch intervals, ring holds capacity_+1 captures
+  mutable std::mutex mu_;
+  std::vector<MetricsCapture> captures_;  // oldest first
+};
 
 // Records the wall-clock seconds between construction and destruction
 // into the named registry histogram (the pipeline phase timers). Wall

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/check.h"
+
 namespace stindex {
 
 namespace {
@@ -9,6 +11,11 @@ namespace {
 bool IsPromChar(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '_';
+}
+
+// Separator bytes registry names legitimately use; each maps to '_'.
+bool IsMappedSeparator(char c) {
+  return c == '.' || c == ' ' || c == '/' || c == ':' || c == '-';
 }
 
 // %.17g matches the JSON writer's round-trip-safe float rendering.
@@ -24,12 +31,39 @@ void AppendQuantile(std::string& out, const std::string& name,
          "\n";
 }
 
+void AppendHeader(std::string& out, const std::string& prom,
+                  const std::string& source, const char* kind) {
+  out += "# HELP " + prom + " stindex registry metric '" + source + "' (" +
+         kind + ")\n";
+  out += "# TYPE " + prom + " ";
+  out += kind;
+  out += "\n";
+}
+
+void AppendSummary(std::string& out, const std::string& prom,
+                   const std::string& source,
+                   const HistogramSnapshot& histogram) {
+  AppendHeader(out, prom, source, "summary");
+  AppendQuantile(out, prom, "0.5", histogram.p50);
+  AppendQuantile(out, prom, "0.9", histogram.p90);
+  AppendQuantile(out, prom, "0.95", histogram.p95);
+  AppendQuantile(out, prom, "0.99", histogram.p99);
+  out += prom + "_sum " + FormatDouble(histogram.sum) + "\n";
+  out += prom + "_count " + std::to_string(histogram.count) + "\n";
+}
+
 }  // namespace
 
 std::string PrometheusMetricName(const std::string& name) {
   std::string sanitized = "stindex_";
   sanitized.reserve(sanitized.size() + name.size());
   for (const char c : name) {
+    STINDEX_CHECK_MSG(
+        IsPromChar(c) || IsMappedSeparator(c),
+        ("metric name '" + name +
+         "' contains a byte that is neither Prometheus-legal [a-zA-Z0-9_] "
+         "nor a mapped separator (. /:-)")
+            .c_str());
     sanitized.push_back(IsPromChar(c) ? c : '_');
   }
   return sanitized;
@@ -39,23 +73,34 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = PrometheusMetricName(name);
-    out += "# TYPE " + prom + " counter\n";
+    AppendHeader(out, prom, name, "counter");
     out += prom + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string prom = PrometheusMetricName(name);
-    out += "# TYPE " + prom + " gauge\n";
+    AppendHeader(out, prom, name, "gauge");
     out += prom + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, histogram] : snapshot.histograms) {
-    const std::string prom = PrometheusMetricName(name);
-    out += "# TYPE " + prom + " summary\n";
-    AppendQuantile(out, prom, "0.5", histogram.p50);
-    AppendQuantile(out, prom, "0.9", histogram.p90);
-    AppendQuantile(out, prom, "0.95", histogram.p95);
-    AppendQuantile(out, prom, "0.99", histogram.p99);
-    out += prom + "_sum " + FormatDouble(histogram.sum) + "\n";
-    out += prom + "_count " + std::to_string(histogram.count) + "\n";
+    AppendSummary(out, PrometheusMetricName(name), name, histogram);
+  }
+  return out;
+}
+
+std::string RenderPrometheusWindow(const WindowedMetricsSnapshot& window) {
+  std::string out;
+  AppendHeader(out, "stindex_metrics_window_seconds",
+               "metrics.window_seconds", "gauge");
+  out += "stindex_metrics_window_seconds " + FormatDouble(window.seconds) +
+         "\n";
+  for (const auto& [name, rate] : window.counter_rates) {
+    const std::string prom = PrometheusMetricName(name) + "_rate";
+    AppendHeader(out, prom, name + " increase/s over the window", "gauge");
+    out += prom + " " + FormatDouble(rate) + "\n";
+  }
+  for (const auto& [name, histogram] : window.histograms) {
+    AppendSummary(out, PrometheusMetricName(name) + "_window",
+                  name + " over the window", histogram);
   }
   return out;
 }

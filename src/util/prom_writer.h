@@ -2,11 +2,17 @@
 #define STINDEX_UTIL_PROM_WRITER_H_
 
 // Prometheus text-exposition rendering of a MetricsSnapshot (the
-// `stindex_cli --stats-format=prom` output). Counters and gauges map
-// directly; histograms become summaries with quantile labels plus the
-// conventional _sum and _count series. Metric names are sanitized to the
-// Prometheus charset [a-zA-Z0-9_] (every other byte becomes '_') and
-// prefixed with "stindex_", so `bufferpool.rstar.misses` is exposed as
+// `stindex_cli --stats-format=prom` output and the /metrics endpoint of
+// util/http_exposition.h). Counters and gauges map directly; histograms
+// become summaries with quantile labels plus the conventional _sum and
+// _count series. Metric names are sanitized per the Prometheus naming
+// rules: dots (our registry's namespace separator) and the other
+// separator characters used in registry names (space, '/', ':', '-')
+// become underscores, the result is prefixed with "stindex_", and any
+// OTHER byte outside [a-zA-Z0-9_] is rejected loudly (STINDEX_CHECK) —
+// a control character or quote in a metric name is a bug at the
+// registration site, not something to launder into an underscore.
+// `bufferpool.rstar.misses` is exposed as
 // `stindex_bufferpool_rstar_misses`.
 
 #include <string>
@@ -17,12 +23,27 @@ namespace stindex {
 
 // `name` after sanitization and prefixing — exposed for tests and for
 // anything that needs to predict the exposition name of a metric.
+// CHECK-fails on bytes that are neither Prometheus-legal nor one of the
+// mapped separators ". /:-".
 std::string PrometheusMetricName(const std::string& name);
 
-// The full exposition document: one # TYPE line and one-or-more sample
-// lines per metric, counters first, then gauges, then histograms (each
-// group in the snapshot's sorted name order). Ends with a newline.
+// The full exposition document: one # HELP line, one # TYPE line and
+// one-or-more sample lines per metric, counters first, then gauges, then
+// histograms (each group in the snapshot's sorted name order). Ends with
+// a newline.
 std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+// The sliding-window companion series of a MetricsWindow capture:
+//
+//   stindex_metrics_window_seconds           gauge, window span
+//   <name>_rate                              gauge, counter increase/s
+//   <name>_window{quantile="..."}/_sum/_count  summary over the window
+//
+// Appended after RenderPrometheus's cumulative series by the /metrics
+// endpoint, so dashboards get rolling p50/p95/p99 without PromQL-side
+// histogram juggling. Empty (just the window gauge at 0) until the
+// window holds two epochs.
+std::string RenderPrometheusWindow(const WindowedMetricsSnapshot& window);
 
 }  // namespace stindex
 

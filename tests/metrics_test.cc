@@ -212,5 +212,107 @@ TEST(ScopedTimerTest, RecordsOneReading) {
   EXPECT_GE(after.Sum(), 0.0);
 }
 
+// DeltaSince recovers exactly the readings recorded between two captures
+// of the same histogram — the core of the sliding window.
+TEST(HistogramTest, DeltaSinceIsolatesWindowReadings) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  histogram.Record(100.0);
+  const Histogram earlier = histogram;  // capture
+  histogram.Record(4.0);
+  histogram.Record(4.0);
+  histogram.Record(8.0);
+
+  const Histogram delta = histogram.DeltaSince(earlier);
+  EXPECT_EQ(delta.Count(), 3u);
+  EXPECT_DOUBLE_EQ(delta.Sum(), 16.0);
+  // Window percentiles reflect only the window readings: the cumulative
+  // p100 is 100, the window's is 8 (bucket-accurate, and 8 = 2^3 is an
+  // exact bucket bound).
+  EXPECT_EQ(delta.ValueAtPercentile(100.0), 8.0);
+  EXPECT_LE(delta.ValueAtPercentile(50.0), 4.0);
+}
+
+TEST(HistogramTest, DeltaSinceOfIdenticalCapturesIsEmpty) {
+  Histogram histogram;
+  histogram.Record(3.0);
+  const Histogram delta = histogram.DeltaSince(histogram);
+  EXPECT_EQ(delta.Count(), 0u);
+  EXPECT_DOUBLE_EQ(delta.Sum(), 0.0);
+  EXPECT_EQ(delta.ValueAtPercentile(99.0), 0.0);
+}
+
+TEST(MetricsWindowTest, NeedsTwoEpochsForASnapshot) {
+  MetricRegistry registry;
+  MetricsWindow window(4, &registry);
+  EXPECT_EQ(window.WindowSnapshot().epochs, 0u);
+  window.Advance();
+  EXPECT_EQ(window.WindowSnapshot().epochs, 0u);  // one boundary = no span
+  window.Advance();
+  EXPECT_EQ(window.WindowSnapshot().epochs, 1u);
+}
+
+TEST(MetricsWindowTest, CounterRatesAndWindowPercentiles) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("w.counter");
+  HistogramMetric* histogram = registry.GetHistogram("w.hist");
+  histogram->Record(512.0);  // pre-window reading, must not leak in
+  counter->Add(10);
+
+  MetricsWindow window(4, &registry);
+  window.Advance();
+  counter->Add(30);
+  histogram->Record(2.0);
+  histogram->Record(4.0);
+  window.Advance();
+
+  const WindowedMetricsSnapshot snapshot = window.WindowSnapshot();
+  ASSERT_EQ(snapshot.counter_rates.size(), 1u);
+  EXPECT_EQ(snapshot.counter_rates[0].first, "w.counter");
+  // 30 increments over the (tiny but positive) window; rate is
+  // scheduling-dependent, the delta is not: rate * seconds == 30.
+  EXPECT_GT(snapshot.counter_rates[0].second, 0.0);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& hist = snapshot.histograms[0].second;
+  EXPECT_EQ(hist.count, 2u);  // the 512 recorded pre-window is excluded
+  EXPECT_DOUBLE_EQ(hist.sum, 6.0);
+  EXPECT_LE(hist.p99, 4.0);
+}
+
+TEST(MetricsWindowTest, RingDropsOldestEpoch) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("w.ring");
+  MetricsWindow window(2, &registry);  // spans at most 2 epoch intervals
+  window.Advance();          // capture A: 0
+  counter->Add(1);
+  window.Advance();          // capture B: 1
+  counter->Add(2);
+  window.Advance();          // capture C: 3
+  counter->Add(4);
+  window.Advance();          // capture D: 7 — A falls off the ring
+
+  const WindowedMetricsSnapshot snapshot = window.WindowSnapshot();
+  EXPECT_EQ(snapshot.epochs, 2u);
+  ASSERT_EQ(snapshot.counter_rates.size(), 1u);
+  // The window covers B..D: 7 - 1 = 6 increments.
+  EXPECT_GT(snapshot.counter_rates[0].second, 0.0);
+  EXPECT_NEAR(snapshot.counter_rates[0].second * snapshot.seconds, 6.0, 1e-9);
+}
+
+TEST(MetricsWindowTest, CountersBornMidWindowDiffAgainstZero) {
+  MetricRegistry registry;
+  MetricsWindow window(4, &registry);
+  window.Advance();
+  registry.GetCounter("w.born.late")->Add(5);
+  registry.GetHistogram("w.hist.late")->Record(1.0);
+  window.Advance();
+
+  const WindowedMetricsSnapshot snapshot = window.WindowSnapshot();
+  ASSERT_EQ(snapshot.counter_rates.size(), 1u);
+  EXPECT_NEAR(snapshot.counter_rates[0].second * snapshot.seconds, 5.0, 1e-9);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1u);
+}
+
 }  // namespace
 }  // namespace stindex

@@ -18,13 +18,16 @@ TEST(PromWriterTest, MetricNameSanitization) {
   EXPECT_EQ(PrometheusMetricName("Mixed.Case-09"), "stindex_Mixed_Case_09");
   EXPECT_EQ(PrometheusMetricName("sp ace/slash:colon"),
             "stindex_sp_ace_slash_colon");
-  // Only [a-zA-Z0-9_] survives.
-  const std::string name = PrometheusMetricName("a\tb\nc\"d{e}");
-  for (const char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_';
-    EXPECT_TRUE(ok) << "bad char in " << name;
-  }
+}
+
+// Bytes outside [a-zA-Z0-9_] and the mapped separators ". /:-" are a bug
+// at the registration site; the renderer must reject them loudly instead
+// of laundering them into underscores.
+TEST(PromWriterDeathTest, RejectsIllegalMetricNameBytes) {
+  EXPECT_DEATH(PrometheusMetricName("a\tb"), "neither Prometheus-legal");
+  EXPECT_DEATH(PrometheusMetricName("new\nline"), "neither Prometheus-legal");
+  EXPECT_DEATH(PrometheusMetricName("quo\"te"), "neither Prometheus-legal");
+  EXPECT_DEATH(PrometheusMetricName("brace{s}"), "neither Prometheus-legal");
 }
 
 TEST(PromWriterTest, RendersEveryKindWithTypeLines) {
@@ -60,9 +63,23 @@ TEST(PromWriterTest, RendersEveryKindWithTypeLines) {
   EXPECT_EQ(out.back(), '\n');
 }
 
+TEST(PromWriterTest, EmitsHelpLines) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("io.query.misses", 42);
+  const std::string out = RenderPrometheus(snapshot);
+  // HELP precedes TYPE and names the source metric.
+  const size_t help = out.find("# HELP stindex_io_query_misses ");
+  const size_t type = out.find("# TYPE stindex_io_query_misses counter");
+  ASSERT_NE(help, std::string::npos);
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+  EXPECT_NE(out.find("'io.query.misses'"), std::string::npos);
+}
+
 // Round trip: parse the exposition text back and compare against the
 // snapshot it was rendered from. The parser accepts exactly the subset
-// the writer emits: "# TYPE name kind" lines and "name[{labels}] value".
+// the writer emits: "# HELP"/"# TYPE" comment lines and
+// "name[{labels}] value" samples.
 TEST(PromWriterTest, RoundTripsThroughTextParse) {
   MetricRegistry& registry = MetricRegistry::Global();
   registry.ResetForTest();
@@ -86,6 +103,7 @@ TEST(PromWriterTest, RoundTripsThroughTextParse) {
       types[name] = kind;
       continue;
     }
+    if (line.rfind("# ", 0) == 0) continue;  // HELP and other comments
     const size_t space = line.rfind(' ');
     ASSERT_NE(space, std::string::npos) << line;
     samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
@@ -116,6 +134,46 @@ TEST(PromWriterTest, RoundTripsThroughTextParse) {
   EXPECT_EQ(types.size(), snapshot.counters.size() + snapshot.gauges.size() +
                               snapshot.histograms.size());
   registry.ResetForTest();
+}
+
+// The sliding-window companion series: a window span gauge, one _rate
+// gauge per counter and one _window summary per histogram.
+TEST(PromWriterTest, RendersWindowSeries) {
+  WindowedMetricsSnapshot window;
+  window.seconds = 4.0;
+  window.epochs = 2;
+  window.counter_rates.emplace_back("io.query.misses", 12.5);
+  HistogramSnapshot hist;
+  hist.count = 8;
+  hist.sum = 16.0;
+  hist.p50 = 1.0;
+  hist.p95 = 4.0;
+  hist.p99 = 4.0;
+  window.histograms.emplace_back("io.query.latency_ms", hist);
+
+  const std::string out = RenderPrometheusWindow(window);
+  EXPECT_NE(out.find("stindex_metrics_window_seconds 4\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE stindex_io_query_misses_rate gauge\n"
+                     "stindex_io_query_misses_rate 12.5\n"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("# TYPE stindex_io_query_latency_ms_window summary\n"),
+      std::string::npos);
+  EXPECT_NE(
+      out.find("stindex_io_query_latency_ms_window{quantile=\"0.95\"} 4\n"),
+      std::string::npos);
+  EXPECT_NE(out.find("stindex_io_query_latency_ms_window_count 8\n"),
+            std::string::npos);
+}
+
+// An empty window (fewer than two epochs) renders just the span gauge.
+TEST(PromWriterTest, EmptyWindowRendersSpanOnly) {
+  const std::string out = RenderPrometheusWindow(WindowedMetricsSnapshot{});
+  EXPECT_NE(out.find("stindex_metrics_window_seconds 0\n"),
+            std::string::npos);
+  EXPECT_EQ(out.find("_rate"), std::string::npos);
+  EXPECT_EQ(out.find("_window{"), std::string::npos);
 }
 
 }  // namespace

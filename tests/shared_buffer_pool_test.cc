@@ -269,9 +269,12 @@ TEST(SharedBufferPoolTest, PinOverflowGrowsTransientlyAndTrimsBack) {
   ASSERT_TRUE(pool.Pin(2, &missed).ok());  // transient third frame
   EXPECT_EQ(pool.CachedPages(), 3u);
   pool.Unpin(0);
+  // Releasing a pin trims clean overage straight back under the slice —
+  // the overflow must not linger until the next miss happens to land in
+  // this shard.
+  EXPECT_LE(pool.CachedPages(), 2u);
   pool.Unpin(1);
   pool.Unpin(2);
-  // The next miss evicts back under the slice before inserting.
   ASSERT_TRUE(pool.Pin(3, &missed).ok());
   pool.Unpin(3);
   EXPECT_LE(pool.CachedPages(), 2u);

@@ -134,6 +134,10 @@ int ResolveThreadsOrDie(Flags& flags) {
 // "metrics" section of the bench report schema (bench/bench_report.h), or
 // as Prometheus text exposition (util/prom_writer.h).
 void DumpMetrics(const std::string& path, const std::string& format) {
+  // GetCounter registers on first use, so trace.dropped_events (and with
+  // it the health of the trace ring) always appears in --stats dumps,
+  // even for runs that never traced.
+  MetricRegistry::Global().GetCounter("trace.dropped_events");
   const MetricsSnapshot metrics = MetricRegistry::Global().Snapshot();
   std::string document;
   if (format == "prom") {
@@ -605,6 +609,9 @@ int CmdIngest(Flags& flags) {
   }
   const Status finished = tier.value()->Finish();
   if (!finished.ok()) Die(finished);
+  // Surface the tier's WAL/checkpoint gauges and pool counters in the
+  // --stats dump written after this command returns.
+  tier.value()->PublishGauges();
 
   const uint64_t dup_skips =
       registry.GetCounter("live.dup_skips")->Value() - dup_base;
@@ -650,6 +657,7 @@ int CmdPack(Flags& flags) {
   if (!packed.ok()) Die(packed);
   const uint64_t packed_pages =
       registry.GetCounter("backend.mmap.packed_pages")->Value() - packed_base;
+  tier.value()->PublishGauges();
   std::printf("packed %llu node pages (%zu migrated segments) from %s "
               "into %s\n",
               static_cast<unsigned long long>(packed_pages),
